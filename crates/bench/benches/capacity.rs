@@ -1,0 +1,21 @@
+//! E5: the n_max capacity sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strandfs_bench::experiments::{e5_capacity, standard_video_spec, vintage_env};
+
+fn bench(c: &mut Criterion) {
+    let env = vintage_env();
+    let spec = standard_video_spec();
+
+    c.bench_function("capacity/granularity_sweep", |b| {
+        b.iter(|| e5_capacity::granularity_sweep(black_box(&env), black_box(spec)))
+    });
+
+    c.bench_function("capacity/scattering_sweep", |b| {
+        b.iter(|| e5_capacity::scattering_sweep(black_box(&env), black_box(spec)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E4: buffering/read-ahead plans and anti-jitter arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strandfs_bench::experiments::{e4_buffering, standard_video_stream, vintage_disk_params};
+
+fn bench(c: &mut Criterion) {
+    let v = standard_video_stream();
+    let d = vintage_disk_params();
+
+    c.bench_function("readahead/sweep", |b| {
+        b.iter(|| e4_buffering::run(black_box(&v), black_box(&d)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

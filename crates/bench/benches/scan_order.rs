@@ -1,0 +1,21 @@
+//! E12: intra-round service ordering — the full record + play run under
+//! both orders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strandfs_bench::experiments::e12_scan;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_order");
+    g.sample_size(10);
+    g.bench_function("roundrobin_vs_scan_full_sim", |b| {
+        b.iter(|| {
+            let (rr, scan) = e12_scan::run();
+            black_box((rr.seek_time, scan.seek_time))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

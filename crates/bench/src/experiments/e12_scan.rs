@@ -1,0 +1,152 @@
+//! **E12 — §6.2 future work**: intra-round service ordering.
+//!
+//! The admission analysis charges every request switch the worst-case
+//! `l_seek_max` because round-robin order gives no locality guarantee.
+//! The paper's future work proposes servicing requests "in the order
+//! that minimizes … the separations between blocks". The experiment
+//! plays the same load under round-robin and SCAN (ascending-address
+//! sweep) rounds and measures positioning time, round duration and
+//! headroom.
+
+use crate::table::Table;
+use strandfs_core::mrs::compile_schedule;
+use strandfs_core::msm::MsmConfig;
+use strandfs_core::rope::edit::{Interval, MediaSel};
+use strandfs_disk::{DiskGeometry, GapBounds, SeekModel};
+use strandfs_sim::playback::{simulate_playback, PlaybackConfig, ServiceOrder};
+use strandfs_sim::{volume_on, ClipSpec};
+use strandfs_units::Nanos;
+
+/// Outcome of one ordering policy.
+pub struct Row {
+    /// Ordering policy.
+    pub order: ServiceOrder,
+    /// Continuity violations.
+    pub violations: u64,
+    /// Total simulated disk busy time.
+    pub disk_busy: Nanos,
+    /// Total arm (seek) time — what ordering can actually save.
+    pub seek_time: Nanos,
+}
+
+const STREAMS: usize = 3;
+const K: u64 = 16;
+/// Playback start offsets (ms) per stream. Recording interleaves the
+/// strands in lock-step, so equal cursors would trivially sit in index
+/// order; offsets that are *not* monotone in stream index make the
+/// round-robin visit order zig-zag across the disk while SCAN sweeps.
+const OFFSETS_MS: [u64; STREAMS] = [4_000, 0, 2_000];
+
+fn run_order(order: ServiceOrder) -> Row {
+    // A distance-proportional (affine) seek arm, as on older drives,
+    // and strands deliberately scattered across the whole volume
+    // (min gap 20 000 sectors): the regime where visiting order matters.
+    let (mut mrs, ropes) = volume_on(
+        DiskGeometry::vintage_1991(),
+        SeekModel::Affine {
+            settle: strandfs_units::Seconds::from_millis(2.0),
+            per_cylinder: strandfs_units::Seconds::from_millis(0.02),
+        },
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 20_000,
+                max_sectors: 60_000,
+            },
+            6,
+        ),
+        &[ClipSpec::video_seconds(8.0); STREAMS],
+    );
+    let schedules: Vec<_> = ropes
+        .iter()
+        .zip(OFFSETS_MS)
+        .map(|(r, offset_ms)| {
+            let rope = mrs.rope(*r).unwrap().clone();
+            let mut s = compile_schedule(
+                &rope,
+                MediaSel::Both,
+                Interval::new(
+                    Nanos::from_millis(offset_ms),
+                    rope.duration() - Nanos::from_millis(offset_ms),
+                ),
+            )
+            .unwrap();
+            mrs.resolve_silence(&mut s).unwrap();
+            s
+        })
+        .collect();
+    let before = mrs.msm().disk().stats().clone();
+    // Reordering adds service-order jitter: a stream served first in one
+    // round may be served last in the next, stretching its service gap
+    // toward two rounds. One extra round of read-ahead (2k) covers it;
+    // both policies get the same buffering so the comparison is fair.
+    let cfg = PlaybackConfig {
+        k: K,
+        read_ahead: 2 * K,
+        order,
+    };
+    let report = simulate_playback(&mut mrs, schedules, cfg);
+    let stats = mrs.msm().disk().stats();
+    Row {
+        order,
+        violations: report.total_violations(),
+        disk_busy: report.disk_busy,
+        seek_time: stats.seek_time.saturating_sub(before.seek_time),
+    }
+}
+
+/// Run both orderings.
+pub fn run() -> (Row, Row) {
+    (
+        run_order(ServiceOrder::RoundRobin),
+        run_order(ServiceOrder::Scan),
+    )
+}
+
+/// Render the comparison.
+pub fn table() -> Table {
+    let (rr, scan) = run();
+    let mut t = Table::new(
+        "E12 / §6.2 — intra-round service order: round-robin vs. SCAN sweep \
+         (3 scattered streams, k=4, affine-seek arm)",
+        &["order", "violations", "disk busy", "seek time"],
+    );
+    for r in [&rr, &scan] {
+        t.row(vec![
+            format!("{:?}", r.order),
+            r.violations.to_string(),
+            r.disk_busy.to_string(),
+            r.seek_time.to_string(),
+        ]);
+    }
+    let seek_gain =
+        1.0 - scan.seek_time.as_nanos() as f64 / rr.seek_time.as_nanos().max(1) as f64;
+    let busy_gain =
+        1.0 - scan.disk_busy.as_nanos() as f64 / rr.disk_busy.as_nanos().max(1) as f64;
+    t.note(format!(
+        "SCAN cuts arm time by {:.1}% (total disk time by {:.1}%) — the headroom the paper's \
+         pessimistic l_seek_max budgeting leaves on the table",
+        seek_gain * 100.0,
+        busy_gain * 100.0
+    ));
+    t.note("rotation and transfer are order-independent, so the win is bounded by the seek share");
+    t.note("reordering adds service-order jitter: both policies run 2k read-ahead to absorb it");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_reduces_seek_time_and_never_hurts() {
+        let (rr, scan) = run();
+        assert!(
+            scan.seek_time < rr.seek_time,
+            "SCAN seek {} must beat round-robin {}",
+            scan.seek_time,
+            rr.seek_time
+        );
+        assert!(scan.disk_busy <= rr.disk_busy);
+        assert!(scan.violations <= rr.violations);
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment implementations, numbered per `DESIGN.md` §5.
+
+pub mod e1_fig4;
+pub mod e2_unconstrained;
+pub mod e3_architectures;
+pub mod e4_buffering;
+pub mod e5_capacity;
+pub mod e6_transient;
+pub mod e7_edit_copy;
+pub mod e8_silence;
+pub mod e9_allocators;
+pub mod e10_index;
+pub mod e11_vbr;
+pub mod e12_scan;
+
+use strandfs_core::admission::{RequestSpec, ServiceEnv};
+use strandfs_core::model::{DiskParams, VideoStream};
+use strandfs_disk::{DiskGeometry, SeekModel, SimDisk};
+use strandfs_units::{BitRate, Bits, FrameRate};
+
+/// The standard experiment stream: NTSC video compressed 12:1 by the UVC
+/// board (96 kbit frames), blocked at `q = 3` frames (100 ms blocks).
+pub fn standard_video_stream() -> VideoStream {
+    VideoStream {
+        q: 3,
+        s: Bits::new(96_000),
+        rate: FrameRate::NTSC,
+        r_vd: BitRate::mbit_per_sec(138.24), // 4x the raw 34.56 Mbit/s stream
+    }
+}
+
+/// The standard admission spec matching [`standard_video_stream`].
+pub fn standard_video_spec() -> RequestSpec {
+    RequestSpec {
+        q: 3,
+        unit_bits: Bits::new(96_000),
+        unit_rate: 30.0,
+    }
+}
+
+/// The vintage-1991 disk as a model parameter bundle, with blocks
+/// scattered an average of 40 cylinders apart.
+pub fn vintage_disk_params() -> DiskParams {
+    let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+    DiskParams::from_disk(&disk, 40)
+}
+
+/// The matching admission environment.
+pub fn vintage_env() -> ServiceEnv {
+    let p = vintage_disk_params();
+    ServiceEnv {
+        r_dt: p.r_dt,
+        l_seek_max: p.l_seek_max,
+        l_ds_avg: p.l_ds_avg,
+    }
+}
+
+/// The projected-future disk environment (faster transfer, shorter
+/// seeks) for capacity sweeps.
+pub fn projected_env() -> ServiceEnv {
+    let disk = SimDisk::new(DiskGeometry::projected_fast(), SeekModel::projected_fast());
+    let p = DiskParams::from_disk(&disk, 40);
+    ServiceEnv {
+        r_dt: p.r_dt,
+        l_seek_max: p.l_seek_max,
+        l_ds_avg: p.l_ds_avg,
+    }
+}

@@ -1,0 +1,18 @@
+//! The experiment harness: one module per figure, table or worked
+//! example of the paper (see `DESIGN.md` §5 for the index).
+//!
+//! Every experiment is a pure function returning a printable table, so
+//! the same code backs three consumers:
+//!
+//! * `cargo run -p strandfs-bench --bin experiments` — regenerates every
+//!   table/figure as text (the source of `EXPERIMENTS.md`);
+//! * `cargo bench` — criterion benches timing the underlying machinery;
+//! * integration tests asserting the *shape* of each result (who wins,
+//!   where the crossovers fall).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

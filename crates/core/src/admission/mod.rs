@@ -1,0 +1,489 @@
+//! Admission control for multiple concurrent requests (§3.4).
+//!
+//! The file server services `n` active requests in **rounds**,
+//! transferring `k` consecutive blocks per request per round. With
+//!
+//! * `α = l_seek_max + q̄·s̄/R_dt` — worst-case cost of switching to a
+//!   request and transferring its first block (Eqs. 7, 12),
+//! * `β = l_ds_avg + q̄·s̄/R_dt` — average cost of each subsequent block
+//!   (Eqs. 8, 13),
+//! * `γ = min_i (q_i / R_r,i)` — the smallest block playback duration
+//!   among the requests (Eq. 14),
+//!
+//! steady-state continuity requires `n·α + n·(k−1)·β ≤ k·γ` (Eq. 15),
+//! giving `k = ⌈n(α−β) / (γ−n·β)⌉` (Eq. 16), meaningful iff `γ > n·β`;
+//! hence the capacity bound `n_max = ⌈γ/β⌉ − 1` (Eq. 17).
+//!
+//! Admitting a request grows `k`, and during the transition the server
+//! transfers `k_new` blocks while only `k_old` are buffered — Eq. 15
+//! alone does not protect that round. The paper's fix (Eq. 18) solves
+//! `n·α + n·k·β ≤ k·γ`, i.e. budgets for `k+1` transfers against `k`
+//! buffered blocks, so that growing `k` in **steps of 1** is continuous
+//! at every step. [`AdmissionController`] implements exactly that
+//! protocol.
+//!
+//! ```
+//! use strandfs_core::admission::{Aggregates, RequestSpec, ServiceEnv};
+//! use strandfs_units::{BitRate, Bits, Seconds};
+//!
+//! let env = ServiceEnv {
+//!     r_dt: BitRate::mbit_per_sec(28.8),
+//!     l_seek_max: Seconds::from_millis(40.0),
+//!     l_ds_avg: Seconds::from_millis(15.0),
+//! };
+//! // 100 ms video blocks: 3 NTSC frames of 96 kbit.
+//! let spec = RequestSpec { q: 3, unit_bits: Bits::new(96_000), unit_rate: 30.0 };
+//! let agg = Aggregates::compute(&env, &[spec, spec]).unwrap();
+//! let k = agg.k_transient(2).expect("two streams fit");
+//! assert!(agg.steady_feasible(2, k));
+//! assert_eq!(agg.n_max(), 3);
+//! ```
+
+use crate::error::FsError;
+use crate::types::RequestId;
+use std::collections::BTreeMap;
+use strandfs_units::{BitRate, Bits, Seconds};
+
+/// Per-request stream parameters as admission control sees them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestSpec {
+    /// Granularity: media units (frames/samples) per block.
+    pub q: u64,
+    /// Unit size in bits (`s_vf` or `s_as`).
+    pub unit_bits: Bits,
+    /// Recording rate in units per second (`R_vr` or `R_ar`).
+    pub unit_rate: f64,
+}
+
+impl RequestSpec {
+    /// Playback duration of one block: `q / R_r`.
+    pub fn block_playback(&self) -> Seconds {
+        Seconds::new(self.q as f64 / self.unit_rate)
+    }
+
+    /// Bits per block: `q · s`.
+    pub fn block_bits(&self) -> Bits {
+        Bits::new(self.q * self.unit_bits.get())
+    }
+
+    /// True if all parameters are positive and finite.
+    pub fn is_valid(&self) -> bool {
+        self.q > 0
+            && self.unit_bits.get() > 0
+            && self.unit_rate.is_finite()
+            && self.unit_rate > 0.0
+    }
+}
+
+/// Server-side constants of the admission equations.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceEnv {
+    /// Disk transfer rate `R_dt`.
+    pub r_dt: BitRate,
+    /// Worst-case positioning between any two blocks (`l_seek_max`,
+    /// seek + rotational latency).
+    pub l_seek_max: Seconds,
+    /// Average positioning between successive blocks of one strand under
+    /// the scattering bound (`l_ds_avg`).
+    pub l_ds_avg: Seconds,
+}
+
+/// The `α`, `β`, `γ` aggregates over a request set.
+#[derive(Clone, Copy, Debug)]
+pub struct Aggregates {
+    /// Worst-case first-block service time (Eq. 12).
+    pub alpha: Seconds,
+    /// Average subsequent-block service time (Eq. 13).
+    pub beta: Seconds,
+    /// Minimum block playback duration (Eq. 14).
+    pub gamma: Seconds,
+}
+
+impl Aggregates {
+    /// Compute the aggregates for `requests` under `env`. Returns `None`
+    /// for an empty set (no round to schedule).
+    pub fn compute(env: &ServiceEnv, requests: &[RequestSpec]) -> Option<Aggregates> {
+        if requests.is_empty() {
+            return None;
+        }
+        let mean_block_bits: f64 = requests
+            .iter()
+            .map(|r| r.block_bits().as_f64())
+            .sum::<f64>()
+            / requests.len() as f64;
+        let mean_transfer = Seconds::new(mean_block_bits / env.r_dt.get());
+        let gamma = requests
+            .iter()
+            .map(|r| r.block_playback())
+            .fold(Seconds::new(f64::INFINITY), Seconds::min);
+        Some(Aggregates {
+            alpha: env.l_seek_max + mean_transfer,
+            beta: env.l_ds_avg + mean_transfer,
+            gamma,
+        })
+    }
+
+    /// Eq. 17: the largest request count with `γ > n·β`, i.e.
+    /// `n_max = ⌈γ/β⌉ − 1`.
+    pub fn n_max(&self) -> usize {
+        let ratio = self.gamma.get() / self.beta.get();
+        (ceil_eps(ratio) as usize).saturating_sub(1)
+    }
+
+    /// Eq. 16: steady-state round size for `n` requests,
+    /// `k = ⌈n(α−β)/(γ−n·β)⌉` (at least 1). `None` iff `γ ≤ n·β`.
+    pub fn k_steady(&self, n: usize) -> Option<u64> {
+        let denom = self.gamma.get() - n as f64 * self.beta.get();
+        if denom <= 0.0 {
+            return None;
+        }
+        let k = ceil_eps(n as f64 * (self.alpha.get() - self.beta.get()) / denom);
+        Some((k as u64).max(1))
+    }
+
+    /// Eq. 18: transient-safe round size, `k = ⌈n·α/(γ−n·β)⌉` (at least
+    /// 1). Using this `k`, every +1 step of the round size keeps the
+    /// transition round within the playback duration of the previous
+    /// round's buffers. `None` iff `γ ≤ n·β`.
+    pub fn k_transient(&self, n: usize) -> Option<u64> {
+        let denom = self.gamma.get() - n as f64 * self.beta.get();
+        if denom <= 0.0 {
+            return None;
+        }
+        let k = ceil_eps(n as f64 * self.alpha.get() / denom);
+        Some((k as u64).max(1))
+    }
+
+    /// Left-hand side of Eq. 15: worst-case duration of one full round
+    /// servicing `n` requests with `k` blocks each.
+    pub fn round_time(&self, n: usize, k: u64) -> Seconds {
+        assert!(k >= 1, "round size must be at least 1");
+        self.alpha * n as f64 + self.beta * (n as f64 * (k - 1) as f64)
+    }
+
+    /// Right-hand side of Eq. 15: the playback duration of `k` blocks of
+    /// the fastest-consuming request.
+    pub fn playback_budget(&self, k: u64) -> Seconds {
+        self.gamma * k as f64
+    }
+
+    /// Eq. 15 holds: a round of size `k` over `n` requests is continuous
+    /// in steady state.
+    pub fn steady_feasible(&self, n: usize, k: u64) -> bool {
+        self.round_time(n, k) <= self.playback_budget(k)
+    }
+
+    /// Eq. 18 holds: even a round transferring `k+1` blocks completes
+    /// within the playback budget of `k` buffered blocks.
+    pub fn transient_feasible(&self, n: usize, k: u64) -> bool {
+        self.alpha * n as f64 + self.beta * (n as f64 * k as f64) <= self.playback_budget(k)
+    }
+}
+
+/// Ceiling with a relative tolerance: ratios that miss an integer by a
+/// few ulps of accumulated rounding (e.g. `3.0000000000000004`) must not
+/// round up a whole service round.
+fn ceil_eps(x: f64) -> f64 {
+    (x - 1e-9).ceil()
+}
+
+/// Outcome of a successful admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Admitted {
+    /// The round size before admission (0 when idle).
+    pub k_old: u64,
+    /// The round size after admission.
+    pub k_new: u64,
+    /// The step-wise transition schedule: the round sizes to run, one
+    /// round each, before the new request enters service (empty when
+    /// `k_new ≤ k_old`).
+    pub transition: Vec<u64>,
+}
+
+/// The round-based admission controller.
+///
+/// Owns the active request set and the current round size `k`; its
+/// invariant is that `(n, k)` always satisfies Eq. 18, so any in-flight
+/// transition (which only steps `k` by 1) is continuous.
+#[derive(Debug)]
+pub struct AdmissionController {
+    env: ServiceEnv,
+    requests: BTreeMap<RequestId, RequestSpec>,
+    k: u64,
+}
+
+impl AdmissionController {
+    /// A controller with no active requests.
+    pub fn new(env: ServiceEnv) -> Self {
+        AdmissionController {
+            env,
+            requests: BTreeMap::new(),
+            k: 0,
+        }
+    }
+
+    /// The server environment.
+    pub fn env(&self) -> &ServiceEnv {
+        &self.env
+    }
+
+    /// Number of requests in service.
+    pub fn active(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The current round size (0 when idle).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The specs currently in service, in admission (id) order.
+    pub fn specs(&self) -> Vec<RequestSpec> {
+        self.requests.values().copied().collect()
+    }
+
+    /// The spec of one active request.
+    pub fn spec(&self, id: RequestId) -> Option<&RequestSpec> {
+        self.requests.get(&id)
+    }
+
+    /// The aggregates for the current request set (`None` when idle).
+    pub fn aggregates(&self) -> Option<Aggregates> {
+        Aggregates::compute(&self.env, &self.specs())
+    }
+
+    /// Capacity bound for the *current* mix plus a hypothetical request
+    /// identical to the average — mainly informational; admission itself
+    /// recomputes aggregates with the actual candidate.
+    pub fn n_max(&self) -> usize {
+        self.aggregates().map(|a| a.n_max()).unwrap_or(usize::MAX)
+    }
+
+    /// Try to admit `spec` under id `id` (Eq. 18 test). On success the
+    /// controller's `k` is updated and the step-wise transition schedule
+    /// is returned; on failure nothing changes.
+    pub fn try_admit(&mut self, id: RequestId, spec: RequestSpec) -> Result<Admitted, FsError> {
+        assert!(spec.is_valid(), "invalid request spec: {spec:?}");
+        assert!(
+            !self.requests.contains_key(&id),
+            "request id {id} already active"
+        );
+        let mut specs = self.specs();
+        specs.push(spec);
+        let n = specs.len();
+        let agg = Aggregates::compute(&self.env, &specs).expect("non-empty");
+        let k_new = match agg.k_transient(n) {
+            Some(k) => k,
+            None => {
+                return Err(FsError::AdmissionRejected {
+                    active: self.requests.len(),
+                    n_max: agg.n_max(),
+                })
+            }
+        };
+        let k_old = self.k;
+        // The transition schedule: one round at each intermediate size.
+        // k may also shrink (admitting a request with a *larger* block
+        // playback can lower k) — shrinking needs no transition rounds.
+        let transition: Vec<u64> = if k_new > k_old {
+            (k_old + 1..=k_new).collect()
+        } else {
+            Vec::new()
+        };
+        self.requests.insert(id, spec);
+        self.k = k_new;
+        Ok(Admitted {
+            k_old,
+            k_new,
+            transition,
+        })
+    }
+
+    /// Remove a request from service, recomputing `k` for the remaining
+    /// set (0 when the server goes idle).
+    pub fn release(&mut self, id: RequestId) -> Result<(), FsError> {
+        if self.requests.remove(&id).is_none() {
+            return Err(FsError::UnknownRequest(id));
+        }
+        self.k = match self.aggregates() {
+            Some(agg) => agg
+                .k_transient(self.requests.len())
+                .expect("shrinking the set keeps feasibility"),
+            None => 0,
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> ServiceEnv {
+        ServiceEnv {
+            r_dt: BitRate::bits_per_sec(28.8e6),
+            l_seek_max: Seconds::from_millis(40.0),
+            l_ds_avg: Seconds::from_millis(15.0),
+        }
+    }
+
+    /// 100 ms blocks (3 NTSC frames of 96 kbit): transfer 10 ms.
+    fn spec() -> RequestSpec {
+        RequestSpec {
+            q: 3,
+            unit_bits: Bits::new(96_000),
+            unit_rate: 30.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_hand_computed() {
+        let agg = Aggregates::compute(&env(), &[spec(), spec()]).unwrap();
+        // mean transfer = 288000/28.8e6 = 10 ms.
+        assert!((agg.alpha.get() - 0.050).abs() < 1e-9);
+        assert!((agg.beta.get() - 0.025).abs() < 1e-9);
+        assert!((agg.gamma.get() - 0.100).abs() < 1e-9);
+        // n_max = ceil(100/25) - 1 = 3.
+        assert_eq!(agg.n_max(), 3);
+        assert!(Aggregates::compute(&env(), &[]).is_none());
+    }
+
+    #[test]
+    fn k_formulas_hand_computed() {
+        let agg = Aggregates::compute(&env(), &[spec()]).unwrap();
+        // n=1: gamma - beta = 75 ms.
+        // k_steady = ceil(1 * 25 / 75) = 1.
+        assert_eq!(agg.k_steady(1), Some(1));
+        // k_transient = ceil(50/75) = 1.
+        assert_eq!(agg.k_transient(1), Some(1));
+        // n=3: denom = 100 - 75 = 25 ms.
+        // k_steady = ceil(3*25/25) = 3; k_transient = ceil(3*50/25) = 6.
+        assert_eq!(agg.k_steady(3), Some(3));
+        assert_eq!(agg.k_transient(3), Some(6));
+        // n=4 = n_max+1: infeasible.
+        assert_eq!(agg.k_steady(4), None);
+        assert_eq!(agg.k_transient(4), None);
+    }
+
+    #[test]
+    fn k_monotone_in_n() {
+        let agg = Aggregates::compute(&env(), &[spec()]).unwrap();
+        let mut prev = 0;
+        for n in 1..=agg.n_max() {
+            let k = agg.k_steady(n).unwrap();
+            assert!(k >= prev, "k not monotone at n={n}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn transient_k_dominates_steady_k() {
+        let agg = Aggregates::compute(&env(), &[spec()]).unwrap();
+        for n in 1..=agg.n_max() {
+            assert!(agg.k_transient(n).unwrap() >= agg.k_steady(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn eq15_feasibility_matches_k_steady() {
+        let agg = Aggregates::compute(&env(), &[spec(); 3]).unwrap();
+        let k = agg.k_steady(3).unwrap();
+        assert!(agg.steady_feasible(3, k));
+        if k > 1 {
+            assert!(!agg.steady_feasible(3, k - 1));
+        }
+    }
+
+    #[test]
+    fn eq18_protects_plus_one_round() {
+        // The Eq. 18 k guarantees even a (k+1)-block transfer round fits
+        // in k blocks' playback — the property that makes step-wise
+        // transitions continuous.
+        let agg = Aggregates::compute(&env(), &[spec(); 3]).unwrap();
+        let k = agg.k_transient(3).unwrap();
+        assert!(agg.transient_feasible(3, k));
+        assert!(agg.round_time(3, k + 1) <= agg.playback_budget(k + 1));
+    }
+
+    #[test]
+    fn controller_admits_up_to_n_max() {
+        let mut ac = AdmissionController::new(env());
+        let mut admitted = 0;
+        for i in 0..10 {
+            match ac.try_admit(RequestId::from_raw(i), spec()) {
+                Ok(_) => admitted += 1,
+                Err(FsError::AdmissionRejected { active, n_max }) => {
+                    assert_eq!(active, 3);
+                    assert_eq!(n_max, 3);
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(admitted, 3);
+        assert_eq!(ac.active(), 3);
+        assert_eq!(ac.k(), 6); // k_transient(3) from the hand computation
+    }
+
+    #[test]
+    fn transition_schedule_steps_by_one() {
+        let mut ac = AdmissionController::new(env());
+        let a1 = ac.try_admit(RequestId::from_raw(1), spec()).unwrap();
+        assert_eq!(a1.k_old, 0);
+        assert_eq!(a1.k_new, 1);
+        assert_eq!(a1.transition, vec![1]);
+        let a2 = ac.try_admit(RequestId::from_raw(2), spec()).unwrap();
+        // n=2: denom = 100-50=50; k_transient = ceil(2*50/50) = 2.
+        assert_eq!(a2.k_new, 2);
+        assert_eq!(a2.transition, vec![2]);
+        let a3 = ac.try_admit(RequestId::from_raw(3), spec()).unwrap();
+        assert_eq!(a3.k_new, 6);
+        assert_eq!(a3.transition, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn release_shrinks_k_and_frees_capacity() {
+        let mut ac = AdmissionController::new(env());
+        for i in 0..3 {
+            ac.try_admit(RequestId::from_raw(i), spec()).unwrap();
+        }
+        assert!(ac.try_admit(RequestId::from_raw(9), spec()).is_err());
+        ac.release(RequestId::from_raw(0)).unwrap();
+        assert_eq!(ac.active(), 2);
+        assert_eq!(ac.k(), 2);
+        // Capacity is available again.
+        assert!(ac.try_admit(RequestId::from_raw(9), spec()).is_ok());
+        // Releasing everything idles the server.
+        for id in [1, 2, 9] {
+            ac.release(RequestId::from_raw(id)).unwrap();
+        }
+        assert_eq!(ac.k(), 0);
+        assert_eq!(
+            ac.release(RequestId::from_raw(5)),
+            Err(FsError::UnknownRequest(RequestId::from_raw(5)))
+        );
+    }
+
+    #[test]
+    fn heterogeneous_mix_uses_minimum_playback() {
+        // An audio request with a 50 ms block tightens gamma.
+        let audio = RequestSpec {
+            q: 400,
+            unit_bits: Bits::new(8),
+            unit_rate: 8_000.0,
+        };
+        let agg = Aggregates::compute(&env(), &[spec(), audio]).unwrap();
+        assert!((agg.gamma.get() - 0.050).abs() < 1e-9);
+        // Mean block bits = (288000 + 3200)/2; beta reflects it.
+        let mean_transfer = (288_000.0 + 3_200.0) / 2.0 / 28.8e6;
+        assert!((agg.beta.get() - (0.015 + mean_transfer)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_id_panics() {
+        let mut ac = AdmissionController::new(env());
+        ac.try_admit(RequestId::from_raw(1), spec()).unwrap();
+        let _ = ac.try_admit(RequestId::from_raw(1), spec());
+    }
+}

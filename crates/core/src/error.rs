@@ -1,0 +1,122 @@
+//! File-system error type.
+
+use crate::types::{RequestId, RopeId, StrandId};
+use std::fmt;
+use strandfs_disk::AllocError;
+
+/// Errors surfaced by the strandfs core.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FsError {
+    /// Block allocation failed (device full or scattering bound
+    /// unsatisfiable).
+    Alloc(AllocError),
+    /// A strand id was not found.
+    UnknownStrand(StrandId),
+    /// A rope id was not found.
+    UnknownRope(RopeId),
+    /// A request id was not found or is no longer active.
+    UnknownRequest(RequestId),
+    /// An operation targeted a strand that is still being recorded.
+    StrandNotFinished(StrandId),
+    /// An append targeted a strand that is already immutable.
+    StrandImmutable(StrandId),
+    /// A block number was out of a strand's range.
+    BlockOutOfRange {
+        /// The strand accessed.
+        strand: StrandId,
+        /// The offending block number.
+        block: u64,
+        /// Number of blocks in the strand.
+        len: u64,
+    },
+    /// Admission control rejected a request.
+    AdmissionRejected {
+        /// Requests already in service.
+        active: usize,
+        /// The server's capacity bound `n_max` at rejection time.
+        n_max: usize,
+    },
+    /// An edit interval was empty or out of the rope's range.
+    BadInterval {
+        /// Why the interval is invalid.
+        reason: &'static str,
+    },
+    /// The user lacks the required access right.
+    AccessDenied {
+        /// The user that attempted the operation.
+        user: String,
+        /// `"play"` or `"edit"`.
+        right: &'static str,
+    },
+    /// The on-disk index could not be decoded.
+    CorruptIndex {
+        /// What failed to parse.
+        what: &'static str,
+    },
+    /// The operation is invalid in the request's current state (e.g.
+    /// `RESUME` on a request that is not paused).
+    BadRequestState {
+        /// The request in question.
+        request: RequestId,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            FsError::UnknownStrand(id) => write!(f, "unknown strand {id}"),
+            FsError::UnknownRope(id) => write!(f, "unknown rope {id}"),
+            FsError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            FsError::StrandNotFinished(id) => {
+                write!(f, "strand {id} is still recording")
+            }
+            FsError::StrandImmutable(id) => {
+                write!(f, "strand {id} is immutable")
+            }
+            FsError::BlockOutOfRange { strand, block, len } => {
+                write!(f, "block {block} out of range for {strand} ({len} blocks)")
+            }
+            FsError::AdmissionRejected { active, n_max } => write!(
+                f,
+                "admission rejected: {active} active requests, capacity n_max = {n_max}"
+            ),
+            FsError::BadInterval { reason } => write!(f, "bad interval: {reason}"),
+            FsError::AccessDenied { user, right } => {
+                write!(f, "user '{user}' lacks {right} access")
+            }
+            FsError::CorruptIndex { what } => write!(f, "corrupt index: {what}"),
+            FsError::BadRequestState { request, expected } => {
+                write!(f, "request {request} not in expected state ({expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<AllocError> for FsError {
+    fn from(e: AllocError) -> Self {
+        FsError::Alloc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FsError::UnknownStrand(StrandId::from_raw(4));
+        assert_eq!(e.to_string(), "unknown strand strand#4");
+        let e = FsError::AdmissionRejected {
+            active: 12,
+            n_max: 12,
+        };
+        assert!(e.to_string().contains("n_max = 12"));
+        let e: FsError = AllocError::NoSpace.into();
+        assert!(e.to_string().contains("allocation failed"));
+    }
+}

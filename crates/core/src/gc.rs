@@ -1,0 +1,170 @@
+//! Garbage collection of unreferenced strands via *interests*
+//! (reference counts), after Terry & Swinehart's Etherphone voice file
+//! system, as adopted in §4.
+//!
+//! Every rope registered with the server holds an *interest* in each
+//! strand it references. A strand whose interest set empties becomes
+//! collectable; the MSM then reclaims its media blocks and index. Because
+//! strands are immutable and sync information is *copied* between ropes
+//! that share strands, collecting a strand can never invalidate a live
+//! rope.
+
+use crate::rope::Rope;
+use crate::types::{RopeId, StrandId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The interest registry: which ropes care about which strands.
+#[derive(Debug, Default)]
+pub struct InterestRegistry {
+    by_strand: BTreeMap<StrandId, BTreeSet<RopeId>>,
+    by_rope: BTreeMap<RopeId, BTreeSet<StrandId>>,
+}
+
+impl InterestRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-register) a rope's interests from its current
+    /// strand set. Re-registering after an edit updates the interests to
+    /// the new reference set.
+    pub fn register(&mut self, rope: &Rope) {
+        self.unregister(rope.id);
+        let strands = rope.strand_ids();
+        for s in &strands {
+            self.by_strand.entry(*s).or_default().insert(rope.id);
+        }
+        self.by_rope.insert(rope.id, strands);
+    }
+
+    /// Drop all interests held by `rope` (the rope is being deleted or
+    /// re-registered).
+    pub fn unregister(&mut self, rope: RopeId) {
+        if let Some(strands) = self.by_rope.remove(&rope) {
+            for s in strands {
+                if let Some(set) = self.by_strand.get_mut(&s) {
+                    set.remove(&rope);
+                    if set.is_empty() {
+                        self.by_strand.remove(&s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of ropes interested in `strand`.
+    pub fn interest_count(&self, strand: StrandId) -> usize {
+        self.by_strand.get(&strand).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// True if any rope references `strand`.
+    pub fn is_referenced(&self, strand: StrandId) -> bool {
+        self.interest_count(strand) > 0
+    }
+
+    /// Of `candidates`, the strands no rope references — ready to
+    /// collect.
+    pub fn collectable<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a StrandId>,
+    ) -> Vec<StrandId> {
+        candidates
+            .into_iter()
+            .filter(|s| !self.is_referenced(**s))
+            .copied()
+            .collect()
+    }
+
+    /// All ropes currently registered.
+    pub fn ropes(&self) -> impl Iterator<Item = RopeId> + '_ {
+        self.by_rope.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rope::{Segment, StrandRef};
+
+    fn rope_with(id: u64, strands: &[u64]) -> Rope {
+        let mut r = Rope::new(RopeId::from_raw(id), "alice");
+        for &s in strands {
+            r.segments.push(Segment::new(
+                Some(StrandRef {
+                    strand: StrandId::from_raw(s),
+                    start_unit: 0,
+                    len_units: 30,
+                    unit_rate: 30.0,
+                    granularity: 3,
+                }),
+                None,
+            ));
+        }
+        r
+    }
+
+    #[test]
+    fn register_tracks_interests() {
+        let mut reg = InterestRegistry::new();
+        reg.register(&rope_with(1, &[10, 11]));
+        reg.register(&rope_with(2, &[11, 12]));
+        assert_eq!(reg.interest_count(StrandId::from_raw(10)), 1);
+        assert_eq!(reg.interest_count(StrandId::from_raw(11)), 2);
+        assert!(reg.is_referenced(StrandId::from_raw(12)));
+        assert!(!reg.is_referenced(StrandId::from_raw(13)));
+    }
+
+    #[test]
+    fn unregister_releases() {
+        let mut reg = InterestRegistry::new();
+        reg.register(&rope_with(1, &[10, 11]));
+        reg.register(&rope_with(2, &[11]));
+        reg.unregister(RopeId::from_raw(1));
+        assert!(!reg.is_referenced(StrandId::from_raw(10)));
+        assert_eq!(reg.interest_count(StrandId::from_raw(11)), 1);
+        // Unregistering an unknown rope is a no-op.
+        reg.unregister(RopeId::from_raw(99));
+    }
+
+    #[test]
+    fn reregister_after_edit_updates_set() {
+        let mut reg = InterestRegistry::new();
+        reg.register(&rope_with(1, &[10, 11]));
+        // The edit dropped strand 11 and picked up 12.
+        reg.register(&rope_with(1, &[10, 12]));
+        assert!(reg.is_referenced(StrandId::from_raw(10)));
+        assert!(!reg.is_referenced(StrandId::from_raw(11)));
+        assert!(reg.is_referenced(StrandId::from_raw(12)));
+        assert_eq!(reg.ropes().count(), 1);
+    }
+
+    #[test]
+    fn collectable_filters_referenced() {
+        let mut reg = InterestRegistry::new();
+        reg.register(&rope_with(1, &[10]));
+        let candidates = [
+            StrandId::from_raw(10),
+            StrandId::from_raw(11),
+            StrandId::from_raw(12),
+        ];
+        let collectable = reg.collectable(&candidates);
+        assert_eq!(
+            collectable,
+            vec![StrandId::from_raw(11), StrandId::from_raw(12)]
+        );
+        reg.unregister(RopeId::from_raw(1));
+        assert_eq!(reg.collectable(&candidates).len(), 3);
+    }
+
+    #[test]
+    fn shared_strand_survives_one_rope_deletion() {
+        let mut reg = InterestRegistry::new();
+        reg.register(&rope_with(1, &[20]));
+        reg.register(&rope_with(2, &[20]));
+        reg.unregister(RopeId::from_raw(1));
+        assert!(reg.is_referenced(StrandId::from_raw(20)));
+        reg.unregister(RopeId::from_raw(2));
+        assert!(!reg.is_referenced(StrandId::from_raw(20)));
+    }
+}

@@ -1,0 +1,41 @@
+//! The strandfs core: the file-system design of Rangan & Vin (SOSP '91).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`model`] — the analytic storage model: continuity equations for the
+//!   sequential / pipelined / concurrent retrieval architectures
+//!   (Eqs. 1–3), mixed audio+video variants (Eqs. 4–6), granularity and
+//!   scattering derivation, and buffering / read-ahead requirements.
+//! * [`admission`] — the admission-control algorithm of §3.4: round-based
+//!   service, the `α`/`β`/`γ` aggregates, round size `k` (Eqs. 15–18),
+//!   the capacity bound `n_max` (Eq. 17) and transient-safe admission.
+//! * [`strand`] — immutable media strands and their 3-level on-disk
+//!   index (Header / Secondary / Primary blocks, Figs. 5–6), with NULL
+//!   primary pointers as silence holes.
+//! * [`rope`] — multimedia ropes (Fig. 8): multi-strand objects with
+//!   synchronization information and copy-free editing (`INSERT`,
+//!   `REPLACE`, `SUBSTRING`, `CONCATE`, `DELETE`), plus the bounded-copy
+//!   scattering-maintenance algorithm of §4.2 (Eqs. 19–20).
+//! * [`gc`] — "interests" reference counting for strand garbage
+//!   collection (after Terry & Swinehart's Etherphone).
+//! * [`msm`] — the Multimedia Storage Manager: physical strand storage,
+//!   constrained allocation, admission enforcement.
+//! * [`mrs`] — the Multimedia Rope Server: `RECORD` / `PLAY` / `STOP` /
+//!   `PAUSE` / `RESUME` sessions, the rope catalog and access control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod error;
+pub mod fsck;
+pub mod gc;
+pub mod model;
+pub mod mrs;
+pub mod msm;
+pub mod rope;
+pub mod strand;
+mod types;
+
+pub use error::FsError;
+pub use types::{BlockNo, RequestId, RopeId, StrandId};

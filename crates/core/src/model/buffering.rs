@@ -1,0 +1,200 @@
+//! Buffering and read-ahead requirements (§3.3.2), anti-jitter delay,
+//! and the special playback modes (fast-forward, slow motion).
+
+use crate::model::params::{DiskParams, VideoStream};
+use strandfs_media::RetrievalArchitecture;
+use strandfs_units::Seconds;
+
+/// Buffering plan for one stream under one architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferPlan {
+    /// Blocks of read-ahead required before playback may start.
+    pub read_ahead_blocks: u32,
+    /// Total block buffers the display subsystem must provide.
+    pub buffers: u32,
+}
+
+/// Buffering under *strict* (per-block) continuity: 1 / 2 / `p` buffers
+/// and no read-ahead beyond the first block.
+pub fn strict_plan(arch: RetrievalArchitecture) -> BufferPlan {
+    BufferPlan {
+        read_ahead_blocks: 1,
+        buffers: arch.strict_buffers(),
+    }
+}
+
+/// Buffering when continuity holds only *on average over `k` successive
+/// blocks*: read-ahead `k` (sequential, pipelined) or `p·k` (concurrent);
+/// buffers `k`, `2k`, `p·k` respectively.
+pub fn averaged_plan(arch: RetrievalArchitecture, k: u32) -> BufferPlan {
+    assert!(k >= 1, "averaging window must be at least 1 block");
+    BufferPlan {
+        read_ahead_blocks: arch.read_ahead(k),
+        buffers: arch.averaged_buffers(k),
+    }
+}
+
+/// The anti-jitter startup delay implied by a plan: the expected time to
+/// prefetch its read-ahead, `read_ahead × (l_ds_avg + block transfer)`.
+pub fn anti_jitter_delay(plan: &BufferPlan, v: &VideoStream, disk: &DiskParams) -> Seconds {
+    let per_block = disk.l_ds_avg + v.block_transfer(disk.r_dt);
+    per_block * plan.read_ahead_blocks as f64
+}
+
+/// Extra read-ahead `h` needed before the disk may switch to another task
+/// (§3.3.2, slow-motion discussion): while the disk is away it may need a
+/// worst-case reposition (`l_seek_max`) to come back, during which the
+/// display consumes `h = ⌈l_seek_max / block playback⌉` blocks.
+pub fn task_switch_read_ahead(v: &VideoStream, disk: &DiskParams) -> u32 {
+    (disk.l_seek_max.get() / v.block_playback().get()).ceil() as u32
+}
+
+/// Scattering bound under fast-forward at `speed ×` normal rate
+/// (`speed > 1`).
+///
+/// *With skipping*, only every `speed`-th block is fetched but each must
+/// arrive within a block period at the accelerated display rate, so the
+/// effective playback duration per fetched block is unchanged while the
+/// positioning gap grows (skipped blocks are flown over): the continuity
+/// equation keeps `q/R_vr` on the right but the admissible gap shrinks by
+/// nothing — what changes is that the *physical* gap to the next fetched
+/// block is `speed ×` the strand's scattering, so the admitted *strand*
+/// scattering is the pipelined bound divided by `speed`.
+///
+/// *Without skipping*, every block must be fetched in `1/speed` of its
+/// playback duration: the bound is `q/(speed·R_vr) − transfer`.
+pub fn fast_forward_scattering(
+    v: &VideoStream,
+    disk: &DiskParams,
+    speed: f64,
+    skipping: bool,
+) -> Option<Seconds> {
+    assert!(speed >= 1.0, "fast-forward speed must be >= 1");
+    let bound = if skipping {
+        // Gap to the next *fetched* block spans `speed` strand gaps.
+        let b = v.block_playback() - v.block_transfer(disk.r_dt);
+        b / speed
+    } else {
+        v.block_playback() / speed - v.block_transfer(disk.r_dt)
+    };
+    if bound.get() >= 0.0 {
+        Some(bound)
+    } else {
+        None
+    }
+}
+
+/// Buffer multiplier for fast-forward: without skipping, `speed ×` the
+/// blocks flow through the display subsystem per unit time; with
+/// skipping the flow is unchanged (the paper: skipping "increases only
+/// the continuity requirement").
+pub fn fast_forward_buffer_multiplier(speed: f64, skipping: bool) -> f64 {
+    assert!(speed >= 1.0, "fast-forward speed must be >= 1");
+    if skipping {
+        1.0
+    } else {
+        speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_units::{BitRate, Bits, FrameRate};
+
+    fn v() -> VideoStream {
+        VideoStream {
+            q: 3,
+            s: Bits::new(96_000),
+            rate: FrameRate::NTSC,
+            r_vd: BitRate::mbit_per_sec(28.8),
+        }
+    }
+
+    fn disk() -> DiskParams {
+        DiskParams {
+            r_dt: BitRate::bits_per_sec(28.8e6), // 10 ms / block
+            l_seek_max: Seconds::from_millis(45.0),
+            l_ds_avg: Seconds::from_millis(15.0),
+        }
+    }
+
+    #[test]
+    fn strict_plans_match_architectures() {
+        assert_eq!(
+            strict_plan(RetrievalArchitecture::Sequential),
+            BufferPlan {
+                read_ahead_blocks: 1,
+                buffers: 1
+            }
+        );
+        assert_eq!(
+            strict_plan(RetrievalArchitecture::Pipelined).buffers,
+            2
+        );
+        assert_eq!(
+            strict_plan(RetrievalArchitecture::Concurrent { p: 6 }).buffers,
+            6
+        );
+    }
+
+    #[test]
+    fn averaged_plans_match_paper_table() {
+        let k = 4;
+        let s = averaged_plan(RetrievalArchitecture::Sequential, k);
+        assert_eq!((s.read_ahead_blocks, s.buffers), (4, 4));
+        let p = averaged_plan(RetrievalArchitecture::Pipelined, k);
+        assert_eq!((p.read_ahead_blocks, p.buffers), (4, 8));
+        let c = averaged_plan(RetrievalArchitecture::Concurrent { p: 3 }, k);
+        assert_eq!((c.read_ahead_blocks, c.buffers), (12, 12));
+    }
+
+    #[test]
+    fn anti_jitter_delay_scales_with_read_ahead() {
+        let plan = averaged_plan(RetrievalArchitecture::Pipelined, 4);
+        let d = anti_jitter_delay(&plan, &v(), &disk());
+        // 4 blocks * (15 ms + 10 ms) = 100 ms.
+        assert!((d.get() - 0.100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_switch_read_ahead_covers_worst_seek() {
+        // l_seek_max 45 ms over 100 ms blocks -> 1 block.
+        assert_eq!(task_switch_read_ahead(&v(), &disk()), 1);
+        // A long reposition (450 ms) needs 5 blocks.
+        let slow = DiskParams {
+            l_seek_max: Seconds::from_millis(450.0),
+            ..disk()
+        };
+        assert_eq!(task_switch_read_ahead(&v(), &slow), 5);
+    }
+
+    #[test]
+    fn fast_forward_bounds() {
+        let d = disk();
+        let normal = fast_forward_scattering(&v(), &d, 1.0, false).unwrap();
+        // speed 1 without skipping equals the pipelined bound: 90 ms.
+        assert!((normal.get() - 0.090).abs() < 1e-9);
+        let ff2 = fast_forward_scattering(&v(), &d, 2.0, false).unwrap();
+        // 100/2 - 10 = 40 ms.
+        assert!((ff2.get() - 0.040).abs() < 1e-9);
+        let ff2skip = fast_forward_scattering(&v(), &d, 2.0, true).unwrap();
+        // (100-10)/2 = 45 ms.
+        assert!((ff2skip.get() - 0.045).abs() < 1e-9);
+        // At 20x without skipping the stream is infeasible (5 ms < 10 ms
+        // transfer).
+        assert!(fast_forward_scattering(&v(), &d, 20.0, false).is_none());
+    }
+
+    #[test]
+    fn fast_forward_buffer_multipliers() {
+        assert_eq!(fast_forward_buffer_multiplier(3.0, true), 1.0);
+        assert_eq!(fast_forward_buffer_multiplier(3.0, false), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 block")]
+    fn averaged_plan_rejects_zero_k() {
+        averaged_plan(RetrievalArchitecture::Pipelined, 0);
+    }
+}

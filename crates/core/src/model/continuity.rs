@@ -1,0 +1,355 @@
+//! The continuity equations (Eqs. 1–6 of the paper).
+//!
+//! For continuous retrieval, media data must be at the display device at
+//! or before its playback time. Each architecture turns that requirement
+//! into an inequality between the effective per-block access time and the
+//! block playback duration `q / R_vr`:
+//!
+//! * **Eq. 1, sequential:** `l_ds + q·s/R_dt + q·s/R_vd ≤ q/R_vr`
+//! * **Eq. 2, pipelined:** `l_ds + q·s/R_dt ≤ q/R_vr`
+//! * **Eq. 3, concurrent (p accesses):** `l_ds + q·s/R_dt ≤ (p−1)·q/R_vr`
+//!
+//! For one audio plus one video stream in *homogeneous* blocks, with the
+//! audio block spanning `n` video-block durations (pipelined transfer):
+//!
+//! * **Eq. 4:** `n·(l_ds + q_vs·s_vf/R_dt) + l_ds + q_as·s_as/R_dt ≤ n·q_vs/R_vr`
+//! * **Eq. 5 (n = 1):** `2·l_ds + (q_vs·s_vf + q_as·s_as)/R_dt ≤ q_vs/R_vr`
+//! * **Eq. 6 (audio adjacent to video, zero inter-media gap):**
+//!   `l_ds + (q_vs·s_vf + q_as·s_as)/R_dt ≤ q_vs/R_vr` — identical to the
+//!   heterogeneous-block case.
+//!
+//! Besides boolean feasibility checks, each equation is solved for the
+//! **scattering upper bound** — the largest `l_ds` it admits — which is
+//! what the allocator actually consumes. A negative bound means the
+//! configuration is infeasible at *any* scattering (`None`).
+//!
+//! ```
+//! use strandfs_core::model::{continuity, VideoStream};
+//! use strandfs_units::{BitRate, Bits, FrameRate};
+//!
+//! // 3-frame blocks of 96 kbit NTSC frames on a 14 Mbit/s disk.
+//! let v = VideoStream {
+//!     q: 3,
+//!     s: Bits::new(96_000),
+//!     rate: FrameRate::NTSC,
+//!     r_vd: BitRate::mbit_per_sec(138.0),
+//! };
+//! let r_dt = BitRate::mbit_per_sec(14.0);
+//! let bound = continuity::max_scattering_pipelined(&v, r_dt).expect("feasible");
+//! assert!(continuity::pipelined_ok(&v, r_dt, bound));
+//! ```
+
+use crate::model::params::{AudioStream, VideoStream};
+use strandfs_units::{BitRate, Seconds};
+
+/// The architecture-specific slack available for positioning, before
+/// scattering is subtracted. `None` if already negative.
+fn bound_or_none(slack: Seconds) -> Option<Seconds> {
+    if slack.get() >= 0.0 {
+        Some(slack)
+    } else {
+        None
+    }
+}
+
+/// Eq. 1 feasibility: sequential read-then-display.
+pub fn sequential_ok(v: &VideoStream, r_dt: BitRate, l_ds: Seconds) -> bool {
+    l_ds + v.block_transfer(r_dt) + v.block_display() <= v.block_playback()
+}
+
+/// Largest scattering admitted by Eq. 1, `None` if infeasible even at
+/// `l_ds = 0`.
+pub fn max_scattering_sequential(v: &VideoStream, r_dt: BitRate) -> Option<Seconds> {
+    bound_or_none(v.block_playback() - v.block_transfer(r_dt) - v.block_display())
+}
+
+/// Eq. 2 feasibility: pipelined read/display overlap (two buffers).
+pub fn pipelined_ok(v: &VideoStream, r_dt: BitRate, l_ds: Seconds) -> bool {
+    l_ds + v.block_transfer(r_dt) <= v.block_playback()
+}
+
+/// Largest scattering admitted by Eq. 2.
+pub fn max_scattering_pipelined(v: &VideoStream, r_dt: BitRate) -> Option<Seconds> {
+    bound_or_none(v.block_playback() - v.block_transfer(r_dt))
+}
+
+/// Eq. 3 feasibility: `p` concurrent disk accesses; a block's read must
+/// finish within the playback duration of `p − 1` blocks.
+pub fn concurrent_ok(v: &VideoStream, r_dt: BitRate, l_ds: Seconds, p: u32) -> bool {
+    assert!(p >= 2, "concurrent architecture needs p >= 2");
+    l_ds + v.block_transfer(r_dt) <= v.block_playback() * (p - 1) as f64
+}
+
+/// Largest scattering admitted by Eq. 3.
+pub fn max_scattering_concurrent(v: &VideoStream, r_dt: BitRate, p: u32) -> Option<Seconds> {
+    assert!(p >= 2, "concurrent architecture needs p >= 2");
+    bound_or_none(v.block_playback() * (p - 1) as f64 - v.block_transfer(r_dt))
+}
+
+/// Eq. 4 feasibility: homogeneous audio + video blocks, pipelined, where
+/// one audio block plays as long as `n` video blocks (so one audio block
+/// is fetched per `n` video blocks).
+///
+/// `n` is derived from the streams (`audio.block_playback / video.block_playback`)
+/// and must be a positive integer ratio for the schedule to close; the
+/// caller chooses granularities that make it so (see
+/// [`matched_audio_granularity`]).
+pub fn mixed_homogeneous_ok(
+    v: &VideoStream,
+    a: &AudioStream,
+    n: u64,
+    r_dt: BitRate,
+    l_ds: Seconds,
+) -> bool {
+    assert!(n >= 1, "audio block must span at least one video block");
+    let video_part = (l_ds + v.block_transfer(r_dt)) * n as f64;
+    let audio_part = l_ds + a.block_transfer(r_dt);
+    video_part + audio_part <= v.block_playback() * n as f64
+}
+
+/// Largest scattering admitted by Eq. 4.
+pub fn max_scattering_mixed(
+    v: &VideoStream,
+    a: &AudioStream,
+    n: u64,
+    r_dt: BitRate,
+) -> Option<Seconds> {
+    assert!(n >= 1, "audio block must span at least one video block");
+    let slack = v.block_playback() * n as f64
+        - v.block_transfer(r_dt) * n as f64
+        - a.block_transfer(r_dt);
+    bound_or_none(slack / (n as f64 + 1.0))
+}
+
+/// Eq. 5 feasibility: the `n = 1` special case of Eq. 4.
+pub fn mixed_equal_duration_ok(
+    v: &VideoStream,
+    a: &AudioStream,
+    r_dt: BitRate,
+    l_ds: Seconds,
+) -> bool {
+    mixed_homogeneous_ok(v, a, 1, r_dt, l_ds)
+}
+
+/// Eq. 6 feasibility: audio and video blocks adjacent on disk (zero
+/// inter-media gap), which collapses to the heterogeneous-block bound.
+pub fn mixed_adjacent_ok(v: &VideoStream, a: &AudioStream, r_dt: BitRate, l_ds: Seconds) -> bool {
+    let combined = v.block_transfer(r_dt) + a.block_transfer(r_dt);
+    l_ds + combined <= v.block_playback()
+}
+
+/// Largest scattering admitted by Eq. 6 (also the heterogeneous-block
+/// bound for a combined audio+video block).
+pub fn max_scattering_mixed_adjacent(
+    v: &VideoStream,
+    a: &AudioStream,
+    r_dt: BitRate,
+) -> Option<Seconds> {
+    bound_or_none(v.block_playback() - v.block_transfer(r_dt) - a.block_transfer(r_dt))
+}
+
+/// The audio granularity `q_as` that makes one audio block play exactly
+/// as long as `n` video blocks: `q_as = n · q_vs · R_ar / R_vr`.
+/// Returns `None` when the rates don't divide into a whole sample count.
+pub fn matched_audio_granularity(v: &VideoStream, a_rate: f64, n: u64) -> Option<u64> {
+    let exact = n as f64 * v.q as f64 * a_rate / v.rate.get();
+    let rounded = exact.round();
+    if (exact - rounded).abs() < 1e-9 && rounded >= 1.0 {
+        Some(rounded as u64)
+    } else {
+        None
+    }
+}
+
+/// The highest video recording rate (frames/s) sustainable by an
+/// architecture at the given scattering, solving each equation for
+/// `R_vr`. `None` when the positioning overhead alone exceeds any
+/// playback duration (never happens for positive parameters).
+pub fn max_frame_rate_pipelined(v: &VideoStream, r_dt: BitRate, l_ds: Seconds) -> Option<f64> {
+    // q/R_vr >= l_ds + q·s/R_dt  =>  R_vr <= q / (l_ds + q·s/R_dt)
+    let denom = l_ds + v.block_transfer(r_dt);
+    if denom.get() <= 0.0 {
+        return None;
+    }
+    Some(v.q as f64 / denom.get())
+}
+
+/// Sustainable frame rate under the sequential architecture.
+pub fn max_frame_rate_sequential(v: &VideoStream, r_dt: BitRate, l_ds: Seconds) -> Option<f64> {
+    let denom = l_ds + v.block_transfer(r_dt) + v.block_display();
+    if denom.get() <= 0.0 {
+        return None;
+    }
+    Some(v.q as f64 / denom.get())
+}
+
+/// Sustainable frame rate under the concurrent architecture with `p`
+/// parallel accesses.
+pub fn max_frame_rate_concurrent(
+    v: &VideoStream,
+    r_dt: BitRate,
+    l_ds: Seconds,
+    p: u32,
+) -> Option<f64> {
+    assert!(p >= 2, "concurrent architecture needs p >= 2");
+    let denom = l_ds + v.block_transfer(r_dt);
+    if denom.get() <= 0.0 {
+        return None;
+    }
+    Some((p - 1) as f64 * v.q as f64 / denom.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_units::{Bits, FrameRate};
+
+    /// The worked reference stream: 3-frame blocks of 96 kbit frames at
+    /// NTSC rate — block playback 100 ms, block size 288 kbit.
+    fn v() -> VideoStream {
+        VideoStream {
+            q: 3,
+            s: Bits::new(96_000),
+            rate: FrameRate::NTSC,
+            r_vd: BitRate::mbit_per_sec(28.8), // display = 10 ms/block
+        }
+    }
+
+    fn a() -> AudioStream {
+        AudioStream {
+            q: 8_00, // 100 ms at 8 kHz
+            s: Bits::new(8),
+            rate: strandfs_units::SampleRate::TELEPHONE,
+        }
+    }
+
+    const R_DT: BitRate = BitRate::bits_per_sec(28.8e6); // transfer = 10 ms/block
+
+    #[test]
+    fn sequential_bound_hand_computed() {
+        // playback 100 ms, transfer 10 ms, display 10 ms -> bound 80 ms.
+        let bound = max_scattering_sequential(&v(), R_DT).unwrap();
+        assert!((bound.get() - 0.080).abs() < 1e-9);
+        assert!(sequential_ok(&v(), R_DT, Seconds::from_millis(80.0)));
+        assert!(!sequential_ok(&v(), R_DT, Seconds::from_millis(80.1)));
+    }
+
+    #[test]
+    fn pipelined_bound_hand_computed() {
+        // playback 100 ms, transfer 10 ms -> bound 90 ms.
+        let bound = max_scattering_pipelined(&v(), R_DT).unwrap();
+        assert!((bound.get() - 0.090).abs() < 1e-9);
+        assert!(pipelined_ok(&v(), R_DT, bound));
+        assert!(!pipelined_ok(&v(), R_DT, bound + Seconds::from_millis(0.1)));
+    }
+
+    #[test]
+    fn pipelined_dominates_sequential() {
+        let seq = max_scattering_sequential(&v(), R_DT).unwrap();
+        let pip = max_scattering_pipelined(&v(), R_DT).unwrap();
+        assert!(pip > seq);
+    }
+
+    #[test]
+    fn concurrent_bound_scales_with_p() {
+        // p=2: bound = 1*100 - 10 = 90 ms; p=5: 4*100 - 10 = 390 ms.
+        let b2 = max_scattering_concurrent(&v(), R_DT, 2).unwrap();
+        let b5 = max_scattering_concurrent(&v(), R_DT, 5).unwrap();
+        assert!((b2.get() - 0.090).abs() < 1e-9);
+        assert!((b5.get() - 0.390).abs() < 1e-9);
+        assert!(concurrent_ok(&v(), R_DT, b5, 5));
+        assert!(!concurrent_ok(&v(), R_DT, b5 + Seconds::from_millis(1.0), 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 2")]
+    fn concurrent_requires_p_at_least_2() {
+        concurrent_ok(&v(), R_DT, Seconds::ZERO, 1);
+    }
+
+    #[test]
+    fn infeasible_configuration_returns_none() {
+        // A slow disk that can't even stream the data: transfer alone
+        // exceeds playback.
+        let slow = BitRate::mbit_per_sec(1.0); // 288 ms per 288-kbit block
+        assert!(max_scattering_pipelined(&v(), slow).is_none());
+        assert!(max_scattering_sequential(&v(), slow).is_none());
+        assert!(!pipelined_ok(&v(), slow, Seconds::ZERO));
+    }
+
+    #[test]
+    fn mixed_bound_hand_computed() {
+        // n = 1: video transfer 10 ms, audio 6400 bits / 28.8 Mbit/s
+        // ≈ 0.222 ms. Slack = 100 − 10 − 0.222 = 89.78 ms over (n+1)=2
+        // gaps -> ≈ 44.89 ms.
+        let bound = max_scattering_mixed(&v(), &a(), 1, R_DT).unwrap();
+        assert!((bound.get() - (0.1 - 0.01 - 6400.0 / 28.8e6) / 2.0).abs() < 1e-9);
+        assert!(mixed_equal_duration_ok(&v(), &a(), R_DT, bound));
+        assert!(!mixed_equal_duration_ok(
+            &v(),
+            &a(),
+            R_DT,
+            bound + Seconds::from_millis(0.1)
+        ));
+    }
+
+    #[test]
+    fn mixed_n_greater_than_one() {
+        // Audio blocks covering n=4 video blocks amortize the extra
+        // audio fetch, so the per-gap bound improves over n=1.
+        let a4 = AudioStream {
+            q: 3_200,
+            ..a()
+        };
+        let b1 = max_scattering_mixed(&v(), &a(), 1, R_DT).unwrap();
+        let b4 = max_scattering_mixed(&v(), &a4, 4, R_DT).unwrap();
+        assert!(b4 > b1, "b4 = {b4:?}, b1 = {b1:?}");
+        assert!(mixed_homogeneous_ok(&v(), &a4, 4, R_DT, b4));
+    }
+
+    #[test]
+    fn adjacent_matches_heterogeneous_bound() {
+        // Eq. 6: one gap, combined transfer.
+        let bound = max_scattering_mixed_adjacent(&v(), &a(), R_DT).unwrap();
+        let expect = 0.1 - 0.01 - 6400.0 / 28.8e6;
+        assert!((bound.get() - expect).abs() < 1e-9);
+        assert!(mixed_adjacent_ok(&v(), &a(), R_DT, bound));
+        // Eq. 6 admits more scattering than Eq. 5 (two gaps merged into
+        // one).
+        let eq5 = max_scattering_mixed(&v(), &a(), 1, R_DT).unwrap();
+        assert!(bound > eq5);
+    }
+
+    #[test]
+    fn matched_audio_granularity_exact() {
+        // q_vs = 3 at 30 fps = 100 ms; 8 kHz audio -> 800 samples.
+        assert_eq!(matched_audio_granularity(&v(), 8_000.0, 1), Some(800));
+        assert_eq!(matched_audio_granularity(&v(), 8_000.0, 4), Some(3_200));
+        // 44.1 kHz over 100 ms = 4410 exactly.
+        assert_eq!(matched_audio_granularity(&v(), 44_100.0, 1), Some(4_410));
+        // A rate that doesn't divide: 30 fps block vs 44099 Hz.
+        assert_eq!(matched_audio_granularity(&v(), 44_099.5, 1), None);
+    }
+
+    #[test]
+    fn max_frame_rate_solutions_are_tight() {
+        let l = Seconds::from_millis(20.0);
+        let r = max_frame_rate_pipelined(&v(), R_DT, l).unwrap();
+        // At exactly rate r the pipelined equation holds with equality.
+        let at = VideoStream {
+            rate: FrameRate::per_sec(r),
+            ..v()
+        };
+        assert!(pipelined_ok(&at, R_DT, l));
+        let above = VideoStream {
+            rate: FrameRate::per_sec(r * 1.001),
+            ..v()
+        };
+        assert!(!pipelined_ok(&above, R_DT, l));
+        // Ordering: sequential <= pipelined <= concurrent(p=3).
+        let rs = max_frame_rate_sequential(&v(), R_DT, l).unwrap();
+        let rc = max_frame_rate_concurrent(&v(), R_DT, l, 3).unwrap();
+        assert!(rs < r);
+        assert!(r < rc);
+    }
+}

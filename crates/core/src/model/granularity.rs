@@ -1,0 +1,263 @@
+//! Deriving storage granularity and scattering bounds (§3.3.4), and the
+//! paper's unconstrained-allocation feasibility argument (§3).
+
+use crate::model::continuity;
+use crate::model::params::VideoStream;
+use strandfs_disk::SimDisk;
+use strandfs_media::{DisplayDevice, RetrievalArchitecture};
+use strandfs_units::{BitRate, Bits, Bytes, Seconds};
+
+/// How to pick the granularity within the device-admitted range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QChoice {
+    /// Use the largest granularity the display device's buffers admit
+    /// (`f`, `f/2` or `f/p` depending on architecture) — maximizes the
+    /// scattering bound.
+    MaxBuffers,
+    /// Use exactly this granularity (clamped to at least 1); fails layout
+    /// derivation if the device cannot buffer it.
+    Exact(u64),
+}
+
+/// A complete physical layout decision for one video strand.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageLayout {
+    /// Frames per media block (`q_vs`).
+    pub q: u64,
+    /// Bits per media block (`q · s_vf`).
+    pub block_bits: Bits,
+    /// Sectors per media block on the target disk (rounded up).
+    pub block_sectors: u64,
+    /// The scattering upper bound admitted by the architecture's
+    /// continuity equation at this granularity.
+    pub scattering_upper: Seconds,
+    /// The architecture the layout was derived for.
+    pub arch: RetrievalArchitecture,
+}
+
+/// Derive a feasible `(q, l_ds)` layout for a video stream on `disk`
+/// behind `device`, per §3.3.4:
+///
+/// 1. the device's internal buffers bound the usable granularity
+///    (`f`, `f/2`, `f/p`);
+/// 2. substituting the chosen `q` into the architecture's continuity
+///    equation yields the scattering upper bound.
+///
+/// Returns `None` when no granularity in the admitted range satisfies
+/// continuity even at zero scattering (the stream overwhelms the disk),
+/// or when `QChoice::Exact` asks for more than the device can buffer.
+pub fn derive_video_layout(
+    arch: RetrievalArchitecture,
+    device: &DisplayDevice,
+    frame_bits: Bits,
+    disk: &SimDisk,
+    choice: QChoice,
+) -> Option<StorageLayout> {
+    let q_max = device.max_granularity(arch) as u64;
+    let q = match choice {
+        QChoice::MaxBuffers => q_max,
+        QChoice::Exact(q) => {
+            let q = q.max(1);
+            if q > q_max {
+                return None;
+            }
+            q
+        }
+    };
+    let r_dt = disk.geometry().track_transfer_rate();
+    let stream = VideoStream {
+        q,
+        s: frame_bits,
+        rate: device.format.rate,
+        r_vd: device.display_rate,
+    };
+    let bound = match arch {
+        RetrievalArchitecture::Sequential => {
+            continuity::max_scattering_sequential(&stream, r_dt)
+        }
+        RetrievalArchitecture::Pipelined => continuity::max_scattering_pipelined(&stream, r_dt),
+        RetrievalArchitecture::Concurrent { p } => {
+            continuity::max_scattering_concurrent(&stream, r_dt, p)
+        }
+    }?;
+    let block_bytes = stream.block_bits().to_bytes_ceil();
+    Some(StorageLayout {
+        q,
+        block_bits: stream.block_bits(),
+        block_sectors: block_bytes.div_ceil(disk.geometry().sector_size),
+        scattering_upper: bound,
+        arch,
+    })
+}
+
+/// Effective transfer rate of *unconstrained* (random) block allocation:
+/// every block access pays full positioning, so `p` parallel heads
+/// sustain `p · B / (l_pos + B/R_dt)` bits/s for `B`-bit blocks.
+///
+/// This is the paper's §3 argument that constrained allocation is
+/// fundamental: with 4 KB blocks, 100 heads and ~10 ms positioning, the
+/// result is ≈ 0.32 Gbit/s — below a single HDTV strand's 2.5 Gbit/s.
+pub fn unconstrained_transfer_rate(
+    block: Bytes,
+    heads: u32,
+    positioning: Seconds,
+    r_dt_per_head: BitRate,
+) -> BitRate {
+    let block_bits = block.to_bits().as_f64();
+    let per_block = positioning.get() + block_bits / r_dt_per_head.get();
+    BitRate::bits_per_sec(heads as f64 * block_bits / per_block)
+}
+
+/// True if unconstrained allocation on the given configuration can feed
+/// a stream of `required` bits/s.
+pub fn unconstrained_supports(
+    block: Bytes,
+    heads: u32,
+    positioning: Seconds,
+    r_dt_per_head: BitRate,
+    required: BitRate,
+) -> bool {
+    unconstrained_transfer_rate(block, heads, positioning, r_dt_per_head).get() >= required.get()
+}
+
+/// §3's companion bound: with *random* allocation, achieving a desired
+/// average seek `l_desired` by sweep-ordering the reads requires
+/// buffering up to `l_adj · n_cyl / l_desired` out-of-order blocks, where
+/// `l_adj` is the adjacent-cylinder seek time.
+pub fn sweep_buffering_blocks(
+    adjacent_seek: Seconds,
+    cylinders: u64,
+    desired_avg_seek: Seconds,
+) -> u64 {
+    assert!(desired_avg_seek.get() > 0.0, "desired seek must be positive");
+    ((adjacent_seek.get() * cylinders as f64) / desired_avg_seek.get()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_disk::{DiskGeometry, SeekModel};
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::projected_fast(), SeekModel::projected_fast())
+    }
+
+    #[test]
+    fn paper_worked_example_0_32_gbit() {
+        // 4 KB blocks, 100 heads, 10 ms positioning, transfer fast enough
+        // to be negligible -> ≈ 0.32 Gbit/s aggregate.
+        let rate = unconstrained_transfer_rate(
+            Bytes::kib(4),
+            100,
+            Seconds::from_millis(10.0),
+            BitRate::gbit_per_sec(1.0),
+        );
+        let gbit = rate.get() / 1e9;
+        assert!(
+            (gbit - 0.32).abs() < 0.01,
+            "expected ≈0.32 Gbit/s, got {gbit}"
+        );
+        // ... which cannot carry one 2.5 Gbit/s HDTV strand (the paper's
+        // verdict).
+        assert!(!unconstrained_supports(
+            Bytes::kib(4),
+            100,
+            Seconds::from_millis(10.0),
+            BitRate::gbit_per_sec(1.0),
+            BitRate::gbit_per_sec(2.5),
+        ));
+    }
+
+    #[test]
+    fn layout_from_max_buffers() {
+        let device = DisplayDevice::uvc(16);
+        let layout = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            Bits::new(96_000),
+            &disk(),
+            QChoice::MaxBuffers,
+        )
+        .unwrap();
+        assert_eq!(layout.q, 8); // f/2
+        assert_eq!(layout.block_bits, Bits::new(8 * 96_000));
+        assert!(layout.scattering_upper.get() > 0.0);
+        // Sector count covers the block.
+        let bytes = layout.block_bits.to_bytes_ceil().get();
+        assert!(layout.block_sectors * 512 >= bytes);
+        assert!((layout.block_sectors - 1) * 512 < bytes);
+    }
+
+    #[test]
+    fn exact_choice_respects_device_limit() {
+        let device = DisplayDevice::uvc(8);
+        let ok = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            Bits::new(96_000),
+            &disk(),
+            QChoice::Exact(4),
+        );
+        assert!(ok.is_some());
+        let too_big = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            Bits::new(96_000),
+            &disk(),
+            QChoice::Exact(5), // f/2 = 4
+        );
+        assert!(too_big.is_none());
+    }
+
+    #[test]
+    fn larger_q_gives_larger_scattering_bound() {
+        let device = DisplayDevice::uvc(32);
+        let d = disk();
+        let l1 = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            Bits::new(96_000),
+            &d,
+            QChoice::Exact(2),
+        )
+        .unwrap();
+        let l2 = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            Bits::new(96_000),
+            &d,
+            QChoice::Exact(16),
+        )
+        .unwrap();
+        assert!(l2.scattering_upper > l1.scattering_upper);
+    }
+
+    #[test]
+    fn overwhelming_stream_yields_none() {
+        // HDTV raw frames through a single vintage disk: infeasible.
+        let device = DisplayDevice {
+            format: strandfs_media::VideoFormat::HDTV,
+            ..DisplayDevice::uvc(8)
+        };
+        let vintage = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+        let layout = derive_video_layout(
+            RetrievalArchitecture::Pipelined,
+            &device,
+            strandfs_media::VideoFormat::HDTV.raw_frame_bits(),
+            &vintage,
+            QChoice::MaxBuffers,
+        );
+        assert!(layout.is_none());
+    }
+
+    #[test]
+    fn sweep_buffering_formula() {
+        // l_adj = 5 ms, 1000 cylinders, desired 20 ms -> 250 blocks.
+        let b = sweep_buffering_blocks(
+            Seconds::from_millis(5.0),
+            1_000,
+            Seconds::from_millis(20.0),
+        );
+        assert_eq!(b, 250);
+    }
+}

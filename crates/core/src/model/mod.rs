@@ -1,0 +1,22 @@
+//! The analytic storage model of §3.
+//!
+//! The model relates disk characteristics (transfer rate `R_dt`, seek and
+//! latency bounds), device characteristics (display rate `R_vd`, buffer
+//! count `f`) and media characteristics (recording rate `R_vr`/`R_ar`,
+//! unit sizes `s_vf`/`s_as`) to the two layout parameters of a strand:
+//!
+//! * **granularity** `q` — media units per disk block, and
+//! * **scattering** `l_ds` — the bounded time gap between successive
+//!   blocks of a strand.
+//!
+//! [`continuity`] holds the feasibility relations (Eqs. 1–6);
+//! [`granularity`] derives concrete `(q, l_ds)` layouts; [`buffering`]
+//! computes buffer and read-ahead requirements (§3.3.2).
+
+pub mod buffering;
+pub mod continuity;
+pub mod granularity;
+mod params;
+pub mod vbr;
+
+pub use params::{AudioStream, DiskParams, VideoStream};

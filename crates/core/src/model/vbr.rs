@@ -1,0 +1,131 @@
+//! Variable-rate compression extension (§6.2 future work).
+//!
+//! The paper's analysis assumes fixed-size frames; its future-work
+//! section observes that variable-rate compression (inter-frame
+//! differencing) "can result in varying but smaller sizes of video
+//! frames, thereby yielding better bounds for granularity and
+//! scattering". This module extends the continuity equations to VBR
+//! streams in the two natural ways:
+//!
+//! * **deterministic** — substitute the *maximum* frame size: the
+//!   resulting layout is guaranteed for every block, at the cost of
+//!   budgeting all blocks like intra-coded ones;
+//! * **statistical** — substitute the *mean* frame size scaled by a
+//!   headroom factor: continuity holds on average (the §3.3.1 relaxed
+//!   requirement), and the buffering of the `k`-averaged plan absorbs
+//!   the excursions.
+
+use crate::model::params::VideoStream;
+use strandfs_media::VideoCodec;
+use strandfs_units::{BitRate, Bits, FrameRate};
+
+/// Size statistics of a variable-bit-rate video stream.
+#[derive(Clone, Copy, Debug)]
+pub struct VbrParams {
+    /// Granularity: frames per block.
+    pub q: u64,
+    /// Mean compressed frame size.
+    pub s_mean: Bits,
+    /// Maximum compressed frame size observed/specified.
+    pub s_max: Bits,
+    /// Recording rate.
+    pub rate: FrameRate,
+    /// Display-path bandwidth.
+    pub r_vd: BitRate,
+}
+
+impl VbrParams {
+    /// Measure a codec's size statistics over its first `sample_frames`
+    /// frames.
+    pub fn from_codec(codec: &VideoCodec, sample_frames: u64, r_vd: BitRate, q: u64) -> Self {
+        VbrParams {
+            q,
+            s_mean: codec.mean_frame_bits(sample_frames),
+            s_max: codec.max_frame_bits(sample_frames),
+            rate: codec.format().rate,
+            r_vd,
+        }
+    }
+
+    /// Peak-to-mean ratio of frame sizes (≥ 1).
+    pub fn burstiness(&self) -> f64 {
+        self.s_max.as_f64() / self.s_mean.as_f64()
+    }
+
+    /// The stream that guarantees *every* block deterministically: all
+    /// frames budgeted at `s_max`.
+    pub fn deterministic_stream(&self) -> VideoStream {
+        VideoStream {
+            q: self.q,
+            s: self.s_max,
+            rate: self.rate,
+            r_vd: self.r_vd,
+        }
+    }
+
+    /// The stream for *averaged* continuity (§3.3.1): frames budgeted at
+    /// `headroom × s_mean`. A headroom of 1.0 budgets the exact mean;
+    /// small headroom (e.g. 1.1) buys slack against scene clustering.
+    pub fn statistical_stream(&self, headroom: f64) -> VideoStream {
+        assert!(headroom >= 1.0, "headroom must be >= 1");
+        VideoStream {
+            q: self.q,
+            s: Bits::new((self.s_mean.as_f64() * headroom).ceil() as u64),
+            rate: self.rate,
+            r_vd: self.r_vd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::continuity::max_scattering_pipelined;
+    use strandfs_units::BitRate;
+
+    fn params() -> VbrParams {
+        VbrParams::from_codec(
+            &VideoCodec::uvc_ntsc_vbr(7),
+            600,
+            BitRate::mbit_per_sec(138.24),
+            3,
+        )
+    }
+
+    #[test]
+    fn burstiness_exceeds_one_for_vbr() {
+        let p = params();
+        assert!(p.burstiness() > 1.5, "burstiness {}", p.burstiness());
+        assert!(p.s_max > p.s_mean);
+    }
+
+    #[test]
+    fn statistical_bound_dominates_deterministic() {
+        let p = params();
+        let r_dt = BitRate::mbit_per_sec(14.0);
+        let det = max_scattering_pipelined(&p.deterministic_stream(), r_dt);
+        let stat = max_scattering_pipelined(&p.statistical_stream(1.0), r_dt);
+        match (det, stat) {
+            (Some(d), Some(s)) => assert!(s > d),
+            (None, Some(_)) => {} // deterministic infeasible, statistical fine
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cbr_stream_has_equal_mean_and_max() {
+        let p = VbrParams::from_codec(
+            &VideoCodec::uvc_ntsc(7),
+            600,
+            BitRate::mbit_per_sec(138.24),
+            3,
+        );
+        assert!((p.burstiness() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn headroom_below_one_rejected() {
+        params().statistical_stream(0.5);
+    }
+}

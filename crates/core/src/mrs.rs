@@ -1,0 +1,1536 @@
+//! The Multimedia Rope Server (MRS) — the device-independent layer of
+//! the prototype's architecture (§5.2).
+//!
+//! The MRS catalogs ropes, enforces access rights, maintains the
+//! interest registry for garbage collection, and exposes the user-facing
+//! operations of §4.1:
+//!
+//! * `RECORD` / `STOP` — session-based recording of new strands, with
+//!   per-block flushing through the MSM and audio silence elimination;
+//! * `PLAY` / `STOP` — admission-controlled playback, compiled into a
+//!   [`PlaySchedule`] that deadline-stamps every block fetch;
+//! * `PAUSE` / `RESUME` — destructive (resources released, `RESUME`
+//!   re-runs admission) or non-destructive;
+//! * `INSERT`, `REPLACE`, `SUBSTRING`, `CONCATE`, `DELETE` — pointer
+//!   edits, followed by scattering-maintenance healing (§4.2) of the
+//!   interval boundaries they create.
+
+use crate::admission::RequestSpec;
+use crate::error::FsError;
+use crate::gc::InterestRegistry;
+use crate::msm::Msm;
+use crate::rope::edit::{self, Interval, MediaSel};
+use crate::rope::scattering::CopySide;
+use crate::rope::{Rope, Segment, StrandRef, Trigger};
+use crate::strand::StrandMeta;
+use crate::types::{BlockNo, RequestId, RopeId, StrandId};
+use std::collections::BTreeMap;
+use strandfs_disk::DiskOp;
+use strandfs_media::silence::{BlockClass, SilenceDetector};
+use strandfs_media::Medium;
+use strandfs_units::{Instant, Nanos};
+
+/// Parameters for one medium of a `RECORD` request.
+#[derive(Clone, Debug)]
+pub struct TrackOpts {
+    /// Strand recording parameters (rate, granularity, unit size).
+    pub meta: StrandMeta,
+    /// Silence detector (audio only; `None` stores everything).
+    pub silence: Option<SilenceDetector>,
+}
+
+/// Parameters of a `RECORD` request.
+#[derive(Clone, Debug, Default)]
+pub struct RecordOpts {
+    /// Video track, if recording video.
+    pub video: Option<TrackOpts>,
+    /// Audio track, if recording audio.
+    pub audio: Option<TrackOpts>,
+}
+
+/// One deadline-stamped block fetch of a playback schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlayItem {
+    /// When (relative to playback start) the block's first unit plays —
+    /// the block must be buffered by this instant.
+    pub at: Nanos,
+    /// The medium of the block.
+    pub medium: Medium,
+    /// The strand holding the block.
+    pub strand: StrandId,
+    /// The block number within the strand.
+    pub block: BlockNo,
+    /// Number of units of this block the schedule actually plays.
+    pub units: u64,
+    /// Playback duration of those units.
+    pub duration: Nanos,
+    /// True if the block is an eliminated-silence hole (no fetch needed).
+    pub silence: bool,
+}
+
+/// A compiled playback schedule for one `PLAY` request.
+#[derive(Clone, Debug, Default)]
+pub struct PlaySchedule {
+    /// The block fetches in deadline order.
+    pub items: Vec<PlayItem>,
+    /// Total playback duration.
+    pub duration: Nanos,
+    /// Text triggers within the played interval, shifted to playback
+    /// time (Fig. 8's trigger information: text synchronized with the
+    /// media).
+    pub triggers: Vec<Trigger>,
+}
+
+impl PlaySchedule {
+    /// Items that actually need disk I/O (non-silence).
+    pub fn fetch_count(&self) -> usize {
+        self.items.iter().filter(|i| !i.silence).count()
+    }
+}
+
+struct TrackAccum {
+    strand: StrandId,
+    opts: TrackOpts,
+    /// Buffered unit payloads not yet flushed into a block.
+    pending: Vec<u8>,
+    pending_units: u64,
+    /// Audio only: buffered raw samples for silence classification.
+    pending_samples: Vec<i32>,
+    units_total: u64,
+}
+
+struct RecordState {
+    user: String,
+    video: Option<TrackAccum>,
+    audio: Option<TrackAccum>,
+    admission_ids: Vec<RequestId>,
+}
+
+struct PlayState {
+    user: String,
+    rope: RopeId,
+    schedule: PlaySchedule,
+    admission_ids: Vec<RequestId>,
+    specs: Vec<RequestSpec>,
+    paused: bool,
+    destructive_pause: bool,
+}
+
+enum Session {
+    Record(RecordState),
+    Play(PlayState),
+}
+
+/// The Multimedia Rope Server.
+pub struct Mrs {
+    msm: Msm,
+    ropes: BTreeMap<RopeId, Rope>,
+    interests: InterestRegistry,
+    sessions: BTreeMap<RequestId, Session>,
+    next_rope: u64,
+    next_request: u64,
+}
+
+impl Mrs {
+    /// A rope server over the given storage manager.
+    pub fn new(msm: Msm) -> Self {
+        Mrs {
+            msm,
+            ropes: BTreeMap::new(),
+            interests: InterestRegistry::new(),
+            sessions: BTreeMap::new(),
+            next_rope: 0,
+            next_request: 0,
+        }
+    }
+
+    /// The storage manager (read-only).
+    pub fn msm(&self) -> &Msm {
+        &self.msm
+    }
+
+    /// The storage manager (mutable — for experiment instrumentation).
+    pub fn msm_mut(&mut self) -> &mut Msm {
+        &mut self.msm
+    }
+
+    /// A cataloged rope.
+    pub fn rope(&self, id: RopeId) -> Result<&Rope, FsError> {
+        self.ropes.get(&id).ok_or(FsError::UnknownRope(id))
+    }
+
+    /// All cataloged rope ids.
+    pub fn rope_ids(&self) -> Vec<RopeId> {
+        self.ropes.keys().copied().collect()
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId::from_raw(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    fn fresh_rope(&mut self) -> RopeId {
+        let id = RopeId::from_raw(self.next_rope);
+        self.next_rope += 1;
+        id
+    }
+
+    // ----- RECORD ------------------------------------------------------
+
+    /// `RECORD [media] → requestID`: begin recording a new rope. Runs
+    /// admission control for each medium's stream; on rejection nothing
+    /// is allocated.
+    pub fn record(&mut self, user: &str, opts: RecordOpts) -> Result<RequestId, FsError> {
+        assert!(
+            opts.video.is_some() || opts.audio.is_some(),
+            "RECORD needs at least one medium"
+        );
+        // Admit each medium's stream before allocating anything.
+        let mut admission_ids = Vec::new();
+        let mut admitted_specs = Vec::new();
+        for t in [&opts.video, &opts.audio].into_iter().flatten() {
+            let spec = RequestSpec {
+                q: t.meta.granularity,
+                unit_bits: t.meta.unit_bits,
+                unit_rate: t.meta.unit_rate,
+            };
+            let rid = self.fresh_request();
+            match self.msm.admission().try_admit(rid, spec) {
+                Ok(_) => {
+                    admission_ids.push(rid);
+                    admitted_specs.push(spec);
+                }
+                Err(e) => {
+                    // Roll back the streams admitted so far.
+                    for done in &admission_ids {
+                        self.msm.admission().release(*done).ok();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let video = opts.video.clone().map(|t| TrackAccum {
+            strand: self.msm.begin_strand(t.meta),
+            opts: t,
+            pending: Vec::new(),
+            pending_units: 0,
+            pending_samples: Vec::new(),
+            units_total: 0,
+        });
+        let audio = opts.audio.clone().map(|t| TrackAccum {
+            strand: self.msm.begin_strand(t.meta),
+            opts: t,
+            pending: Vec::new(),
+            pending_units: 0,
+            pending_samples: Vec::new(),
+            units_total: 0,
+        });
+        let req = self.fresh_request();
+        self.sessions.insert(
+            req,
+            Session::Record(RecordState {
+                user: user.to_string(),
+                video,
+                audio,
+                admission_ids,
+            }),
+        );
+        Ok(req)
+    }
+
+    /// Feed one captured, compressed video frame into a `RECORD` session.
+    /// Returns the disk write when the frame completed a block.
+    pub fn record_video_frame(
+        &mut self,
+        req: RequestId,
+        now: Instant,
+        payload: &[u8],
+    ) -> Result<Option<DiskOp>, FsError> {
+        let state = self.record_state(req)?;
+        let track = state
+            .video
+            .as_mut()
+            .ok_or(FsError::BadRequestState {
+                request: req,
+                expected: "session recording video",
+            })?;
+        track.pending.extend_from_slice(payload);
+        track.pending_units += 1;
+        track.units_total += 1;
+        if track.pending_units == track.opts.meta.granularity {
+            let strand = track.strand;
+            let units = track.pending_units;
+            let data = std::mem::take(&mut track.pending);
+            track.pending_units = 0;
+            let (_, op) = self.msm.append_block(strand, now, &data, units)?;
+            Ok(Some(op))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Feed captured audio samples into a `RECORD` session. Full blocks
+    /// are classified by the session's silence detector: silent blocks
+    /// become index holes, audible blocks are written. Returns the disk
+    /// writes performed.
+    pub fn record_audio_samples(
+        &mut self,
+        req: RequestId,
+        now: Instant,
+        samples: &[i32],
+    ) -> Result<Vec<DiskOp>, FsError> {
+        // Gather full blocks first (borrow of the track ends before MSM
+        // calls).
+        let mut flushes: Vec<(StrandId, Option<Vec<u8>>, u64)> = Vec::new();
+        {
+            let state = self.record_state(req)?;
+            let track = state
+                .audio
+                .as_mut()
+                .ok_or(FsError::BadRequestState {
+                    request: req,
+                    expected: "session recording audio",
+                })?;
+            let q = track.opts.meta.granularity;
+            track.pending_samples.extend_from_slice(samples);
+            track.units_total += samples.len() as u64;
+            while track.pending_samples.len() as u64 >= q {
+                let block: Vec<i32> = track.pending_samples.drain(..q as usize).collect();
+                let silent = track
+                    .opts
+                    .silence
+                    .as_ref()
+                    .map(|d| d.classify(&block) == BlockClass::Silent)
+                    .unwrap_or(false);
+                if silent {
+                    flushes.push((track.strand, None, q));
+                } else {
+                    let payload: Vec<u8> =
+                        block.iter().map(|&s| s.clamp(-128, 127) as i8 as u8).collect();
+                    flushes.push((track.strand, Some(payload), q));
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        let mut t = now;
+        for (strand, payload, units) in flushes {
+            match payload {
+                None => {
+                    self.msm.append_silence(strand, units)?;
+                }
+                Some(data) => {
+                    let (_, op) = self.msm.append_block(strand, t, &data, units)?;
+                    t = op.completed;
+                    ops.push(op);
+                }
+            }
+        }
+        Ok(ops)
+    }
+
+    fn record_state(&mut self, req: RequestId) -> Result<&mut RecordState, FsError> {
+        match self.sessions.get_mut(&req) {
+            Some(Session::Record(s)) => Ok(s),
+            Some(Session::Play(_)) => Err(FsError::BadRequestState {
+                request: req,
+                expected: "RECORD session",
+            }),
+            None => Err(FsError::UnknownRequest(req)),
+        }
+    }
+
+    /// `STOP [requestID]`: end a session. For `RECORD`, flushes partial
+    /// blocks, finishes the strands, builds and catalogs the rope, and
+    /// returns its id. For `PLAY`, releases resources and returns `None`.
+    pub fn stop(&mut self, req: RequestId, now: Instant) -> Result<Option<RopeId>, FsError> {
+        let session = self
+            .sessions
+            .remove(&req)
+            .ok_or(FsError::UnknownRequest(req))?;
+        match session {
+            Session::Play(p) => {
+                if !p.destructive_pause {
+                    for id in &p.admission_ids {
+                        self.msm.admission().release(*id).ok();
+                    }
+                }
+                Ok(None)
+            }
+            Session::Record(mut r) => {
+                // Finalize the tracks, but release the admission slots
+                // no matter what — a full disk must not leak capacity.
+                let result = self.finalize_record(&mut r, now);
+                for id in &r.admission_ids {
+                    self.msm.admission().release(*id).ok();
+                }
+                result
+            }
+        }
+    }
+
+    fn finalize_record(
+        &mut self,
+        r: &mut RecordState,
+        now: Instant,
+    ) -> Result<Option<RopeId>, FsError> {
+        {
+            {
+                let mut t = now;
+                let mut video_ref = None;
+                let mut audio_ref = None;
+                for (is_video, track) in
+                    [(true, r.video.as_mut()), (false, r.audio.as_mut())]
+                {
+                    let Some(track) = track else { continue };
+                    // Flush partials.
+                    if !is_video {
+                        if !track.pending_samples.is_empty() {
+                            let payload: Vec<u8> = track
+                                .pending_samples
+                                .iter()
+                                .map(|&s| s.clamp(-128, 127) as i8 as u8)
+                                .collect();
+                            let units = track.pending_samples.len() as u64;
+                            let (_, op) = self.msm.append_block(track.strand, t, &payload, units)?;
+                            t = op.completed;
+                            track.pending_samples.clear();
+                        }
+                    } else if track.pending_units > 0 {
+                        let data = std::mem::take(&mut track.pending);
+                        let (_, op) =
+                            self.msm.append_block(track.strand, t, &data, track.pending_units)?;
+                        t = op.completed;
+                        track.pending_units = 0;
+                    }
+                    if track.units_total == 0 {
+                        // Nothing recorded on this track: drop the empty
+                        // strand quietly.
+                        self.msm.finish_strand(track.strand, t)?;
+                        self.msm.delete_strand(track.strand)?;
+                        continue;
+                    }
+                    self.msm.finish_strand(track.strand, t)?;
+                    let meta = *self.msm.strand(track.strand)?.meta();
+                    let sref = StrandRef {
+                        strand: track.strand,
+                        start_unit: 0,
+                        len_units: self.msm.strand(track.strand)?.unit_count(),
+                        unit_rate: meta.unit_rate,
+                        granularity: meta.granularity,
+                    };
+                    if is_video {
+                        video_ref = Some(sref);
+                    } else {
+                        audio_ref = Some(sref);
+                    }
+                }
+                if video_ref.is_none() && audio_ref.is_none() {
+                    return Ok(None);
+                }
+                let rope_id = self.fresh_rope();
+                let mut rope = Rope::new(rope_id, &r.user);
+                rope.segments.push(Segment::new(video_ref, audio_ref));
+                self.interests.register(&rope);
+                self.ropes.insert(rope_id, rope);
+                Ok(Some(rope_id))
+            }
+        }
+    }
+
+    // ----- PLAY --------------------------------------------------------
+
+    /// `PLAY [mmRopeID, interval, media] → requestID`: admission-check
+    /// and compile a playback schedule. The returned schedule drives the
+    /// caller's (or the simulator's) block fetches.
+    pub fn play(
+        &mut self,
+        user: &str,
+        rope_id: RopeId,
+        sel: MediaSel,
+        interval: Interval,
+    ) -> Result<(RequestId, PlaySchedule), FsError> {
+        let rope = self.rope(rope_id)?;
+        if !rope.can_play(user) {
+            return Err(FsError::AccessDenied {
+                user: user.to_string(),
+                right: "play",
+            });
+        }
+        let rope = rope.clone();
+        let schedule = compile_schedule(&rope, sel, interval)?;
+        // One admission entry per distinct medium actually scheduled.
+        let mut specs: Vec<(Medium, RequestSpec)> = Vec::new();
+        for seg in &rope.segments {
+            for (m, r) in [(Medium::Video, &seg.video), (Medium::Audio, &seg.audio)] {
+                let include = match m {
+                    Medium::Video => sel.video(),
+                    Medium::Audio => sel.audio(),
+                };
+                if !include {
+                    continue;
+                }
+                if let Some(r) = r {
+                    if !specs.iter().any(|(sm, _)| *sm == m) {
+                        specs.push((
+                            m,
+                            RequestSpec {
+                                q: r.granularity,
+                                unit_bits: self.msm.strand(r.strand)?.meta().unit_bits,
+                                unit_rate: r.unit_rate,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let mut admission_ids = Vec::new();
+        for (_m, spec) in &specs {
+            let rid = self.fresh_request();
+            match self.msm.admission().try_admit(rid, *spec) {
+                Ok(_) => admission_ids.push(rid),
+                Err(e) => {
+                    for done in &admission_ids {
+                        self.msm.admission().release(*done).ok();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let req = self.fresh_request();
+        self.sessions.insert(
+            req,
+            Session::Play(PlayState {
+                user: user.to_string(),
+                rope: rope_id,
+                schedule: schedule.clone(),
+                admission_ids,
+                specs: specs.into_iter().map(|(_, s)| s).collect(),
+                paused: false,
+                destructive_pause: false,
+            }),
+        );
+        Ok((req, schedule))
+    }
+
+    /// `PAUSE [requestID]`: suspend a `PLAY` request. A *destructive*
+    /// pause releases the admission slots (another client may take them);
+    /// a non-destructive pause keeps them reserved.
+    pub fn pause(&mut self, req: RequestId, destructive: bool) -> Result<(), FsError> {
+        let state = self.play_state(req)?;
+        if state.paused {
+            return Err(FsError::BadRequestState {
+                request: req,
+                expected: "a running PLAY session",
+            });
+        }
+        state.paused = true;
+        state.destructive_pause = destructive;
+        if destructive {
+            let ids = state.admission_ids.clone();
+            for id in ids {
+                self.msm.admission().release(id).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// `RESUME [requestID]`: resume a paused `PLAY`. After a destructive
+    /// pause this re-runs admission control and may be rejected.
+    pub fn resume(&mut self, req: RequestId) -> Result<(), FsError> {
+        let state = self.play_state(req)?;
+        if !state.paused {
+            return Err(FsError::BadRequestState {
+                request: req,
+                expected: "a paused PLAY session",
+            });
+        }
+        if state.destructive_pause {
+            let specs = state.specs.clone();
+            let mut new_ids = Vec::new();
+            for spec in &specs {
+                let rid = self.fresh_request();
+                match self.msm.admission().try_admit(rid, *spec) {
+                    Ok(_) => new_ids.push(rid),
+                    Err(e) => {
+                        for done in &new_ids {
+                            self.msm.admission().release(*done).ok();
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            let state = self.play_state(req)?;
+            state.admission_ids = new_ids;
+            state.destructive_pause = false;
+        }
+        let state = self.play_state(req)?;
+        state.paused = false;
+        Ok(())
+    }
+
+    /// Inspect an active `PLAY` session: `(user, rope, schedule,
+    /// paused)`.
+    pub fn play_info(
+        &self,
+        req: RequestId,
+    ) -> Result<(&str, RopeId, &PlaySchedule, bool), FsError> {
+        match self.sessions.get(&req) {
+            Some(Session::Play(s)) => Ok((&s.user, s.rope, &s.schedule, s.paused)),
+            Some(Session::Record(_)) => Err(FsError::BadRequestState {
+                request: req,
+                expected: "PLAY session",
+            }),
+            None => Err(FsError::UnknownRequest(req)),
+        }
+    }
+
+    fn play_state(&mut self, req: RequestId) -> Result<&mut PlayState, FsError> {
+        match self.sessions.get_mut(&req) {
+            Some(Session::Play(s)) => Ok(s),
+            Some(Session::Record(_)) => Err(FsError::BadRequestState {
+                request: req,
+                expected: "PLAY session",
+            }),
+            None => Err(FsError::UnknownRequest(req)),
+        }
+    }
+
+    // ----- editing ------------------------------------------------------
+
+    /// `INSERT [baseRope, position, media, withRope, withInterval]`:
+    /// edits `base` in place, then heals the new interval boundaries.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's operation signature
+    pub fn insert(
+        &mut self,
+        user: &str,
+        base: RopeId,
+        position: Nanos,
+        sel: MediaSel,
+        with: RopeId,
+        with_interval: Interval,
+        now: Instant,
+    ) -> Result<(), FsError> {
+        let base_rope = self.editable(user, base)?.clone();
+        let with_rope = self.rope(with)?.clone();
+        let edited = edit::insert(&base_rope, position, sel, &with_rope, with_interval)?;
+        self.commit_edit(base, edited, now)
+    }
+
+    /// `REPLACE [baseRope, media, baseInterval, withRope, withInterval]`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's operation signature
+    pub fn replace(
+        &mut self,
+        user: &str,
+        base: RopeId,
+        sel: MediaSel,
+        base_interval: Interval,
+        with: RopeId,
+        with_interval: Interval,
+        now: Instant,
+    ) -> Result<(), FsError> {
+        let base_rope = self.editable(user, base)?.clone();
+        let with_rope = self.rope(with)?.clone();
+        let edited = edit::replace(&base_rope, sel, base_interval, &with_rope, with_interval)?;
+        self.commit_edit(base, edited, now)
+    }
+
+    /// `DELETE [baseRope, media, interval]`.
+    pub fn delete(
+        &mut self,
+        user: &str,
+        base: RopeId,
+        sel: MediaSel,
+        interval: Interval,
+        now: Instant,
+    ) -> Result<(), FsError> {
+        let base_rope = self.editable(user, base)?.clone();
+        let edited = edit::delete(&base_rope, sel, interval)?;
+        self.commit_edit(base, edited, now)
+    }
+
+    /// `SUBSTRING [baseRope, media, interval]` → a *new* rope sharing the
+    /// base's strands.
+    pub fn substring(
+        &mut self,
+        user: &str,
+        base: RopeId,
+        sel: MediaSel,
+        interval: Interval,
+    ) -> Result<RopeId, FsError> {
+        let base_rope = self.rope(base)?;
+        if !base_rope.can_play(user) {
+            return Err(FsError::AccessDenied {
+                user: user.to_string(),
+                right: "play",
+            });
+        }
+        let mut sub = edit::substring(&base_rope.clone(), sel, interval)?;
+        let id = self.fresh_rope();
+        sub.id = id;
+        sub.creator = user.to_string();
+        self.interests.register(&sub);
+        self.ropes.insert(id, sub);
+        Ok(id)
+    }
+
+    /// `CONCATE [rope1, rope2]` → a *new* rope.
+    pub fn concat(&mut self, user: &str, first: RopeId, second: RopeId) -> Result<RopeId, FsError> {
+        let a = self.rope(first)?.clone();
+        let b = self.rope(second)?.clone();
+        for r in [&a, &b] {
+            if !r.can_play(user) {
+                return Err(FsError::AccessDenied {
+                    user: user.to_string(),
+                    right: "play",
+                });
+            }
+        }
+        let mut joined = edit::concat(&a, &b);
+        let id = self.fresh_rope();
+        joined.id = id;
+        joined.creator = user.to_string();
+        self.interests.register(&joined);
+        self.ropes.insert(id, joined);
+        Ok(id)
+    }
+
+    /// Add a text trigger to a rope.
+    pub fn add_trigger(
+        &mut self,
+        user: &str,
+        rope: RopeId,
+        at: Nanos,
+        text: &str,
+    ) -> Result<(), FsError> {
+        let r = self.editable(user, rope)?;
+        if at > r.duration() {
+            return Err(FsError::BadInterval {
+                reason: "trigger beyond rope end",
+            });
+        }
+        r.triggers.push(Trigger {
+            at,
+            text: text.to_string(),
+        });
+        r.triggers.sort_by_key(|t| t.at);
+        Ok(())
+    }
+
+    fn editable(&mut self, user: &str, id: RopeId) -> Result<&mut Rope, FsError> {
+        let rope = self.ropes.get_mut(&id).ok_or(FsError::UnknownRope(id))?;
+        if !rope.can_edit(user) {
+            return Err(FsError::AccessDenied {
+                user: user.to_string(),
+                right: "edit",
+            });
+        }
+        Ok(rope)
+    }
+
+    fn commit_edit(&mut self, id: RopeId, mut edited: Rope, now: Instant) -> Result<(), FsError> {
+        edited.id = id;
+        let healed = self.heal_rope(&mut edited, now)?;
+        let _ = healed;
+        self.interests.register(&edited);
+        self.ropes.insert(id, edited);
+        Ok(())
+    }
+
+    // ----- scattering healing (§4.2) -------------------------------------
+
+    /// Walk a rope's segment boundaries and heal every one that breaks
+    /// strand continuity, rewriting refs to point at the bridging
+    /// strands. Returns the number of media blocks copied.
+    pub fn heal_rope(&mut self, rope: &mut Rope, now: Instant) -> Result<u64, FsError> {
+        let mut copied = 0;
+        for i in 0..rope.segments.len().saturating_sub(1) {
+            let (head, tail) = rope.segments.split_at_mut(i + 1);
+            let left_seg = &mut head[i];
+            let right_seg = &mut tail[0];
+            for medium in [Medium::Video, Medium::Audio] {
+                let (lref, rref) = match medium {
+                    Medium::Video => (&left_seg.video, &mut right_seg.video),
+                    Medium::Audio => (&left_seg.audio, &mut right_seg.audio),
+                };
+                let (Some(l), Some(r)) = (lref.as_ref(), rref.as_mut()) else {
+                    continue;
+                };
+                // Contiguous continuation of the same strand needs no
+                // healing: the allocator bounded those gaps already.
+                if l.strand == r.strand && l.end_unit() == r.start_unit {
+                    continue;
+                }
+                if let Some((plan, new_id)) = self.msm.heal_boundary(l, r, now)? {
+                    copied += plan.count;
+                    match plan.side {
+                        CopySide::Right => {
+                            // The first `count` blocks of the right ref
+                            // now come from the bridging strand.
+                            let q = r.granularity;
+                            let first_block = r.start_block();
+                            let head_units = ((first_block + plan.count) * q)
+                                .saturating_sub(r.start_unit)
+                                .min(r.len_units);
+                            let bridge = StrandRef {
+                                strand: new_id,
+                                start_unit: r.start_unit - first_block * q,
+                                len_units: head_units,
+                                unit_rate: r.unit_rate,
+                                granularity: q,
+                            };
+                            let rest = StrandRef {
+                                start_unit: r.start_unit + head_units,
+                                len_units: r.len_units - head_units,
+                                ..*r
+                            };
+                            // Rewrite in place: split the right segment's
+                            // media track. For simplicity the bridge and
+                            // rest stay inside one segment pair — we
+                            // splice a new segment before `right_seg`.
+                            *r = rest;
+                            let mut bridge_seg = match medium {
+                                Medium::Video => Segment::new(Some(bridge), None),
+                                Medium::Audio => Segment::new(None, Some(bridge)),
+                            };
+                            // Carry the other medium along to keep the
+                            // tracks aligned.
+                            split_other_medium(right_seg, &mut bridge_seg, medium);
+                            rope.segments.insert(i + 1, bridge_seg);
+                        }
+                        CopySide::Left => {
+                            let l = left_seg_medium_mut(left_seg, medium);
+                            let lr = l.as_mut().expect("checked above");
+                            let q = lr.granularity;
+                            let last_block = lr.end_block();
+                            let first_copied = last_block + 1 - plan.count;
+                            let tail_units = lr.end_unit() - (first_copied * q).max(lr.start_unit);
+                            let tail_units = tail_units.min(lr.len_units);
+                            let bridge_start =
+                                (first_copied * q).max(lr.start_unit) - first_copied * q;
+                            let bridge = StrandRef {
+                                strand: new_id,
+                                start_unit: bridge_start,
+                                len_units: tail_units,
+                                unit_rate: lr.unit_rate,
+                                granularity: q,
+                            };
+                            lr.len_units -= tail_units;
+                            let mut bridge_seg = match medium {
+                                Medium::Video => Segment::new(Some(bridge), None),
+                                Medium::Audio => Segment::new(None, Some(bridge)),
+                            };
+                            split_other_medium_tail(left_seg, &mut bridge_seg, medium);
+                            rope.segments.insert(i + 1, bridge_seg);
+                        }
+                    }
+                    // Only heal one boundary per pass position; the
+                    // inserted segment shifts indices, and the outer loop
+                    // re-visits subsequent boundaries.
+                    break;
+                }
+            }
+        }
+        rope.segments.retain(|s| !s.duration.is_zero());
+        for s in rope.segments.iter_mut() {
+            *s = Segment::new(s.video, s.audio);
+        }
+        Ok(copied)
+    }
+
+    // ----- garbage collection --------------------------------------------
+
+    /// Delete a rope from the catalog, dropping its interests.
+    pub fn delete_rope(&mut self, user: &str, id: RopeId) -> Result<(), FsError> {
+        {
+            let rope = self.ropes.get(&id).ok_or(FsError::UnknownRope(id))?;
+            if !rope.can_edit(user) {
+                return Err(FsError::AccessDenied {
+                    user: user.to_string(),
+                    right: "edit",
+                });
+            }
+        }
+        self.ropes.remove(&id);
+        self.interests.unregister(id);
+        Ok(())
+    }
+
+    /// Sweep: delete every finished strand no rope holds an interest in.
+    /// Returns the ids collected.
+    pub fn gc(&mut self) -> Vec<StrandId> {
+        let candidates = self.msm.strand_ids();
+        let dead = self.interests.collectable(candidates.iter());
+        for id in &dead {
+            self.msm.delete_strand(*id).ok();
+        }
+        dead
+    }
+}
+
+fn left_seg_medium_mut(seg: &mut Segment, medium: Medium) -> &mut Option<StrandRef> {
+    match medium {
+        Medium::Video => &mut seg.video,
+        Medium::Audio => &mut seg.audio,
+    }
+}
+
+/// When a bridge segment is spliced before `right_seg`, move the leading
+/// part of the *other* medium's ref into the bridge so both tracks stay
+/// aligned in time.
+fn split_other_medium(right_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
+    let bridge_dur = match healed {
+        Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
+        Medium::Audio => bridge_seg.audio.as_ref().map(StrandRef::duration),
+    }
+    .unwrap_or(Nanos::ZERO);
+    let other = match healed {
+        Medium::Video => &mut right_seg.audio,
+        Medium::Audio => &mut right_seg.video,
+    };
+    if let Some(o) = other.take() {
+        let (head, tail) = o.split_at(bridge_dur);
+        match healed {
+            Medium::Video => bridge_seg.audio = (head.len_units > 0).then_some(head),
+            Medium::Audio => bridge_seg.video = (head.len_units > 0).then_some(head),
+        }
+        *other = (tail.len_units > 0).then_some(tail);
+    }
+    *bridge_seg = Segment::new(bridge_seg.video, bridge_seg.audio);
+    *right_seg = Segment::new(right_seg.video, right_seg.audio);
+}
+
+/// Symmetric helper for Left-side healing: move the trailing part of the
+/// other medium of `left_seg` into the bridge.
+fn split_other_medium_tail(left_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
+    let bridge_dur = match healed {
+        Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
+        Medium::Audio => bridge_seg.audio.as_ref().map(StrandRef::duration),
+    }
+    .unwrap_or(Nanos::ZERO);
+    let other = match healed {
+        Medium::Video => &mut left_seg.audio,
+        Medium::Audio => &mut left_seg.video,
+    };
+    if let Some(o) = other.take() {
+        let keep = o.duration().saturating_sub(bridge_dur);
+        let (head, tail) = o.split_at(keep);
+        match healed {
+            Medium::Video => bridge_seg.audio = (tail.len_units > 0).then_some(tail),
+            Medium::Audio => bridge_seg.video = (tail.len_units > 0).then_some(tail),
+        }
+        *other = (head.len_units > 0).then_some(head);
+    }
+    *bridge_seg = Segment::new(bridge_seg.video, bridge_seg.audio);
+    *left_seg = Segment::new(left_seg.video, left_seg.audio);
+}
+
+/// Compile a rope interval into a deadline-stamped block schedule.
+pub fn compile_schedule(
+    rope: &Rope,
+    sel: MediaSel,
+    interval: Interval,
+) -> Result<PlaySchedule, FsError> {
+    if interval.len.is_zero() {
+        return Err(FsError::BadInterval {
+            reason: "interval is empty",
+        });
+    }
+    if interval.end() > rope.duration() {
+        return Err(FsError::BadInterval {
+            reason: "interval extends beyond rope end",
+        });
+    }
+    // Work on the substring so segment-relative arithmetic is simple.
+    let sub = edit::substring(rope, sel, interval)?;
+    let mut items = Vec::new();
+    let mut t0 = Nanos::ZERO;
+    for seg in &sub.segments {
+        for (medium, r) in [(Medium::Video, &seg.video), (Medium::Audio, &seg.audio)] {
+            let Some(r) = r else { continue };
+            let unit_dur = 1.0 / r.unit_rate;
+            for block in r.start_block()..=r.end_block() {
+                let block_first_unit = (block * r.granularity).max(r.start_unit);
+                let block_last_unit = ((block + 1) * r.granularity).min(r.end_unit());
+                let units = block_last_unit - block_first_unit;
+                if units == 0 {
+                    continue;
+                }
+                let offset =
+                    Nanos::from_secs_f64((block_first_unit - r.start_unit) as f64 * unit_dur);
+                items.push(PlayItem {
+                    at: t0 + offset,
+                    medium,
+                    strand: r.strand,
+                    block,
+                    units,
+                    duration: Nanos::from_secs_f64(units as f64 * unit_dur),
+                    silence: false, // resolved against the strand below
+                });
+            }
+        }
+        t0 += seg.duration;
+    }
+    items.sort_by_key(|i| i.at);
+    Ok(PlaySchedule {
+        items,
+        duration: sub.duration(),
+        // `substring` already filtered the triggers to the interval and
+        // shifted them to interval-relative time.
+        triggers: sub.triggers,
+    })
+}
+
+impl Mrs {
+    /// Resolve the `silence` flags of a schedule against the stored
+    /// strands (silence holes need no disk fetch).
+    pub fn resolve_silence(&self, schedule: &mut PlaySchedule) -> Result<(), FsError> {
+        for item in &mut schedule.items {
+            let strand = self.msm.strand(item.strand)?;
+            item.silence = strand.block(item.block)?.is_none();
+        }
+        Ok(())
+    }
+
+    /// Grant or restrict a rope's access lists. Requires edit rights.
+    pub fn set_access(
+        &mut self,
+        user: &str,
+        rope: RopeId,
+        play: crate::rope::AccessList,
+        edit: crate::rope::AccessList,
+    ) -> Result<(), FsError> {
+        let r = self.editable(user, rope)?;
+        r.play_access = play;
+        r.edit_access = edit;
+        Ok(())
+    }
+
+    /// Rewrite a strand's blocks to fresh constrained placement and
+    /// rebind every cataloged rope to the new copy (§6.2 future work:
+    /// reorganizing storage when dense disks accumulate scattering
+    /// anomalies). The old strand becomes unreferenced and is collected.
+    ///
+    /// Correct because the copy is logically identical (same block/unit
+    /// numbering, silence holes included), so refs transfer verbatim.
+    pub fn reorganize_strand(
+        &mut self,
+        strand: StrandId,
+        now: Instant,
+    ) -> Result<StrandId, FsError> {
+        let blocks = self.msm.strand(strand)?.block_count();
+        let new_id = self
+            .msm
+            .copy_blocks_to_new_strand(strand, 0, blocks, None, now)?;
+        let rope_ids: Vec<RopeId> = self.ropes.keys().copied().collect();
+        for rid in rope_ids {
+            let rope = self.ropes.get_mut(&rid).expect("listed");
+            let mut touched = false;
+            for seg in &mut rope.segments {
+                for r in [&mut seg.video, &mut seg.audio].into_iter().flatten() {
+                    if r.strand == strand {
+                        r.strand = new_id;
+                        touched = true;
+                    }
+                }
+            }
+            if touched {
+                let rope = self.ropes.get(&rid).expect("listed").clone();
+                self.interests.register(&rope);
+            }
+        }
+        self.gc();
+        Ok(new_id)
+    }
+}
+
+/// Playback-mode transformation of a schedule (§3.3.2): fast-forward
+/// (with or without block skipping) and slow motion.
+///
+/// * `speed > 1`, `skip = false`: every block is fetched but deadlines
+///   compress by `speed` — both the continuity requirement and the
+///   buffer flow rate rise (the paper's "increases both").
+/// * `speed > 1`, `skip = true`: only every `round(speed)`-th block of
+///   each medium is fetched, at the *normal* per-block deadline spacing
+///   — the fetch rate is unchanged, only the physical gap to the next
+///   fetched block grows (the paper's "increases only the continuity
+///   requirement").
+/// * `speed < 1` (slow motion): deadlines stretch; an open-loop disk
+///   runs ahead and blocks accumulate in buffers, which is exactly the
+///   effect §3.3.2 bounds with the task-switch read-ahead `h`.
+pub fn apply_play_mode(schedule: &PlaySchedule, speed: f64, skip: bool) -> PlaySchedule {
+    assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+    let stride = if skip && speed > 1.0 {
+        speed.round().max(1.0) as u64
+    } else {
+        1
+    };
+    let mut per_medium_ordinal: std::collections::BTreeMap<(Medium, StrandId), u64> =
+        std::collections::BTreeMap::new();
+    let mut items = Vec::new();
+    for item in &schedule.items {
+        let ordinal = per_medium_ordinal
+            .entry((item.medium, item.strand))
+            .or_insert(0);
+        let keep = (*ordinal).is_multiple_of(stride);
+        *ordinal += 1;
+        if !keep {
+            continue;
+        }
+        let scale = if stride > 1 {
+            // Skipped playback: kept blocks display back to back at the
+            // normal block rate, so deadline = ordinal-among-kept ×
+            // block duration; equivalently at / stride.
+            stride as f64
+        } else {
+            speed
+        };
+        items.push(PlayItem {
+            at: Nanos::from_secs_f64(item.at.as_secs_f64() / scale),
+            duration: Nanos::from_secs_f64(item.duration.as_secs_f64() / scale),
+            ..*item
+        });
+    }
+    items.sort_by_key(|i| i.at);
+    let scale = if stride > 1 { stride as f64 } else { speed };
+    PlaySchedule {
+        items,
+        duration: Nanos::from_secs_f64(schedule.duration.as_secs_f64() / scale),
+        triggers: schedule
+            .triggers
+            .iter()
+            .map(|t| Trigger {
+                at: Nanos::from_secs_f64(t.at.as_secs_f64() / scale),
+                text: t.text.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msm::MsmConfig;
+    use strandfs_disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
+    use strandfs_media::silence::TalkSpurtSource;
+    use strandfs_units::Bits;
+
+    fn mrs() -> Mrs {
+        let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+        let bounds = GapBounds {
+            min_sectors: 0,
+            max_sectors: 40_000,
+        };
+        Mrs::new(Msm::new(disk, MsmConfig::constrained(bounds, 11)))
+    }
+
+    fn video_opts() -> TrackOpts {
+        TrackOpts {
+            meta: StrandMeta {
+                medium: Medium::Video,
+                unit_rate: 30.0,
+                granularity: 3,
+                unit_bits: Bits::new(96_000),
+            },
+            silence: None,
+        }
+    }
+
+    fn audio_opts() -> TrackOpts {
+        TrackOpts {
+            meta: StrandMeta {
+                medium: Medium::Audio,
+                unit_rate: 8_000.0,
+                granularity: 800,
+                unit_bits: Bits::new(8),
+            },
+            silence: Some(SilenceDetector::telephone()),
+        }
+    }
+
+    /// Record `seconds` of AV content and return the rope.
+    fn record_av(m: &mut Mrs, seconds: u64, seed: u64) -> RopeId {
+        let req = m
+            .record(
+                "alice",
+                RecordOpts {
+                    video: Some(video_opts()),
+                    audio: Some(audio_opts()),
+                },
+            )
+            .unwrap();
+        let mut t = Instant::EPOCH;
+        let mut talk = TalkSpurtSource::telephone(seed);
+        for i in 0..seconds * 30 {
+            let frame = vec![(i % 251) as u8; 12_000];
+            if let Some(op) = m.record_video_frame(req, t, &frame).unwrap() {
+                t = op.completed;
+            }
+        }
+        let samples = talk.generate((seconds * 8_000) as usize);
+        for chunk in samples.chunks(4_000) {
+            let ops = m.record_audio_samples(req, t, chunk).unwrap();
+            if let Some(op) = ops.last() {
+                t = op.completed;
+            }
+        }
+        m.stop(req, t).unwrap().unwrap()
+    }
+
+    #[test]
+    fn record_builds_av_rope() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 4, 3);
+        let rope = m.rope(rope_id).unwrap();
+        assert!(rope.has_video());
+        assert!(rope.has_audio());
+        let d = rope.duration();
+        assert!(
+            d >= Nanos::from_millis(3_900) && d <= Nanos::from_millis(4_100),
+            "duration = {d}"
+        );
+        rope.check_invariants().unwrap();
+        // Admission slots were released at STOP.
+        assert_eq!(m.msm().admission_ref().active(), 0);
+        // Audio silence elimination left holes.
+        let audio_ref = rope.segments[0].audio.unwrap();
+        let strand = m.msm().strand(audio_ref.strand).unwrap();
+        assert!(strand.silence_fraction() > 0.0, "expected silence holes");
+    }
+
+    #[test]
+    fn play_schedule_deadlines_are_monotone_and_cover() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 4, 5);
+        let dur = m.rope(rope_id).unwrap().duration();
+        let (req, mut schedule) = m
+            .play("bob", rope_id, MediaSel::Both, Interval::whole(dur))
+            .unwrap();
+        m.resolve_silence(&mut schedule).unwrap();
+        assert!(!schedule.items.is_empty());
+        let mut prev = Nanos::ZERO;
+        for item in &schedule.items {
+            assert!(item.at >= prev);
+            prev = item.at;
+        }
+        // Video portion covers 30*4 = 120 frames at q=3 -> 40 blocks.
+        let video_blocks = schedule
+            .items
+            .iter()
+            .filter(|i| i.medium == Medium::Video)
+            .count();
+        assert_eq!(video_blocks, 40);
+        // Some audio items are silence (no fetch).
+        assert!(schedule.fetch_count() < schedule.items.len());
+        assert_eq!(m.msm().admission_ref().active(), 2);
+        m.stop(req, Instant::EPOCH).unwrap();
+        assert_eq!(m.msm().admission_ref().active(), 0);
+    }
+
+    #[test]
+    fn play_access_enforced() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 2, 7);
+        {
+            let rope = m.ropes.get_mut(&rope_id).unwrap();
+            rope.play_access = crate::rope::AccessList::only(&["bob"]);
+        }
+        let dur = m.rope(rope_id).unwrap().duration();
+        assert!(matches!(
+            m.play("mallory", rope_id, MediaSel::Both, Interval::whole(dur)),
+            Err(FsError::AccessDenied { .. })
+        ));
+        assert!(m
+            .play("alice", rope_id, MediaSel::Both, Interval::whole(dur))
+            .is_ok());
+    }
+
+    #[test]
+    fn pause_resume_cycle() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 2, 9);
+        let dur = m.rope(rope_id).unwrap().duration();
+        let (req, _) = m
+            .play("alice", rope_id, MediaSel::Both, Interval::whole(dur))
+            .unwrap();
+        let active = m.msm().admission_ref().active();
+        // Non-destructive pause keeps the slots.
+        m.pause(req, false).unwrap();
+        assert_eq!(m.msm().admission_ref().active(), active);
+        m.resume(req).unwrap();
+        // Destructive pause releases them.
+        m.pause(req, true).unwrap();
+        assert_eq!(m.msm().admission_ref().active(), 0);
+        m.resume(req).unwrap();
+        assert_eq!(m.msm().admission_ref().active(), active);
+        // Double pause / double resume are state errors.
+        m.pause(req, false).unwrap();
+        assert!(m.pause(req, false).is_err());
+        m.resume(req).unwrap();
+        assert!(m.resume(req).is_err());
+        m.stop(req, Instant::EPOCH).unwrap();
+    }
+
+    #[test]
+    fn insert_edit_heals_boundaries() {
+        let mut m = mrs();
+        let base = record_av(&mut m, 4, 1);
+        let clip = record_av(&mut m, 2, 2);
+        let clip_dur = m.rope(clip).unwrap().duration();
+        let strands_before = m.msm().strand_ids().len();
+        m.insert(
+            "alice",
+            base,
+            Nanos::from_secs(2),
+            MediaSel::Both,
+            clip,
+            Interval::whole(clip_dur),
+            Instant::EPOCH,
+        )
+        .unwrap();
+        let rope = m.rope(base).unwrap().clone();
+        rope.check_invariants().unwrap();
+        let d = rope.duration();
+        assert!(
+            d >= Nanos::from_millis(5_800) && d <= Nanos::from_millis(6_200),
+            "duration = {d}"
+        );
+        // Healing created bridging strands.
+        assert!(m.msm().strand_ids().len() > strands_before);
+        // The healed rope still plays end-to-end.
+        let (_, schedule) = m
+            .play("alice", base, MediaSel::Video, Interval::whole(d))
+            .unwrap();
+        let total_units: u64 = schedule
+            .items
+            .iter()
+            .filter(|i| i.medium == Medium::Video)
+            .map(|i| i.units)
+            .sum();
+        assert_eq!(total_units, 180); // 6 s * 30 fps
+    }
+
+    #[test]
+    fn substring_and_concat_create_new_ropes() {
+        let mut m = mrs();
+        let base = record_av(&mut m, 4, 4);
+        let sub = m
+            .substring(
+                "alice",
+                base,
+                MediaSel::Both,
+                Interval::new(Nanos::from_secs(1), Nanos::from_secs(2)),
+            )
+            .unwrap();
+        assert_ne!(sub, base);
+        let sub_dur = m.rope(sub).unwrap().duration();
+        assert!((sub_dur.as_secs_f64() - 2.0).abs() < 0.1);
+        let joined = m.concat("alice", base, sub).unwrap();
+        let joined_dur = m.rope(joined).unwrap().duration();
+        assert!((joined_dur.as_secs_f64() - 6.0).abs() < 0.2);
+        // All three ropes share the same underlying strands.
+        let base_strands = m.rope(base).unwrap().strand_ids();
+        let sub_strands = m.rope(sub).unwrap().strand_ids();
+        assert!(sub_strands.is_subset(&base_strands));
+    }
+
+    #[test]
+    fn gc_collects_only_unreferenced() {
+        let mut m = mrs();
+        let base = record_av(&mut m, 2, 6);
+        let sub = m
+            .substring(
+                "alice",
+                base,
+                MediaSel::Both,
+                Interval::new(Nanos::ZERO, Nanos::from_secs(1)),
+            )
+            .unwrap();
+        // Nothing collectable: both ropes reference the strands.
+        assert!(m.gc().is_empty());
+        m.delete_rope("alice", base).unwrap();
+        // Still referenced by the substring.
+        assert!(m.gc().is_empty());
+        m.delete_rope("alice", sub).unwrap();
+        let collected = m.gc();
+        assert!(!collected.is_empty());
+        // Space was reclaimed.
+        for id in collected {
+            assert!(matches!(
+                m.msm().strand(id),
+                Err(FsError::UnknownStrand(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn triggers_attach_and_validate() {
+        let mut m = mrs();
+        let base = record_av(&mut m, 2, 8);
+        m.add_trigger("alice", base, Nanos::from_secs(1), "chapter 1")
+            .unwrap();
+        assert!(matches!(
+            m.add_trigger("alice", base, Nanos::from_secs(100), "late"),
+            Err(FsError::BadInterval { .. })
+        ));
+        assert_eq!(m.rope(base).unwrap().triggers.len(), 1);
+    }
+
+    #[test]
+    fn play_mode_fast_forward_no_skip() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 4, 12);
+        let dur = m.rope(rope_id).unwrap().duration();
+        let rope = m.rope(rope_id).unwrap().clone();
+        let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(dur)).unwrap();
+        let ff = apply_play_mode(&base, 2.0, false);
+        assert_eq!(ff.items.len(), base.items.len(), "no-skip keeps all blocks");
+        // Deadlines compress by 2.
+        for (a, b) in base.items.iter().zip(&ff.items) {
+            let ratio = a.at.as_secs_f64() / b.at.as_secs_f64().max(1e-12);
+            if a.at > Nanos::ZERO {
+                assert!((ratio - 2.0).abs() < 1e-6);
+            }
+        }
+        assert_eq!(ff.duration, Nanos::from_secs_f64(dur.as_secs_f64() / 2.0));
+    }
+
+    #[test]
+    fn play_mode_fast_forward_with_skip() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 4, 13);
+        let dur = m.rope(rope_id).unwrap().duration();
+        let rope = m.rope(rope_id).unwrap().clone();
+        let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(dur)).unwrap();
+        let ff = apply_play_mode(&base, 2.0, true);
+        // Every other block dropped.
+        assert_eq!(ff.items.len(), base.items.len().div_ceil(2));
+        // Kept blocks are the even ordinals.
+        assert_eq!(ff.items[0].block, 0);
+        assert_eq!(ff.items[1].block, 2);
+        // Fetch rate unchanged: deadline spacing equals one block
+        // duration.
+        let spacing = ff.items[1].at - ff.items[0].at;
+        assert_eq!(spacing, Nanos::from_millis(100));
+    }
+
+    #[test]
+    fn play_mode_slow_motion_stretches() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 2, 14);
+        let dur = m.rope(rope_id).unwrap().duration();
+        let rope = m.rope(rope_id).unwrap().clone();
+        let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(dur)).unwrap();
+        let slow = apply_play_mode(&base, 0.5, false);
+        assert_eq!(slow.items.len(), base.items.len());
+        assert_eq!(
+            slow.duration,
+            Nanos::from_secs_f64(dur.as_secs_f64() * 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn play_mode_rejects_bad_speed() {
+        let s = PlaySchedule::default();
+        apply_play_mode(&s, 0.0, false);
+    }
+
+    #[test]
+    fn set_access_requires_edit_rights() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 2, 15);
+        assert!(matches!(
+            m.set_access(
+                "mallory",
+                rope_id,
+                crate::rope::AccessList::everyone(),
+                crate::rope::AccessList::everyone()
+            ),
+            Err(FsError::AccessDenied { .. })
+        ));
+        m.set_access(
+            "alice",
+            rope_id,
+            crate::rope::AccessList::only(&["bob"]),
+            crate::rope::AccessList::only(&["bob"]),
+        )
+        .unwrap();
+        // Bob can now edit (e.g. grant again).
+        m.set_access(
+            "bob",
+            rope_id,
+            crate::rope::AccessList::everyone(),
+            crate::rope::AccessList::only(&["bob"]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn reorganize_strand_rebinds_ropes_and_collects_old() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 2, 16);
+        let old = m.rope(rope_id).unwrap().segments[0].video.unwrap().strand;
+        let new = m.reorganize_strand(old, Instant::EPOCH).unwrap();
+        assert_ne!(old, new);
+        let rope = m.rope(rope_id).unwrap().clone();
+        assert_eq!(rope.segments[0].video.unwrap().strand, new);
+        // The old strand was garbage-collected.
+        assert!(matches!(m.msm().strand(old), Err(FsError::UnknownStrand(_))));
+        // Content identical block for block.
+        let s = m.msm().strand(new).unwrap();
+        assert_eq!(s.block_count(), 20);
+        // Still playable.
+        let dur = rope.duration();
+        let (_req, sched) = m
+            .play("alice", rope_id, MediaSel::Video, Interval::whole(dur))
+            .unwrap();
+        assert_eq!(sched.items.len(), 20);
+    }
+
+    #[test]
+    fn schedule_carries_shifted_triggers() {
+        let mut m = mrs();
+        let rope_id = record_av(&mut m, 4, 17);
+        m.add_trigger("alice", rope_id, Nanos::from_secs(1), "one")
+            .unwrap();
+        m.add_trigger("alice", rope_id, Nanos::from_secs(3), "three")
+            .unwrap();
+        let rope = m.rope(rope_id).unwrap().clone();
+        let sched = compile_schedule(
+            &rope,
+            MediaSel::Video,
+            Interval::new(Nanos::from_millis(500), Nanos::from_secs(2)),
+        )
+        .unwrap();
+        // Only the 1 s trigger lies in [0.5 s, 2.5 s); it shifts to 0.5 s.
+        assert_eq!(sched.triggers.len(), 1);
+        assert_eq!(sched.triggers[0].text, "one");
+        assert_eq!(sched.triggers[0].at, Nanos::from_millis(500));
+        // Play modes rescale trigger times with the media.
+        let ff = apply_play_mode(&sched, 2.0, false);
+        assert_eq!(ff.triggers[0].at, Nanos::from_millis(250));
+    }
+
+    #[test]
+    fn record_rejected_when_server_full() {
+        let mut m = mrs();
+        // Saturate the server with recordings that are never stopped.
+        let mut live = Vec::new();
+        loop {
+            match m.record(
+                "alice",
+                RecordOpts {
+                    video: Some(video_opts()),
+                    audio: None,
+                },
+            ) {
+                Ok(req) => live.push(req),
+                Err(FsError::AdmissionRejected { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(live.len() < 200, "admission never rejected");
+        }
+        assert!(!live.is_empty());
+    }
+}

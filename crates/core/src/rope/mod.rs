@@ -1,0 +1,428 @@
+//! Multimedia ropes (Fig. 8): multi-strand objects tied together by
+//! synchronization information.
+//!
+//! A rope is a sequence of [`Segment`]s. Each segment pairs (up to) one
+//! video and one audio [`StrandRef`] of equal duration, plus the
+//! *block-level correspondence* used to line the media up at segment
+//! boundaries; within a segment, playing each strand at its recording
+//! rate keeps the media simultaneous (§4). [`Trigger`]s attach text to
+//! rope-relative instants (the paper's trigger information synchronizes
+//! text with audio/video blocks).
+//!
+//! Ropes never contain media data: they reference intervals of immutable
+//! strands, so all editing (see [`crate::rope::edit`]) is pointer
+//! manipulation and many ropes may share one strand.
+
+pub mod edit;
+pub mod scattering;
+
+use crate::types::{RopeId, StrandId};
+use std::collections::BTreeSet;
+use strandfs_units::Nanos;
+
+/// A reference to an interval of an immutable strand.
+///
+/// Rate and granularity are denormalized from the strand's metadata (as
+/// in Fig. 8) so a rope is self-describing for scheduling without strand
+/// lookups.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrandRef {
+    /// The referenced strand.
+    pub strand: StrandId,
+    /// First media unit of the interval within the strand.
+    pub start_unit: u64,
+    /// Length of the interval in media units.
+    pub len_units: u64,
+    /// Units per second (copied from the strand's metadata).
+    pub unit_rate: f64,
+    /// Units per media block (copied from the strand's metadata).
+    pub granularity: u64,
+}
+
+impl StrandRef {
+    /// Playback duration of the referenced interval.
+    pub fn duration(&self) -> Nanos {
+        Nanos::from_secs_f64(self.len_units as f64 / self.unit_rate)
+    }
+
+    /// One past the last unit referenced.
+    pub fn end_unit(&self) -> u64 {
+        self.start_unit + self.len_units
+    }
+
+    /// The strand block containing the first referenced unit — the
+    /// block-level correspondence anchor of Fig. 8.
+    pub fn start_block(&self) -> u64 {
+        self.start_unit / self.granularity
+    }
+
+    /// The strand block containing the last referenced unit.
+    pub fn end_block(&self) -> u64 {
+        if self.len_units == 0 {
+            self.start_block()
+        } else {
+            (self.end_unit() - 1) / self.granularity
+        }
+    }
+
+    /// Split at a time offset into the interval: the left part carries
+    /// `round(offset · rate)` units (clamped to the interval), the right
+    /// part the rest. `left + right` exactly covers `self`.
+    pub fn split_at(&self, offset: Nanos) -> (StrandRef, StrandRef) {
+        let units = (offset.as_secs_f64() * self.unit_rate).round() as u64;
+        let left_units = units.min(self.len_units);
+        let left = StrandRef {
+            len_units: left_units,
+            ..*self
+        };
+        let right = StrandRef {
+            start_unit: self.start_unit + left_units,
+            len_units: self.len_units - left_units,
+            ..*self
+        };
+        (left, right)
+    }
+}
+
+/// Block-level correspondence at a segment start: which block of each
+/// strand plays first, used to synchronize the start of playback of all
+/// media at strand-interval boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Correspondence {
+    /// Video strand block number at segment start, if video is present.
+    pub video_block: Option<u64>,
+    /// Audio strand block number at segment start, if audio is present.
+    pub audio_block: Option<u64>,
+}
+
+/// One rope segment: aligned intervals of up to one video and one audio
+/// strand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// The video interval, if the segment has video.
+    pub video: Option<StrandRef>,
+    /// The audio interval, if the segment has audio.
+    pub audio: Option<StrandRef>,
+    /// The segment's duration in rope time.
+    pub duration: Nanos,
+    /// Block-level correspondence at the segment start.
+    pub correspondence: Correspondence,
+}
+
+impl Segment {
+    /// Build a segment from media refs, deriving duration (the longer of
+    /// the two — they should agree to within a unit) and correspondence.
+    pub fn new(video: Option<StrandRef>, audio: Option<StrandRef>) -> Segment {
+        let duration = [video.as_ref(), audio.as_ref()]
+            .into_iter()
+            .flatten()
+            .map(StrandRef::duration)
+            .fold(Nanos::ZERO, Nanos::max);
+        Segment {
+            correspondence: Correspondence {
+                video_block: video.as_ref().map(StrandRef::start_block),
+                audio_block: audio.as_ref().map(StrandRef::start_block),
+            },
+            video,
+            audio,
+            duration,
+        }
+    }
+
+    /// A segment with an explicit duration (for media-absent spans).
+    pub fn with_duration(
+        video: Option<StrandRef>,
+        audio: Option<StrandRef>,
+        duration: Nanos,
+    ) -> Segment {
+        let mut s = Segment::new(video, audio);
+        s.duration = duration;
+        s
+    }
+
+    /// True if the segment references no media at all (a pure gap).
+    pub fn is_empty(&self) -> bool {
+        self.video.is_none() && self.audio.is_none()
+    }
+}
+
+/// A text trigger at a rope-relative instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    /// When the text should appear, relative to rope start.
+    pub at: Nanos,
+    /// The text to synchronize with the media.
+    pub text: String,
+}
+
+/// An access-control list: explicit principals, with `"*"` meaning
+/// everyone. The creator is always allowed.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AccessList(pub Vec<String>);
+
+impl AccessList {
+    /// A list allowing everyone.
+    pub fn everyone() -> Self {
+        AccessList(vec!["*".to_string()])
+    }
+
+    /// A list allowing exactly these principals (plus the creator).
+    pub fn only(users: &[&str]) -> Self {
+        AccessList(users.iter().map(|u| u.to_string()).collect())
+    }
+
+    /// True if `user` is on the list.
+    pub fn allows(&self, user: &str) -> bool {
+        self.0.iter().any(|u| u == "*" || u == user)
+    }
+}
+
+/// A multimedia rope: creator, access rights, synchronized segments and
+/// triggers (Fig. 8).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rope {
+    /// The rope's identity.
+    pub id: RopeId,
+    /// Who created the rope (always has full access).
+    pub creator: String,
+    /// Who may `PLAY` the rope.
+    pub play_access: AccessList,
+    /// Who may edit the rope.
+    pub edit_access: AccessList,
+    /// The synchronized segments, in playback order.
+    pub segments: Vec<Segment>,
+    /// Text triggers, ordered by time.
+    pub triggers: Vec<Trigger>,
+}
+
+impl Rope {
+    /// An empty rope owned by `creator` with open access.
+    pub fn new(id: RopeId, creator: &str) -> Rope {
+        Rope {
+            id,
+            creator: creator.to_string(),
+            play_access: AccessList::everyone(),
+            edit_access: AccessList::only(&[]),
+            segments: Vec::new(),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Total playback duration.
+    pub fn duration(&self) -> Nanos {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// True if the rope has a video component anywhere.
+    pub fn has_video(&self) -> bool {
+        self.segments.iter().any(|s| s.video.is_some())
+    }
+
+    /// True if the rope has an audio component anywhere.
+    pub fn has_audio(&self) -> bool {
+        self.segments.iter().any(|s| s.audio.is_some())
+    }
+
+    /// All strands the rope references (the interest set for GC).
+    pub fn strand_ids(&self) -> BTreeSet<StrandId> {
+        let mut out = BTreeSet::new();
+        for s in &self.segments {
+            if let Some(v) = &s.video {
+                out.insert(v.strand);
+            }
+            if let Some(a) = &s.audio {
+                out.insert(a.strand);
+            }
+        }
+        out
+    }
+
+    /// True if `user` may play the rope.
+    pub fn can_play(&self, user: &str) -> bool {
+        user == self.creator || self.play_access.allows(user)
+    }
+
+    /// True if `user` may edit the rope.
+    pub fn can_edit(&self, user: &str) -> bool {
+        user == self.creator || self.edit_access.allows(user)
+    }
+
+    /// The segment containing rope time `at`, with the offset into it.
+    /// `None` at or past the end of the rope.
+    pub fn segment_at(&self, at: Nanos) -> Option<(usize, Nanos)> {
+        let mut t = Nanos::ZERO;
+        for (i, s) in self.segments.iter().enumerate() {
+            if at < t + s.duration {
+                return Some((i, at - t));
+            }
+            t += s.duration;
+        }
+        None
+    }
+
+    /// Drop zero-duration segments and merge nothing else (segments with
+    /// distinct strands must stay distinct).
+    pub fn normalized(mut self) -> Rope {
+        self.segments.retain(|s| !s.duration.is_zero());
+        self
+    }
+
+    /// Internal consistency: per-segment media durations agree with the
+    /// segment duration to within one media unit; triggers lie within
+    /// the rope. Used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, s) in self.segments.iter().enumerate() {
+            for (name, r) in [("video", &s.video), ("audio", &s.audio)] {
+                if let Some(r) = r {
+                    let d = r.duration();
+                    let unit = Nanos::from_secs_f64(1.0 / r.unit_rate);
+                    let delta = d.max(s.duration) - d.min(s.duration);
+                    if delta > unit + unit {
+                        return Err(format!(
+                            "segment {i} {name} duration {d} vs segment {} (unit {unit})",
+                            s.duration
+                        ));
+                    }
+                    if r.len_units == 0 {
+                        return Err(format!("segment {i} {name} is empty"));
+                    }
+                }
+            }
+        }
+        let total = self.duration();
+        for t in &self.triggers {
+            if t.at > total {
+                return Err(format!("trigger at {} beyond rope end {total}", t.at));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn vref(strand: u64, start: u64, len: u64) -> StrandRef {
+        StrandRef {
+            strand: StrandId::from_raw(strand),
+            start_unit: start,
+            len_units: len,
+            unit_rate: 30.0,
+            granularity: 3,
+        }
+    }
+
+    pub(crate) fn aref(strand: u64, start: u64, len: u64) -> StrandRef {
+        StrandRef {
+            strand: StrandId::from_raw(strand),
+            start_unit: start,
+            len_units: len,
+            unit_rate: 8_000.0,
+            granularity: 800,
+        }
+    }
+
+    #[test]
+    fn strand_ref_durations_and_blocks() {
+        let r = vref(1, 6, 30); // 1 s of NTSC from unit 6
+        assert_eq!(r.duration(), Nanos::from_secs(1));
+        assert_eq!(r.start_block(), 2);
+        assert_eq!(r.end_block(), 11); // unit 35 / 3
+        assert_eq!(r.end_unit(), 36);
+    }
+
+    #[test]
+    fn strand_ref_split_exact() {
+        let r = vref(1, 0, 30);
+        let (l, rt) = r.split_at(Nanos::from_millis(400));
+        assert_eq!(l.len_units, 12);
+        assert_eq!(rt.start_unit, 12);
+        assert_eq!(rt.len_units, 18);
+        // Degenerate splits.
+        let (l0, r0) = r.split_at(Nanos::ZERO);
+        assert_eq!(l0.len_units, 0);
+        assert_eq!(r0.len_units, 30);
+        let (l1, r1) = r.split_at(Nanos::from_secs(5));
+        assert_eq!(l1.len_units, 30);
+        assert_eq!(r1.len_units, 0);
+    }
+
+    #[test]
+    fn segment_derives_duration_and_correspondence() {
+        let s = Segment::new(Some(vref(1, 6, 30)), Some(aref(2, 1600, 8000)));
+        assert_eq!(s.duration, Nanos::from_secs(1));
+        assert_eq!(s.correspondence.video_block, Some(2));
+        assert_eq!(s.correspondence.audio_block, Some(2));
+        let gap = Segment::with_duration(None, None, Nanos::from_secs(2));
+        assert!(gap.is_empty());
+        assert_eq!(gap.duration, Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn rope_duration_and_media_presence() {
+        let mut rope = Rope::new(RopeId::from_raw(1), "alice");
+        rope.segments
+            .push(Segment::new(Some(vref(1, 0, 30)), Some(aref(2, 0, 8000))));
+        rope.segments.push(Segment::new(Some(vref(3, 0, 60)), None));
+        assert_eq!(rope.duration(), Nanos::from_secs(3));
+        assert!(rope.has_video());
+        assert!(rope.has_audio());
+        let ids: Vec<u64> = rope.strand_ids().iter().map(|s| s.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        rope.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn segment_lookup_by_time() {
+        let mut rope = Rope::new(RopeId::from_raw(1), "alice");
+        rope.segments.push(Segment::new(Some(vref(1, 0, 30)), None));
+        rope.segments.push(Segment::new(Some(vref(2, 0, 30)), None));
+        assert_eq!(rope.segment_at(Nanos::ZERO), Some((0, Nanos::ZERO)));
+        assert_eq!(
+            rope.segment_at(Nanos::from_millis(1500)),
+            Some((1, Nanos::from_millis(500)))
+        );
+        assert_eq!(rope.segment_at(Nanos::from_secs(2)), None);
+    }
+
+    #[test]
+    fn access_control() {
+        let mut rope = Rope::new(RopeId::from_raw(1), "alice");
+        rope.play_access = AccessList::only(&["bob"]);
+        rope.edit_access = AccessList::only(&[]);
+        assert!(rope.can_play("alice")); // creator
+        assert!(rope.can_play("bob"));
+        assert!(!rope.can_play("carol"));
+        assert!(rope.can_edit("alice"));
+        assert!(!rope.can_edit("bob"));
+        assert!(AccessList::everyone().allows("anyone"));
+    }
+
+    #[test]
+    fn invariant_violations_detected() {
+        let mut rope = Rope::new(RopeId::from_raw(1), "alice");
+        let mut seg = Segment::new(Some(vref(1, 0, 30)), None);
+        seg.duration = Nanos::from_secs(5); // inconsistent
+        rope.segments.push(seg);
+        assert!(rope.check_invariants().is_err());
+
+        let mut rope2 = Rope::new(RopeId::from_raw(2), "alice");
+        rope2.segments.push(Segment::new(Some(vref(1, 0, 30)), None));
+        rope2.triggers.push(Trigger {
+            at: Nanos::from_secs(99),
+            text: "late".into(),
+        });
+        assert!(rope2.check_invariants().is_err());
+    }
+
+    #[test]
+    fn normalized_drops_empty_segments() {
+        let mut rope = Rope::new(RopeId::from_raw(1), "alice");
+        rope.segments
+            .push(Segment::with_duration(None, None, Nanos::ZERO));
+        rope.segments.push(Segment::new(Some(vref(1, 0, 30)), None));
+        let n = rope.normalized();
+        assert_eq!(n.segments.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Construct from a raw value (normally produced by the
+            /// owning table's id counter).
+            #[inline]
+            pub const fn from_raw(v: u64) -> Self {
+                $name(v)
+            }
+
+            /// The raw value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Unique identifier of an immutable media strand.
+    StrandId,
+    "strand#"
+);
+id_type!(
+    /// Unique identifier of a multimedia rope.
+    RopeId,
+    "rope#"
+);
+id_type!(
+    /// Identifier of an active `RECORD` or `PLAY` request.
+    RequestId,
+    "req#"
+);
+
+/// Index of a media block within a strand (0-based).
+pub type BlockNo = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let s = StrandId::from_raw(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(s.to_string(), "strand#7");
+        assert_eq!(format!("{s:?}"), "strand#7");
+        assert_eq!(RopeId::from_raw(1).to_string(), "rope#1");
+        assert_eq!(RequestId::from_raw(2).to_string(), "req#2");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(StrandId::from_raw(1) < StrandId::from_raw(2));
+        assert_eq!(StrandId::from_raw(3), StrandId::from_raw(3));
+    }
+}

@@ -1,0 +1,401 @@
+//! The simulated disk: a single actuator, a spinning platter, and a sparse
+//! sector store.
+
+use crate::geometry::{DiskGeometry, Extent, Lba};
+use crate::seek::SeekModel;
+use crate::trace::{DiskStats, DiskTrace};
+use std::collections::HashMap;
+use strandfs_units::{Instant, Nanos, Seconds};
+
+/// Whether an access reads or writes the medium.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Transfer from medium to host.
+    Read,
+    /// Transfer from host to medium.
+    Write,
+}
+
+/// The fully-decomposed timing of one disk operation.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskOp {
+    /// The extent accessed.
+    pub extent: Extent,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// When the operation was issued.
+    pub issued: Instant,
+    /// Arm movement time.
+    pub seek: Nanos,
+    /// Rotational delay waiting for the first sector.
+    pub rotation: Nanos,
+    /// Media transfer time (including head/track switches).
+    pub transfer: Nanos,
+    /// Completion instant (`issued + seek + rotation + transfer`).
+    pub completed: Instant,
+}
+
+impl DiskOp {
+    /// Total service time of the operation.
+    #[inline]
+    pub fn service_time(&self) -> Nanos {
+        self.completed - self.issued
+    }
+
+    /// Positioning overhead (seek + rotation), the paper's per-block
+    /// "scattering" cost.
+    #[inline]
+    pub fn positioning(&self) -> Nanos {
+        self.seek + self.rotation
+    }
+}
+
+/// A simulated disk drive.
+///
+/// The drive is deterministic: given the same sequence of `(issue time,
+/// extent)` accesses it produces the same service times. The platter's
+/// angular position is derived from the issue time (`rpm` revolutions per
+/// minute since t=0), the arm position is the cylinder of the last access,
+/// and transfer crosses track/cylinder boundaries paying head-switch and
+/// track-to-track seek costs.
+///
+/// Sector payloads are stored sparsely; unwritten sectors read back as
+/// zeroes, like a freshly-formatted drive.
+#[derive(Debug)]
+pub struct SimDisk {
+    geometry: DiskGeometry,
+    seek_model: SeekModel,
+    head_cylinder: u64,
+    store: HashMap<Lba, Box<[u8]>>,
+    stats: DiskStats,
+    trace: Option<DiskTrace>,
+}
+
+impl SimDisk {
+    /// A new disk with the head parked at cylinder 0.
+    pub fn new(geometry: DiskGeometry, seek_model: SeekModel) -> Self {
+        SimDisk {
+            geometry,
+            seek_model,
+            head_cylinder: 0,
+            store: HashMap::new(),
+            stats: DiskStats::default(),
+            trace: None,
+        }
+    }
+
+    /// The disk's geometry.
+    #[inline]
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// The disk's seek model.
+    #[inline]
+    pub fn seek_model(&self) -> &SeekModel {
+        &self.seek_model
+    }
+
+    /// The cylinder the arm currently rests on.
+    #[inline]
+    pub fn head_cylinder(&self) -> u64 {
+        self.head_cylinder
+    }
+
+    /// Cumulative operation statistics.
+    #[inline]
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Begin recording a per-operation trace (replacing any prior one).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(DiskTrace::new());
+    }
+
+    /// Stop tracing and return the recorded trace, if any.
+    pub fn take_trace(&mut self) -> Option<DiskTrace> {
+        self.trace.take()
+    }
+
+    /// Worst-case positioning time: full-stroke seek plus one full
+    /// rotation — the paper's `l_seek_max` (seek *and* latency maximum).
+    pub fn max_positioning_time(&self) -> Seconds {
+        self.seek_model.max_seek(self.geometry.cylinders) + self.geometry.rotation_time()
+    }
+
+    /// Expected positioning time for a move of `cylinder_distance`
+    /// cylinders: seek plus average (half-rotation) latency. This is the
+    /// deterministic gap-time estimate the allocators and the analytic
+    /// model share.
+    pub fn positioning_time(&self, cylinder_distance: u64) -> Seconds {
+        self.seek_model.seek_time(cylinder_distance) + self.geometry.rotation_time() / 2.0
+    }
+
+    /// Expected gap time between two extents: positioning from the end of
+    /// `from` to the start of `to`.
+    pub fn gap_time(&self, from: Extent, to: Extent) -> Seconds {
+        let d = self
+            .geometry
+            .cylinder_distance(from.end().saturating_sub(1), to.start);
+        self.positioning_time(d)
+    }
+
+    /// Perform a timed access of `extent`, returning its decomposed
+    /// timing. Panics if the extent is off-device (a file-system bug, not
+    /// an I/O error — real drivers validate requests before issue).
+    pub fn access(&mut self, now: Instant, extent: Extent, kind: AccessKind) -> DiskOp {
+        assert!(
+            self.geometry.extent_valid(extent),
+            "access beyond device: {extent:?} on {} sectors",
+            self.geometry.total_sectors()
+        );
+
+        let target_cyl = self.geometry.cylinder_of(extent.start);
+        let distance = target_cyl.abs_diff(self.head_cylinder);
+        let seek = self.seek_model.seek_time(distance).to_nanos();
+
+        // Rotational delay: the platter angle is a pure function of time.
+        let at_cylinder = now + seek;
+        let rotation = self.rotational_delay(at_cylinder, extent.start);
+
+        let transfer = self.transfer_time(extent);
+
+        let completed = at_cylinder + rotation + transfer;
+        self.head_cylinder = self.geometry.cylinder_of(extent.end() - 1);
+
+        let op = DiskOp {
+            extent,
+            kind,
+            issued: now,
+            seek,
+            rotation,
+            transfer,
+            completed,
+        };
+        self.stats.record(&op);
+        if let Some(trace) = &mut self.trace {
+            trace.push(op);
+        }
+        op
+    }
+
+    /// Rotational wait from `at` until sector `lba` first passes under the
+    /// head.
+    ///
+    /// Nanosecond quantization can make a head that is exactly on the
+    /// target sector appear a few nanoseconds past it, turning a zero wait
+    /// into a full revolution; waits within `ROT_EPSILON_NS` of a full
+    /// revolution are therefore treated as zero.
+    fn rotational_delay(&self, at: Instant, lba: Lba) -> Nanos {
+        const ROT_EPSILON_NS: u64 = 256;
+        let rot_ns = self.geometry.rotation_time().to_nanos().as_nanos();
+        if rot_ns == 0 {
+            return Nanos::ZERO;
+        }
+        let spt = self.geometry.sectors_per_track;
+        let target_angle_ns =
+            (self.geometry.sector_of(lba) as f64 / spt as f64 * rot_ns as f64) as u64;
+        let now_angle_ns = at.as_nanos() % rot_ns;
+        let wait = if target_angle_ns >= now_angle_ns {
+            target_angle_ns - now_angle_ns
+        } else {
+            rot_ns - (now_angle_ns - target_angle_ns)
+        };
+        if wait + ROT_EPSILON_NS >= rot_ns {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(wait)
+        }
+    }
+
+    /// Media transfer time for `extent`, paying a head switch at every
+    /// track boundary and a track-to-track seek at every cylinder boundary.
+    fn transfer_time(&self, extent: Extent) -> Nanos {
+        let g = &self.geometry;
+        let sector = g.sector_time().to_nanos();
+        let mut total = sector.mul_u64(extent.sectors);
+        // Boundary crossings within the run.
+        let first_track = extent.start / g.sectors_per_track;
+        let last_track = (extent.end() - 1) / g.sectors_per_track;
+        let track_switches = last_track - first_track;
+        let first_cyl = g.cylinder_of(extent.start);
+        let last_cyl = g.cylinder_of(extent.end() - 1);
+        let cyl_switches = last_cyl - first_cyl;
+        total += g.head_switch.to_nanos().mul_u64(track_switches);
+        total += self.seek_model.seek_time(1).to_nanos().mul_u64(cyl_switches);
+        total
+    }
+
+    /// Write `data` into `extent` (data length must equal the extent's
+    /// byte size). Only the payload store is touched; use [`Self::access`]
+    /// for timing.
+    pub fn store_data(&mut self, extent: Extent, data: &[u8]) {
+        let ss = self.geometry.sector_size.get() as usize;
+        assert_eq!(
+            data.len(),
+            ss * extent.sectors as usize,
+            "payload length must match extent size"
+        );
+        for (i, chunk) in data.chunks(ss).enumerate() {
+            self.store
+                .insert(extent.start + i as u64, chunk.to_vec().into_boxed_slice());
+        }
+    }
+
+    /// Read the payload of `extent`; unwritten sectors come back zeroed.
+    pub fn fetch_data(&self, extent: Extent) -> Vec<u8> {
+        let ss = self.geometry.sector_size.get() as usize;
+        let mut out = vec![0u8; ss * extent.sectors as usize];
+        for i in 0..extent.sectors {
+            if let Some(sector) = self.store.get(&(extent.start + i)) {
+                let off = i as usize * ss;
+                out[off..off + ss].copy_from_slice(sector);
+            }
+        }
+        out
+    }
+
+    /// Drop the payload of `extent` (models discard; timing-neutral).
+    pub fn discard_data(&mut self, extent: Extent) {
+        for i in 0..extent.sectors {
+            self.store.remove(&(extent.start + i));
+        }
+    }
+
+    /// Number of sectors currently holding written payloads.
+    pub fn sectors_written(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991())
+    }
+
+    #[test]
+    fn access_timing_decomposes() {
+        let mut d = disk();
+        let op = d.access(Instant::EPOCH, Extent::new(0, 4), AccessKind::Read);
+        assert_eq!(op.seek, Nanos::ZERO, "head starts at cylinder 0");
+        assert_eq!(
+            op.completed,
+            Instant::EPOCH + op.seek + op.rotation + op.transfer
+        );
+        assert_eq!(op.service_time(), op.seek + op.rotation + op.transfer);
+        // 4 sectors at tiny geometry: 4 * (1/60/16) s, up to per-sector
+        // nanosecond rounding.
+        let expect = Seconds::new(4.0 / 60.0 / 16.0).to_nanos();
+        let delta = expect.max(op.transfer) - expect.min(op.transfer);
+        assert!(delta < Nanos::from_nanos(16), "delta = {delta}");
+    }
+
+    #[test]
+    fn seek_charged_for_cylinder_moves() {
+        let mut d = disk();
+        let far = d.geometry().sectors_per_cylinder() * 40; // cylinder 40
+        let op = d.access(Instant::EPOCH, Extent::new(far, 1), AccessKind::Read);
+        assert!(op.seek > Nanos::ZERO);
+        assert_eq!(d.head_cylinder(), 40);
+        // Returning to cylinder 40 is then free of seek.
+        let op2 = d.access(op.completed, Extent::new(far + 1, 1), AccessKind::Read);
+        assert_eq!(op2.seek, Nanos::ZERO);
+    }
+
+    #[test]
+    fn rotation_bounded_by_one_revolution() {
+        let mut d = disk();
+        let rev = d.geometry().rotation_time().to_nanos();
+        let mut t = Instant::EPOCH;
+        for i in 0..50 {
+            let lba = (i * 7) % d.geometry().total_sectors();
+            let op = d.access(t, Extent::new(lba, 1), AccessKind::Read);
+            assert!(op.rotation < rev, "rotation {} >= rev {}", op.rotation, rev);
+            t = op.completed;
+        }
+    }
+
+    #[test]
+    fn rotation_is_time_dependent_but_deterministic() {
+        let mut d1 = disk();
+        let mut d2 = disk();
+        let e = Extent::new(5, 1);
+        let a = d1.access(Instant::EPOCH + Nanos::from_micros(123), e, AccessKind::Read);
+        let b = d2.access(Instant::EPOCH + Nanos::from_micros(123), e, AccessKind::Read);
+        assert_eq!(a.rotation, b.rotation);
+        assert_eq!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn sequential_same_track_reads_have_zero_rotation_gap() {
+        // After reading sector s, sector s+1 is immediately under the head.
+        let mut d = disk();
+        let op1 = d.access(Instant::EPOCH, Extent::new(0, 1), AccessKind::Read);
+        let op2 = d.access(op1.completed, Extent::new(1, 1), AccessKind::Read);
+        assert_eq!(op2.rotation, Nanos::ZERO);
+        assert_eq!(op2.seek, Nanos::ZERO);
+    }
+
+    #[test]
+    fn transfer_pays_track_and_cylinder_switches() {
+        let mut d = disk();
+        let g = *d.geometry();
+        // Span one full cylinder boundary: start on last track of cyl 0.
+        let start = g.sectors_per_cylinder() - 2;
+        let op = d.access(Instant::EPOCH, Extent::new(start, 4), AccessKind::Read);
+        let plain = g.sector_time().to_nanos().mul_u64(4);
+        assert!(op.transfer > plain, "boundary crossing must cost extra");
+    }
+
+    #[test]
+    #[should_panic(expected = "access beyond device")]
+    fn off_device_access_panics() {
+        let mut d = disk();
+        let total = d.geometry().total_sectors();
+        d.access(Instant::EPOCH, Extent::new(total - 1, 2), AccessKind::Read);
+    }
+
+    #[test]
+    fn payload_round_trip_and_zero_fill() {
+        let mut d = disk();
+        let e = Extent::new(10, 2);
+        let data = vec![0xAB; 1024];
+        d.store_data(e, &data);
+        assert_eq!(d.fetch_data(e), data);
+        // Unwritten sector reads back zeroed.
+        let z = d.fetch_data(Extent::new(12, 1));
+        assert!(z.iter().all(|&b| b == 0));
+        d.discard_data(e);
+        assert_eq!(d.sectors_written(), 0);
+        assert!(d.fetch_data(e).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = disk();
+        d.enable_trace();
+        let op1 = d.access(Instant::EPOCH, Extent::new(0, 2), AccessKind::Read);
+        let _ = d.access(op1.completed, Extent::new(100, 2), AccessKind::Write);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().sectors_transferred, 4);
+        let trace = d.take_trace().unwrap();
+        assert_eq!(trace.ops().len(), 2);
+    }
+
+    #[test]
+    fn gap_time_uses_cylinder_distance() {
+        let d = disk();
+        let g = *d.geometry();
+        let a = Extent::new(0, 2);
+        let near = Extent::new(4, 2);
+        let far = Extent::new(g.sectors_per_cylinder() * 50, 2);
+        assert!(d.gap_time(a, near) < d.gap_time(a, far));
+        // Worst case bounded by max positioning.
+        assert!(d.gap_time(a, far) <= d.max_positioning_time());
+    }
+}

@@ -1,0 +1,234 @@
+//! Seek-time models.
+
+use strandfs_units::Seconds;
+
+/// A model mapping cylinder distance to arm movement time.
+///
+/// Two shapes are provided. `Affine` is the textbook linear model; the
+/// hybrid square-root model reflects measured drives, where short seeks are
+/// dominated by acceleration (∝ √distance) and long seeks by coast time
+/// (∝ distance). Both are monotone non-decreasing in distance, which the
+/// constrained allocator relies on when it converts scattering bounds
+/// expressed in time into bounds expressed in sectors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SeekModel {
+    /// `settle + per_cylinder * distance`, zero at distance 0.
+    Affine {
+        /// Fixed head-settle time paid by any non-zero seek.
+        settle: Seconds,
+        /// Incremental time per cylinder travelled.
+        per_cylinder: Seconds,
+    },
+    /// `settle + accel * sqrt(d)` for `d < threshold`, then
+    /// `settle + accel * sqrt(threshold) + linear * (d - threshold)`.
+    HybridSqrt {
+        /// Fixed head-settle time paid by any non-zero seek.
+        settle: Seconds,
+        /// Coefficient of the √distance (acceleration-limited) regime.
+        accel: Seconds,
+        /// Coefficient of the linear (coast) regime.
+        linear: Seconds,
+        /// Distance (cylinders) where the regimes meet.
+        threshold: u64,
+    },
+}
+
+impl SeekModel {
+    /// A model calibrated to a 1991-class drive: ~4 ms settle, ~17 ms
+    /// average seek, ~30 ms full-stroke over ~1400 cylinders.
+    pub fn vintage_1991() -> Self {
+        SeekModel::HybridSqrt {
+            settle: Seconds::from_millis(3.0),
+            accel: Seconds::from_millis(0.5),
+            linear: Seconds::from_millis(0.012),
+            threshold: 400,
+        }
+    }
+
+    /// The paper's "projected future" drive: seek of the order of 10 ms
+    /// full-stroke.
+    pub fn projected_fast() -> Self {
+        SeekModel::HybridSqrt {
+            settle: Seconds::from_millis(1.0),
+            accel: Seconds::from_millis(0.15),
+            linear: Seconds::from_millis(0.002),
+            threshold: 500,
+        }
+    }
+
+    /// Seek time for a move of `distance` cylinders (0 for no move).
+    pub fn seek_time(&self, distance: u64) -> Seconds {
+        if distance == 0 {
+            return Seconds::ZERO;
+        }
+        match *self {
+            SeekModel::Affine {
+                settle,
+                per_cylinder,
+            } => settle + per_cylinder * distance as f64,
+            SeekModel::HybridSqrt {
+                settle,
+                accel,
+                linear,
+                threshold,
+            } => {
+                if distance <= threshold {
+                    settle + accel * (distance as f64).sqrt()
+                } else {
+                    settle + accel * (threshold as f64).sqrt() + linear * (distance - threshold) as f64
+                }
+            }
+        }
+    }
+
+    /// Full-stroke seek time for a disk with `cylinders` cylinders —
+    /// the paper's `l_seek_max` ingredient.
+    pub fn max_seek(&self, cylinders: u64) -> Seconds {
+        self.seek_time(cylinders.saturating_sub(1))
+    }
+
+    /// The largest cylinder distance whose seek time does not exceed
+    /// `budget`; `None` if even a 1-cylinder seek exceeds it.
+    ///
+    /// Used to translate a scattering upper bound (seconds) into a
+    /// placement upper bound (cylinders). Exploits monotonicity via
+    /// binary search.
+    pub fn max_distance_within(&self, budget: Seconds, cylinders: u64) -> Option<u64> {
+        if cylinders == 0 || self.seek_time(1) > budget {
+            return None;
+        }
+        let (mut lo, mut hi) = (1u64, cylinders.saturating_sub(1).max(1));
+        if self.seek_time(hi) <= budget {
+            return Some(hi);
+        }
+        // Invariant: seek_time(lo) <= budget < seek_time(hi).
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.seek_time(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// The smallest cylinder distance whose seek time is at least `floor`;
+    /// `None` if even a full-stroke seek is below it. Distance 0 is
+    /// returned when `floor` is zero or negative.
+    pub fn min_distance_reaching(&self, floor: Seconds, cylinders: u64) -> Option<u64> {
+        if floor.get() <= 0.0 {
+            return Some(0);
+        }
+        let max_d = cylinders.saturating_sub(1);
+        if max_d == 0 || self.seek_time(max_d) < floor {
+            return None;
+        }
+        let (mut lo, mut hi) = (0u64, max_d);
+        // Invariant: seek_time(lo) < floor <= seek_time(hi).
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.seek_time(mid) >= floor {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine() -> SeekModel {
+        SeekModel::Affine {
+            settle: Seconds::from_millis(2.0),
+            per_cylinder: Seconds::from_millis(0.01),
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(affine().seek_time(0), Seconds::ZERO);
+        assert_eq!(SeekModel::vintage_1991().seek_time(0), Seconds::ZERO);
+    }
+
+    #[test]
+    fn affine_values() {
+        let m = affine();
+        assert!((m.seek_time(1).get() - 0.00201).abs() < 1e-9);
+        assert!((m.seek_time(100).get() - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_non_decreasing() {
+        for m in [affine(), SeekModel::vintage_1991(), SeekModel::projected_fast()] {
+            let mut prev = Seconds::ZERO;
+            for d in 0..2_000 {
+                let t = m.seek_time(d);
+                assert!(t >= prev, "model {m:?} not monotone at {d}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn vintage_full_stroke_plausible() {
+        let m = SeekModel::vintage_1991();
+        let full = m.max_seek(1_412).get();
+        assert!(full > 0.020 && full < 0.040, "full stroke = {full}");
+    }
+
+    #[test]
+    fn max_distance_within_inverts_seek_time() {
+        let m = SeekModel::vintage_1991();
+        let cylinders = 1_412;
+        for budget_ms in [4.0, 8.0, 15.0, 25.0] {
+            let budget = Seconds::from_millis(budget_ms);
+            if let Some(d) = m.max_distance_within(budget, cylinders) {
+                assert!(m.seek_time(d) <= budget);
+                if d + 1 < cylinders {
+                    assert!(m.seek_time(d + 1) > budget);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_distance_within_edge_cases() {
+        let m = affine();
+        // Budget below any non-zero seek.
+        assert_eq!(m.max_distance_within(Seconds::from_millis(1.0), 100), None);
+        // Budget above full stroke.
+        assert_eq!(
+            m.max_distance_within(Seconds::new(10.0), 100),
+            Some(99)
+        );
+        assert_eq!(m.max_distance_within(Seconds::new(10.0), 0), None);
+    }
+
+    #[test]
+    fn min_distance_reaching_inverts_seek_time() {
+        let m = SeekModel::vintage_1991();
+        let cylinders = 1_412;
+        for floor_ms in [1.0, 5.0, 12.0] {
+            let floor = Seconds::from_millis(floor_ms);
+            if let Some(d) = m.min_distance_reaching(floor, cylinders) {
+                assert!(m.seek_time(d) >= floor, "d={d}");
+                if d > 0 {
+                    assert!(m.seek_time(d - 1) < floor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_reaching_edge_cases() {
+        let m = affine();
+        assert_eq!(m.min_distance_reaching(Seconds::ZERO, 100), Some(0));
+        // Floor above full stroke is unreachable.
+        assert_eq!(m.min_distance_reaching(Seconds::new(10.0), 100), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Workload generators: synthetic recordings for tests, examples and
+//! benches.
+//!
+//! Everything is seeded and deterministic so that experiments replay
+//! exactly.
+
+use crate::codec::VideoCodec;
+use crate::format::AudioFormat;
+use crate::silence::{BlockClass, SilenceDetector, TalkSpurtSource};
+use strandfs_units::Bits;
+
+/// A synthetic video recording: a sequence of compressed frame sizes.
+#[derive(Clone, Debug)]
+pub struct VideoRecording {
+    /// Compressed size of each frame, in order.
+    pub frame_bits: Vec<Bits>,
+    /// Frames per second.
+    pub fps: f64,
+}
+
+impl VideoRecording {
+    /// Record `seconds` of video through `codec`.
+    pub fn capture(codec: &VideoCodec, seconds: f64) -> Self {
+        let fps = codec.format().rate.get();
+        let frames = (fps * seconds).round() as u64;
+        VideoRecording {
+            frame_bits: (0..frames).map(|i| codec.frame_bits(i)).collect(),
+            fps,
+        }
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> u64 {
+        self.frame_bits.len() as u64
+    }
+
+    /// Total compressed size.
+    pub fn total_bits(&self) -> Bits {
+        self.frame_bits.iter().copied().sum()
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.frames() as f64 / self.fps
+    }
+}
+
+/// A synthetic audio recording, block-classified for silence.
+#[derive(Clone, Debug)]
+pub struct AudioRecording {
+    /// Raw PCM samples.
+    pub samples: Vec<i32>,
+    /// The audio format.
+    pub format: AudioFormat,
+    /// Per-block silence classification at `block_samples` granularity.
+    pub classes: Vec<BlockClass>,
+    /// Samples per classified block.
+    pub block_samples: usize,
+}
+
+impl AudioRecording {
+    /// Record `seconds` of telephone-quality talk-spurt audio, classified
+    /// into blocks of `block_samples` samples.
+    pub fn capture_telephone(seed: u64, seconds: f64, block_samples: usize) -> Self {
+        let format = AudioFormat::UVC_TELEPHONE;
+        let n = (format.sample_rate.get() * seconds) as usize;
+        let samples = TalkSpurtSource::telephone(seed).generate(n);
+        let classes = SilenceDetector::telephone().classify_stream(&samples, block_samples);
+        AudioRecording {
+            samples,
+            format,
+            classes,
+            block_samples,
+        }
+    }
+
+    /// Number of classified blocks.
+    pub fn blocks(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of blocks that must be stored (audible).
+    pub fn audible_blocks(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| **c == BlockClass::Audible)
+            .count()
+    }
+
+    /// Storage saved by silence elimination, as a fraction in `[0, 1]`.
+    pub fn savings(&self) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.audible_blocks() as f64 / self.blocks() as f64
+    }
+
+    /// The PCM payload of block `i`, empty for the trailing partial
+    /// region beyond the sample buffer.
+    pub fn block_samples_of(&self, i: usize) -> &[i32] {
+        let start = i * self.block_samples;
+        let end = ((i + 1) * self.block_samples).min(self.samples.len());
+        &self.samples[start.min(self.samples.len())..end]
+    }
+
+    /// Encode block `i` as bytes (one byte per 8-bit sample, clamped).
+    pub fn block_payload(&self, i: usize) -> Vec<u8> {
+        self.block_samples_of(i)
+            .iter()
+            .map(|&s| s.clamp(-128, 127) as i8 as u8)
+            .collect()
+    }
+}
+
+/// A library of mixed recordings for multi-client experiments.
+#[derive(Clone, Debug)]
+pub struct WorkloadLibrary {
+    /// Video recordings, one per client.
+    pub videos: Vec<VideoRecording>,
+}
+
+impl WorkloadLibrary {
+    /// `n` constant-rate NTSC clips of `seconds` each, distinct seeds.
+    pub fn uniform_ntsc(n: usize, seconds: f64) -> Self {
+        WorkloadLibrary {
+            videos: (0..n)
+                .map(|i| VideoRecording::capture(&VideoCodec::uvc_ntsc(i as u64), seconds))
+                .collect(),
+        }
+    }
+
+    /// `n` variable-bit-rate NTSC clips of `seconds` each.
+    pub fn vbr_ntsc(n: usize, seconds: f64) -> Self {
+        WorkloadLibrary {
+            videos: (0..n)
+                .map(|i| VideoRecording::capture(&VideoCodec::uvc_ntsc_vbr(i as u64), seconds))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_capture_counts_frames() {
+        let v = VideoRecording::capture(&VideoCodec::uvc_ntsc(0), 2.0);
+        assert_eq!(v.frames(), 60);
+        assert!((v.duration() - 2.0).abs() < 1e-9);
+        assert!(v.total_bits().get() > 0);
+    }
+
+    #[test]
+    fn audio_capture_classifies() {
+        let a = AudioRecording::capture_telephone(3, 10.0, 800);
+        assert_eq!(a.blocks(), 100);
+        let s = a.savings();
+        assert!(s > 0.0 && s < 1.0, "savings = {s}");
+        assert_eq!(a.audible_blocks() + (a.savings() * 100.0).round() as usize, 100);
+    }
+
+    #[test]
+    fn audio_block_payload_round() {
+        let a = AudioRecording::capture_telephone(3, 1.0, 800);
+        assert_eq!(a.block_samples_of(0).len(), 800);
+        assert_eq!(a.block_payload(0).len(), 800);
+        // Final block index beyond data is empty.
+        assert!(a.block_samples_of(10).is_empty());
+    }
+
+    #[test]
+    fn library_sizes() {
+        let lib = WorkloadLibrary::uniform_ntsc(4, 1.0);
+        assert_eq!(lib.videos.len(), 4);
+        let vbr = WorkloadLibrary::vbr_ntsc(2, 1.0);
+        // Distinct seeds give distinct streams.
+        assert_ne!(vbr.videos[0].frame_bits, vbr.videos[1].frame_bits);
+    }
+}

@@ -1,0 +1,162 @@
+//! Outcome statistics for playback simulations.
+
+use strandfs_units::Nanos;
+
+/// Summary statistics over a set of durations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NanosSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (zero when empty).
+    pub min: Nanos,
+    /// Largest sample (zero when empty).
+    pub max: Nanos,
+    /// Mean sample (zero when empty).
+    pub mean: Nanos,
+}
+
+impl NanosSummary {
+    /// Summarize an iterator of durations.
+    pub fn of(samples: impl IntoIterator<Item = Nanos>) -> NanosSummary {
+        let mut count = 0u64;
+        let mut min = Nanos::MAX;
+        let mut max = Nanos::ZERO;
+        let mut total = Nanos::ZERO;
+        for s in samples {
+            count += 1;
+            min = min.min(s);
+            max = max.max(s);
+            total += s;
+        }
+        if count == 0 {
+            return NanosSummary::default();
+        }
+        NanosSummary {
+            count,
+            min,
+            max,
+            mean: total / count,
+        }
+    }
+}
+
+/// Per-stream outcome of a playback simulation.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOutcome {
+    /// Scheduled items (blocks), silence holes included.
+    pub blocks: u64,
+    /// Blocks actually fetched from disk (non-silence).
+    pub fetched: u64,
+    /// Blocks whose fetch completed after their playback deadline.
+    pub violations: u64,
+    /// How late the latest block was.
+    pub max_lateness: Nanos,
+    /// Lateness over all violating blocks.
+    pub lateness: NanosSummary,
+    /// Virtual time between the stream's service start and its display
+    /// start (the anti-jitter read-ahead delay actually incurred).
+    pub start_latency: Nanos,
+    /// Largest fetched-but-unplayed backlog — the buffers a closed-loop
+    /// display subsystem would need.
+    pub max_buffered: u64,
+}
+
+impl StreamOutcome {
+    /// Violations as a fraction of fetched blocks (0 for idle streams).
+    pub fn violation_rate(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.fetched as f64
+        }
+    }
+
+    /// True if the stream played with full continuity.
+    pub fn continuous(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Whole-simulation report.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Per-stream outcomes in request order.
+    pub streams: Vec<StreamOutcome>,
+    /// Total simulated disk busy time.
+    pub disk_busy: Nanos,
+    /// Number of service rounds executed.
+    pub rounds: u64,
+}
+
+impl SimReport {
+    /// Total continuity violations across all streams.
+    pub fn total_violations(&self) -> u64 {
+        self.streams.iter().map(|s| s.violations).sum()
+    }
+
+    /// True if every stream played with full continuity.
+    pub fn all_continuous(&self) -> bool {
+        self.streams.iter().all(StreamOutcome::continuous)
+    }
+
+    /// The largest buffer backlog any stream needed.
+    pub fn max_buffered(&self) -> u64 {
+        self.streams.iter().map(|s| s.max_buffered).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_samples() {
+        let s = NanosSummary::of([
+            Nanos::from_millis(2),
+            Nanos::from_millis(8),
+            Nanos::from_millis(5),
+        ]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Nanos::from_millis(2));
+        assert_eq!(s.max, Nanos::from_millis(8));
+        assert_eq!(s.mean, Nanos::from_millis(5));
+        assert_eq!(NanosSummary::of([]), NanosSummary::default());
+    }
+
+    #[test]
+    fn outcome_rates() {
+        let o = StreamOutcome {
+            blocks: 10,
+            fetched: 8,
+            violations: 2,
+            ..Default::default()
+        };
+        assert!((o.violation_rate() - 0.25).abs() < 1e-12);
+        assert!(!o.continuous());
+        let idle = StreamOutcome::default();
+        assert_eq!(idle.violation_rate(), 0.0);
+        assert!(idle.continuous());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = SimReport {
+            streams: vec![
+                StreamOutcome {
+                    violations: 1,
+                    max_buffered: 4,
+                    ..Default::default()
+                },
+                StreamOutcome {
+                    violations: 0,
+                    max_buffered: 7,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.total_violations(), 1);
+        assert!(!r.all_continuous());
+        assert_eq!(r.max_buffered(), 7);
+    }
+}

@@ -1,0 +1,428 @@
+//! Round-robin playback simulation against the simulated disk.
+//!
+//! Mirrors the service discipline of §3.4: the server proceeds in
+//! rounds, transferring `k` consecutive blocks per active request before
+//! switching to the next, paying real (simulated) seek, rotation and
+//! transfer time for every fetch — including the inter-request
+//! repositioning the paper bounds by `l_seek_max`.
+//!
+//! Each stream's display starts once its read-ahead is buffered; from
+//! then on block `j` must be resident by `display_start + deadline_j`.
+//! Every late block is a continuity violation.
+
+use crate::metrics::{NanosSummary, SimReport, StreamOutcome};
+use strandfs_core::mrs::{Mrs, PlaySchedule};
+use strandfs_units::{Instant, Nanos};
+
+/// How active streams are ordered within each service round.
+///
+/// The paper's admission analysis assumes round-robin in arrival order
+/// and budgets `l_seek_max` per switch; its future work (§6.2) proposes
+/// "servicing requests in the order that minimizes the separations
+/// between blocks". [`ServiceOrder::Scan`] implements the classic
+/// version: each round visits streams in ascending order of their next
+/// block's disk address, one elevator sweep per round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ServiceOrder {
+    /// Fixed arrival order (the paper's baseline).
+    #[default]
+    RoundRobin,
+    /// Ascending-address sweep each round.
+    Scan,
+}
+
+/// Configuration of a playback simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaybackConfig {
+    /// Blocks transferred per request per round (the paper's `k`).
+    pub k: u64,
+    /// Blocks buffered before a stream's display starts. The paper's
+    /// averaged-continuity analysis calls for `k`; pass more to add
+    /// anti-jitter margin.
+    pub read_ahead: u64,
+    /// Intra-round service order.
+    pub order: ServiceOrder,
+}
+
+impl PlaybackConfig {
+    /// The standard configuration: read-ahead equal to the round size,
+    /// round-robin order.
+    pub fn with_k(k: u64) -> Self {
+        PlaybackConfig {
+            k,
+            read_ahead: k,
+            order: ServiceOrder::RoundRobin,
+        }
+    }
+
+    /// Switch to SCAN-ordered rounds.
+    pub fn scan(mut self) -> Self {
+        self.order = ServiceOrder::Scan;
+        self
+    }
+}
+
+/// A stream joining the simulation mid-flight (admission experiments).
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// The round at whose start the stream enters service.
+    pub at_round: u64,
+    /// Its compiled schedule.
+    pub schedule: PlaySchedule,
+}
+
+struct StreamState {
+    schedule: PlaySchedule,
+    /// Fetch completion instant per item, filled in service order.
+    completions: Vec<Instant>,
+    next: usize,
+    read_ahead: u64,
+    service_start: Option<Instant>,
+    display_start: Option<Instant>,
+}
+
+impl StreamState {
+    fn new(schedule: PlaySchedule, read_ahead: u64) -> Self {
+        let n = schedule.items.len();
+        StreamState {
+            schedule,
+            completions: Vec::with_capacity(n),
+            next: 0,
+            read_ahead,
+            service_start: None,
+            display_start: None,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.next >= self.schedule.items.len()
+    }
+
+    fn outcome(&self) -> StreamOutcome {
+        let items = &self.schedule.items;
+        let display_start = match self.display_start {
+            Some(t) => t,
+            None => {
+                return StreamOutcome {
+                    blocks: items.len() as u64,
+                    ..Default::default()
+                }
+            }
+        };
+        let mut fetched = 0u64;
+        let mut violations = 0u64;
+        let mut lateness = Vec::new();
+        for (j, item) in items.iter().enumerate() {
+            if !item.silence {
+                fetched += 1;
+            }
+            let deadline = display_start + item.at;
+            let done = self.completions[j];
+            if done > deadline {
+                violations += 1;
+                lateness.push(done - deadline);
+            }
+        }
+        // Required buffering: completions are non-decreasing, so the
+        // backlog when item j starts playing is (#completions ≤ its
+        // deadline) − j.
+        let mut max_buffered = 0u64;
+        for (j, item) in items.iter().enumerate() {
+            let deadline = display_start + item.at;
+            let fetched_by = self.completions.partition_point(|c| *c <= deadline);
+            max_buffered = max_buffered.max((fetched_by as u64).saturating_sub(j as u64));
+        }
+        StreamOutcome {
+            blocks: items.len() as u64,
+            fetched,
+            violations,
+            max_lateness: lateness.iter().copied().max().unwrap_or(Nanos::ZERO),
+            lateness: NanosSummary::of(lateness),
+            start_latency: display_start
+                - self.service_start.expect("display implies service"),
+            max_buffered,
+        }
+    }
+}
+
+/// Simulate round-robin service of `streams` (all present from round 0)
+/// plus `arrivals` (joining later), with the round size chosen each round
+/// by `k_of_round(round, active_streams)`.
+///
+/// Returns per-stream outcomes in the order: `streams`, then `arrivals`.
+pub fn simulate_with_arrivals(
+    mrs: &mut Mrs,
+    streams: Vec<PlaySchedule>,
+    arrivals: Vec<Arrival>,
+    read_ahead_of_k: impl Fn(u64) -> u64,
+    k_of_round: impl FnMut(u64, usize) -> u64,
+) -> SimReport {
+    simulate_with_arrivals_ordered(
+        mrs,
+        streams,
+        arrivals,
+        read_ahead_of_k,
+        k_of_round,
+        ServiceOrder::RoundRobin,
+    )
+}
+
+/// [`simulate_with_arrivals`] with an explicit intra-round service
+/// order.
+pub fn simulate_with_arrivals_ordered(
+    mrs: &mut Mrs,
+    streams: Vec<PlaySchedule>,
+    arrivals: Vec<Arrival>,
+    read_ahead_of_k: impl Fn(u64) -> u64,
+    mut k_of_round: impl FnMut(u64, usize) -> u64,
+    order_policy: ServiceOrder,
+) -> SimReport {
+    let mut states: Vec<StreamState> = Vec::new();
+    let mut order: Vec<usize> = Vec::new(); // active stream indices
+    let initial_k = k_of_round(0, streams.len().max(1));
+    for s in streams {
+        order.push(states.len());
+        states.push(StreamState::new(s, read_ahead_of_k(initial_k)));
+    }
+    let mut pending: Vec<(u64, usize)> = Vec::new();
+    for a in arrivals {
+        // Placeholder read-ahead; fixed at activation below.
+        let idx = states.len();
+        states.push(StreamState::new(a.schedule, 0));
+        pending.push((a.at_round, idx));
+    }
+
+    let busy_before = mrs.msm().disk().stats().busy_time();
+    let mut t = Instant::EPOCH;
+    let mut round: u64 = 0;
+    loop {
+        // Activate arrivals due this round.
+        pending.retain(|(at, idx)| {
+            if *at <= round {
+                order.push(*idx);
+                true_marker(&mut states[*idx], k_of_round(round, order.len()), &read_ahead_of_k);
+                false
+            } else {
+                true
+            }
+        });
+        let mut active: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|i| !states[*i].finished())
+            .collect();
+        if active.is_empty() {
+            if pending.is_empty() {
+                break;
+            }
+            round += 1;
+            continue;
+        }
+        if order_policy == ServiceOrder::Scan {
+            // One ascending-address sweep: sort by the disk address of
+            // each stream's next non-silence block.
+            active.sort_by_key(|&i| next_lba(mrs, &states[i]));
+        }
+        let k = k_of_round(round, active.len()).max(1);
+        for idx in active {
+            let state = &mut states[idx];
+            if state.service_start.is_none() {
+                state.service_start = Some(t);
+            }
+            for _ in 0..k {
+                if state.finished() {
+                    break;
+                }
+                let item = state.schedule.items[state.next];
+                if item.silence {
+                    state.completions.push(t);
+                } else {
+                    let (_payload, op) = mrs
+                        .msm_mut()
+                        .read_block(item.strand, item.block, t)
+                        .expect("schedule refers to stored blocks");
+                    let op = op.expect("non-silence item has disk op");
+                    t = op.completed;
+                    state.completions.push(t);
+                }
+                state.next += 1;
+                if state.display_start.is_none()
+                    && (state.next as u64 >= state.read_ahead || state.finished())
+                {
+                    state.display_start = Some(t);
+                }
+            }
+        }
+        round += 1;
+    }
+
+    SimReport {
+        streams: states.iter().map(StreamState::outcome).collect(),
+        disk_busy: mrs.msm().disk().stats().busy_time() - busy_before,
+        rounds: round,
+    }
+}
+
+fn true_marker(
+    state: &mut StreamState,
+    k_now: u64,
+    read_ahead_of_k: &impl Fn(u64) -> u64,
+) {
+    state.read_ahead = read_ahead_of_k(k_now).max(1);
+}
+
+/// Disk address of a stream's next non-silence block (`u64::MAX` when
+/// only silence or nothing remains, sorting it last).
+fn next_lba(mrs: &Mrs, state: &StreamState) -> u64 {
+    state.schedule.items[state.next..]
+        .iter()
+        .find(|item| !item.silence)
+        .and_then(|item| {
+            mrs.msm()
+                .strand(item.strand)
+                .ok()
+                .and_then(|s| s.block(item.block).ok())
+                .flatten()
+                .map(|e| e.start)
+        })
+        .unwrap_or(u64::MAX)
+}
+
+/// Simulate steady-state playback of `streams` with a fixed round size.
+pub fn simulate_playback(
+    mrs: &mut Mrs,
+    streams: Vec<PlaySchedule>,
+    cfg: PlaybackConfig,
+) -> SimReport {
+    assert!(cfg.k >= 1, "round size must be at least 1");
+    let read_ahead = cfg.read_ahead.max(1);
+    simulate_with_arrivals_ordered(
+        mrs,
+        streams,
+        Vec::new(),
+        |_| read_ahead,
+        |_, _| cfg.k,
+        cfg.order,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{standard_volume, ClipSpec};
+    use strandfs_core::rope::edit::{Interval, MediaSel};
+
+    fn volume(n: usize) -> (Mrs, Vec<strandfs_core::RopeId>) {
+        standard_volume(&[ClipSpec::video_seconds(4.0); 1].repeat(n))
+    }
+
+    /// Compile schedules without consuming admission slots (overload
+    /// experiments deliberately exceed `n_max`).
+    fn schedules(mrs: &mut Mrs, ropes: &[strandfs_core::RopeId]) -> Vec<PlaySchedule> {
+        ropes
+            .iter()
+            .map(|r| {
+                let rope = mrs.rope(*r).unwrap().clone();
+                let mut s = strandfs_core::mrs::compile_schedule(
+                    &rope,
+                    MediaSel::Both,
+                    Interval::whole(rope.duration()),
+                )
+                .unwrap();
+                mrs.resolve_silence(&mut s).unwrap();
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_stream_plays_continuously() {
+        let (mut mrs, ropes) = volume(1);
+        let scheds = schedules(&mut mrs, &ropes);
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(1));
+        assert_eq!(report.streams.len(), 1);
+        let s = &report.streams[0];
+        assert!(s.continuous(), "violations = {}", s.violations);
+        assert_eq!(s.blocks, 40); // 4 s * 30 fps / q=3
+        assert!(s.max_buffered >= 1);
+        assert!(report.disk_busy > Nanos::ZERO);
+    }
+
+    #[test]
+    fn admitted_load_with_formula_k_is_continuous() {
+        // The vintage disk admits n_max = 2 of these video streams; the
+        // Eq. 18 k must then yield zero violations.
+        let (mut mrs, ropes) = volume(2);
+        let scheds = schedules(&mut mrs, &ropes);
+        let specs: Vec<_> = scheds
+            .iter()
+            .map(|_| strandfs_core::admission::RequestSpec {
+                q: 3,
+                unit_bits: strandfs_units::Bits::new(96_000),
+                unit_rate: 30.0,
+            })
+            .collect();
+        let env = *mrs.msm().admission_ref().env();
+        let agg = strandfs_core::admission::Aggregates::compute(&env, &specs).unwrap();
+        assert!(agg.n_max() >= 2, "n_max = {}", agg.n_max());
+        let k = agg.k_transient(2).unwrap();
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(k));
+        assert!(
+            report.all_continuous(),
+            "k = {k}, violations = {}",
+            report.total_violations()
+        );
+    }
+
+    #[test]
+    fn undersized_k_with_many_streams_violates() {
+        // Overload: many streams, k = 1 and read_ahead = 1 gives the
+        // switching overhead nothing to amortize against.
+        let (mut mrs, ropes) = volume(6);
+        let scheds = schedules(&mut mrs, &ropes);
+        let report = simulate_playback(
+            &mut mrs,
+            scheds,
+            PlaybackConfig {
+                k: 1,
+                read_ahead: 1,
+                order: ServiceOrder::RoundRobin,
+            },
+        );
+        assert!(
+            report.total_violations() > 0,
+            "expected violations under overload"
+        );
+    }
+
+    #[test]
+    fn arrival_joins_midway() {
+        let (mut mrs, ropes) = volume(2);
+        let scheds = schedules(&mut mrs, &ropes);
+        let late = scheds[1].clone();
+        let report = simulate_with_arrivals(
+            &mut mrs,
+            vec![scheds[0].clone()],
+            vec![Arrival {
+                at_round: 5,
+                schedule: late,
+            }],
+            |k| k,
+            |_round, n| if n > 1 { 2 } else { 1 },
+        );
+        assert_eq!(report.streams.len(), 2);
+        assert!(report.streams[1].blocks > 0);
+        // The late stream's display started after round 5 worth of
+        // service.
+        assert!(report.rounds > 5);
+    }
+
+    #[test]
+    fn report_counts_rounds_and_busy_time() {
+        let (mut mrs, ropes) = volume(1);
+        let scheds = schedules(&mut mrs, &ropes);
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4));
+        // 40 items at k=4 -> 10 rounds.
+        assert_eq!(report.rounds, 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Strongly-typed units shared by every strandfs crate.
+//!
+//! The continuity model of Rangan & Vin (SOSP '91) mixes quantities with
+//! very different dimensions — seconds of scattering, bits of frame data,
+//! frames per second of recording rate, bits per second of disk transfer.
+//! Mixing these up silently is the classic source of off-by-10⁶ bugs in
+//! storage models, so each dimension gets its own newtype:
+//!
+//! * [`Nanos`] / [`Instant`] — discrete-event virtual time (integer
+//!   nanoseconds; exact, totally ordered, overflow-checked in debug).
+//! * [`Seconds`] — analytic-model time (f64), used by the continuity
+//!   equations where fractional seconds are natural.
+//! * [`Bytes`] / [`Bits`] — data sizes.
+//! * [`BitRate`], [`FrameRate`], [`SampleRate`] — rates.
+//!
+//! Conversions between the exact and analytic domains are explicit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rate;
+mod size;
+mod time;
+
+pub use rate::{BitRate, FrameRate, SampleRate};
+pub use size::{Bits, Bytes};
+pub use time::{Instant, Nanos, Seconds};

@@ -1,0 +1,120 @@
+//! Quickstart: create a volume, RECORD an audio+video rope, PLAY it
+//! back, and verify continuity.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use strandfs::core::mrs::{Mrs, RecordOpts, TrackOpts};
+use strandfs::core::msm::{Msm, MsmConfig};
+use strandfs::core::rope::edit::{Interval, MediaSel};
+use strandfs::core::strand::StrandMeta;
+use strandfs::disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
+use strandfs::media::silence::{SilenceDetector, TalkSpurtSource};
+use strandfs::media::{Medium, VideoCodec};
+use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs::units::{Bits, Instant};
+
+fn main() {
+    // 1. A simulated 1991-class disk, formatted with constrained
+    //    allocation: successive blocks of a strand are at most 40 000
+    //    sectors apart, so seeks between them stay bounded.
+    let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+    println!(
+        "volume: {} ({} cylinders, {:.1} ms worst positioning)",
+        disk.geometry().capacity(),
+        disk.geometry().cylinders,
+        disk.max_positioning_time().get() * 1e3
+    );
+    let config = MsmConfig::constrained(
+        GapBounds {
+            min_sectors: 0,
+            max_sectors: 40_000,
+        },
+        42,
+    );
+    let mut mrs = Mrs::new(Msm::new(disk, config));
+
+    // 2. RECORD: 5 seconds of NTSC video (UVC codec, 12:1) plus
+    //    telephone audio with silence elimination.
+    let req = mrs
+        .record(
+            "alice",
+            RecordOpts {
+                video: Some(TrackOpts {
+                    meta: StrandMeta {
+                        medium: Medium::Video,
+                        unit_rate: 30.0,
+                        granularity: 3, // 3 frames per block = 100 ms
+                        unit_bits: Bits::new(96_000),
+                    },
+                    silence: None,
+                }),
+                audio: Some(TrackOpts {
+                    meta: StrandMeta {
+                        medium: Medium::Audio,
+                        unit_rate: 8_000.0,
+                        granularity: 800, // 100 ms of samples
+                        unit_bits: Bits::new(8),
+                    },
+                    silence: Some(SilenceDetector::telephone()),
+                }),
+            },
+        )
+        .expect("admission");
+
+    let codec = VideoCodec::uvc_ntsc(7);
+    let mut now = Instant::EPOCH;
+    for i in 0..150 {
+        let bytes = codec.frame_bits(i).to_bytes_ceil().get() as usize;
+        if let Some(op) = mrs
+            .record_video_frame(req, now, &codec.frame_payload(i, bytes))
+            .unwrap()
+        {
+            now = op.completed;
+        }
+    }
+    let speech = TalkSpurtSource::telephone(7).generate(8_000 * 5);
+    for chunk in speech.chunks(4_000) {
+        let ops = mrs.record_audio_samples(req, now, chunk).unwrap();
+        if let Some(op) = ops.last() {
+            now = op.completed;
+        }
+    }
+    let rope_id = mrs.stop(req, now).unwrap().expect("rope created");
+    let rope = mrs.rope(rope_id).unwrap();
+    println!(
+        "recorded {rope_id}: {:.1} s, video + audio, {} strands",
+        rope.duration().as_secs_f64(),
+        rope.strand_ids().len()
+    );
+    let audio = rope.segments[0].audio.unwrap();
+    let audio_strand = mrs.msm().strand(audio.strand).unwrap();
+    println!(
+        "audio strand: {} blocks, {:.0}% eliminated as silence",
+        audio_strand.block_count(),
+        audio_strand.silence_fraction() * 100.0
+    );
+
+    // 3. PLAY it back through the admission-controlled path and check
+    //    continuity against the simulated disk.
+    let dur = rope.duration();
+    let (play_req, mut schedule) = mrs
+        .play("bob", rope_id, MediaSel::Both, Interval::whole(dur))
+        .expect("admission");
+    mrs.resolve_silence(&mut schedule).unwrap();
+    println!(
+        "playback schedule: {} blocks ({} disk fetches)",
+        schedule.items.len(),
+        schedule.fetch_count()
+    );
+    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let s = &report.streams[0];
+    println!(
+        "playback: {} violations, start latency {}, max buffer {} blocks",
+        s.violations, s.start_latency, s.max_buffered
+    );
+    assert!(s.continuous(), "quickstart playback must be continuous");
+    mrs.stop(play_req, Instant::EPOCH).unwrap();
+    println!("OK — continuous playback on a 1991 disk.");
+}

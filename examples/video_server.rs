@@ -1,0 +1,121 @@
+//! A news/entertainment video server: capacity planning and concurrent
+//! playback, the workload the paper's introduction motivates.
+//!
+//! Records a library of clips on a projected-future disk, asks the
+//! admission controller how many clients it can serve, serves exactly
+//! that many plus one rejected straggler, and verifies every admitted
+//! client plays continuously.
+//!
+//! ```text
+//! cargo run --release --example video_server
+//! ```
+
+use strandfs::core::admission::Aggregates;
+use strandfs::core::mrs::compile_schedule;
+use strandfs::core::msm::MsmConfig;
+use strandfs::core::rope::edit::{Interval, MediaSel};
+use strandfs::core::FsError;
+use strandfs::disk::{DiskGeometry, GapBounds, SeekModel};
+use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs::sim::{volume_on, ClipSpec};
+use strandfs::units::Instant;
+
+fn main() {
+    // A library of 12 news clips on the projected-future disk.
+    let library: Vec<ClipSpec> = (0..12)
+        .map(|i| ClipSpec::video_seconds(10.0).with_seed(100 + i))
+        .collect();
+    let (mut mrs, ropes) = volume_on(
+        DiskGeometry::projected_fast(),
+        SeekModel::projected_fast(),
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 120_000,
+            },
+            1,
+        ),
+        &library,
+    );
+    println!(
+        "library: {} clips, volume {:.0}% full",
+        ropes.len(),
+        mrs.msm().utilization() * 100.0
+    );
+
+    // Admit clients until the server refuses.
+    let mut admitted = Vec::new();
+    let mut rejected = 0;
+    for (client, rope_id) in ropes.iter().enumerate() {
+        let rope = mrs.rope(*rope_id).unwrap().clone();
+        match mrs.play(
+            &format!("client-{client}"),
+            *rope_id,
+            MediaSel::Both,
+            Interval::whole(rope.duration()),
+        ) {
+            Ok((req, mut schedule)) => {
+                mrs.resolve_silence(&mut schedule).unwrap();
+                admitted.push((req, schedule));
+            }
+            Err(FsError::AdmissionRejected { active, n_max }) => {
+                rejected += 1;
+                println!(
+                    "client-{client}: REJECTED (server at {active} streams, capacity {n_max})"
+                );
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    println!("admitted {} clients, rejected {rejected}", admitted.len());
+
+    // The controller's own k drives the service rounds.
+    let k = mrs.msm().admission_ref().k().max(1);
+    let agg = mrs.msm().admission_ref().aggregates().unwrap();
+    println!(
+        "service plan: k = {k} blocks/request/round (alpha {:.1} ms, beta {:.1} ms, gamma {:.0} ms)",
+        agg.alpha.get() * 1e3,
+        agg.beta.get() * 1e3,
+        agg.gamma.get() * 1e3,
+    );
+    sanity_check_formula(&agg, admitted.len());
+
+    let schedules: Vec<_> = admitted.iter().map(|(_, s)| s.clone()).collect();
+    let report = simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+    for (i, s) in report.streams.iter().enumerate() {
+        println!(
+            "client-{i}: {} blocks, {} violations, start latency {}, buffers {}",
+            s.blocks, s.violations, s.start_latency, s.max_buffered
+        );
+    }
+    assert!(
+        report.all_continuous(),
+        "every admitted client must play continuously"
+    );
+    for (req, _) in admitted {
+        mrs.stop(req, Instant::EPOCH).unwrap();
+    }
+    println!(
+        "OK — {} concurrent continuous streams, {} service rounds, disk busy {}",
+        report.streams.len(),
+        report.rounds,
+        report.disk_busy
+    );
+
+    // A rejected client can still compile a schedule for later (e.g.
+    // reservation), it just cannot be serviced now.
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let offline =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    println!(
+        "(offline schedule for a waitlisted client: {} blocks)",
+        offline.items.len()
+    );
+}
+
+fn sanity_check_formula(agg: &Aggregates, n: usize) {
+    // Eq. 15 must hold for the k the server chose.
+    let k = agg.k_transient(n).expect("admitted set is feasible");
+    assert!(agg.steady_feasible(n, k));
+    assert!(agg.transient_feasible(n, k));
+}

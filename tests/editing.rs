@@ -1,0 +1,292 @@
+//! Cross-crate editing scenarios: every rope operation against real
+//! recorded strands, with healing, interest-based GC and payload
+//! identity.
+
+use strandfs::core::mrs::compile_schedule;
+use strandfs::core::rope::edit::{Interval, MediaSel};
+use strandfs::core::FsError;
+use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs::sim::{standard_volume, ClipSpec};
+use strandfs::units::{Instant, Nanos};
+
+fn secs(s: u64) -> Nanos {
+    Nanos::from_secs(s)
+}
+
+#[test]
+fn insert_preserves_total_media_and_heals() {
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(6.0),
+        ClipSpec::av_seconds(3.0).with_seed(50),
+    ]);
+    let (base, clip) = (ropes[0], ropes[1]);
+    mrs.insert(
+        "sim",
+        base,
+        secs(2),
+        MediaSel::Both,
+        clip,
+        Interval::whole(secs(3)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let rope = mrs.rope(base).unwrap().clone();
+    rope.check_invariants().unwrap();
+    let d = rope.duration().as_secs_f64();
+    assert!((d - 9.0).abs() < 0.1, "duration {d}");
+    // Total video frames = 6s + 3s at 30 fps.
+    let sched =
+        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let units: u64 = sched.items.iter().map(|i| i.units).sum();
+    assert_eq!(units, 270);
+}
+
+#[test]
+fn delete_then_play_remains_continuous() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(8.0)]);
+    let base = ropes[0];
+    mrs.delete(
+        "sim",
+        base,
+        MediaSel::Both,
+        Interval::new(secs(2), secs(4)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let rope = mrs.rope(base).unwrap().clone();
+    assert!((rope.duration().as_secs_f64() - 4.0).abs() < 0.1);
+    let mut sched =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    assert!(
+        report.all_continuous(),
+        "deleted-middle rope must play clean across the healed boundary"
+    );
+}
+
+#[test]
+fn single_medium_delete_keeps_other_playing() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]);
+    let base = ropes[0];
+    mrs.delete(
+        "sim",
+        base,
+        MediaSel::Audio,
+        Interval::new(secs(2), secs(2)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let rope = mrs.rope(base).unwrap().clone();
+    // Duration unchanged; video schedule covers 6 s, audio only 4 s.
+    assert!((rope.duration().as_secs_f64() - 6.0).abs() < 0.1);
+    let v = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let a = compile_schedule(&rope, MediaSel::Audio, Interval::whole(rope.duration())).unwrap();
+    let vu: u64 = v.items.iter().map(|i| i.units).sum();
+    let au: u64 = a.items.iter().map(|i| i.units).sum();
+    assert_eq!(vu, 180);
+    assert_eq!(au, 32_000, "2 s of audio removed from 6 s");
+}
+
+#[test]
+fn replace_dubs_audio_from_other_rope() {
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(6.0),
+        ClipSpec::av_seconds(6.0).with_seed(31),
+    ]);
+    let (base, dub) = (ropes[0], ropes[1]);
+    let dub_audio_strand = mrs.rope(dub).unwrap().segments[0].audio.unwrap().strand;
+    mrs.replace(
+        "sim",
+        base,
+        MediaSel::Audio,
+        Interval::new(secs(0), secs(6)),
+        dub,
+        Interval::whole(secs(6)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let rope = mrs.rope(base).unwrap().clone();
+    rope.check_invariants().unwrap();
+    // The base rope's audio now comes (at least partly — healing may
+    // bridge the first blocks) from the dub strand family, and its video
+    // is untouched.
+    assert!(rope
+        .segments
+        .iter()
+        .any(|s| s.audio.map(|a| a.strand) == Some(dub_audio_strand)));
+    let v = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let vu: u64 = v.items.iter().map(|i| i.units).sum();
+    assert_eq!(vu, 180);
+}
+
+#[test]
+fn substring_shares_strands_without_copying() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]);
+    let base = ropes[0];
+    let used_before = mrs.msm().allocator().freemap().used();
+    let sub = mrs
+        .substring("sim", base, MediaSel::Both, Interval::new(secs(1), secs(3)))
+        .unwrap();
+    // SUBSTRING allocates nothing.
+    assert_eq!(mrs.msm().allocator().freemap().used(), used_before);
+    let sub_rope = mrs.rope(sub).unwrap();
+    let base_rope = mrs.rope(base).unwrap();
+    assert!(sub_rope.strand_ids().is_subset(&base_rope.strand_ids()));
+}
+
+#[test]
+fn concat_and_gc_interplay() {
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(3.0),
+        ClipSpec::av_seconds(3.0).with_seed(8),
+    ]);
+    let joined = mrs.concat("sim", ropes[0], ropes[1]).unwrap();
+    // Deleting the sources must not free the strands: the joined rope
+    // still references them.
+    mrs.delete_rope("sim", ropes[0]).unwrap();
+    mrs.delete_rope("sim", ropes[1]).unwrap();
+    assert!(mrs.gc().is_empty());
+    let rope = mrs.rope(joined).unwrap().clone();
+    let mut sched =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    assert!(report.all_continuous());
+    // Now delete the joined rope: everything becomes collectable.
+    mrs.delete_rope("sim", joined).unwrap();
+    let collected = mrs.gc();
+    assert!(collected.len() >= 4, "collected {}", collected.len());
+    // And the space is truly reclaimed (only index/text residue remains).
+    assert!(mrs.msm().utilization() < 0.02);
+}
+
+#[test]
+fn edit_access_is_enforced() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]);
+    let base = ropes[0];
+    let err = mrs.delete(
+        "mallory",
+        base,
+        MediaSel::Both,
+        Interval::new(secs(0), secs(1)),
+        Instant::EPOCH,
+    );
+    assert!(matches!(err, Err(FsError::AccessDenied { .. })));
+    // Play access is open by default, so SUBSTRING works for others.
+    assert!(mrs
+        .substring("mallory", base, MediaSel::Both, Interval::new(secs(0), secs(1)))
+        .is_ok());
+}
+
+#[test]
+fn bad_intervals_rejected_everywhere() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]);
+    let base = ropes[0];
+    let too_long = Interval::new(secs(2), secs(5));
+    assert!(matches!(
+        mrs.substring("sim", base, MediaSel::Both, too_long),
+        Err(FsError::BadInterval { .. })
+    ));
+    assert!(matches!(
+        mrs.delete("sim", base, MediaSel::Both, too_long, Instant::EPOCH),
+        Err(FsError::BadInterval { .. })
+    ));
+    let empty = Interval::new(secs(1), Nanos::ZERO);
+    assert!(matches!(
+        mrs.substring("sim", base, MediaSel::Both, empty),
+        Err(FsError::BadInterval { .. })
+    ));
+}
+
+#[test]
+fn volume_is_fsck_clean_after_edit_storm() {
+    use strandfs::core::fsck::check_volume;
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(6.0),
+        ClipSpec::av_seconds(4.0).with_seed(91),
+    ]);
+    let (a, b) = (ropes[0], ropes[1]);
+    mrs.insert(
+        "sim",
+        a,
+        secs(2),
+        MediaSel::Both,
+        b,
+        Interval::new(secs(1), secs(2)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    mrs.delete(
+        "sim",
+        a,
+        MediaSel::Both,
+        Interval::new(secs(5), secs(1)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let sub = mrs
+        .substring("sim", a, MediaSel::Both, Interval::new(secs(1), secs(3)))
+        .unwrap();
+    let _joined = mrs.concat("sim", sub, b).unwrap();
+    mrs.delete_rope("sim", b).unwrap();
+    mrs.gc();
+    let report = check_volume(&mut mrs, Instant::EPOCH);
+    assert!(
+        report.clean(),
+        "fsck findings after edit storm: {:?}",
+        report.findings
+    );
+    assert!(report.strands_checked >= 4);
+    assert!(report.ropes_checked >= 3);
+}
+
+#[test]
+fn chained_edits_keep_invariants() {
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(6.0),
+        ClipSpec::av_seconds(4.0).with_seed(21),
+    ]);
+    let (a, b) = (ropes[0], ropes[1]);
+    // insert -> delete -> replace -> insert, checking invariants at every
+    // step.
+    mrs.insert(
+        "sim",
+        a,
+        secs(3),
+        MediaSel::Both,
+        b,
+        Interval::new(secs(0), secs(2)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    mrs.rope(a).unwrap().check_invariants().unwrap();
+    mrs.delete(
+        "sim",
+        a,
+        MediaSel::Both,
+        Interval::new(secs(1), secs(2)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    mrs.rope(a).unwrap().check_invariants().unwrap();
+    mrs.replace(
+        "sim",
+        a,
+        MediaSel::Both,
+        Interval::new(secs(2), secs(1)),
+        b,
+        Interval::new(secs(3), secs(1)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    mrs.rope(a).unwrap().check_invariants().unwrap();
+    let rope = mrs.rope(a).unwrap().clone();
+    assert!((rope.duration().as_secs_f64() - 6.0).abs() < 0.15);
+    // Still playable end to end.
+    let mut sched =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    assert!(report.all_continuous());
+}

@@ -1,0 +1,158 @@
+//! Fast-forward, slow motion, heterogeneous blocks and strand
+//! reorganization — the paper's §3.3.2 / §3.3.3 / §6.2 features,
+//! exercised end to end.
+
+use strandfs::core::mrs::{apply_play_mode, compile_schedule};
+use strandfs::core::rope::edit::{Interval, MediaSel};
+use strandfs::core::strand::hetero::HeteroBlock;
+use strandfs::core::strand::StrandMeta;
+use strandfs::media::Medium;
+use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs::sim::{standard_volume, ClipSpec};
+use strandfs::units::{Bits, Instant, Nanos};
+
+#[test]
+fn fast_forward_with_skip_stays_continuous_at_normal_k() {
+    // 2× FF with skipping fetches at the normal rate; the same k that
+    // sustains normal playback sustains it.
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let base =
+        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let mut ff = apply_play_mode(&base, 2.0, true);
+    mrs.resolve_silence(&mut ff).unwrap();
+    assert_eq!(ff.items.len(), base.items.len() / 2);
+    let report = simulate_playback(&mut mrs, vec![ff], PlaybackConfig::with_k(2));
+    assert!(report.all_continuous());
+}
+
+#[test]
+fn fast_forward_without_skip_needs_more_bandwidth() {
+    // At 4× without skipping on the vintage disk (block transfer
+    // ≈ 20.6 ms vs a 25 ms accelerated deadline), continuity collapses;
+    // the same clip at 1× is clean. This is the paper's asymmetry
+    // between the two fast-forward flavours.
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let base =
+        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+
+    let mut normal = base.clone();
+    mrs.resolve_silence(&mut normal).unwrap();
+    let ok = simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
+    assert!(ok.all_continuous());
+
+    let mut ff4 = apply_play_mode(&base, 4.0, false);
+    mrs.resolve_silence(&mut ff4).unwrap();
+    let report = simulate_playback(
+        &mut mrs,
+        vec![ff4],
+        PlaybackConfig {
+            k: 2,
+            read_ahead: 2,
+            order: Default::default(),
+        },
+    );
+    assert!(
+        report.total_violations() > 0,
+        "4x no-skip should overwhelm the vintage disk"
+    );
+}
+
+#[test]
+fn slow_motion_accumulates_buffers() {
+    // §3.3.2: when blocks are displayed slower than retrieved, media
+    // accumulates in buffers — the open-loop simulator measures the
+    // accumulation directly.
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let base =
+        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let mut normal = base.clone();
+    mrs.resolve_silence(&mut normal).unwrap();
+    let normal_report =
+        simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
+
+    let mut slow = apply_play_mode(&base, 0.25, false);
+    mrs.resolve_silence(&mut slow).unwrap();
+    let slow_report = simulate_playback(&mut mrs, vec![slow], PlaybackConfig::with_k(2));
+    assert!(slow_report.all_continuous());
+    assert!(
+        slow_report.streams[0].max_buffered > normal_report.streams[0].max_buffered,
+        "slow motion must accumulate ({} vs {})",
+        slow_report.streams[0].max_buffered,
+        normal_report.streams[0].max_buffered
+    );
+}
+
+#[test]
+fn heterogeneous_blocks_store_and_separate_through_msm() {
+    // §3.3.3: one disk block carries both media; a single fetch yields
+    // implicit synchronization.
+    let (mut mrs, _ropes) = standard_volume(&[]);
+    let msm = mrs.msm_mut();
+    let meta = StrandMeta {
+        medium: Medium::Video, // video paces a heterogeneous strand
+        unit_rate: 30.0,
+        granularity: 3,
+        unit_bits: Bits::new(96_000 + 800 * 8 / 3 + 64),
+    };
+    let id = msm.begin_strand(meta);
+    let mut t = Instant::EPOCH;
+    let mut originals = Vec::new();
+    for i in 0..20u64 {
+        let block = HeteroBlock {
+            video: vec![i as u8; 36_000],
+            audio: vec![(i * 2) as u8; 800],
+        };
+        let (_, op) = msm.append_block(id, t, &block.encode(), 3).unwrap();
+        t = op.completed;
+        originals.push(block);
+    }
+    msm.finish_strand(id, t).unwrap();
+    for (i, original) in originals.iter().enumerate() {
+        let (payload, _) = msm.read_block(id, i as u64, t).unwrap();
+        let decoded = HeteroBlock::decode(&payload.unwrap()).unwrap();
+        assert_eq!(&decoded, original, "block {i}");
+    }
+}
+
+#[test]
+fn reorganized_volume_still_plays() {
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(4.0)]);
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let video_strand = rope.segments[0].video.unwrap().strand;
+    let audio_strand = rope.segments[0].audio.unwrap().strand;
+    let new_video = mrs.reorganize_strand(video_strand, Instant::EPOCH).unwrap();
+    let new_audio = mrs.reorganize_strand(audio_strand, Instant::EPOCH).unwrap();
+    assert_ne!(new_video, video_strand);
+    assert_ne!(new_audio, audio_strand);
+    // Audio silence holes survive reorganization.
+    let s = mrs.msm().strand(new_audio).unwrap();
+    assert!(s.silence_fraction() > 0.0);
+    // Playback still continuous.
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let mut sched =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    assert!(report.all_continuous());
+}
+
+#[test]
+fn skip_deadline_spacing_is_block_duration() {
+    let (mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(4.0)]);
+    let rope = mrs.rope(ropes[0]).unwrap().clone();
+    let base =
+        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    for speed in [2.0, 3.0, 4.0] {
+        let ff = apply_play_mode(&base, speed, true);
+        for w in ff.items.windows(2) {
+            assert_eq!(
+                w[1].at - w[0].at,
+                Nanos::from_millis(100),
+                "speed {speed}: fetch cadence must stay one block duration"
+            );
+        }
+    }
+}
