@@ -1,21 +1,11 @@
-//! E3: the continuity-equation sweeps for the three architectures.
+//! Thin entry point for the `architectures` suite; definitions live in
+//! `strandfs_bench::suites::architectures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::{e3_architectures, standard_video_stream, vintage_disk_params};
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let v = standard_video_stream();
-    let r_dt = vintage_disk_params().r_dt;
-
-    c.bench_function("architectures/scattering_bounds", |b| {
-        b.iter(|| e3_architectures::scattering_bounds(black_box(&v), black_box(r_dt)))
-    });
-
-    c.bench_function("architectures/max_rates", |b| {
-        b.iter(|| e3_architectures::max_rates(black_box(&v), black_box(r_dt)))
-    });
+fn main() {
+    let mut c = Runner::new("architectures");
+    suites::architectures::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

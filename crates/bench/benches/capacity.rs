@@ -1,21 +1,11 @@
-//! E5: the n_max capacity sweeps.
+//! Thin entry point for the `capacity` suite; definitions live in
+//! `strandfs_bench::suites::capacity`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::{e5_capacity, standard_video_spec, vintage_env};
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let env = vintage_env();
-    let spec = standard_video_spec();
-
-    c.bench_function("capacity/granularity_sweep", |b| {
-        b.iter(|| e5_capacity::granularity_sweep(black_box(&env), black_box(spec)))
-    });
-
-    c.bench_function("capacity/scattering_sweep", |b| {
-        b.iter(|| e5_capacity::scattering_sweep(black_box(&env), black_box(spec)))
-    });
+fn main() {
+    let mut c = Runner::new("capacity");
+    suites::capacity::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

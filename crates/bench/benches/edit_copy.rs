@@ -1,22 +1,11 @@
-//! E7: the boundary copy bounds and the live edit-and-heal pipeline.
+//! Thin entry point for the `edit_copy` suite; definitions live in
+//! `strandfs_bench::suites::edit_copy`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e7_edit_copy;
-use strandfs_units::Seconds;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("edit_copy/bound_sweep", |b| {
-        b.iter(|| e7_edit_copy::bound_sweep(black_box(Seconds::from_millis(45.0))))
-    });
-
-    let mut g = c.benchmark_group("edit_copy");
-    g.sample_size(10);
-    g.bench_function("live_concat_heal_play", |b| {
-        b.iter(|| black_box(e7_edit_copy::live_run().copied_blocks))
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("edit_copy");
+    suites::edit_copy::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

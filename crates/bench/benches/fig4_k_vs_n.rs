@@ -1,29 +1,11 @@
-//! E1 / Figure 4: timing of the admission-control round-size computation
-//! and regeneration of the full k(n) curve.
+//! Thin entry point for the `fig4` suite; definitions live in
+//! `strandfs_bench::suites::fig4`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::{e1_fig4, standard_video_spec, vintage_env};
-use strandfs_core::admission::Aggregates;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let env = vintage_env();
-    let spec = standard_video_spec();
-
-    c.bench_function("fig4/aggregates_n8", |b| {
-        let specs = vec![spec; 8];
-        b.iter(|| Aggregates::compute(black_box(&env), black_box(&specs)))
-    });
-
-    c.bench_function("fig4/k_transient_n8", |b| {
-        let agg = Aggregates::compute(&env, &[spec; 8]).unwrap();
-        b.iter(|| black_box(&agg).k_transient(black_box(8)))
-    });
-
-    c.bench_function("fig4/full_curve", |b| {
-        b.iter(|| e1_fig4::run(black_box(&env), black_box(spec)))
-    });
+fn main() {
+    let mut c = Runner::new("fig4");
+    suites::fig4::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

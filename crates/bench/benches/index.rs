@@ -1,38 +1,11 @@
-//! E10: the 3-level strand index — encode/decode and full
-//! store-and-reload through the simulated disk.
+//! Thin entry point for the `index` suite; definitions live in
+//! `strandfs_bench::suites::index`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e10_index;
-use strandfs_core::strand::index::{PrimaryBlock, PrimaryEntry};
-use strandfs_disk::Extent;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("index/primary_encode_decode", |b| {
-        let pb = PrimaryBlock {
-            entries: (0..42)
-                .map(|i| {
-                    if i % 5 == 0 {
-                        PrimaryEntry::SILENCE
-                    } else {
-                        PrimaryEntry::stored(Extent::new(i * 100, 8))
-                    }
-                })
-                .collect(),
-        };
-        b.iter(|| {
-            let bytes = black_box(&pb).encode(512);
-            PrimaryBlock::decode(black_box(&bytes)).unwrap()
-        })
-    });
-
-    let mut g = c.benchmark_group("index");
-    g.sample_size(10);
-    g.bench_function("build_and_reload_1000_blocks", |b| {
-        b.iter(|| black_box(e10_index::measure(1_000).index_sectors))
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("index");
+    suites::index::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,11 @@
-//! E4: buffering/read-ahead plans and anti-jitter arithmetic.
+//! Thin entry point for the `readahead` suite; definitions live in
+//! `strandfs_bench::suites::readahead`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::{e4_buffering, standard_video_stream, vintage_disk_params};
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let v = standard_video_stream();
-    let d = vintage_disk_params();
-
-    c.bench_function("readahead/sweep", |b| {
-        b.iter(|| e4_buffering::run(black_box(&v), black_box(&d)))
-    });
+fn main() {
+    let mut c = Runner::new("readahead");
+    suites::readahead::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

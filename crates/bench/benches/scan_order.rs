@@ -1,21 +1,11 @@
-//! E12: intra-round service ordering — the full record + play run under
-//! both orders.
+//! Thin entry point for the `scan_order` suite; definitions live in
+//! `strandfs_bench::suites::scan_order`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e12_scan;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scan_order");
-    g.sample_size(10);
-    g.bench_function("roundrobin_vs_scan_full_sim", |b| {
-        b.iter(|| {
-            let (rr, scan) = e12_scan::run();
-            black_box((rr.seek_time, scan.seek_time))
-        })
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("scan_order");
+    suites::scan_order::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

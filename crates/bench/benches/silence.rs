@@ -1,24 +1,11 @@
-//! E8: silence detection and elimination.
+//! Thin entry point for the `silence` suite; definitions live in
+//! `strandfs_bench::suites::silence`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e8_silence;
-use strandfs_media::silence::{SilenceDetector, TalkSpurtSource};
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("silence/classify_60s", |b| {
-        let samples = TalkSpurtSource::telephone(1).generate(8_000 * 60);
-        let d = SilenceDetector::telephone();
-        b.iter(|| d.silence_fraction(black_box(&samples), black_box(800)))
-    });
-
-    let mut g = c.benchmark_group("silence");
-    g.sample_size(10);
-    g.bench_function("record_30s_with_elimination", |b| {
-        b.iter(|| black_box(e8_silence::end_to_end().data_sectors))
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("silence");
+    suites::silence::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

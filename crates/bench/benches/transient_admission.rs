@@ -1,21 +1,11 @@
-//! E6: the full transient-admission simulation (record 9 clips, play 8,
-//! admit the 9th mid-flight) under both transition policies.
+//! Thin entry point for the `transient` suite; definitions live in
+//! `strandfs_bench::suites::transient`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e6_transient::{run, TransitionPolicy};
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transient");
-    g.sample_size(10);
-    g.bench_function("stepwise_full_sim", |b| {
-        b.iter(|| black_box(run(TransitionPolicy::StepWise).violations_existing))
-    });
-    g.bench_function("jump_full_sim", |b| {
-        b.iter(|| black_box(run(TransitionPolicy::Jump).violations_existing))
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("transient");
+    suites::transient::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,34 +1,11 @@
-//! E2: the unconstrained-allocation throughput model, plus a measured
-//! confirmation — random single-block reads on the simulated disk.
+//! Thin entry point for the `unconstrained` suite; definitions live in
+//! `strandfs_bench::suites::unconstrained`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e2_unconstrained;
-use strandfs_disk::{AccessKind, DiskGeometry, Extent, SeekModel, SimDisk};
-use strandfs_units::Instant;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("unconstrained/model_sweep", |b| {
-        b.iter(e2_unconstrained::run)
-    });
-
-    c.bench_function("unconstrained/simulated_random_reads", |b| {
-        b.iter(|| {
-            let mut disk =
-                SimDisk::new(DiskGeometry::projected_fast(), SeekModel::projected_fast());
-            let total = disk.geometry().total_sectors();
-            let mut t = Instant::EPOCH;
-            // 256 pseudo-random 8-sector (4 KB) reads.
-            let mut lba = 1u64;
-            for _ in 0..256 {
-                lba = (lba.wrapping_mul(6364136223846793005).wrapping_add(144)) % (total - 8);
-                let op = disk.access(t, Extent::new(lba, 8), AccessKind::Read);
-                t = op.completed;
-            }
-            black_box(t)
-        })
-    });
+fn main() {
+    let mut c = Runner::new("unconstrained");
+    suites::unconstrained::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,39 +1,11 @@
-//! E11: variable-bit-rate budgeting — analytic comparison and the full
-//! statistical-admission playback.
+//! Thin entry point for the `vbr` suite; definitions live in
+//! `strandfs_bench::suites::vbr`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use strandfs_bench::experiments::e11_vbr;
-use strandfs_core::model::vbr::VbrParams;
-use strandfs_media::VideoCodec;
-use strandfs_units::BitRate;
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("vbr/size_statistics_1800_frames", |b| {
-        let codec = VideoCodec::uvc_ntsc_vbr(7);
-        b.iter(|| {
-            VbrParams::from_codec(
-                black_box(&codec),
-                1_800,
-                BitRate::mbit_per_sec(138.24),
-                3,
-            )
-            .burstiness()
-        })
-    });
-
-    c.bench_function("vbr/analytic_comparison", |b| {
-        b.iter(|| black_box(e11_vbr::analytic().n_max_statistical))
-    });
-
-    let mut g = c.benchmark_group("vbr");
-    g.sample_size(10);
-    g.bench_function("statistical_playback_full_sim", |b| {
-        let n = e11_vbr::analytic().n_max_deterministic + 1;
-        b.iter(|| black_box(e11_vbr::play_statistical(n).violations))
-    });
-    g.finish();
+fn main() {
+    let mut c = Runner::new("vbr");
+    suites::vbr::register(&mut c);
+    c.report();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

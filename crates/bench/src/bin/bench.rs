@@ -1,0 +1,61 @@
+//! The aggregate bench runner: registers every suite, prints a report,
+//! and writes `BENCH_core.json` in the current directory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p strandfs-bench --release --bin bench [suite ...]
+//! ```
+//!
+//! With no arguments every suite runs; otherwise only the named ones
+//! (e.g. `bench fig4 allocators`). Sample counts and durations follow
+//! `STRANDFS_BENCH_SAMPLES` / `STRANDFS_BENCH_WARMUP_MS` /
+//! `STRANDFS_BENCH_SAMPLE_MS`.
+
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
+
+const SUITES: &[(&str, fn(&mut Runner))] = &[
+    ("fig4", suites::fig4::register),
+    ("unconstrained", suites::unconstrained::register),
+    ("architectures", suites::architectures::register),
+    ("readahead", suites::readahead::register),
+    ("capacity", suites::capacity::register),
+    ("transient", suites::transient::register),
+    ("edit_copy", suites::edit_copy::register),
+    ("silence", suites::silence::register),
+    ("allocators", suites::allocators::register),
+    ("index", suites::index::register),
+    ("vbr", suites::vbr::register),
+    ("scan_order", suites::scan_order::register),
+];
+
+fn main() {
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+    for w in &wanted {
+        if !SUITES.iter().any(|(name, _)| name == w) {
+            eprintln!("unknown suite `{w}`; available:");
+            for (name, _) in SUITES {
+                eprintln!("  {name}");
+            }
+            std::process::exit(2);
+        }
+    }
+
+    let mut c = Runner::new("core");
+    for (name, register) in SUITES {
+        if wanted.is_empty() || wanted.iter().any(|w| w == name) {
+            register(&mut c);
+        }
+    }
+    c.report();
+
+    let path = "BENCH_core.json";
+    match c.write_json(path) {
+        Ok(()) => eprintln!("wrote {path} ({} results)", c.results().len()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

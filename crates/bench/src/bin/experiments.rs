@@ -54,9 +54,7 @@ fn main() {
 
     println!("{}", e6_transient::table());
 
-    let (t7a, t7b) = e7_edit_copy::tables(
-        strandfs_disk_seek_max(),
-    );
+    let (t7a, t7b) = e7_edit_copy::tables(strandfs_disk_seek_max());
     println!("{t7a}");
     println!("{t7b}");
 

@@ -54,7 +54,9 @@ pub fn analytic() -> Analytic {
             unit_bits: s,
             unit_rate: 30.0,
         };
-        Aggregates::compute(&env, &[spec]).map(|a| a.n_max()).unwrap_or(0)
+        Aggregates::compute(&env, &[spec])
+            .map(|a| a.n_max())
+            .unwrap_or(0)
     };
     Analytic {
         burstiness: p.burstiness(),
@@ -117,8 +119,7 @@ pub fn play_statistical(n: usize) -> Played {
         .map(|r| {
             let rope = mrs.rope(*r).unwrap().clone();
             let mut s =
-                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration()))
-                    .unwrap();
+                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
             mrs.resolve_silence(&mut s).unwrap();
             s
         })
@@ -139,7 +140,10 @@ pub fn table() -> Table {
         "E11 / §6.2 — variable-rate compression: deterministic vs. statistical budgeting",
         &["quantity", "deterministic (s_max)", "statistical (s_mean)"],
     );
-    let fmt = |b: Option<f64>| b.map(|v| ms(v / 1e3)).unwrap_or_else(|| "infeasible".into());
+    let fmt = |b: Option<f64>| {
+        b.map(|v| ms(v / 1e3))
+            .unwrap_or_else(|| "infeasible".into())
+    };
     t.row(vec![
         "scattering bound (ms, pipelined, q=3)".into(),
         fmt(a.bound_deterministic_ms),

@@ -118,10 +118,8 @@ pub fn table() -> Table {
             r.seek_time.to_string(),
         ]);
     }
-    let seek_gain =
-        1.0 - scan.seek_time.as_nanos() as f64 / rr.seek_time.as_nanos().max(1) as f64;
-    let busy_gain =
-        1.0 - scan.disk_busy.as_nanos() as f64 / rr.disk_busy.as_nanos().max(1) as f64;
+    let seek_gain = 1.0 - scan.seek_time.as_nanos() as f64 / rr.seek_time.as_nanos().max(1) as f64;
+    let busy_gain = 1.0 - scan.disk_busy.as_nanos() as f64 / rr.disk_busy.as_nanos().max(1) as f64;
     t.note(format!(
         "SCAN cuts arm time by {:.1}% (total disk time by {:.1}%) — the headroom the paper's \
          pessimistic l_seek_max budgeting leaves on the table",

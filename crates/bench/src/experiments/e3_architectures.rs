@@ -83,11 +83,17 @@ pub fn max_rates(v: &VideoStream, r_dt: BitRate) -> Vec<RateRow> {
 pub fn tables(v: &VideoStream, r_dt: BitRate) -> (Table, Table) {
     let mut t1 = Table::new(
         "E3a / Eqs. 1-3 — admissible scattering bound (ms) vs. granularity q",
-        &["q (frames/blk)", "sequential (Eq.1)", "pipelined (Eq.2)", "concurrent p=4 (Eq.3)"],
+        &[
+            "q (frames/blk)",
+            "sequential (Eq.1)",
+            "pipelined (Eq.2)",
+            "concurrent p=4 (Eq.3)",
+        ],
     );
     for r in scattering_bounds(v, r_dt) {
         let fmt = |b: Option<Seconds>| {
-            b.map(|s| ms(s.get())).unwrap_or_else(|| "infeasible".into())
+            b.map(|s| ms(s.get()))
+                .unwrap_or_else(|| "infeasible".into())
         };
         t1.row(vec![
             r.q.to_string(),
@@ -123,8 +129,7 @@ mod tests {
         let v = standard_video_stream();
         let r_dt = vintage_disk_params().r_dt;
         for row in scattering_bounds(&v, r_dt) {
-            if let (Some(s), Some(p), Some(c)) = (row.sequential, row.pipelined, row.concurrent4)
-            {
+            if let (Some(s), Some(p), Some(c)) = (row.sequential, row.pipelined, row.concurrent4) {
                 assert!(s <= p, "q={}", row.q);
                 assert!(p <= c, "q={}", row.q);
             }

@@ -72,13 +72,20 @@ pub fn tables(v: &VideoStream, disk: &DiskParams) -> (Table, Table) {
 
     let mut t2 = Table::new(
         "E4b — fast-forward: scattering bound (ms) and buffer multiplier vs. speed",
-        &["speed", "skip: bound", "skip: buf x", "no-skip: bound", "no-skip: buf x"],
+        &[
+            "speed",
+            "skip: bound",
+            "skip: buf x",
+            "no-skip: bound",
+            "no-skip: buf x",
+        ],
     );
     for speed in [1.0, 2.0, 4.0, 8.0] {
         let skip = fast_forward_scattering(v, disk, speed, true);
         let noskip = fast_forward_scattering(v, disk, speed, false);
         let fmt = |b: Option<strandfs_units::Seconds>| {
-            b.map(|s| ms(s.get())).unwrap_or_else(|| "infeasible".into())
+            b.map(|s| ms(s.get()))
+                .unwrap_or_else(|| "infeasible".into())
         };
         t2.row(vec![
             format!("{speed}x"),

@@ -79,8 +79,7 @@ pub fn run(policy: TransitionPolicy) -> Outcome {
         .map(|r| {
             let rope = mrs.rope(*r).unwrap().clone();
             let mut s =
-                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration()))
-                    .unwrap();
+                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
             mrs.resolve_silence(&mut s).unwrap();
             s
         })

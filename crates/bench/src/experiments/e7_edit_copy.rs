@@ -84,7 +84,12 @@ pub fn tables(l_seek_max: Seconds) -> (Table, Table) {
     let run = live_run();
     let mut t2 = Table::new(
         "E7b / Fig. 10 — live CONCATE + healing on the vintage volume",
-        &["copied blocks", "total blocks", "copied %", "post-edit violations"],
+        &[
+            "copied blocks",
+            "total blocks",
+            "copied %",
+            "post-edit violations",
+        ],
     );
     t2.row(vec![
         run.copied_blocks.to_string(),

@@ -81,7 +81,11 @@ pub fn end_to_end() -> EndToEnd {
 pub fn tables() -> (Table, Table) {
     let mut t1 = Table::new(
         "E8a / §4 — silence-elimination savings vs. speech activity (1 s spurts)",
-        &["mean pause (s)", "nominal activity", "silent blocks (saved)"],
+        &[
+            "mean pause (s)",
+            "nominal activity",
+            "silent blocks (saved)",
+        ],
     );
     for r in detector_sweep() {
         t1.row(vec![
@@ -95,7 +99,13 @@ pub fn tables() -> (Table, Table) {
     let e = end_to_end();
     let mut t2 = Table::new(
         "E8b — audio strand footprint after recording 30 s of telephone speech",
-        &["blocks", "stored", "sectors used", "sectors w/o elimination", "saved"],
+        &[
+            "blocks",
+            "stored",
+            "sectors used",
+            "sectors w/o elimination",
+            "saved",
+        ],
     );
     t2.row(vec![
         e.audio_blocks.to_string(),

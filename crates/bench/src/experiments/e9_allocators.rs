@@ -57,8 +57,7 @@ fn run_policy(policy: AllocPolicy, label: &'static str) -> Row {
         .map(|r| {
             let rope = mrs.rope(*r).unwrap().clone();
             let mut s =
-                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration()))
-                    .unwrap();
+                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
             mrs.resolve_silence(&mut s).unwrap();
             s
         })
@@ -68,9 +67,7 @@ fn run_policy(policy: AllocPolicy, label: &'static str) -> Row {
     let stats = mrs.msm().disk().stats();
     let pos = (stats.seek_time + stats.rotation_time)
         .saturating_sub(busy_before.seek_time + busy_before.rotation_time);
-    let busy = stats
-        .busy_time()
-        .saturating_sub(busy_before.busy_time());
+    let busy = stats.busy_time().saturating_sub(busy_before.busy_time());
     Row {
         policy: label,
         violations: report.total_violations(),
@@ -102,7 +99,12 @@ pub fn run() -> Vec<Row> {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E9 / §3 — allocation policies under identical playback load (8 streams, k=11)",
-        &["policy", "violations", "max buffered (blks)", "positioning fraction"],
+        &[
+            "policy",
+            "violations",
+            "max buffered (blks)",
+            "positioning fraction",
+        ],
     );
     for r in run() {
         t.row(vec![

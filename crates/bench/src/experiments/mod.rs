@@ -1,5 +1,8 @@
 //! Experiment implementations, numbered per `DESIGN.md` §5.
 
+pub mod e10_index;
+pub mod e11_vbr;
+pub mod e12_scan;
 pub mod e1_fig4;
 pub mod e2_unconstrained;
 pub mod e3_architectures;
@@ -9,9 +12,6 @@ pub mod e6_transient;
 pub mod e7_edit_copy;
 pub mod e8_silence;
 pub mod e9_allocators;
-pub mod e10_index;
-pub mod e11_vbr;
-pub mod e12_scan;
 
 use strandfs_core::admission::{RequestSpec, ServiceEnv};
 use strandfs_core::model::{DiskParams, VideoStream};

@@ -6,13 +6,16 @@
 //!
 //! * `cargo run -p strandfs-bench --bin experiments` — regenerates every
 //!   table/figure as text (the source of `EXPERIMENTS.md`);
-//! * `cargo bench` — criterion benches timing the underlying machinery;
+//! * `cargo run -p strandfs-bench --release --bin bench` — the
+//!   self-contained bench runner ([`suites`]) timing the underlying
+//!   machinery and writing `BENCH_core.json`;
 //! * integration tests asserting the *shape* of each result (who wins,
 //!   where the crossovers fall).
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod suites;
 pub mod table;
 
 pub use table::Table;

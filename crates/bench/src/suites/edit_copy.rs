@@ -1,0 +1,20 @@
+//! E7: the boundary copy bounds and the live edit-and-heal pipeline.
+
+use crate::experiments::e7_edit_copy;
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+use strandfs_units::Seconds;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    c.bench_function("edit_copy/bound_sweep", |b| {
+        b.iter(|| e7_edit_copy::bound_sweep(black_box(Seconds::from_millis(45.0))))
+    });
+
+    let mut g = c.benchmark_group("edit_copy");
+    g.sample_size(10);
+    g.bench_function("live_concat_heal_play", |b| {
+        b.iter(|| black_box(e7_edit_copy::live_run().copied_blocks))
+    });
+    g.finish();
+}

@@ -1,0 +1,36 @@
+//! E10: the 3-level strand index — encode/decode and full
+//! store-and-reload through the simulated disk.
+
+use crate::experiments::e10_index;
+use std::hint::black_box;
+use strandfs_core::strand::index::{PrimaryBlock, PrimaryEntry};
+use strandfs_disk::Extent;
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    c.bench_function("index/primary_encode_decode", |b| {
+        let pb = PrimaryBlock {
+            entries: (0..42)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        PrimaryEntry::SILENCE
+                    } else {
+                        PrimaryEntry::stored(Extent::new(i * 100, 8))
+                    }
+                })
+                .collect(),
+        };
+        b.iter(|| {
+            let bytes = black_box(&pb).encode(512);
+            PrimaryBlock::decode(black_box(&bytes)).unwrap()
+        })
+    });
+
+    let mut g = c.benchmark_group("index");
+    g.sample_size(10);
+    g.bench_function("build_and_reload_1000_blocks", |b| {
+        b.iter(|| black_box(e10_index::measure(1_000).index_sectors))
+    });
+    g.finish();
+}

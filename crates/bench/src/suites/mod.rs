@@ -1,0 +1,40 @@
+//! Benchmark suites, one module per experiment family.
+//!
+//! Each module exposes `register(&mut Runner)`, so the same benchmark
+//! definitions back two entry points:
+//!
+//! * the per-suite bench targets (`cargo bench --bench fig4_k_vs_n`),
+//!   each a thin `main` over one `register`;
+//! * the aggregate runner (`cargo run -p strandfs-bench --release --bin
+//!   bench`), which registers every suite and writes `BENCH_core.json`.
+
+use strandfs_testkit::bench::Runner;
+
+pub mod allocators;
+pub mod architectures;
+pub mod capacity;
+pub mod edit_copy;
+pub mod fig4;
+pub mod index;
+pub mod readahead;
+pub mod scan_order;
+pub mod silence;
+pub mod transient;
+pub mod unconstrained;
+pub mod vbr;
+
+/// Register every suite on one runner (the `BENCH_core.json` set).
+pub fn register_all(c: &mut Runner) {
+    fig4::register(c);
+    unconstrained::register(c);
+    architectures::register(c);
+    readahead::register(c);
+    capacity::register(c);
+    transient::register(c);
+    edit_copy::register(c);
+    silence::register(c);
+    allocators::register(c);
+    index::register(c);
+    vbr::register(c);
+    scan_order::register(c);
+}

@@ -1,0 +1,19 @@
+//! E12: intra-round service ordering — the full record + play run under
+//! both orders.
+
+use crate::experiments::e12_scan;
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let mut g = c.benchmark_group("scan_order");
+    g.sample_size(10);
+    g.bench_function("roundrobin_vs_scan_full_sim", |b| {
+        b.iter(|| {
+            let (rr, scan) = e12_scan::run();
+            black_box((rr.seek_time, scan.seek_time))
+        })
+    });
+    g.finish();
+}

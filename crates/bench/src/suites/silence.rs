@@ -1,0 +1,22 @@
+//! E8: silence detection and elimination.
+
+use crate::experiments::e8_silence;
+use std::hint::black_box;
+use strandfs_media::silence::{SilenceDetector, TalkSpurtSource};
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    c.bench_function("silence/classify_60s", |b| {
+        let samples = TalkSpurtSource::telephone(1).generate(8_000 * 60);
+        let d = SilenceDetector::telephone();
+        b.iter(|| d.silence_fraction(black_box(&samples), black_box(800)))
+    });
+
+    let mut g = c.benchmark_group("silence");
+    g.sample_size(10);
+    g.bench_function("record_30s_with_elimination", |b| {
+        b.iter(|| black_box(e8_silence::end_to_end().data_sectors))
+    });
+    g.finish();
+}

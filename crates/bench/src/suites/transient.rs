@@ -1,0 +1,19 @@
+//! E6: the full transient-admission simulation (record 9 clips, play 8,
+//! admit the 9th mid-flight) under both transition policies.
+
+use crate::experiments::e6_transient::{run, TransitionPolicy};
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let mut g = c.benchmark_group("transient");
+    g.sample_size(10);
+    g.bench_function("stepwise_full_sim", |b| {
+        b.iter(|| black_box(run(TransitionPolicy::StepWise).violations_existing))
+    });
+    g.bench_function("jump_full_sim", |b| {
+        b.iter(|| black_box(run(TransitionPolicy::Jump).violations_existing))
+    });
+    g.finish();
+}

@@ -1,0 +1,32 @@
+//! E11: variable-bit-rate budgeting — analytic comparison and the full
+//! statistical-admission playback.
+
+use crate::experiments::e11_vbr;
+use std::hint::black_box;
+use strandfs_core::model::vbr::VbrParams;
+use strandfs_media::VideoCodec;
+use strandfs_testkit::bench::Runner;
+use strandfs_units::BitRate;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    c.bench_function("vbr/size_statistics_1800_frames", |b| {
+        let codec = VideoCodec::uvc_ntsc_vbr(7);
+        b.iter(|| {
+            VbrParams::from_codec(black_box(&codec), 1_800, BitRate::mbit_per_sec(138.24), 3)
+                .burstiness()
+        })
+    });
+
+    c.bench_function("vbr/analytic_comparison", |b| {
+        b.iter(|| black_box(e11_vbr::analytic().n_max_statistical))
+    });
+
+    let mut g = c.benchmark_group("vbr");
+    g.sample_size(10);
+    g.bench_function("statistical_playback_full_sim", |b| {
+        let n = e11_vbr::analytic().n_max_deterministic + 1;
+        b.iter(|| black_box(e11_vbr::play_statistical(n).violations))
+    });
+    g.finish();
+}

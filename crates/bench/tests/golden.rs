@@ -1,0 +1,73 @@
+//! Golden-value tests pinning a subset of `experiments_output.txt`: the
+//! E1 / Figure 4 `k(n)` tables and the E5 capacity sweeps. Any drift in
+//! the admission arithmetic (Eqs. 15–18) shows up here as an exact
+//! mismatch, with the blessed numbers visible in the diff.
+
+use strandfs_bench::experiments::{
+    e1_fig4, e5_capacity, projected_env, standard_video_spec, vintage_env,
+};
+
+#[test]
+fn e1_fig4_vintage_curve_is_pinned() {
+    let fig = e1_fig4::run(&vintage_env(), standard_video_spec());
+    assert_eq!(fig.n_max, 2);
+    assert_eq!(fig.points, vec![(1, 1, 1), (2, 2, 5)]);
+}
+
+#[test]
+fn e1_fig4_projected_curve_is_pinned() {
+    let fig = e1_fig4::run(&projected_env(), standard_video_spec());
+    assert_eq!(fig.n_max, 9);
+    assert_eq!(
+        fig.points,
+        vec![
+            (1, 1, 1),
+            (2, 1, 1),
+            (3, 1, 1),
+            (4, 1, 2),
+            (5, 2, 3),
+            (6, 2, 4),
+            (7, 3, 6),
+            (8, 6, 12),
+            (9, 23, 49),
+        ]
+    );
+}
+
+#[test]
+fn e5_granularity_sweep_is_pinned() {
+    let got = e5_capacity::granularity_sweep(&vintage_env(), standard_video_spec());
+    assert_eq!(
+        got,
+        vec![(1, 1), (2, 2), (3, 2), (6, 3), (12, 4), (24, 4), (48, 4)]
+    );
+}
+
+#[test]
+fn e5_scattering_sweep_is_pinned() {
+    let got = e5_capacity::scattering_sweep(&vintage_env(), standard_video_spec());
+    assert_eq!(
+        got,
+        vec![
+            (2.0, 4),
+            (5.0, 3),
+            (10.0, 3),
+            (15.0, 2),
+            (25.0, 2),
+            (40.0, 1),
+        ]
+    );
+}
+
+#[test]
+fn e5_rate_sweep_is_pinned() {
+    let got = e5_capacity::rate_sweep(&vintage_env(), standard_video_spec());
+    assert_eq!(got, vec![(1.0, 2), (2.0, 4), (4.0, 5), (8.0, 5)]);
+}
+
+#[test]
+fn e5_disk_generations_are_pinned() {
+    let spec = standard_video_spec();
+    assert_eq!(e5_capacity::n_max_at(&vintage_env(), spec), 2);
+    assert_eq!(e5_capacity::n_max_at(&projected_env(), spec), 9);
+}

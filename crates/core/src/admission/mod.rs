@@ -68,10 +68,7 @@ impl RequestSpec {
 
     /// True if all parameters are positive and finite.
     pub fn is_valid(&self) -> bool {
-        self.q > 0
-            && self.unit_bits.get() > 0
-            && self.unit_rate.is_finite()
-            && self.unit_rate > 0.0
+        self.q > 0 && self.unit_bits.get() > 0 && self.unit_rate.is_finite() && self.unit_rate > 0.0
     }
 }
 

@@ -197,8 +197,7 @@ pub fn check_msm(msm: &mut Msm, now: Instant) -> Report {
             match msm.load_strand(*id, header_extent, now) {
                 Ok(loaded) => {
                     let orig = msm.strand(*id).expect("listed id");
-                    if loaded.blocks() != orig.blocks()
-                        || loaded.unit_count() != orig.unit_count()
+                    if loaded.blocks() != orig.blocks() || loaded.unit_count() != orig.unit_count()
                     {
                         report.findings.push(Finding::IndexMismatch {
                             strand: *id,

@@ -128,10 +128,7 @@ mod tests {
                 buffers: 1
             }
         );
-        assert_eq!(
-            strict_plan(RetrievalArchitecture::Pipelined).buffers,
-            2
-        );
+        assert_eq!(strict_plan(RetrievalArchitecture::Pipelined).buffers, 2);
         assert_eq!(
             strict_plan(RetrievalArchitecture::Concurrent { p: 6 }).buffers,
             6

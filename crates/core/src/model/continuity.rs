@@ -115,9 +115,8 @@ pub fn max_scattering_mixed(
     r_dt: BitRate,
 ) -> Option<Seconds> {
     assert!(n >= 1, "audio block must span at least one video block");
-    let slack = v.block_playback() * n as f64
-        - v.block_transfer(r_dt) * n as f64
-        - a.block_transfer(r_dt);
+    let slack =
+        v.block_playback() * n as f64 - v.block_transfer(r_dt) * n as f64 - a.block_transfer(r_dt);
     bound_or_none(slack / (n as f64 + 1.0))
 }
 
@@ -258,7 +257,12 @@ mod tests {
         assert!((b2.get() - 0.090).abs() < 1e-9);
         assert!((b5.get() - 0.390).abs() < 1e-9);
         assert!(concurrent_ok(&v(), R_DT, b5, 5));
-        assert!(!concurrent_ok(&v(), R_DT, b5 + Seconds::from_millis(1.0), 5));
+        assert!(!concurrent_ok(
+            &v(),
+            R_DT,
+            b5 + Seconds::from_millis(1.0),
+            5
+        ));
     }
 
     #[test]
@@ -297,10 +301,7 @@ mod tests {
     fn mixed_n_greater_than_one() {
         // Audio blocks covering n=4 video blocks amortize the extra
         // audio fetch, so the per-gap bound improves over n=1.
-        let a4 = AudioStream {
-            q: 3_200,
-            ..a()
-        };
+        let a4 = AudioStream { q: 3_200, ..a() };
         let b1 = max_scattering_mixed(&v(), &a(), 1, R_DT).unwrap();
         let b4 = max_scattering_mixed(&v(), &a4, 4, R_DT).unwrap();
         assert!(b4 > b1, "b4 = {b4:?}, b1 = {b1:?}");

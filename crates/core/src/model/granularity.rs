@@ -72,9 +72,7 @@ pub fn derive_video_layout(
         r_vd: device.display_rate,
     };
     let bound = match arch {
-        RetrievalArchitecture::Sequential => {
-            continuity::max_scattering_sequential(&stream, r_dt)
-        }
+        RetrievalArchitecture::Sequential => continuity::max_scattering_sequential(&stream, r_dt),
         RetrievalArchitecture::Pipelined => continuity::max_scattering_pipelined(&stream, r_dt),
         RetrievalArchitecture::Concurrent { p } => {
             continuity::max_scattering_concurrent(&stream, r_dt, p)
@@ -129,7 +127,10 @@ pub fn sweep_buffering_blocks(
     cylinders: u64,
     desired_avg_seek: Seconds,
 ) -> u64 {
-    assert!(desired_avg_seek.get() > 0.0, "desired seek must be positive");
+    assert!(
+        desired_avg_seek.get() > 0.0,
+        "desired seek must be positive"
+    );
     ((adjacent_seek.get() * cylinders as f64) / desired_avg_seek.get()).ceil() as u64
 }
 
@@ -253,11 +254,8 @@ mod tests {
     #[test]
     fn sweep_buffering_formula() {
         // l_adj = 5 ms, 1000 cylinders, desired 20 ms -> 250 blocks.
-        let b = sweep_buffering_blocks(
-            Seconds::from_millis(5.0),
-            1_000,
-            Seconds::from_millis(20.0),
-        );
+        let b =
+            sweep_buffering_blocks(Seconds::from_millis(5.0), 1_000, Seconds::from_millis(20.0));
         assert_eq!(b, 250);
     }
 }

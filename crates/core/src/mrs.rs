@@ -248,13 +248,10 @@ impl Mrs {
         payload: &[u8],
     ) -> Result<Option<DiskOp>, FsError> {
         let state = self.record_state(req)?;
-        let track = state
-            .video
-            .as_mut()
-            .ok_or(FsError::BadRequestState {
-                request: req,
-                expected: "session recording video",
-            })?;
+        let track = state.video.as_mut().ok_or(FsError::BadRequestState {
+            request: req,
+            expected: "session recording video",
+        })?;
         track.pending.extend_from_slice(payload);
         track.pending_units += 1;
         track.units_total += 1;
@@ -285,13 +282,10 @@ impl Mrs {
         let mut flushes: Vec<(StrandId, Option<Vec<u8>>, u64)> = Vec::new();
         {
             let state = self.record_state(req)?;
-            let track = state
-                .audio
-                .as_mut()
-                .ok_or(FsError::BadRequestState {
-                    request: req,
-                    expected: "session recording audio",
-                })?;
+            let track = state.audio.as_mut().ok_or(FsError::BadRequestState {
+                request: req,
+                expected: "session recording audio",
+            })?;
             let q = track.opts.meta.granularity;
             track.pending_samples.extend_from_slice(samples);
             track.units_total += samples.len() as u64;
@@ -306,8 +300,10 @@ impl Mrs {
                 if silent {
                     flushes.push((track.strand, None, q));
                 } else {
-                    let payload: Vec<u8> =
-                        block.iter().map(|&s| s.clamp(-128, 127) as i8 as u8).collect();
+                    let payload: Vec<u8> = block
+                        .iter()
+                        .map(|&s| s.clamp(-128, 127) as i8 as u8)
+                        .collect();
                     flushes.push((track.strand, Some(payload), q));
                 }
             }
@@ -379,9 +375,7 @@ impl Mrs {
                 let mut t = now;
                 let mut video_ref = None;
                 let mut audio_ref = None;
-                for (is_video, track) in
-                    [(true, r.video.as_mut()), (false, r.audio.as_mut())]
-                {
+                for (is_video, track) in [(true, r.video.as_mut()), (false, r.audio.as_mut())] {
                     let Some(track) = track else { continue };
                     // Flush partials.
                     if !is_video {
@@ -392,14 +386,16 @@ impl Mrs {
                                 .map(|&s| s.clamp(-128, 127) as i8 as u8)
                                 .collect();
                             let units = track.pending_samples.len() as u64;
-                            let (_, op) = self.msm.append_block(track.strand, t, &payload, units)?;
+                            let (_, op) =
+                                self.msm.append_block(track.strand, t, &payload, units)?;
                             t = op.completed;
                             track.pending_samples.clear();
                         }
                     } else if track.pending_units > 0 {
                         let data = std::mem::take(&mut track.pending);
                         let (_, op) =
-                            self.msm.append_block(track.strand, t, &data, track.pending_units)?;
+                            self.msm
+                                .append_block(track.strand, t, &data, track.pending_units)?;
                         t = op.completed;
                         track.pending_units = 0;
                     }
@@ -1356,10 +1352,7 @@ mod tests {
         assert!(!collected.is_empty());
         // Space was reclaimed.
         for id in collected {
-            assert!(matches!(
-                m.msm().strand(id),
-                Err(FsError::UnknownStrand(_))
-            ));
+            assert!(matches!(m.msm().strand(id), Err(FsError::UnknownStrand(_))));
         }
     }
 
@@ -1423,10 +1416,7 @@ mod tests {
         let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(dur)).unwrap();
         let slow = apply_play_mode(&base, 0.5, false);
         assert_eq!(slow.items.len(), base.items.len());
-        assert_eq!(
-            slow.duration,
-            Nanos::from_secs_f64(dur.as_secs_f64() * 2.0)
-        );
+        assert_eq!(slow.duration, Nanos::from_secs_f64(dur.as_secs_f64() * 2.0));
     }
 
     #[test]
@@ -1476,7 +1466,10 @@ mod tests {
         let rope = m.rope(rope_id).unwrap().clone();
         assert_eq!(rope.segments[0].video.unwrap().strand, new);
         // The old strand was garbage-collected.
-        assert!(matches!(m.msm().strand(old), Err(FsError::UnknownStrand(_))));
+        assert!(matches!(
+            m.msm().strand(old),
+            Err(FsError::UnknownStrand(_))
+        ));
         // Content identical block for block.
         let s = m.msm().strand(new).unwrap();
         assert_eq!(s.block_count(), 20);

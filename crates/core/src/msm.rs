@@ -128,8 +128,12 @@ impl Msm {
     /// mapping the sector bounds back through the disk model.
     pub fn scattering_time_bounds(&self) -> (Seconds, Seconds) {
         let spc = self.disk.geometry().sectors_per_cylinder().max(1);
-        let lo = self.disk.positioning_time(self.gap_bounds.min_sectors / spc);
-        let hi = self.disk.positioning_time(self.gap_bounds.max_sectors / spc);
+        let lo = self
+            .disk
+            .positioning_time(self.gap_bounds.min_sectors / spc);
+        let hi = self
+            .disk
+            .positioning_time(self.gap_bounds.max_sectors / spc);
         (lo, hi)
     }
 
@@ -212,10 +216,7 @@ impl Msm {
     /// strand. Returns the header-block extent (the strand's on-disk
     /// root).
     pub fn finish_strand(&mut self, id: StrandId, now: Instant) -> Result<Extent, FsError> {
-        let state = self
-            .strands
-            .remove(&id)
-            .ok_or(FsError::UnknownStrand(id))?;
+        let state = self.strands.remove(&id).ok_or(FsError::UnknownStrand(id))?;
         let builder = match state {
             StrandState::Recording(b) => b,
             StrandState::Finished(s) => {
@@ -224,12 +225,8 @@ impl Msm {
             }
         };
         let meta = *builder.meta();
-        let (header_extent, index_extents) = self.write_index(
-            builder.blocks().to_vec(),
-            builder.unit_count(),
-            &meta,
-            now,
-        )?;
+        let (header_extent, index_extents) =
+            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, now)?;
         let strand = builder.freeze(index_extents);
         self.strands.insert(id, StrandState::Finished(strand));
         Ok(header_extent)
@@ -447,7 +444,8 @@ impl Msm {
                 (left, left.end_block() + 1 - plan.count, anchor)
             }
         };
-        let new_id = self.copy_blocks_to_new_strand(src.strand, first_block, plan.count, anchor, now)?;
+        let new_id =
+            self.copy_blocks_to_new_strand(src.strand, first_block, plan.count, anchor, now)?;
         Ok(Some((plan, new_id)))
     }
 
@@ -611,11 +609,13 @@ mod tests {
         };
         let id = m.begin_strand(meta);
         let used_before = m.allocator().freemap().used();
-        m.append_block(id, Instant::EPOCH, &[1u8; 800], 800).unwrap();
+        m.append_block(id, Instant::EPOCH, &[1u8; 800], 800)
+            .unwrap();
         let after_block = m.allocator().freemap().used();
         m.append_silence(id, 800).unwrap();
         assert_eq!(m.allocator().freemap().used(), after_block);
-        m.append_block(id, Instant::EPOCH, &[2u8; 800], 800).unwrap();
+        m.append_block(id, Instant::EPOCH, &[2u8; 800], 800)
+            .unwrap();
         m.finish_strand(id, Instant::EPOCH).unwrap();
         assert!(after_block > used_before);
         let (p, op) = m.read_block(id, 1, Instant::EPOCH).unwrap();
@@ -668,10 +668,7 @@ mod tests {
         let ghost = StrandId::from_raw(999);
         assert!(matches!(m.strand(ghost), Err(FsError::UnknownStrand(_))));
         let rec = m.begin_strand(video_meta());
-        assert!(matches!(
-            m.strand(rec),
-            Err(FsError::StrandNotFinished(_))
-        ));
+        assert!(matches!(m.strand(rec), Err(FsError::StrandNotFinished(_))));
         assert!(matches!(
             m.delete_strand(rec),
             Err(FsError::StrandNotFinished(_))
@@ -733,8 +730,8 @@ mod tests {
             .store_text_file(&vec![0xAAu8; 2_000], Instant::EPOCH)
             .unwrap();
         assert_eq!(exts.len(), 4); // 2000 bytes / 512 = 4 sectors
-        // Infill never overlaps media blocks (enforced by the free map;
-        // would have panicked otherwise).
+                                   // Infill never overlaps media blocks (enforced by the free map;
+                                   // would have panicked otherwise).
     }
 
     #[test]

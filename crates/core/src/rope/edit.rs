@@ -120,10 +120,7 @@ impl Piece {
             return (*self, Piece::gap(Nanos::ZERO));
         }
         match self.r {
-            None => (
-                Piece::gap(off),
-                Piece::gap(self.dur - off),
-            ),
+            None => (Piece::gap(off), Piece::gap(self.dur - off)),
             Some(r) => {
                 let (l, rt) = r.split_at(off);
                 (
@@ -261,8 +258,16 @@ fn from_tracks(video: Track, audio: Track) -> Vec<Segment> {
                 let (vl, vr) = v.split_at(cut);
                 let (al, ar) = a.split_at(cut);
                 out.push(Segment::with_duration(vl.r, al.r, cut));
-                cv = if vr.dur.is_zero() { vi.next() } else { Some(vr) };
-                ca = if ar.dur.is_zero() { ai.next() } else { Some(ar) };
+                cv = if vr.dur.is_zero() {
+                    vi.next()
+                } else {
+                    Some(vr)
+                };
+                ca = if ar.dur.is_zero() {
+                    ai.next()
+                } else {
+                    Some(ar)
+                };
             }
         }
     }
@@ -323,7 +328,11 @@ pub fn delete(base: &Rope, sel: MediaSel, iv: Interval) -> Result<Rope, FsError>
                 .iter()
                 .filter(|t| t.at < iv.start || t.at >= iv.end())
                 .map(|t| Trigger {
-                    at: if t.at >= iv.end() { t.at - iv.len } else { t.at },
+                    at: if t.at >= iv.end() {
+                        t.at - iv.len
+                    } else {
+                        t.at
+                    },
                     text: t.text.clone(),
                 })
                 .collect();
@@ -472,8 +481,10 @@ mod tests {
     /// A 10 s AV rope: video strand 1, audio strand 2.
     fn av_rope() -> Rope {
         let mut r = Rope::new(RopeId::from_raw(1), "alice");
-        r.segments
-            .push(Segment::new(Some(vref(1, 0, 300)), Some(aref(2, 0, 80_000))));
+        r.segments.push(Segment::new(
+            Some(vref(1, 0, 300)),
+            Some(aref(2, 0, 80_000)),
+        ));
         r.triggers.push(Trigger {
             at: Nanos::from_secs(2),
             text: "title".into(),
@@ -488,8 +499,10 @@ mod tests {
     /// A 4 s AV rope on strands 3/4.
     fn clip_rope() -> Rope {
         let mut r = Rope::new(RopeId::from_raw(2), "bob");
-        r.segments
-            .push(Segment::new(Some(vref(3, 0, 120)), Some(aref(4, 0, 32_000))));
+        r.segments.push(Segment::new(
+            Some(vref(3, 0, 120)),
+            Some(aref(4, 0, 32_000)),
+        ));
         r
     }
 
@@ -592,7 +605,10 @@ mod tests {
             Interval::whole(clip.duration()),
         )
         .unwrap();
-        assert_eq!(at_start.segments[0].video.unwrap().strand, StrandId::from_raw(3));
+        assert_eq!(
+            at_start.segments[0].video.unwrap().strand,
+            StrandId::from_raw(3)
+        );
         let at_end = insert(
             &base,
             base.duration(),

@@ -408,7 +408,9 @@ mod tests {
         assert!(rope.check_invariants().is_err());
 
         let mut rope2 = Rope::new(RopeId::from_raw(2), "alice");
-        rope2.segments.push(Segment::new(Some(vref(1, 0, 30)), None));
+        rope2
+            .segments
+            .push(Segment::new(Some(vref(1, 0, 30)), None));
         rope2.triggers.push(Trigger {
             at: Nanos::from_secs(99),
             text: "late".into(),

@@ -41,14 +41,20 @@ pub enum Occupancy {
 /// Eq. 19: blocks to copy on a sparsely-occupied disk,
 /// `⌈l_seek_max / (2·l_lower)⌉`.
 pub fn copy_bound_sparse(l_seek_max: Seconds, l_lower: Seconds) -> u64 {
-    assert!(l_lower.get() > 0.0, "scattering lower bound must be positive");
+    assert!(
+        l_lower.get() > 0.0,
+        "scattering lower bound must be positive"
+    );
     (l_seek_max.get() / (2.0 * l_lower.get())).ceil() as u64
 }
 
 /// Eq. 20: blocks to copy on a densely-occupied disk,
 /// `⌈l_seek_max / l_lower⌉`.
 pub fn copy_bound_dense(l_seek_max: Seconds, l_lower: Seconds) -> u64 {
-    assert!(l_lower.get() > 0.0, "scattering lower bound must be positive");
+    assert!(
+        l_lower.get() > 0.0,
+        "scattering lower bound must be positive"
+    );
     (l_seek_max.get() / l_lower.get()).ceil() as u64
 }
 

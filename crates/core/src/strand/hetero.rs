@@ -13,8 +13,8 @@
 //! strand whose `medium` is video (the pacing medium) and whose block
 //! payloads use this encoding.
 
+use super::wire::{PutLe, TakeLe};
 use crate::error::FsError;
-use bytes::{Buf, BufMut};
 
 const HETERO_MAGIC: u32 = 0x5342_4c4d; // "MBLS"
 

@@ -16,8 +16,8 @@
 //! builder can split the index across blocks exactly as a real volume
 //! would.
 
+use super::wire::{PutLe, TakeLe};
 use crate::error::FsError;
-use bytes::{Buf, BufMut};
 use strandfs_disk::Extent;
 use strandfs_media::Medium;
 
@@ -478,7 +478,9 @@ mod tests {
         };
         assert!(matches!(
             HeaderBlock::decode(&hb_bytes),
-            Err(FsError::CorruptIndex { what: "header medium" })
+            Err(FsError::CorruptIndex {
+                what: "header medium"
+            })
         ));
     }
 

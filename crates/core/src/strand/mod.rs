@@ -7,6 +7,7 @@
 
 pub mod hetero;
 pub mod index;
+pub mod wire;
 
 use crate::error::FsError;
 use crate::types::{BlockNo, StrandId};
@@ -318,7 +319,11 @@ mod tests {
         assert_eq!(s.block(4).unwrap(), Some(Extent::new(400, 8)));
         assert!(matches!(
             s.block(5),
-            Err(FsError::BlockOutOfRange { block: 5, len: 5, .. })
+            Err(FsError::BlockOutOfRange {
+                block: 5,
+                len: 5,
+                ..
+            })
         ));
         assert_eq!(s.block_of_unit(0).unwrap(), 0);
         assert_eq!(s.block_of_unit(3).unwrap(), 1);
@@ -349,7 +354,10 @@ mod tests {
         assert_eq!(s.unit_count(), 2_400);
         assert_eq!(s.data_sectors(), 4);
         let stored: Vec<_> = s.stored_iter().collect();
-        assert_eq!(stored, vec![(0, Extent::new(0, 2)), (2, Extent::new(50, 2))]);
+        assert_eq!(
+            stored,
+            vec![(0, Extent::new(0, 2)), (2, Extent::new(50, 2))]
+        );
     }
 
     #[test]

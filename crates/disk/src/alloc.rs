@@ -20,10 +20,8 @@
 use crate::disk::SimDisk;
 use crate::freemap::FreeMap;
 use crate::geometry::{Extent, Lba};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
-use strandfs_units::Seconds;
+use strandfs_units::{Prng, Seconds};
 
 /// Bounds on the separation between the end of one block of a strand and
 /// the start of the next, in sectors.
@@ -163,7 +161,7 @@ pub struct AllocStats {
 pub struct Allocator {
     map: FreeMap,
     policy: AllocPolicy,
-    rng: StdRng,
+    rng: Prng,
     stats: AllocStats,
 }
 
@@ -173,7 +171,7 @@ impl Allocator {
         Allocator {
             map: FreeMap::new(total_sectors),
             policy,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             stats: AllocStats::default(),
         }
     }
@@ -513,12 +511,8 @@ mod tests {
     #[test]
     fn gap_bounds_with_lower_floor() {
         let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
-        let b = GapBounds::from_times(
-            &disk,
-            Seconds::from_millis(9.0),
-            Seconds::from_millis(25.0),
-        )
-        .unwrap();
+        let b = GapBounds::from_times(&disk, Seconds::from_millis(9.0), Seconds::from_millis(25.0))
+            .unwrap();
         assert!(b.min_sectors > 0);
         assert!(b.min_sectors <= b.max_sectors);
         // Crossed bounds are rejected.

@@ -195,7 +195,8 @@ mod tests {
     fn members_keep_independent_arm_positions() {
         let mut a = array(2);
         let far = a.disk(0).geometry().sectors_per_cylinder() * 30;
-        a.disk_mut(0).access(Instant::EPOCH, Extent::new(far, 1), AccessKind::Read);
+        a.disk_mut(0)
+            .access(Instant::EPOCH, Extent::new(far, 1), AccessKind::Read);
         assert_eq!(a.disk(0).head_cylinder(), 30);
         assert_eq!(a.disk(1).head_cylinder(), 0);
     }

@@ -223,7 +223,11 @@ impl SimDisk {
         let last_cyl = g.cylinder_of(extent.end() - 1);
         let cyl_switches = last_cyl - first_cyl;
         total += g.head_switch.to_nanos().mul_u64(track_switches);
-        total += self.seek_model.seek_time(1).to_nanos().mul_u64(cyl_switches);
+        total += self
+            .seek_model
+            .seek_time(1)
+            .to_nanos()
+            .mul_u64(cyl_switches);
         total
     }
 
@@ -324,8 +328,16 @@ mod tests {
         let mut d1 = disk();
         let mut d2 = disk();
         let e = Extent::new(5, 1);
-        let a = d1.access(Instant::EPOCH + Nanos::from_micros(123), e, AccessKind::Read);
-        let b = d2.access(Instant::EPOCH + Nanos::from_micros(123), e, AccessKind::Read);
+        let a = d1.access(
+            Instant::EPOCH + Nanos::from_micros(123),
+            e,
+            AccessKind::Read,
+        );
+        let b = d2.access(
+            Instant::EPOCH + Nanos::from_micros(123),
+            e,
+            AccessKind::Read,
+        );
         assert_eq!(a.rotation, b.rotation);
         assert_eq!(a.completed, b.completed);
     }

@@ -156,10 +156,7 @@ impl FreeMap {
         if self.free == 0 {
             return 0.0;
         }
-        let largest = self
-            .largest_free_extent()
-            .map(|e| e.sectors)
-            .unwrap_or(0);
+        let largest = self.largest_free_extent().map(|e| e.sectors).unwrap_or(0);
         1.0 - largest as f64 / self.free as f64
     }
 }

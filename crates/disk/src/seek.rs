@@ -75,7 +75,9 @@ impl SeekModel {
                 if distance <= threshold {
                     settle + accel * (distance as f64).sqrt()
                 } else {
-                    settle + accel * (threshold as f64).sqrt() + linear * (distance - threshold) as f64
+                    settle
+                        + accel * (threshold as f64).sqrt()
+                        + linear * (distance - threshold) as f64
                 }
             }
         }
@@ -164,7 +166,11 @@ mod tests {
 
     #[test]
     fn monotone_non_decreasing() {
-        for m in [affine(), SeekModel::vintage_1991(), SeekModel::projected_fast()] {
+        for m in [
+            affine(),
+            SeekModel::vintage_1991(),
+            SeekModel::projected_fast(),
+        ] {
             let mut prev = Seconds::ZERO;
             for d in 0..2_000 {
                 let t = m.seek_time(d);
@@ -202,10 +208,7 @@ mod tests {
         // Budget below any non-zero seek.
         assert_eq!(m.max_distance_within(Seconds::from_millis(1.0), 100), None);
         // Budget above full stroke.
-        assert_eq!(
-            m.max_distance_within(Seconds::new(10.0), 100),
-            Some(99)
-        );
+        assert_eq!(m.max_distance_within(Seconds::new(10.0), 100), Some(99));
         assert_eq!(m.max_distance_within(Seconds::new(10.0), 0), None);
     }
 

@@ -10,9 +10,7 @@
 //! stream.
 
 use crate::format::VideoFormat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use strandfs_units::{Bits, Seconds};
+use strandfs_units::{Bits, Prng, Seconds};
 
 /// How compressed frame sizes vary over time.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -143,8 +141,7 @@ impl VideoCodec {
                 // the scene grid: frame `i` is intra iff a per-frame coin
                 // with probability 1/mean_scene_len lands heads.
                 let mut rng = self.frame_rng(index);
-                let is_intra =
-                    index == 0 || rng.gen_range(0..mean_scene_len.max(1)) == 0;
+                let is_intra = index == 0 || rng.gen_range(0..mean_scene_len.max(1)) == 0;
                 let base = if is_intra { intra_ratio } else { inter_ratio };
                 let j = 1.0 + rng.gen_range(-jitter..=jitter);
                 raw * base * j
@@ -174,18 +171,13 @@ impl VideoCodec {
     pub fn frame_payload(&self, index: u64, bytes: usize) -> Vec<u8> {
         let mut rng = self.frame_rng(index ^ 0x5061_796c_6f61_6421);
         let mut out = vec![0u8; bytes];
-        rng.fill(&mut out[..]);
+        rng.fill_bytes(&mut out[..]);
         out
     }
 
-    fn frame_rng(&self, index: u64) -> StdRng {
+    fn frame_rng(&self, index: u64) -> Prng {
         // Mix seed and index through splitmix64 for decorrelated streams.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        StdRng::seed_from_u64(z ^ (z >> 31))
+        Prng::seed_from_u64(strandfs_units::prng::mix_seed(self.seed, index))
     }
 }
 

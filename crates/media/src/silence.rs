@@ -6,8 +6,7 @@
 //! provides the detector; the strand layer turns classified-silent blocks
 //! into index holes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use strandfs_units::Prng;
 
 /// Classification of one block of audio samples.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,7 +87,7 @@ impl SilenceDetector {
 /// geometrically-distributed length and near-zero samples in the gaps.
 #[derive(Clone, Debug)]
 pub struct TalkSpurtSource {
-    rng: StdRng,
+    rng: Prng,
     /// Probability a spurt continues at each sample.
     spurt_continue: f64,
     /// Probability a pause continues at each sample.
@@ -104,7 +103,7 @@ impl TalkSpurtSource {
         assert!(mean_spurt > 0 && mean_pause > 0, "means must be positive");
         assert!(amplitude > 0, "amplitude must be positive");
         TalkSpurtSource {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             spurt_continue: 1.0 - 1.0 / mean_spurt as f64,
             pause_continue: 1.0 - 1.0 / mean_pause as f64,
             in_spurt: true,
@@ -127,7 +126,7 @@ impl TalkSpurtSource {
             } else {
                 self.pause_continue
             };
-            if self.rng.gen::<f64>() >= cont {
+            if self.rng.gen_f64() >= cont {
                 self.in_spurt = !self.in_spurt;
             }
             if self.in_spurt {

@@ -157,7 +157,10 @@ mod tests {
         assert_eq!(a.blocks(), 100);
         let s = a.savings();
         assert!(s > 0.0 && s < 1.0, "savings = {s}");
-        assert_eq!(a.audible_blocks() + (a.savings() * 100.0).round() as usize, 100);
+        assert_eq!(
+            a.audible_blocks() + (a.savings() * 100.0).round() as usize,
+            100
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl SimReport {
 
     /// The largest buffer backlog any stream needed.
     pub fn max_buffered(&self) -> u64 {
-        self.streams.iter().map(|s| s.max_buffered).max().unwrap_or(0)
+        self.streams
+            .iter()
+            .map(|s| s.max_buffered)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -138,8 +138,7 @@ impl StreamState {
             violations,
             max_lateness: lateness.iter().copied().max().unwrap_or(Nanos::ZERO),
             lateness: NanosSummary::of(lateness),
-            start_latency: display_start
-                - self.service_start.expect("display implies service"),
+            start_latency: display_start - self.service_start.expect("display implies service"),
             max_buffered,
         }
     }
@@ -200,7 +199,11 @@ pub fn simulate_with_arrivals_ordered(
         pending.retain(|(at, idx)| {
             if *at <= round {
                 order.push(*idx);
-                true_marker(&mut states[*idx], k_of_round(round, order.len()), &read_ahead_of_k);
+                true_marker(
+                    &mut states[*idx],
+                    k_of_round(round, order.len()),
+                    &read_ahead_of_k,
+                );
                 false
             } else {
                 true
@@ -263,11 +266,7 @@ pub fn simulate_with_arrivals_ordered(
     }
 }
 
-fn true_marker(
-    state: &mut StreamState,
-    k_now: u64,
-    read_ahead_of_k: &impl Fn(u64) -> u64,
-) {
+fn true_marker(state: &mut StreamState, k_now: u64, read_ahead_of_k: &impl Fn(u64) -> u64) {
     state.read_ahead = read_ahead_of_k(k_now).max(1);
 }
 

@@ -109,9 +109,7 @@ pub fn volume_on(
     let ropes = clips
         .iter()
         .enumerate()
-        .map(|(i, c)| {
-            record_clip(&mut mrs, &c.with_seed(c.seed + i as u64)).expect("record clip")
-        })
+        .map(|(i, c)| record_clip(&mut mrs, &c.with_seed(c.seed + i as u64)).expect("record clip"))
         .collect();
     (mrs, ropes)
 }
@@ -148,8 +146,8 @@ pub fn record_clip(mrs: &mut Mrs, spec: &ClipSpec) -> Result<RopeId, FsError> {
         }
     }
     if spec.audio {
-        let samples = TalkSpurtSource::telephone(spec.seed)
-            .generate((8_000.0 * spec.seconds) as usize);
+        let samples =
+            TalkSpurtSource::telephone(spec.seed).generate((8_000.0 * spec.seconds) as usize);
         for chunk in samples.chunks(4_000) {
             let ops = mrs.record_audio_samples(req, t, chunk)?;
             if let Some(op) = ops.last() {

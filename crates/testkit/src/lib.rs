@@ -1,0 +1,27 @@
+//! Self-contained test and benchmark infrastructure for strandfs.
+//!
+//! The build environment has no network and no registry cache, so the
+//! workspace vendors the two pieces of developer tooling it used to pull
+//! from crates.io:
+//!
+//! * [`prop`] — a property-testing harness in the spirit of `proptest`:
+//!   strategies generate random inputs from the shared seeded
+//!   [`strandfs_units::Prng`], a runner drives N cases, and failures are
+//!   iteratively shrunk to a minimal counterexample. The seed is
+//!   overridable via `STRANDFS_TEST_SEED` and printed on failure, so any
+//!   counterexample is reproducible by exporting one variable.
+//! * [`bench`] — a benchmark runner in the spirit of `criterion`:
+//!   warmup, automatic batch sizing, timed samples, median/p95
+//!   statistics, and machine-readable JSON output for `BENCH_*.json`.
+//!
+//! Both harnesses are deterministic where it matters: property tests
+//! replay bit-identically for a fixed seed, and bench *structure* (which
+//! benchmarks run, in what order) never depends on timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+
+pub use prop::{any_bool, check, check_with, just, vec, CaseError, Config, Strategy};

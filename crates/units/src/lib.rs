@@ -12,16 +12,20 @@
 //!   equations where fractional seconds are natural.
 //! * [`Bytes`] / [`Bits`] — data sizes.
 //! * [`BitRate`], [`FrameRate`], [`SampleRate`] — rates.
+//! * [`Prng`] — a seeded, dependency-free xoshiro256** generator used by
+//!   every synthetic device and workload for reproducible experiments.
 //!
 //! Conversions between the exact and analytic domains are explicit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prng;
 mod rate;
 mod size;
 mod time;
 
+pub use prng::Prng;
 pub use rate::{BitRate, FrameRate, SampleRate};
 pub use size::{Bits, Bytes};
 pub use time::{Instant, Nanos, Seconds};

@@ -53,9 +53,11 @@ fn main() {
                         layout.scattering_upper.get() * 1e3
                     );
                     // Map the time bound to an allocator gap bound.
-                    if let Some(gaps) =
-                        GapBounds::from_times(&disk, strandfs::units::Seconds::new(0.0), layout.scattering_upper)
-                    {
+                    if let Some(gaps) = GapBounds::from_times(
+                        &disk,
+                        strandfs::units::Seconds::new(0.0),
+                        layout.scattering_upper,
+                    ) {
                         println!(
                             "      allocator gap bound: <= {} sectors (~{} cylinders)",
                             gaps.max_sectors,
@@ -94,7 +96,10 @@ fn main() {
             unit_rate: 30.0,
         };
         let agg = Aggregates::compute(&env, &[spec]).unwrap();
-        println!("  capacity: n_max = {} concurrent NTSC streams", agg.n_max());
+        println!(
+            "  capacity: n_max = {} concurrent NTSC streams",
+            agg.n_max()
+        );
         for n in 1..=agg.n_max() {
             let specs = vec![spec; n];
             let agg_n = Aggregates::compute(&env, &specs).unwrap();
@@ -102,10 +107,7 @@ fn main() {
                 "    n = {n}: k = {} blocks/round (Eq.18), round <= {:.0} ms vs budget {:.0} ms",
                 agg_n.k_transient(n).unwrap(),
                 agg_n.round_time(n, agg_n.k_transient(n).unwrap()).get() * 1e3,
-                agg_n
-                    .playback_budget(agg_n.k_transient(n).unwrap())
-                    .get()
-                    * 1e3,
+                agg_n.playback_budget(agg_n.k_transient(n).unwrap()).get() * 1e3,
             );
         }
         println!();

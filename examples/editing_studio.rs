@@ -141,18 +141,17 @@ fn main() {
     );
 
     // The edited rope still plays continuously.
-    let mut schedule = compile_schedule(
-        &story,
-        MediaSel::Both,
-        Interval::whole(story.duration()),
-    )
-    .unwrap();
+    let mut schedule =
+        compile_schedule(&story, MediaSel::Both, Interval::whole(story.duration())).unwrap();
     mrs.resolve_silence(&mut schedule).unwrap();
     let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
     println!(
         "playback of the cut: {} blocks, {} violations",
         report.streams[0].blocks, report.streams[0].violations
     );
-    assert!(report.all_continuous(), "edited rope must play continuously");
+    assert!(
+        report.all_continuous(),
+        "edited rope must play continuously"
+    );
     println!("OK — copy-free editing with bounded healing and safe GC.");
 }

@@ -100,8 +100,7 @@ fn main() {
     // Scrub controls: preview track A at 4x with skipping, then replay
     // the chorus in slow motion.
     let rope = mrs.rope(track_a).unwrap().clone();
-    let base =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let mut preview = apply_play_mode(&base, 4.0, true);
     mrs.resolve_silence(&mut preview).unwrap();
     println!(

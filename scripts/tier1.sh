@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The tier-1 gate: formatting, then a fully offline build and test run.
+# The workspace has zero external dependencies, so --offline must always
+# succeed; any accidental reintroduction of a crates.io dependency fails
+# here before it fails in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "tier1: OK"

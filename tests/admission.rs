@@ -84,10 +84,7 @@ fn beyond_n_max_is_rejected_by_the_server() {
     let env: ServiceEnv = *mrs.msm().admission_ref().env();
     let n_max = Aggregates::compute(&env, &[spec()]).unwrap().n_max();
     assert_eq!(admitted, n_max, "server must admit exactly n_max");
-    assert!(matches!(
-        rejection,
-        Some(FsError::AdmissionRejected { .. })
-    ));
+    assert!(matches!(rejection, Some(FsError::AdmissionRejected { .. })));
 }
 
 #[test]
@@ -106,12 +103,22 @@ fn destructive_pause_frees_a_slot_for_others() {
     // One more is rejected...
     let rope = mrs.rope(ropes[full]).unwrap().clone();
     assert!(mrs
-        .play("x", ropes[full], MediaSel::Both, Interval::whole(rope.duration()))
+        .play(
+            "x",
+            ropes[full],
+            MediaSel::Both,
+            Interval::whole(rope.duration())
+        )
         .is_err());
     // ...until a client pauses destructively.
     mrs.pause(reqs[0], true).unwrap();
     let (new_req, _) = mrs
-        .play("x", ropes[full], MediaSel::Both, Interval::whole(rope.duration()))
+        .play(
+            "x",
+            ropes[full],
+            MediaSel::Both,
+            Interval::whole(rope.duration()),
+        )
         .unwrap();
     // The paused client now cannot resume (its slot is gone).
     assert!(matches!(

@@ -35,8 +35,7 @@ fn insert_preserves_total_media_and_heals() {
     let d = rope.duration().as_secs_f64();
     assert!((d - 9.0).abs() < 0.1, "duration {d}");
     // Total video frames = 6s + 3s at 30 fps.
-    let sched =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let sched = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let units: u64 = sched.items.iter().map(|i| i.units).sum();
     assert_eq!(units, 270);
 }
@@ -175,7 +174,12 @@ fn edit_access_is_enforced() {
     assert!(matches!(err, Err(FsError::AccessDenied { .. })));
     // Play access is open by default, so SUBSTRING works for others.
     assert!(mrs
-        .substring("mallory", base, MediaSel::Both, Interval::new(secs(0), secs(1)))
+        .substring(
+            "mallory",
+            base,
+            MediaSel::Both,
+            Interval::new(secs(0), secs(1))
+        )
         .is_ok());
 }
 

@@ -180,7 +180,11 @@ fn degenerate_single_cylinder_disk_works() {
         strandfs::disk::Extent::new(0, 4),
         AccessKind::Read,
     );
-    let op2 = disk.access(op1.completed, strandfs::disk::Extent::new(100, 4), AccessKind::Read);
+    let op2 = disk.access(
+        op1.completed,
+        strandfs::disk::Extent::new(100, 4),
+        AccessKind::Read,
+    );
     assert_eq!(op1.seek.as_nanos(), 0);
     assert_eq!(op2.seek.as_nanos(), 0);
     assert_eq!(disk.max_positioning_time(), {

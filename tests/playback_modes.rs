@@ -17,8 +17,7 @@ fn fast_forward_with_skip_stays_continuous_at_normal_k() {
     // sustains normal playback sustains it.
     let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
     let rope = mrs.rope(ropes[0]).unwrap().clone();
-    let base =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let mut ff = apply_play_mode(&base, 2.0, true);
     mrs.resolve_silence(&mut ff).unwrap();
     assert_eq!(ff.items.len(), base.items.len() / 2);
@@ -34,8 +33,7 @@ fn fast_forward_without_skip_needs_more_bandwidth() {
     // between the two fast-forward flavours.
     let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
     let rope = mrs.rope(ropes[0]).unwrap().clone();
-    let base =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
 
     let mut normal = base.clone();
     mrs.resolve_silence(&mut normal).unwrap();
@@ -66,12 +64,10 @@ fn slow_motion_accumulates_buffers() {
     // accumulation directly.
     let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
     let rope = mrs.rope(ropes[0]).unwrap().clone();
-    let base =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let mut normal = base.clone();
     mrs.resolve_silence(&mut normal).unwrap();
-    let normal_report =
-        simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
+    let normal_report = simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
 
     let mut slow = apply_play_mode(&base, 0.25, false);
     mrs.resolve_silence(&mut slow).unwrap();
@@ -143,8 +139,7 @@ fn reorganized_volume_still_plays() {
 fn skip_deadline_spacing_is_block_duration() {
     let (mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(4.0)]);
     let rope = mrs.rope(ropes[0]).unwrap().clone();
-    let base =
-        compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     for speed in [2.0, 3.0, 4.0] {
         let ff = apply_play_mode(&base, speed, true);
         for w in ff.items.windows(2) {

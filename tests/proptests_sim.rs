@@ -1,106 +1,141 @@
 //! Property tests over the simulation substrate: disk timing physics,
 //! codec behaviour and schedule transformations.
+//!
+//! Runs on the in-tree `strandfs-testkit` harness (seeded deterministic
+//! PRNG; see `tests/proptests.rs` for the replay knobs).
 
-use proptest::prelude::*;
 use strandfs::core::mrs::{apply_play_mode, PlayItem, PlaySchedule};
 use strandfs::core::StrandId;
 use strandfs::disk::{AccessKind, DiskGeometry, Extent, SeekModel, SimDisk};
 use strandfs::media::silence::SilenceDetector;
 use strandfs::media::{Medium, VideoCodec};
 use strandfs::units::{Instant, Nanos};
+use strandfs_testkit::{check, prop_assert, prop_assert_eq, vec as prop_vec};
 
 fn tiny_disk() -> SimDisk {
     SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991())
 }
 
-proptest! {
-    #[test]
-    fn disk_access_is_deterministic(
-        now_us in 0u64..10_000_000,
-        lba in 0u64..2_040,
-        sectors in 1u64..8,
-    ) {
-        let e = Extent::new(lba, sectors);
-        let t = Instant::EPOCH + Nanos::from_micros(now_us);
-        let op1 = tiny_disk().access(t, e, AccessKind::Read);
-        let op2 = tiny_disk().access(t, e, AccessKind::Read);
-        prop_assert_eq!(op1.completed, op2.completed);
-        prop_assert_eq!(op1.seek, op2.seek);
-        prop_assert_eq!(op1.rotation, op2.rotation);
-        prop_assert_eq!(op1.transfer, op2.transfer);
-    }
+#[test]
+fn disk_access_is_deterministic() {
+    check(
+        "disk_access_is_deterministic",
+        (0u64..10_000_000, 0u64..2_040, 1u64..8),
+        |&(now_us, lba, sectors)| {
+            let e = Extent::new(lba, sectors);
+            let t = Instant::EPOCH + Nanos::from_micros(now_us);
+            let op1 = tiny_disk().access(t, e, AccessKind::Read);
+            let op2 = tiny_disk().access(t, e, AccessKind::Read);
+            prop_assert_eq!(op1.completed, op2.completed);
+            prop_assert_eq!(op1.seek, op2.seek);
+            prop_assert_eq!(op1.rotation, op2.rotation);
+            prop_assert_eq!(op1.transfer, op2.transfer);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn disk_timing_physics_hold(
-        now_us in 0u64..10_000_000,
-        lba in 0u64..2_040,
-        sectors in 1u64..8,
-        warm_lba in 0u64..2_047,
-    ) {
-        let mut disk = tiny_disk();
-        // Warm the arm to an arbitrary position first.
-        let w = disk.access(Instant::EPOCH, Extent::new(warm_lba, 1), AccessKind::Read);
-        let t = w.completed + Nanos::from_micros(now_us);
-        let op = disk.access(t, Extent::new(lba, sectors), AccessKind::Read);
-        // Completion after issue; decomposition sums.
-        prop_assert!(op.completed > t || op.service_time() == Nanos::ZERO);
-        prop_assert_eq!(op.completed, t + op.seek + op.rotation + op.transfer);
-        // Rotation bounded by one revolution.
-        let rev = disk.geometry().rotation_time().to_nanos();
-        prop_assert!(op.rotation < rev);
-        // Transfer at least the raw sector time.
-        let floor = disk.geometry().sector_time().to_nanos().mul_u64(sectors);
-        prop_assert!(op.transfer + Nanos::from_nanos(16) >= floor);
-        // Arm ends on the extent's final cylinder.
-        prop_assert_eq!(
-            disk.head_cylinder(),
-            disk.geometry().cylinder_of(lba + sectors - 1)
-        );
-    }
+#[test]
+fn disk_timing_physics_hold() {
+    check(
+        "disk_timing_physics_hold",
+        (0u64..10_000_000, 0u64..2_040, 1u64..8, 0u64..2_047),
+        |&(now_us, lba, sectors, warm_lba)| {
+            let mut disk = tiny_disk();
+            // Warm the arm to an arbitrary position first.
+            let w = disk.access(Instant::EPOCH, Extent::new(warm_lba, 1), AccessKind::Read);
+            let t = w.completed + Nanos::from_micros(now_us);
+            let op = disk.access(t, Extent::new(lba, sectors), AccessKind::Read);
+            // Completion after issue; decomposition sums.
+            prop_assert!(op.completed > t || op.service_time() == Nanos::ZERO);
+            prop_assert_eq!(op.completed, t + op.seek + op.rotation + op.transfer);
+            // Rotation bounded by one revolution.
+            let rev = disk.geometry().rotation_time().to_nanos();
+            prop_assert!(op.rotation < rev);
+            // Transfer at least the raw sector time.
+            let floor = disk.geometry().sector_time().to_nanos().mul_u64(sectors);
+            prop_assert!(op.transfer + Nanos::from_nanos(16) >= floor);
+            // Arm ends on the extent's final cylinder.
+            prop_assert_eq!(
+                disk.head_cylinder(),
+                disk.geometry().cylinder_of(lba + sectors - 1)
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn positioning_time_is_monotone_in_distance(d1 in 0u64..64, d2 in 0u64..64) {
-        let disk = tiny_disk();
-        let (lo, hi) = (d1.min(d2), d1.max(d2));
-        prop_assert!(disk.positioning_time(lo) <= disk.positioning_time(hi));
-        prop_assert!(disk.positioning_time(hi).to_nanos() <= disk.max_positioning_time().to_nanos());
-    }
+#[test]
+fn positioning_time_is_monotone_in_distance() {
+    check(
+        "positioning_time_is_monotone_in_distance",
+        (0u64..64, 0u64..64),
+        |&(d1, d2)| {
+            let disk = tiny_disk();
+            let (lo, hi) = (d1.min(d2), d1.max(d2));
+            prop_assert!(disk.positioning_time(lo) <= disk.positioning_time(hi));
+            prop_assert!(
+                disk.positioning_time(hi).to_nanos() <= disk.max_positioning_time().to_nanos()
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn payload_round_trips_any_extent(
-        lba in 0u64..2_000,
-        sectors in 1u64..8,
-        seed in any::<u8>(),
-    ) {
-        let mut disk = tiny_disk();
-        let e = Extent::new(lba, sectors);
-        let data: Vec<u8> = (0..sectors * 512).map(|i| (i as u8).wrapping_add(seed)).collect();
-        disk.store_data(e, &data);
-        prop_assert_eq!(disk.fetch_data(e), data);
-        disk.discard_data(e);
-        prop_assert!(disk.fetch_data(e).iter().all(|&b| b == 0));
-    }
+#[test]
+fn payload_round_trips_any_extent() {
+    check(
+        "payload_round_trips_any_extent",
+        (0u64..2_000, 1u64..8, 0u32..256),
+        |&(lba, sectors, seed)| {
+            let seed = seed as u8;
+            let mut disk = tiny_disk();
+            let e = Extent::new(lba, sectors);
+            let data: Vec<u8> = (0..sectors * 512)
+                .map(|i| (i as u8).wrapping_add(seed))
+                .collect();
+            disk.store_data(e, &data);
+            prop_assert_eq!(disk.fetch_data(e), data);
+            disk.discard_data(e);
+            prop_assert!(disk.fetch_data(e).iter().all(|&b| b == 0));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn codec_sizes_bounded_by_raw(seed in any::<u64>(), frame in 0u64..500) {
-        for codec in [VideoCodec::uvc_ntsc(seed), VideoCodec::uvc_ntsc_vbr(seed)] {
-            let bits = codec.frame_bits(frame);
-            prop_assert!(bits.get() >= 8);
-            prop_assert!(bits <= codec.format().raw_frame_bits());
-        }
-    }
+#[test]
+fn codec_sizes_bounded_by_raw() {
+    check(
+        "codec_sizes_bounded_by_raw",
+        (0u64..u64::MAX, 0u64..500),
+        |&(seed, frame)| {
+            for codec in [VideoCodec::uvc_ntsc(seed), VideoCodec::uvc_ntsc_vbr(seed)] {
+                let bits = codec.frame_bits(frame);
+                prop_assert!(bits.get() >= 8);
+                prop_assert!(bits <= codec.format().raw_frame_bits());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn silence_detection_monotone_in_threshold(
-        samples in prop::collection::vec(-127i32..=127, 1..200),
-        t1 in 0.0f64..20_000.0,
-        t2 in 0.0f64..20_000.0,
-    ) {
-        let (lo, hi) = (t1.min(t2), t1.max(t2));
-        let f_lo = SilenceDetector::new(lo).silence_fraction(&samples, 16);
-        let f_hi = SilenceDetector::new(hi).silence_fraction(&samples, 16);
-        prop_assert!(f_hi >= f_lo, "higher threshold must classify more silence");
-    }
+#[test]
+fn silence_detection_monotone_in_threshold() {
+    check(
+        "silence_detection_monotone_in_threshold",
+        (
+            prop_vec(-127i32..=127, 1..200),
+            0.0f64..20_000.0,
+            0.0f64..20_000.0,
+        ),
+        |(samples, t1, t2)| {
+            let (lo, hi) = (t1.min(*t2), t1.max(*t2));
+            let f_lo = SilenceDetector::new(lo).silence_fraction(samples, 16);
+            let f_hi = SilenceDetector::new(hi).silence_fraction(samples, 16);
+            prop_assert!(f_hi >= f_lo, "higher threshold must classify more silence");
+            Ok(())
+        },
+    );
 }
 
 fn synthetic_schedule(blocks: u64) -> PlaySchedule {
@@ -122,9 +157,9 @@ fn synthetic_schedule(blocks: u64) -> PlaySchedule {
     }
 }
 
-proptest! {
-    #[test]
-    fn play_mode_identity_at_unit_speed(blocks in 1u64..100) {
+#[test]
+fn play_mode_identity_at_unit_speed() {
+    check("play_mode_identity_at_unit_speed", 1u64..100, |&blocks| {
         let s = synthetic_schedule(blocks);
         let out = apply_play_mode(&s, 1.0, false);
         prop_assert_eq!(out.items.len(), s.items.len());
@@ -132,31 +167,46 @@ proptest! {
         for (a, b) in s.items.iter().zip(&out.items) {
             prop_assert_eq!(a.at, b.at);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn play_mode_duration_scales(blocks in 1u64..100, speed in 1.0f64..8.0) {
-        let s = synthetic_schedule(blocks);
-        let out = apply_play_mode(&s, speed, false);
-        let want = s.duration.as_secs_f64() / speed;
-        prop_assert!((out.duration.as_secs_f64() - want).abs() < 1e-6);
-        prop_assert_eq!(out.items.len(), s.items.len());
-        // Deadlines stay sorted.
-        for w in out.items.windows(2) {
-            prop_assert!(w[0].at <= w[1].at);
-        }
-    }
+#[test]
+fn play_mode_duration_scales() {
+    check(
+        "play_mode_duration_scales",
+        (1u64..100, 1.0f64..8.0),
+        |&(blocks, speed)| {
+            let s = synthetic_schedule(blocks);
+            let out = apply_play_mode(&s, speed, false);
+            let want = s.duration.as_secs_f64() / speed;
+            prop_assert!((out.duration.as_secs_f64() - want).abs() < 1e-6);
+            prop_assert_eq!(out.items.len(), s.items.len());
+            // Deadlines stay sorted.
+            for w in out.items.windows(2) {
+                prop_assert!(w[0].at <= w[1].at);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn play_mode_skip_keeps_every_nth(blocks in 1u64..200, speed in 2u32..6) {
-        let s = synthetic_schedule(blocks);
-        let out = apply_play_mode(&s, speed as f64, true);
-        let stride = speed as u64;
-        prop_assert_eq!(out.items.len() as u64, blocks.div_ceil(stride));
-        for (j, item) in out.items.iter().enumerate() {
-            prop_assert_eq!(item.block, j as u64 * stride);
-            // Fetch cadence unchanged: one block duration apart.
-            prop_assert_eq!(item.at, Nanos::from_millis(j as u64 * 100));
-        }
-    }
+#[test]
+fn play_mode_skip_keeps_every_nth() {
+    check(
+        "play_mode_skip_keeps_every_nth",
+        (1u64..200, 2u32..6),
+        |&(blocks, speed)| {
+            let s = synthetic_schedule(blocks);
+            let out = apply_play_mode(&s, speed as f64, true);
+            let stride = speed as u64;
+            prop_assert_eq!(out.items.len() as u64, blocks.div_ceil(stride));
+            for (j, item) in out.items.iter().enumerate() {
+                prop_assert_eq!(item.block, j as u64 * stride);
+                // Fetch cadence unchanged: one block duration apart.
+                prop_assert_eq!(item.at, Nanos::from_millis(j as u64 * 100));
+            }
+            Ok(())
+        },
+    );
 }
