@@ -15,7 +15,9 @@
 use strandfs_bench::suites;
 use strandfs_testkit::bench::Runner;
 
-const SUITES: &[(&str, fn(&mut Runner))] = &[
+type RegisterFn = fn(&mut Runner);
+
+const SUITES: &[(&str, RegisterFn)] = &[
     ("fig4", suites::fig4::register),
     ("unconstrained", suites::unconstrained::register),
     ("architectures", suites::architectures::register),
@@ -48,6 +50,10 @@ fn main() {
             register(&mut c);
         }
     }
+    // One instrumented end-to-end run: its per-op timing breakdowns,
+    // admission decision counters and deadline-margin histograms ride
+    // along in the report under "sections".
+    c.add_section("obs", strandfs_bench::obs_capture::capture());
     c.report();
 
     let path = "BENCH_core.json";

@@ -51,7 +51,9 @@ pub struct Outcome {
 /// disk's capacity is 9, so 8 base streams put the transition right at
 /// the regime where round sizes diverge (Fig. 4's asymptote).
 pub const BASE_STREAMS: usize = 8;
-const ARRIVAL_ROUND: u64 = 4;
+/// The round at whose start the extra stream arrives (the naive policy)
+/// or begins its step-wise transition (the paper's policy).
+pub const ARRIVAL_ROUND: u64 = 4;
 const CLIP_SECONDS: f64 = 12.0;
 
 fn build_volume() -> strandfs_sim::Volume {
@@ -73,7 +75,15 @@ fn build_volume() -> strandfs_sim::Volume {
 
 /// Run one policy.
 pub fn run(policy: TransitionPolicy) -> Outcome {
+    run_with_obs(policy, strandfs_obs::ObsSink::noop())
+}
+
+/// [`run`] with an observability sink attached to the whole stack, so a
+/// transition's continuity violations can be attributed to the specific
+/// rounds and disk operations that caused them.
+pub fn run_with_obs(policy: TransitionPolicy, obs: strandfs_obs::ObsSink) -> Outcome {
     let (mut mrs, ropes) = build_volume();
+    mrs.set_obs(obs);
     let schedules: Vec<_> = ropes
         .iter()
         .map(|r| {

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod obs_capture;
 pub mod suites;
 pub mod table;
 

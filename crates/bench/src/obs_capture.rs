@@ -1,0 +1,83 @@
+//! The instrumented reference run whose observability capture is merged
+//! into `BENCH_core.json`.
+//!
+//! One end-to-end session over the vintage-1991 disk — record four
+//! clips, admit playback requests until the controller rejects one, and
+//! play the admitted set to completion — with a ring recorder attached,
+//! so the emitted report carries per-op disk timing breakdowns
+//! (seek / rotation / transfer), allocation gap statistics, admission
+//! decision counters with Eq. 18 slack, and deadline-margin histograms.
+
+use strandfs_core::mrs::Mrs;
+use strandfs_core::msm::{Msm, MsmConfig};
+use strandfs_core::rope::edit::{Interval, MediaSel};
+use strandfs_disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
+use strandfs_obs::ObsSink;
+use strandfs_sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs_sim::{record_clip, ClipSpec};
+
+/// Clips recorded (and offered for playback) by the reference run. The
+/// vintage disk admits fewer, so the tail requests exercise rejection.
+pub const CLIPS: usize = 4;
+
+/// Run the instrumented session and render its capture as JSON (the
+/// [`strandfs_obs::RingRecorder::to_json`] document).
+pub fn capture() -> String {
+    let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+    let mut mrs = Mrs::new(Msm::new(
+        disk,
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 40_000,
+            },
+            1,
+        ),
+    ));
+    let (sink, rec) = ObsSink::ring(1 << 18);
+    mrs.set_obs(sink);
+
+    let ropes: Vec<_> = (0..CLIPS)
+        .map(|i| {
+            record_clip(&mut mrs, &ClipSpec::video_seconds(4.0).with_seed(i as u64))
+                .expect("record clip")
+        })
+        .collect();
+
+    // Admit until the controller says no; the rejection is part of the
+    // capture.
+    let mut schedules = Vec::new();
+    for r in &ropes {
+        let dur = mrs.rope(*r).expect("recorded rope").duration();
+        match mrs.play("bench", *r, MediaSel::Both, Interval::whole(dur)) {
+            Ok((_req, s)) => schedules.push(s),
+            Err(_) => break,
+        }
+    }
+
+    let k = mrs.msm().admission_ref().k().max(1);
+    simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+
+    let json = rec.borrow().to_json();
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_contains_all_layers() {
+        let json = capture();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for section in [
+            "\"disk\"",
+            "\"alloc\"",
+            "\"admission\"",
+            "\"rounds\"",
+            "\"deadlines\"",
+        ] {
+            assert!(json.contains(section), "missing {section} in {json}");
+        }
+    }
+}

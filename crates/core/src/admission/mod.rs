@@ -42,6 +42,7 @@
 use crate::error::FsError;
 use crate::types::RequestId;
 use std::collections::BTreeMap;
+use strandfs_obs::{Event, ObsSink};
 use strandfs_units::{BitRate, Bits, Seconds};
 
 /// Per-request stream parameters as admission control sees them.
@@ -177,11 +178,24 @@ impl Aggregates {
     }
 }
 
-/// Ceiling with a relative tolerance: ratios that miss an integer by a
+/// Ceiling with a *relative* tolerance: ratios that miss an integer by a
 /// few ulps of accumulated rounding (e.g. `3.0000000000000004`) must not
-/// round up a whole service round.
+/// round up a whole service round, but ratios genuinely above an integer
+/// — even by as little as 1e-10 — must.
+///
+/// The previous implementation subtracted a blanket absolute epsilon
+/// (`(x - 1e-9).ceil()`), which also pulled *legitimately* above-integer
+/// ratios down, yielding a `k` (or `n_max`) one too small right at the
+/// Eq. 16/18 feasibility boundary. Snapping only within a few ulps of
+/// the nearest integer keeps the rounding-noise forgiveness without
+/// eating real slack.
 fn ceil_eps(x: f64) -> f64 {
-    (x - 1e-9).ceil()
+    let nearest = x.round();
+    if (x - nearest).abs() <= 4.0 * f64::EPSILON * nearest.abs().max(1.0) {
+        nearest
+    } else {
+        x.ceil()
+    }
 }
 
 /// Outcome of a successful admission.
@@ -207,6 +221,7 @@ pub struct AdmissionController {
     env: ServiceEnv,
     requests: BTreeMap<RequestId, RequestSpec>,
     k: u64,
+    obs: ObsSink,
 }
 
 impl AdmissionController {
@@ -216,7 +231,13 @@ impl AdmissionController {
             env,
             requests: BTreeMap::new(),
             k: 0,
+            obs: ObsSink::noop(),
         }
+    }
+
+    /// Route admit/reject/release decisions into `obs`.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// The server environment.
@@ -272,10 +293,16 @@ impl AdmissionController {
         let k_new = match agg.k_transient(n) {
             Some(k) => k,
             None => {
+                let n_max = agg.n_max();
+                self.obs.emit(|| Event::Reject {
+                    request: id.raw(),
+                    active: self.requests.len(),
+                    n_max,
+                });
                 return Err(FsError::AdmissionRejected {
                     active: self.requests.len(),
-                    n_max: agg.n_max(),
-                })
+                    n_max,
+                });
             }
         };
         let k_old = self.k;
@@ -289,6 +316,16 @@ impl AdmissionController {
         };
         self.requests.insert(id, spec);
         self.k = k_new;
+        self.obs.emit(|| Event::Admit {
+            request: id.raw(),
+            n,
+            k_old,
+            k_new,
+            // Eq. 18 headroom at the accepted (n, k): k·γ − (n·α + n·k·β).
+            slack: (agg.playback_budget(k_new)
+                - (agg.alpha * n as f64 + agg.beta * (n as f64 * k_new as f64)))
+                .to_nanos(),
+        });
         Ok(Admitted {
             k_old,
             k_new,
@@ -308,6 +345,11 @@ impl AdmissionController {
                 .expect("shrinking the set keeps feasibility"),
             None => 0,
         };
+        self.obs.emit(|| Event::Release {
+            request: id.raw(),
+            n: self.requests.len(),
+            k: self.k,
+        });
         Ok(())
     }
 }
@@ -482,5 +524,73 @@ mod tests {
         let mut ac = AdmissionController::new(env());
         ac.try_admit(RequestId::from_raw(1), spec()).unwrap();
         let _ = ac.try_admit(RequestId::from_raw(1), spec());
+    }
+
+    #[test]
+    fn ceil_eps_exact_integers_stay_put() {
+        for v in [0.0, 1.0, 2.0, 3.0, 7.0, 100.0, 4096.0] {
+            assert_eq!(ceil_eps(v), v, "exact integer {v} must not round up");
+        }
+    }
+
+    #[test]
+    fn ceil_eps_forgives_ulp_noise_only() {
+        // A few ulps of accumulated rounding above an integer snap down…
+        let noisy = 3.000_000_000_000_000_4; // 3.0 + 1 ulp
+        assert_eq!(ceil_eps(noisy), 3.0);
+        assert_eq!(ceil_eps(2.0 + 2.0 * f64::EPSILON), 2.0);
+        // …and the same noise *below* an integer snaps up to it, not
+        // past it.
+        assert_eq!(ceil_eps(3.0 - f64::EPSILON), 3.0);
+    }
+
+    #[test]
+    fn ceil_eps_respects_genuinely_above_integer_ratios() {
+        // The old blanket 1e-9 epsilon under-rounded these: a ratio a
+        // real 1e-10 above an integer needs the next whole round.
+        assert_eq!(ceil_eps(3.0 + 1e-10), 4.0);
+        assert_eq!(ceil_eps(3.0 + 1e-12), 4.0);
+        assert_eq!(ceil_eps(1.0 + 1e-13), 2.0);
+        // Plain fractional ratios are ordinary ceilings.
+        assert_eq!(ceil_eps(2.5), 3.0);
+        assert_eq!(ceil_eps(0.001), 1.0);
+    }
+
+    #[test]
+    fn ceil_eps_boundary_shifts_k_transient() {
+        // Construct aggregates where n·α/(γ−n·β) is genuinely just above
+        // an integer: α=50.000001 ms, β=25 ms, γ=100 ms, n=3 gives
+        // 150.000003/25 = 6.00000012 — the old epsilon returned k=6,
+        // hiding an infeasible round; the fix demands k=7.
+        let agg = Aggregates {
+            alpha: Seconds::new(0.050_000_001),
+            beta: Seconds::new(0.025),
+            gamma: Seconds::new(0.100),
+        };
+        let k = agg.k_transient(3).unwrap();
+        assert_eq!(k, 7);
+        assert!(agg.transient_feasible(3, k));
+        assert!(!agg.transient_feasible(3, k - 1), "k−1 must be infeasible");
+    }
+
+    #[test]
+    fn admission_events_mirror_decisions() {
+        let (sink, recorder) = ObsSink::ring(32);
+        let mut ac = AdmissionController::new(env());
+        ac.set_obs(sink);
+        for i in 0..4 {
+            let _ = ac.try_admit(RequestId::from_raw(i), spec());
+        }
+        ac.release(RequestId::from_raw(0)).unwrap();
+        let r = recorder.borrow();
+        let m = r.metrics();
+        assert_eq!((m.admits, m.rejects, m.releases), (3, 1, 1));
+        assert_eq!(m.k_peak, 6);
+        assert_eq!(m.k_growths, 3);
+        // Every admit carried non-negative Eq. 18 slack; the n=3 admit
+        // at k=6 is exactly tight (round time = playback budget).
+        assert_eq!(m.admit_slack.summary().min, strandfs_units::Nanos::ZERO);
+        let kinds: Vec<_> = r.events().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["admit", "admit", "admit", "reject", "release"]);
     }
 }

@@ -3,6 +3,7 @@
 use crate::types::{RequestId, RopeId, StrandId};
 use std::fmt;
 use strandfs_disk::AllocError;
+use strandfs_units::Nanos;
 
 /// Errors surfaced by the strandfs core.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +62,16 @@ pub enum FsError {
         /// What was expected.
         expected: &'static str,
     },
+    /// Scattering healing tried to splice a bridge segment longer than
+    /// the companion-medium track it must carry along: the companion
+    /// content starting *before* the bridge interval cannot be moved
+    /// into it without desynchronizing the tracks.
+    BridgeExceedsTrack {
+        /// Duration of the bridge being spliced in.
+        bridge: Nanos,
+        /// Duration of the companion-medium track available.
+        track: Nanos,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -91,6 +102,10 @@ impl fmt::Display for FsError {
             FsError::BadRequestState { request, expected } => {
                 write!(f, "request {request} not in expected state ({expected})")
             }
+            FsError::BridgeExceedsTrack { bridge, track } => write!(
+                f,
+                "bridge segment of {bridge} exceeds the {track} companion track"
+            ),
         }
     }
 }

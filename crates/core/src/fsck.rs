@@ -239,14 +239,12 @@ fn check_extent(
     // Overlap detection against earlier claims: check the predecessor
     // (may span into us) and any claims starting inside us.
     if let Some((&start, &(len, owner))) = claims.range(..=e.start).next_back() {
-        if owner != id || start != e.start {
-            if start + len > e.start {
-                report.findings.push(Finding::OverlappingExtents {
-                    a: owner,
-                    b: id,
-                    at: e.start,
-                });
-            }
+        if (owner != id || start != e.start) && start + len > e.start {
+            report.findings.push(Finding::OverlappingExtents {
+                a: owner,
+                b: id,
+                at: e.start,
+            });
         }
     }
     if let Some((&start, &(_, owner))) = claims.range(e.start..e.end()).next() {

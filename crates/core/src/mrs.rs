@@ -154,6 +154,12 @@ impl Mrs {
         &mut self.msm
     }
 
+    /// Route observability events from the whole stack under this MRS
+    /// (allocation, disk ops, admission) into `obs`.
+    pub fn set_obs(&mut self, obs: strandfs_obs::ObsSink) {
+        self.msm.set_obs(obs);
+    }
+
     /// A cataloged rope.
     pub fn rope(&self, id: RopeId) -> Result<&Rope, FsError> {
         self.ropes.get(&id).ok_or(FsError::UnknownRope(id))
@@ -816,7 +822,7 @@ impl Mrs {
                                 Medium::Video => Segment::new(Some(bridge), None),
                                 Medium::Audio => Segment::new(None, Some(bridge)),
                             };
-                            split_other_medium_tail(left_seg, &mut bridge_seg, medium);
+                            split_other_medium_tail(left_seg, &mut bridge_seg, medium)?;
                             rope.segments.insert(i + 1, bridge_seg);
                         }
                     }
@@ -874,6 +880,12 @@ fn left_seg_medium_mut(seg: &mut Segment, medium: Medium) -> &mut Option<StrandR
 /// When a bridge segment is spliced before `right_seg`, move the leading
 /// part of the *other* medium's ref into the bridge so both tracks stay
 /// aligned in time.
+///
+/// A companion track *shorter* than the bridge is fine here: the bridge
+/// occupies `[0, bridge_dur)` of the right segment's timeline, so a
+/// shorter companion lies entirely inside that window and moves into the
+/// bridge whole (`split_at` clamps to the track length). Contrast with
+/// [`split_other_medium_tail`], where the same clamp would be a bug.
 fn split_other_medium(right_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
     let bridge_dur = match healed {
         Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
@@ -898,7 +910,19 @@ fn split_other_medium(right_seg: &mut Segment, bridge_seg: &mut Segment, healed:
 
 /// Symmetric helper for Left-side healing: move the trailing part of the
 /// other medium of `left_seg` into the bridge.
-fn split_other_medium_tail(left_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
+///
+/// The bridge occupies the *last* `bridge_dur` of the left segment's
+/// timeline. A companion track shorter than that is an error, not a
+/// clamp: [`Segment::new`] derives duration as the *longer* of the two
+/// tracks, so a short companion starts playing before the bridge
+/// interval, and moving all of it into the bridge (what the former
+/// `saturating_sub`-to-zero `keep` silently did) would shift content
+/// across the splice point and desynchronize the tracks.
+fn split_other_medium_tail(
+    left_seg: &mut Segment,
+    bridge_seg: &mut Segment,
+    healed: Medium,
+) -> Result<(), FsError> {
     let bridge_dur = match healed {
         Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
         Medium::Audio => bridge_seg.audio.as_ref().map(StrandRef::duration),
@@ -909,7 +933,15 @@ fn split_other_medium_tail(left_seg: &mut Segment, bridge_seg: &mut Segment, hea
         Medium::Audio => &mut left_seg.video,
     };
     if let Some(o) = other.take() {
-        let keep = o.duration().saturating_sub(bridge_dur);
+        let track = o.duration();
+        if track < bridge_dur {
+            *other = Some(o);
+            return Err(FsError::BridgeExceedsTrack {
+                bridge: bridge_dur,
+                track,
+            });
+        }
+        let keep = track - bridge_dur;
         let (head, tail) = o.split_at(keep);
         match healed {
             Medium::Video => bridge_seg.audio = (tail.len_units > 0).then_some(tail),
@@ -919,6 +951,7 @@ fn split_other_medium_tail(left_seg: &mut Segment, bridge_seg: &mut Segment, hea
     }
     *bridge_seg = Segment::new(bridge_seg.video, bridge_seg.audio);
     *left_seg = Segment::new(left_seg.video, left_seg.audio);
+    Ok(())
 }
 
 /// Compile a rope interval into a deadline-stamped block schedule.
@@ -1525,5 +1558,69 @@ mod tests {
             assert!(live.len() < 200, "admission never rejected");
         }
         assert!(!live.is_empty());
+    }
+
+    fn vref(len_units: u64) -> StrandRef {
+        StrandRef {
+            strand: StrandId::from_raw(1),
+            start_unit: 0,
+            len_units,
+            unit_rate: 30.0,
+            granularity: 3,
+        }
+    }
+
+    fn aref(len_units: u64) -> StrandRef {
+        StrandRef {
+            strand: StrandId::from_raw(2),
+            start_unit: 0,
+            len_units,
+            unit_rate: 8_000.0,
+            granularity: 800,
+        }
+    }
+
+    #[test]
+    fn tail_split_moves_companion_into_bridge() {
+        // Left segment: 3 s of video + 3 s of audio. A 1 s video bridge
+        // takes the last 1 s of audio along.
+        let mut left = Segment::new(Some(vref(90)), Some(aref(24_000)));
+        let mut bridge = Segment::new(Some(vref(30)), None);
+        split_other_medium_tail(&mut left, &mut bridge, Medium::Video).unwrap();
+        assert_eq!(left.audio.unwrap().len_units, 16_000);
+        assert_eq!(bridge.audio.unwrap().len_units, 8_000);
+        assert_eq!(bridge.duration, Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn tail_split_rejects_bridge_longer_than_companion() {
+        // Companion audio is only 0.5 s but the video bridge spans 1 s:
+        // the old saturating `keep = 0` silently moved audio that plays
+        // *before* the bridge interval into the bridge. Now it's typed.
+        let mut left = Segment::new(Some(vref(90)), Some(aref(4_000)));
+        let mut bridge = Segment::new(Some(vref(30)), None);
+        let err = split_other_medium_tail(&mut left, &mut bridge, Medium::Video).unwrap_err();
+        assert_eq!(
+            err,
+            FsError::BridgeExceedsTrack {
+                bridge: Nanos::from_secs(1),
+                track: Nanos::from_millis(500),
+            }
+        );
+        // Nothing moved: the left segment still owns its audio.
+        assert_eq!(left.audio.unwrap().len_units, 4_000);
+        assert!(bridge.audio.is_none());
+    }
+
+    #[test]
+    fn head_split_clamps_short_companion_whole_into_bridge() {
+        // Right-side healing: the bridge occupies the *start* of the
+        // timeline, so a companion shorter than the bridge legitimately
+        // moves in whole.
+        let mut right = Segment::new(Some(vref(90)), Some(aref(4_000)));
+        let mut bridge = Segment::new(Some(vref(30)), None);
+        split_other_medium(&mut right, &mut bridge, Medium::Video);
+        assert_eq!(bridge.audio.unwrap().len_units, 4_000);
+        assert!(right.audio.is_none());
     }
 }

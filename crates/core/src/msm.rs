@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use strandfs_disk::{
     AccessKind, AllocPolicy, Allocator, DiskOp, Extent, GapBounds, SeekModel, SimDisk,
 };
+use strandfs_obs::{Event, ObsSink};
 use strandfs_units::{Instant, Seconds};
 
 /// Configuration of a storage volume.
@@ -67,6 +68,7 @@ pub struct Msm {
     strands: BTreeMap<StrandId, StrandState>,
     next_strand: u64,
     admission: AdmissionController,
+    obs: ObsSink,
 }
 
 impl Msm {
@@ -80,8 +82,24 @@ impl Msm {
             strands: BTreeMap::new(),
             next_strand: 0,
             admission: AdmissionController::new(env),
+            obs: ObsSink::noop(),
             disk,
         }
+    }
+
+    /// Route observability events from this volume — allocation
+    /// decisions, the disk's per-op timing breakdown, and admission
+    /// transitions — into `obs`.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.disk.set_obs(obs.clone());
+        self.admission.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The sink this volume emits into (cheap to clone; [`ObsSink::noop`]
+    /// when observability is off).
+    pub fn obs(&self) -> ObsSink {
+        self.obs.clone()
     }
 
     /// A volume on a fresh disk with gap bounds derived from scattering
@@ -193,6 +211,19 @@ impl Msm {
         // Re-borrow after allocation.
         let builder = self.recording_mut(id)?;
         let block_no = builder.push_block(extent, units)?;
+        self.obs.emit(|| {
+            // Forward gap to the previous block; a wrap (placement below
+            // the anchor) has no meaningful gap and reports `None`.
+            let gap = anchor.and_then(|p| extent.start.checked_sub(p.end()));
+            Event::Alloc {
+                strand: id.raw(),
+                block: block_no,
+                lba: extent.start,
+                sectors: extent.sectors,
+                gap,
+                slack: gap.map(|g| self.gap_bounds.max_sectors.saturating_sub(g)),
+            }
+        });
         let mut padded;
         let data = if payload.len() == sectors as usize * sector_size {
             payload
@@ -732,6 +763,47 @@ mod tests {
         assert_eq!(exts.len(), 4); // 2000 bytes / 512 = 4 sectors
                                    // Infill never overlaps media blocks (enforced by the free map;
                                    // would have panicked otherwise).
+    }
+
+    #[test]
+    fn alloc_events_carry_gap_and_slack() {
+        let (sink, recorder) = ObsSink::ring(256);
+        let mut m = msm();
+        m.set_obs(sink);
+        let id = record_video(&mut m, 10);
+        let s = m.strand(id).unwrap();
+        let blocks: Vec<Extent> = s.stored_iter().map(|(_, e)| e).collect();
+        let r = recorder.borrow();
+        let allocs: Vec<_> = r
+            .events()
+            .filter(|e| matches!(e, Event::Alloc { .. }))
+            .collect();
+        assert_eq!(allocs.len(), 10);
+        // First placement has no gap; later ones report the real layout
+        // gap and its slack under max_sectors.
+        for (i, ev) in allocs.iter().enumerate() {
+            let Event::Alloc {
+                block,
+                lba,
+                gap,
+                slack,
+                ..
+            } = ev
+            else {
+                unreachable!()
+            };
+            assert_eq!(*block, i as u64);
+            assert_eq!(*lba, blocks[i].start);
+            if i == 0 {
+                assert_eq!(*gap, None);
+            } else {
+                let expect = blocks[i].start - blocks[i - 1].end();
+                assert_eq!(*gap, Some(expect));
+                assert_eq!(*slack, Some(m.gap_bounds().max_sectors - expect));
+            }
+        }
+        // The disk's op stream rode along on the same sink.
+        assert!(r.metrics().disk_writes >= 10);
     }
 
     #[test]

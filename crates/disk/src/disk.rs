@@ -3,8 +3,9 @@
 
 use crate::geometry::{DiskGeometry, Extent, Lba};
 use crate::seek::SeekModel;
-use crate::trace::{DiskStats, DiskTrace};
+use crate::trace::DiskStats;
 use std::collections::HashMap;
+use strandfs_obs::{AccessDir, Event, ObsSink};
 use strandfs_units::{Instant, Nanos, Seconds};
 
 /// Whether an access reads or writes the medium.
@@ -68,11 +69,12 @@ pub struct SimDisk {
     head_cylinder: u64,
     store: HashMap<Lba, Box<[u8]>>,
     stats: DiskStats,
-    trace: Option<DiskTrace>,
+    obs: ObsSink,
 }
 
 impl SimDisk {
-    /// A new disk with the head parked at cylinder 0.
+    /// A new disk with the head parked at cylinder 0 and observability
+    /// disabled.
     pub fn new(geometry: DiskGeometry, seek_model: SeekModel) -> Self {
         SimDisk {
             geometry,
@@ -80,7 +82,7 @@ impl SimDisk {
             head_cylinder: 0,
             store: HashMap::new(),
             stats: DiskStats::default(),
-            trace: None,
+            obs: ObsSink::noop(),
         }
     }
 
@@ -108,14 +110,9 @@ impl SimDisk {
         &self.stats
     }
 
-    /// Begin recording a per-operation trace (replacing any prior one).
-    pub fn enable_trace(&mut self) {
-        self.trace = Some(DiskTrace::new());
-    }
-
-    /// Stop tracing and return the recorded trace, if any.
-    pub fn take_trace(&mut self) -> Option<DiskTrace> {
-        self.trace.take()
+    /// Route this disk's [`Event::DiskOp`] stream into `obs`.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Worst-case positioning time: full-stroke seek plus one full
@@ -174,9 +171,20 @@ impl SimDisk {
             completed,
         };
         self.stats.record(&op);
-        if let Some(trace) = &mut self.trace {
-            trace.push(op);
-        }
+        self.obs.emit(|| Event::DiskOp {
+            dir: match kind {
+                AccessKind::Read => AccessDir::Read,
+                AccessKind::Write => AccessDir::Write,
+            },
+            lba: extent.start,
+            sectors: extent.sectors,
+            cylinder: target_cyl,
+            cyl_distance: distance,
+            issued: now,
+            seek,
+            rotation,
+            transfer,
+        });
         op
     }
 
@@ -389,14 +397,42 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut d = disk();
-        d.enable_trace();
         let op1 = d.access(Instant::EPOCH, Extent::new(0, 2), AccessKind::Read);
         let _ = d.access(op1.completed, Extent::new(100, 2), AccessKind::Write);
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().sectors_transferred, 4);
-        let trace = d.take_trace().unwrap();
-        assert_eq!(trace.ops().len(), 2);
+    }
+
+    #[test]
+    fn obs_events_mirror_ops_exactly() {
+        let (sink, recorder) = ObsSink::ring(16);
+        let mut d = disk();
+        d.set_obs(sink);
+        let op1 = d.access(Instant::EPOCH, Extent::new(0, 2), AccessKind::Read);
+        let op2 = d.access(op1.completed, Extent::new(100, 2), AccessKind::Write);
+        let r = recorder.borrow();
+        let events: Vec<_> = r.events().collect();
+        assert_eq!(events.len(), 2);
+        match events[1] {
+            Event::DiskOp {
+                dir,
+                lba,
+                sectors,
+                seek,
+                rotation,
+                transfer,
+                ..
+            } => {
+                assert_eq!(*dir, AccessDir::Write);
+                assert_eq!(*lba, 100);
+                assert_eq!(*sectors, 2);
+                assert_eq!(*seek + *rotation + *transfer, op2.service_time());
+            }
+            e => panic!("unexpected event {e:?}"),
+        }
+        // Cumulative obs metrics agree with the disk's own stats.
+        assert_eq!(r.disk_service_total(), d.stats().busy_time());
     }
 
     #[test]

@@ -89,20 +89,31 @@ impl SeekModel {
         self.seek_time(cylinders.saturating_sub(1))
     }
 
-    /// The largest cylinder distance whose seek time does not exceed
-    /// `budget`; `None` if even a 1-cylinder seek exceeds it.
+    /// The largest cylinder distance achievable on a disk of `cylinders`
+    /// whose seek time does not exceed `budget`. `Some(0)` means only a
+    /// zero-distance "seek" fits (budget below the smallest real seek, or
+    /// a single-cylinder disk where the arm never moves); `None` means
+    /// not even that (no cylinders at all, or a negative budget).
     ///
     /// Used to translate a scattering upper bound (seconds) into a
     /// placement upper bound (cylinders). Exploits monotonicity via
     /// binary search.
     pub fn max_distance_within(&self, budget: Seconds, cylinders: u64) -> Option<u64> {
-        if cylinders == 0 || self.seek_time(1) > budget {
+        if cylinders == 0 || budget < Seconds::ZERO {
             return None;
         }
-        let (mut lo, mut hi) = (1u64, cylinders.saturating_sub(1).max(1));
-        if self.seek_time(hi) <= budget {
-            return Some(hi);
+        // On a 1-cylinder disk the largest possible distance is 0, and a
+        // budget below the smallest non-zero seek also admits only 0;
+        // the earlier `lo = hi = 1` clamp returned the impossible
+        // distance 1 here.
+        let max_d = cylinders - 1;
+        if max_d == 0 || self.seek_time(1) > budget {
+            return Some(0);
         }
+        if self.seek_time(max_d) <= budget {
+            return Some(max_d);
+        }
+        let (mut lo, mut hi) = (1u64, max_d);
         // Invariant: seek_time(lo) <= budget < seek_time(hi).
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
@@ -205,11 +216,46 @@ mod tests {
     #[test]
     fn max_distance_within_edge_cases() {
         let m = affine();
-        // Budget below any non-zero seek.
-        assert_eq!(m.max_distance_within(Seconds::from_millis(1.0), 100), None);
+        // Budget below any non-zero seek: only staying put fits.
+        assert_eq!(
+            m.max_distance_within(Seconds::from_millis(1.0), 100),
+            Some(0)
+        );
         // Budget above full stroke.
         assert_eq!(m.max_distance_within(Seconds::new(10.0), 100), Some(99));
         assert_eq!(m.max_distance_within(Seconds::new(10.0), 0), None);
+        // Negative budget admits nothing.
+        assert_eq!(m.max_distance_within(Seconds::new(-1.0), 100), None);
+    }
+
+    #[test]
+    fn max_distance_within_degenerate_geometries() {
+        for m in [
+            affine(),
+            SeekModel::vintage_1991(),
+            SeekModel::projected_fast(),
+        ] {
+            // A 1-cylinder disk can never move the arm: the inverse must
+            // report distance 0, not the old lo=hi=1 collapse.
+            assert_eq!(m.max_distance_within(Seconds::new(10.0), 1), Some(0));
+            assert_eq!(m.max_distance_within(Seconds::ZERO, 1), Some(0));
+            // A 2-cylinder disk caps at distance 1, budget permitting.
+            assert_eq!(m.max_distance_within(Seconds::new(10.0), 2), Some(1));
+            assert_eq!(m.max_distance_within(Seconds::ZERO, 2), Some(0));
+            // max_seek agrees: no movement, no time.
+            assert_eq!(m.max_seek(1), Seconds::ZERO);
+            assert_eq!(m.max_seek(0), Seconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn min_distance_reaching_degenerate_geometries() {
+        let m = affine();
+        // Zero floor is reachable without moving even with no cylinders.
+        assert_eq!(m.min_distance_reaching(Seconds::ZERO, 1), Some(0));
+        // Positive floor is unreachable on a 1-cylinder disk.
+        assert_eq!(m.min_distance_reaching(Seconds::from_millis(1.0), 1), None);
+        assert_eq!(m.min_distance_reaching(Seconds::from_millis(1.0), 0), None);
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! Operation traces and cumulative statistics for simulated disks.
+//! Cumulative statistics for simulated disks.
+//!
+//! Per-operation tracing lives in `strandfs-obs` ([`SimDisk::set_obs`]
+//! with a ring recorder); this module keeps only the always-on
+//! constant-memory counters.
+//!
+//! [`SimDisk::set_obs`]: crate::SimDisk::set_obs
 
 use crate::disk::{AccessKind, DiskOp};
 use strandfs_units::Nanos;
@@ -54,52 +60,6 @@ impl DiskStats {
     }
 }
 
-/// A recorded sequence of disk operations.
-#[derive(Clone, Debug, Default)]
-pub struct DiskTrace {
-    ops: Vec<DiskOp>,
-}
-
-impl DiskTrace {
-    /// An empty trace.
-    pub fn new() -> Self {
-        DiskTrace::default()
-    }
-
-    /// Append one operation.
-    pub fn push(&mut self, op: DiskOp) {
-        self.ops.push(op);
-    }
-
-    /// The recorded operations, in issue order.
-    pub fn ops(&self) -> &[DiskOp] {
-        &self.ops
-    }
-
-    /// Service times of all recorded operations.
-    pub fn service_times(&self) -> Vec<Nanos> {
-        self.ops.iter().map(DiskOp::service_time).collect()
-    }
-
-    /// The largest recorded service time, or zero for an empty trace.
-    pub fn max_service_time(&self) -> Nanos {
-        self.ops
-            .iter()
-            .map(DiskOp::service_time)
-            .max()
-            .unwrap_or(Nanos::ZERO)
-    }
-
-    /// The mean recorded service time, or zero for an empty trace.
-    pub fn mean_service_time(&self) -> Nanos {
-        if self.ops.is_empty() {
-            return Nanos::ZERO;
-        }
-        let total: Nanos = self.ops.iter().map(DiskOp::service_time).sum();
-        total / self.ops.len() as u64
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,25 +91,9 @@ mod tests {
     }
 
     #[test]
-    fn empty_stats_and_trace() {
+    fn empty_stats() {
         let s = DiskStats::default();
         assert_eq!(s.positioning_fraction(), 0.0);
-        let t = DiskTrace::new();
-        assert_eq!(t.max_service_time(), Nanos::ZERO);
-        assert_eq!(t.mean_service_time(), Nanos::ZERO);
-    }
-
-    #[test]
-    fn trace_aggregates() {
-        let mut t = DiskTrace::new();
-        t.push(op(AccessKind::Read, 1, 100));
-        t.push(op(AccessKind::Read, 1, 300));
-        assert_eq!(t.ops().len(), 2);
-        assert_eq!(t.max_service_time(), Nanos::from_micros(300));
-        assert_eq!(t.mean_service_time(), Nanos::from_micros(200));
-        assert_eq!(
-            t.service_times(),
-            vec![Nanos::from_micros(100), Nanos::from_micros(300)]
-        );
+        assert_eq!(s.busy_time(), Nanos::ZERO);
     }
 }

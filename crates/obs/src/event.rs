@@ -1,0 +1,229 @@
+//! The structured event taxonomy.
+//!
+//! Events are plain `Copy` data — ids and durations only, no strings and
+//! no references into the emitting layer — so recording one is a memcpy
+//! and an event outlives the run that produced it.
+
+use strandfs_units::{Instant, Nanos};
+
+/// Whether a disk operation read or wrote the medium.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessDir {
+    /// Medium → host.
+    Read,
+    /// Host → medium.
+    Write,
+}
+
+/// One structured observability event.
+///
+/// The taxonomy mirrors the layers of the stack: `DiskOp` from the disk
+/// simulator, `Alloc` from the storage manager's placement decisions,
+/// `Admit`/`Reject`/`Release` from the admission controller, and
+/// `RoundStart`/`DisplayStart`/`Deadline` from the playback simulator.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// One disk operation, fully decomposed (`strandfs-disk`).
+    DiskOp {
+        /// Read or write.
+        dir: AccessDir,
+        /// First sector accessed.
+        lba: u64,
+        /// Sectors transferred.
+        sectors: u64,
+        /// Cylinder the operation landed on.
+        cylinder: u64,
+        /// Cylinders the arm travelled to get there.
+        cyl_distance: u64,
+        /// Issue instant.
+        issued: Instant,
+        /// Arm movement time.
+        seek: Nanos,
+        /// Rotational latency.
+        rotation: Nanos,
+        /// Media transfer time (head/track switches included).
+        transfer: Nanos,
+    },
+    /// One block-placement decision (`Msm::append_block`).
+    Alloc {
+        /// The strand being recorded.
+        strand: u64,
+        /// The block number placed.
+        block: u64,
+        /// Where it landed.
+        lba: u64,
+        /// Its size in sectors.
+        sectors: u64,
+        /// Gap to the previous block in sectors; `None` for a strand's
+        /// first block (no predecessor) or a wrap-around placement
+        /// (the gap constraint was deliberately broken — an anomaly).
+        gap: Option<u64>,
+        /// Remaining room below the scattering upper bound
+        /// (`max_sectors − gap`); `None` when `gap` is.
+        slack: Option<u64>,
+    },
+    /// A request was admitted (Eq. 18 test passed).
+    Admit {
+        /// The admitted request.
+        request: u64,
+        /// Requests in service after admission.
+        n: usize,
+        /// Round size before.
+        k_old: u64,
+        /// Round size after.
+        k_new: u64,
+        /// Eq. 18 slack at decision time: `k·γ − (n·α + n·k·β)` for the
+        /// new `(n, k)` — how much round-time headroom the admitted set
+        /// retains (≥ 0 by construction).
+        slack: Nanos,
+    },
+    /// A request was rejected (`γ ≤ n·β`: no feasible round size).
+    Reject {
+        /// The rejected request.
+        request: u64,
+        /// Requests already in service.
+        active: usize,
+        /// Capacity bound `n_max` at rejection time.
+        n_max: usize,
+    },
+    /// A request left service.
+    Release {
+        /// The departing request.
+        request: u64,
+        /// Requests remaining.
+        n: usize,
+        /// Recomputed round size (0 when idle).
+        k: u64,
+    },
+    /// A service round began (`strandfs-sim`).
+    RoundStart {
+        /// Round number (0-based).
+        round: u64,
+        /// Streams serviced this round.
+        active: usize,
+        /// Blocks per stream this round (the paper's `k`).
+        k: u64,
+        /// Virtual time at round start.
+        at: Instant,
+    },
+    /// A stream's display clock started (read-ahead satisfied).
+    DisplayStart {
+        /// Stream index (report order).
+        stream: usize,
+        /// Virtual display-start instant.
+        at: Instant,
+    },
+    /// Deadline outcome of one scheduled item, emitted once its fetch
+    /// completion and display start are both known.
+    Deadline {
+        /// Stream index (report order).
+        stream: usize,
+        /// Item index within the stream's schedule.
+        item: u64,
+        /// The round whose service fetched the item.
+        round: u64,
+        /// The playback deadline.
+        deadline: Instant,
+        /// When the fetch completed.
+        completed: Instant,
+    },
+}
+
+impl Event {
+    /// For a [`Event::DiskOp`], the total service time; zero otherwise.
+    pub fn service_time(&self) -> Nanos {
+        match self {
+            Event::DiskOp {
+                seek,
+                rotation,
+                transfer,
+                ..
+            } => *seek + *rotation + *transfer,
+            _ => Nanos::ZERO,
+        }
+    }
+
+    /// For a [`Event::Deadline`], the signed margin in nanoseconds
+    /// (positive = early, negative = late); zero otherwise.
+    pub fn deadline_margin(&self) -> i64 {
+        match self {
+            Event::Deadline {
+                deadline,
+                completed,
+                ..
+            } => {
+                if completed <= deadline {
+                    (*deadline - *completed).as_nanos() as i64
+                } else {
+                    -((*completed - *deadline).as_nanos() as i64)
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// A short stable label for counters and JSON keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DiskOp { .. } => "disk_op",
+            Event::Alloc { .. } => "alloc",
+            Event::Admit { .. } => "admit",
+            Event::Reject { .. } => "reject",
+            Event::Release { .. } => "release",
+            Event::RoundStart { .. } => "round_start",
+            Event::DisplayStart { .. } => "display_start",
+            Event::Deadline { .. } => "deadline",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_sums_components() {
+        let e = Event::DiskOp {
+            dir: AccessDir::Read,
+            lba: 0,
+            sectors: 1,
+            cylinder: 0,
+            cyl_distance: 0,
+            issued: Instant::EPOCH,
+            seek: Nanos::from_millis(3),
+            rotation: Nanos::from_millis(2),
+            transfer: Nanos::from_millis(1),
+        };
+        assert_eq!(e.service_time(), Nanos::from_millis(6));
+        assert_eq!(e.kind(), "disk_op");
+    }
+
+    #[test]
+    fn deadline_margin_is_signed() {
+        let early = Event::Deadline {
+            stream: 0,
+            item: 0,
+            round: 0,
+            deadline: Instant::from_nanos(100),
+            completed: Instant::from_nanos(60),
+        };
+        assert_eq!(early.deadline_margin(), 40);
+        let late = Event::Deadline {
+            stream: 0,
+            item: 1,
+            round: 1,
+            deadline: Instant::from_nanos(100),
+            completed: Instant::from_nanos(250),
+        };
+        assert_eq!(late.deadline_margin(), -150);
+        assert_eq!(
+            Event::Release {
+                request: 0,
+                n: 0,
+                k: 0
+            }
+            .deadline_margin(),
+            0
+        );
+    }
+}

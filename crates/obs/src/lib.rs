@@ -1,0 +1,41 @@
+//! Zero-perturbation observability for strandfs.
+//!
+//! The paper's central claims are *timing* claims — continuity (Eqs.
+//! 1–6), round feasibility (Eq. 15) and transient-safe admission
+//! (Eq. 18) — so a deadline miss must be attributable to its cause:
+//! seek vs. rotation vs. transfer vs. a bad admission decision. This
+//! crate is the observability spine that makes that attribution
+//! possible without perturbing the thing being measured:
+//!
+//! * [`Event`] — the structured event taxonomy emitted by every layer
+//!   (disk operations with their seek/rotation/transfer decomposition,
+//!   allocation decisions with constraint slack, admission transitions
+//!   with Eq. 15/18 slack, service rounds, per-block deadline margins);
+//! * [`Recorder`] — the sink trait, with [`ObsSink`] as the cheap
+//!   cloneable handle the layers hold. A disabled sink never constructs
+//!   an event (construction happens inside a closure that is skipped),
+//!   so uninstrumented runs are bit-identical to pre-instrumentation
+//!   builds and pay one branch per call site;
+//! * [`RingRecorder`] — the bundled recorder: a bounded ring buffer of
+//!   recent events plus cumulative counters, [`NanosSummary`] timing
+//!   aggregates and log₂ [`NanosHistogram`]s, exportable as hand-rolled
+//!   JSON (no external dependencies) for merging into `BENCH_*.json`.
+//!
+//! Environment knobs (read by [`RingRecorder::from_env`]):
+//!
+//! * `STRANDFS_OBS_CAP` — ring capacity in events (default 65 536);
+//!   the ring drops the *oldest* events once full, counters never stop.
+//!
+//! The simulation is single-threaded by design (virtual time), so the
+//! shared handle is `Rc<RefCell<…>>`, not an atomic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod recorder;
+mod summary;
+
+pub use event::{AccessDir, Event};
+pub use recorder::{ObsSink, Recorder, RingRecorder};
+pub use summary::{NanosAcc, NanosHistogram, NanosSummary, U64Acc};

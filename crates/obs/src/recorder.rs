@@ -1,0 +1,508 @@
+//! Recorder trait, the per-layer sink handle, and the bundled
+//! bounded-memory ring recorder.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use strandfs_units::Nanos;
+
+use crate::event::{AccessDir, Event};
+use crate::summary::{NanosAcc, NanosHistogram, U64Acc};
+
+/// Default ring capacity when `STRANDFS_OBS_CAP` is unset.
+pub const DEFAULT_RING_CAP: usize = 65_536;
+
+/// A sink for structured [`Event`]s.
+///
+/// Implementations must not feed information back into the emitting
+/// layer — observation is strictly one-way, which is what makes the
+/// zero-perturbation guarantee (identical `SimReport` with any
+/// recorder) testable rather than aspirational.
+pub trait Recorder {
+    /// Accept one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The handle instrumented layers hold: either disabled (the default)
+/// or a shared reference to a [`Recorder`].
+///
+/// Cloning is cheap (an `Rc` bump at most). The crucial property is in
+/// [`ObsSink::emit`]: the event is built inside a closure that a
+/// disabled sink never calls, so uninstrumented code pays one branch
+/// per site and zero construction cost.
+///
+/// The simulation is single-threaded virtual time, hence
+/// `Rc<RefCell<…>>` rather than an atomic handoff.
+#[derive(Clone, Default)]
+pub struct ObsSink(Option<Rc<RefCell<dyn Recorder>>>);
+
+impl ObsSink {
+    /// The disabled sink: every `emit` is a no-op.
+    pub fn noop() -> ObsSink {
+        ObsSink(None)
+    }
+
+    /// A sink feeding a shared recorder. The caller keeps its own
+    /// `Rc` to inspect the recorder after the run.
+    pub fn shared<R: Recorder + 'static>(recorder: &Rc<RefCell<R>>) -> ObsSink {
+        ObsSink(Some(Rc::clone(recorder) as Rc<RefCell<dyn Recorder>>))
+    }
+
+    /// Convenience: a fresh [`RingRecorder`] of `cap` events plus the
+    /// sink feeding it.
+    pub fn ring(cap: usize) -> (ObsSink, Rc<RefCell<RingRecorder>>) {
+        let recorder = Rc::new(RefCell::new(RingRecorder::new(cap)));
+        (ObsSink::shared(&recorder), recorder)
+    }
+
+    /// True if events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record the event produced by `build` — or, when disabled, do
+    /// nothing at all (`build` is never called).
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> Event) {
+        if let Some(recorder) = &self.0 {
+            recorder.borrow_mut().record(build());
+        }
+    }
+}
+
+impl fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ObsSink")
+            .field(&if self.0.is_some() { "enabled" } else { "noop" })
+            .finish()
+    }
+}
+
+/// Cumulative metrics extracted from the event stream.
+///
+/// Unlike the ring of raw events these never drop: counters and
+/// constant-size accumulators only.
+#[derive(Clone, Debug, Default)]
+pub struct ObsMetrics {
+    /// Disk read operations.
+    pub disk_reads: u64,
+    /// Disk write operations.
+    pub disk_writes: u64,
+    /// Sectors per disk op.
+    pub disk_sectors: U64Acc,
+    /// Cylinder distance travelled per disk op.
+    pub disk_cyl_distance: U64Acc,
+    /// Seek component per disk op.
+    pub disk_seek: NanosAcc,
+    /// Rotational-latency component per disk op.
+    pub disk_rotation: NanosAcc,
+    /// Transfer component per disk op.
+    pub disk_transfer: NanosAcc,
+    /// Total service time per disk op.
+    pub disk_service: NanosAcc,
+    /// Block placements.
+    pub allocs: u64,
+    /// Placements without a gap constraint in force (a strand's first
+    /// block, or a wrap anomaly).
+    pub allocs_unconstrained: u64,
+    /// Inter-block gap actually chosen, in sectors.
+    pub alloc_gap: U64Acc,
+    /// Slack below the scattering upper bound, in sectors.
+    pub alloc_slack: U64Acc,
+    /// Admitted requests.
+    pub admits: u64,
+    /// Rejected requests.
+    pub rejects: u64,
+    /// Released requests.
+    pub releases: u64,
+    /// Admissions that grew the round size `k`.
+    pub k_growths: u64,
+    /// Largest round size any admission produced.
+    pub k_peak: u64,
+    /// Eq. 18 slack at each admission.
+    pub admit_slack: NanosAcc,
+    /// Service rounds started.
+    pub rounds: u64,
+    /// Streams serviced per round.
+    pub round_active: U64Acc,
+    /// Largest `k` any round used.
+    pub round_k_max: u64,
+    /// Deadline events seen.
+    pub deadline_blocks: u64,
+    /// Deadline events whose fetch completed late.
+    pub deadline_late: u64,
+    /// Margin (deadline − completion) for on-time blocks.
+    pub deadline_margin: NanosHistogram,
+    /// Lateness (completion − deadline) for late blocks.
+    pub deadline_lateness: NanosHistogram,
+}
+
+impl ObsMetrics {
+    fn fold(&mut self, event: &Event) {
+        match *event {
+            Event::DiskOp {
+                dir,
+                sectors,
+                cyl_distance,
+                seek,
+                rotation,
+                transfer,
+                ..
+            } => {
+                match dir {
+                    AccessDir::Read => self.disk_reads += 1,
+                    AccessDir::Write => self.disk_writes += 1,
+                }
+                self.disk_sectors.record(sectors);
+                self.disk_cyl_distance.record(cyl_distance);
+                self.disk_seek.record(seek);
+                self.disk_rotation.record(rotation);
+                self.disk_transfer.record(transfer);
+                self.disk_service.record(seek + rotation + transfer);
+            }
+            Event::Alloc { gap, slack, .. } => {
+                self.allocs += 1;
+                match gap {
+                    Some(g) => self.alloc_gap.record(g),
+                    None => self.allocs_unconstrained += 1,
+                }
+                if let Some(s) = slack {
+                    self.alloc_slack.record(s);
+                }
+            }
+            Event::Admit {
+                k_old,
+                k_new,
+                slack,
+                ..
+            } => {
+                self.admits += 1;
+                if k_new > k_old {
+                    self.k_growths += 1;
+                }
+                self.k_peak = self.k_peak.max(k_new);
+                self.admit_slack.record(slack);
+            }
+            Event::Reject { .. } => self.rejects += 1,
+            Event::Release { .. } => self.releases += 1,
+            Event::RoundStart { active, k, .. } => {
+                self.rounds += 1;
+                self.round_active.record(active as u64);
+                self.round_k_max = self.round_k_max.max(k);
+            }
+            Event::DisplayStart { .. } => {}
+            Event::Deadline {
+                deadline,
+                completed,
+                ..
+            } => {
+                self.deadline_blocks += 1;
+                if completed > deadline {
+                    self.deadline_late += 1;
+                    self.deadline_lateness.record(completed - deadline);
+                } else {
+                    self.deadline_margin.record(deadline - completed);
+                }
+            }
+        }
+    }
+
+    /// The metrics as a hand-rolled JSON object (the `"obs"` section
+    /// merged into `BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"disk\":{{\"reads\":{},\"writes\":{},\"sectors\":{},",
+                "\"cyl_distance\":{},\"seek\":{},\"rotation\":{},",
+                "\"transfer\":{},\"service\":{}}},",
+                "\"alloc\":{{\"count\":{},\"unconstrained\":{},\"gap\":{},\"slack\":{}}},",
+                "\"admission\":{{\"admits\":{},\"rejects\":{},\"releases\":{},",
+                "\"k_growths\":{},\"k_peak\":{},\"slack\":{}}},",
+                "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{}}},",
+                "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}}}}"
+            ),
+            self.disk_reads,
+            self.disk_writes,
+            self.disk_sectors.to_json(),
+            self.disk_cyl_distance.to_json(),
+            self.disk_seek.summary().to_json(),
+            self.disk_rotation.summary().to_json(),
+            self.disk_transfer.summary().to_json(),
+            self.disk_service.summary().to_json(),
+            self.allocs,
+            self.allocs_unconstrained,
+            self.alloc_gap.to_json(),
+            self.alloc_slack.to_json(),
+            self.admits,
+            self.rejects,
+            self.releases,
+            self.k_growths,
+            self.k_peak,
+            self.admit_slack.summary().to_json(),
+            self.rounds,
+            self.round_active.to_json(),
+            self.round_k_max,
+            self.deadline_blocks,
+            self.deadline_late,
+            self.deadline_margin.to_json(),
+            self.deadline_lateness.to_json(),
+        )
+    }
+}
+
+/// The bundled recorder: a bounded ring of recent raw events plus
+/// cumulative [`ObsMetrics`].
+///
+/// Once the ring is full the *oldest* event is dropped (and counted in
+/// [`RingRecorder::dropped`]); metrics keep accumulating regardless, so
+/// long runs keep exact counters and recent raw history in bounded
+/// memory.
+#[derive(Debug, Default)]
+pub struct RingRecorder {
+    cap: usize,
+    ring: VecDeque<Event>,
+    dropped: u64,
+    metrics: ObsMetrics,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `cap` raw events.
+    pub fn new(cap: usize) -> RingRecorder {
+        RingRecorder {
+            cap,
+            ring: VecDeque::with_capacity(cap.min(1 << 16)),
+            dropped: 0,
+            metrics: ObsMetrics::default(),
+        }
+    }
+
+    /// A recorder whose capacity comes from `STRANDFS_OBS_CAP`
+    /// (default [`DEFAULT_RING_CAP`]; invalid values fall back to it).
+    pub fn from_env() -> RingRecorder {
+        let cap = std::env::var("STRANDFS_OBS_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_RING_CAP);
+        RingRecorder::new(cap)
+    }
+
+    /// The retained raw events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Retained raw-event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The cumulative metrics (never dropped).
+    pub fn metrics(&self) -> &ObsMetrics {
+        &self.metrics
+    }
+
+    /// Sum of all recorded disk service time (convenience for
+    /// cross-checking against `DiskStats::busy_time`).
+    pub fn disk_service_total(&self) -> Nanos {
+        self.metrics.disk_service.total()
+    }
+
+    /// The full report as hand-rolled JSON: cumulative metrics plus
+    /// ring occupancy.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"metrics\":{},\"ring\":{{\"cap\":{},\"len\":{},\"dropped\":{}}}}}",
+            self.metrics.to_json(),
+            self.cap,
+            self.ring.len(),
+            self.dropped
+        )
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: Event) {
+        self.metrics.fold(&event);
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_units::Instant;
+
+    fn disk_op(lba: u64) -> Event {
+        Event::DiskOp {
+            dir: AccessDir::Read,
+            lba,
+            sectors: 8,
+            cylinder: lba / 128,
+            cyl_distance: 3,
+            issued: Instant::EPOCH,
+            seek: Nanos::from_millis(10),
+            rotation: Nanos::from_millis(8),
+            transfer: Nanos::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn noop_sink_never_builds_the_event() {
+        let sink = ObsSink::noop();
+        assert!(!sink.is_enabled());
+        sink.emit(|| panic!("a disabled sink must not construct events"));
+    }
+
+    #[test]
+    fn shared_sink_records_through_clones() {
+        let (sink, recorder) = ObsSink::ring(16);
+        assert!(sink.is_enabled());
+        let clone = sink.clone();
+        sink.emit(|| disk_op(0));
+        clone.emit(|| disk_op(128));
+        let r = recorder.borrow();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.metrics().disk_reads, 2);
+        assert_eq!(r.disk_service_total(), Nanos::from_millis(40));
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_metrics_accumulate() {
+        let mut rec = RingRecorder::new(2);
+        for i in 0..5 {
+            rec.record(disk_op(i * 100));
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        // Oldest first: ops 3 and 4 remain.
+        let lbas: Vec<u64> = rec
+            .events()
+            .map(|e| match e {
+                Event::DiskOp { lba, .. } => *lba,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lbas, vec![300, 400]);
+        // Metrics saw all five.
+        assert_eq!(rec.metrics().disk_reads, 5);
+        assert_eq!(rec.metrics().disk_service.count(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_counts() {
+        let mut rec = RingRecorder::new(0);
+        rec.record(disk_op(0));
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 1);
+        assert_eq!(rec.metrics().disk_reads, 1);
+    }
+
+    #[test]
+    fn metrics_fold_all_kinds() {
+        let mut rec = RingRecorder::new(64);
+        rec.record(disk_op(0));
+        rec.record(Event::Alloc {
+            strand: 1,
+            block: 0,
+            lba: 0,
+            sectors: 8,
+            gap: None,
+            slack: None,
+        });
+        rec.record(Event::Alloc {
+            strand: 1,
+            block: 1,
+            lba: 40,
+            sectors: 8,
+            gap: Some(32),
+            slack: Some(96),
+        });
+        rec.record(Event::Admit {
+            request: 7,
+            n: 1,
+            k_old: 0,
+            k_new: 2,
+            slack: Nanos::from_millis(5),
+        });
+        rec.record(Event::Reject {
+            request: 8,
+            active: 1,
+            n_max: 1,
+        });
+        rec.record(Event::Release {
+            request: 7,
+            n: 0,
+            k: 0,
+        });
+        rec.record(Event::RoundStart {
+            round: 0,
+            active: 3,
+            k: 2,
+            at: Instant::EPOCH,
+        });
+        rec.record(Event::DisplayStart {
+            stream: 0,
+            at: Instant::from_nanos(10),
+        });
+        rec.record(Event::Deadline {
+            stream: 0,
+            item: 0,
+            round: 0,
+            deadline: Instant::from_nanos(100),
+            completed: Instant::from_nanos(80),
+        });
+        rec.record(Event::Deadline {
+            stream: 0,
+            item: 1,
+            round: 1,
+            deadline: Instant::from_nanos(100),
+            completed: Instant::from_nanos(130),
+        });
+        let m = rec.metrics();
+        assert_eq!(m.allocs, 2);
+        assert_eq!(m.allocs_unconstrained, 1);
+        assert_eq!(m.alloc_gap.mean(), 32);
+        assert_eq!((m.admits, m.rejects, m.releases), (1, 1, 1));
+        assert_eq!(m.k_growths, 1);
+        assert_eq!(m.k_peak, 2);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.round_k_max, 2);
+        assert_eq!(m.deadline_blocks, 2);
+        assert_eq!(m.deadline_late, 1);
+        assert_eq!(m.deadline_margin.count(), 1);
+        assert_eq!(m.deadline_lateness.count(), 1);
+        // JSON is well-formed enough to contain every section.
+        let json = rec.to_json();
+        for key in [
+            "\"disk\"",
+            "\"alloc\"",
+            "\"admission\"",
+            "\"rounds\"",
+            "\"deadlines\"",
+            "\"ring\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Aggregate statistics: summaries, streaming accumulators, histograms.
+//!
+//! [`NanosSummary`] is the workspace's canonical duration summary (it
+//! was born in `strandfs-sim` and now lives here so every layer can use
+//! it); [`NanosAcc`]/[`U64Acc`] build one incrementally without holding
+//! samples; [`NanosHistogram`] buckets durations by power-of-two width
+//! for bounded-memory distribution export.
+
+use std::fmt::Write as _;
+
+use strandfs_units::Nanos;
+
+/// Summary statistics over a set of durations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NanosSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (zero when empty).
+    pub min: Nanos,
+    /// Largest sample (zero when empty).
+    pub max: Nanos,
+    /// Mean sample (zero when empty).
+    pub mean: Nanos,
+}
+
+impl NanosSummary {
+    /// Summarize an iterator of durations.
+    pub fn of(samples: impl IntoIterator<Item = Nanos>) -> NanosSummary {
+        let mut acc = NanosAcc::default();
+        for s in samples {
+            acc.record(s);
+        }
+        acc.summary()
+    }
+
+    /// The summary as a hand-rolled JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+            self.count,
+            self.min.as_nanos(),
+            self.max.as_nanos(),
+            self.mean.as_nanos()
+        )
+    }
+}
+
+/// Streaming accumulator for durations: O(1) memory, yields a
+/// [`NanosSummary`] at any point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NanosAcc {
+    count: u64,
+    min: Nanos,
+    max: Nanos,
+    total: Nanos,
+}
+
+impl NanosAcc {
+    /// Fold one sample in.
+    #[inline]
+    pub fn record(&mut self, sample: Nanos) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.total += sample;
+    }
+
+    /// Samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn total(&self) -> Nanos {
+        self.total
+    }
+
+    /// The summary of everything recorded so far.
+    pub fn summary(&self) -> NanosSummary {
+        if self.count == 0 {
+            return NanosSummary::default();
+        }
+        NanosSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.total / self.count,
+        }
+    }
+}
+
+/// Streaming accumulator for dimensionless counts (sectors, gaps, …).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct U64Acc {
+    count: u64,
+    min: u64,
+    max: u64,
+    total: u64,
+}
+
+impl U64Acc {
+    /// Fold one sample in.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.total += sample;
+    }
+
+    /// Samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (zero when empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (zero when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean sample, rounded down (zero when empty).
+    #[inline]
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The accumulator as a hand-rolled JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            self.count,
+            self.min(),
+            self.max(),
+            self.mean()
+        )
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds samples in
+/// `[2^(i−1), 2^i)` ns (bucket 0 holds zero), so 64 buckets cover the
+/// full `u64` nanosecond range.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log₂-bucketed histogram of durations.
+///
+/// Bucket `i > 0` counts samples whose value `v` satisfies
+/// `2^(i−1) ≤ v < 2^i` nanoseconds; bucket 0 counts exact zeros. The
+/// memory footprint is constant regardless of sample count, which is
+/// what lets the recorder keep distributions for arbitrarily long runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NanosHistogram {
+    buckets: [u64; BUCKETS],
+    acc: NanosAcc,
+}
+
+impl Default for NanosHistogram {
+    fn default() -> Self {
+        NanosHistogram {
+            buckets: [0; BUCKETS],
+            acc: NanosAcc::default(),
+        }
+    }
+}
+
+impl NanosHistogram {
+    /// Fold one sample in.
+    #[inline]
+    pub fn record(&mut self, sample: Nanos) {
+        let v = sample.as_nanos();
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.acc.record(sample);
+    }
+
+    /// Samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// The summary of everything recorded so far.
+    pub fn summary(&self) -> NanosSummary {
+        self.acc.summary()
+    }
+
+    /// Iterate non-empty buckets as `(lower_bound_ns, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+    }
+
+    /// The histogram as a hand-rolled JSON object: summary plus sparse
+    /// buckets keyed by lower bound in nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"summary\":");
+        s.push_str(&self.summary().to_json());
+        s.push_str(",\"buckets\":{");
+        let mut first = true;
+        for (lo, count) in self.nonzero_buckets() {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\"{lo}\":{count}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_samples() {
+        let s = NanosSummary::of([
+            Nanos::from_millis(2),
+            Nanos::from_millis(8),
+            Nanos::from_millis(5),
+        ]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Nanos::from_millis(2));
+        assert_eq!(s.max, Nanos::from_millis(8));
+        assert_eq!(s.mean, Nanos::from_millis(5));
+        assert_eq!(NanosSummary::of([]), NanosSummary::default());
+    }
+
+    #[test]
+    fn acc_matches_batch_summary() {
+        let samples = [
+            Nanos::from_micros(3),
+            Nanos::ZERO,
+            Nanos::from_millis(40),
+            Nanos::from_nanos(7),
+        ];
+        let mut acc = NanosAcc::default();
+        for s in samples {
+            acc.record(s);
+        }
+        assert_eq!(acc.summary(), NanosSummary::of(samples));
+        assert_eq!(acc.total(), samples.into_iter().sum());
+    }
+
+    #[test]
+    fn u64_acc_basics() {
+        let mut acc = U64Acc::default();
+        assert_eq!((acc.min(), acc.max(), acc.mean()), (0, 0, 0));
+        for v in [10, 2, 6] {
+            acc.record(v);
+        }
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.min(), 2);
+        assert_eq!(acc.max(), 10);
+        assert_eq!(acc.mean(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = NanosHistogram::default();
+        h.record(Nanos::ZERO); // bucket 0
+        h.record(Nanos::from_nanos(1)); // [1,2)
+        h.record(Nanos::from_nanos(5)); // [4,8)
+        h.record(Nanos::from_nanos(7)); // [4,8)
+        h.record(Nanos::from_nanos(1024)); // [1024,2048)
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (4, 2), (1024, 1)]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.summary().max, Nanos::from_nanos(1024));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = NanosHistogram::default();
+        h.record(Nanos::MAX);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn json_shapes() {
+        let s = NanosSummary::of([Nanos::from_nanos(4)]);
+        assert_eq!(
+            s.to_json(),
+            "{\"count\":1,\"min_ns\":4,\"max_ns\":4,\"mean_ns\":4}"
+        );
+        let mut h = NanosHistogram::default();
+        h.record(Nanos::from_nanos(4));
+        assert!(h.to_json().contains("\"buckets\":{\"4\":1}"));
+        let mut u = U64Acc::default();
+        u.record(9);
+        assert_eq!(u.to_json(), "{\"count\":1,\"min\":9,\"max\":9,\"mean\":9}");
+    }
+}

@@ -2,46 +2,12 @@
 
 use strandfs_units::Nanos;
 
-/// Summary statistics over a set of durations.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NanosSummary {
-    /// Number of samples.
-    pub count: u64,
-    /// Smallest sample (zero when empty).
-    pub min: Nanos,
-    /// Largest sample (zero when empty).
-    pub max: Nanos,
-    /// Mean sample (zero when empty).
-    pub mean: Nanos,
-}
-
-impl NanosSummary {
-    /// Summarize an iterator of durations.
-    pub fn of(samples: impl IntoIterator<Item = Nanos>) -> NanosSummary {
-        let mut count = 0u64;
-        let mut min = Nanos::MAX;
-        let mut max = Nanos::ZERO;
-        let mut total = Nanos::ZERO;
-        for s in samples {
-            count += 1;
-            min = min.min(s);
-            max = max.max(s);
-            total += s;
-        }
-        if count == 0 {
-            return NanosSummary::default();
-        }
-        NanosSummary {
-            count,
-            min,
-            max,
-            mean: total / count,
-        }
-    }
-}
+// `NanosSummary` was born here and now lives in `strandfs-obs` so every
+// layer can aggregate durations; re-exported for compatibility.
+pub use strandfs_obs::NanosSummary;
 
 /// Per-stream outcome of a playback simulation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StreamOutcome {
     /// Scheduled items (blocks), silence holes included.
     pub blocks: u64,
@@ -78,7 +44,7 @@ impl StreamOutcome {
 }
 
 /// Whole-simulation report.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Per-stream outcomes in request order.
     pub streams: Vec<StreamOutcome>,
@@ -112,20 +78,6 @@ impl SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn summary_of_samples() {
-        let s = NanosSummary::of([
-            Nanos::from_millis(2),
-            Nanos::from_millis(8),
-            Nanos::from_millis(5),
-        ]);
-        assert_eq!(s.count, 3);
-        assert_eq!(s.min, Nanos::from_millis(2));
-        assert_eq!(s.max, Nanos::from_millis(8));
-        assert_eq!(s.mean, Nanos::from_millis(5));
-        assert_eq!(NanosSummary::of([]), NanosSummary::default());
-    }
 
     #[test]
     fn outcome_rates() {

@@ -12,6 +12,7 @@
 
 use crate::metrics::{NanosSummary, SimReport, StreamOutcome};
 use strandfs_core::mrs::{Mrs, PlaySchedule};
+use strandfs_obs::{Event, ObsSink};
 use strandfs_units::{Instant, Nanos};
 
 /// How active streams are ordered within each service round.
@@ -75,6 +76,10 @@ struct StreamState {
     schedule: PlaySchedule,
     /// Fetch completion instant per item, filled in service order.
     completions: Vec<Instant>,
+    /// The round whose service fetched each item, parallel to
+    /// `completions` — lets a deadline violation be attributed to the
+    /// specific round that fetched the late block.
+    fetch_rounds: Vec<u64>,
     next: usize,
     read_ahead: u64,
     service_start: Option<Instant>,
@@ -87,6 +92,7 @@ impl StreamState {
         StreamState {
             schedule,
             completions: Vec::with_capacity(n),
+            fetch_rounds: Vec::with_capacity(n),
             next: 0,
             read_ahead,
             service_start: None,
@@ -98,7 +104,7 @@ impl StreamState {
         self.next >= self.schedule.items.len()
     }
 
-    fn outcome(&self) -> StreamOutcome {
+    fn outcome(&self, stream: usize, obs: &ObsSink) -> StreamOutcome {
         let items = &self.schedule.items;
         let display_start = match self.display_start {
             Some(t) => t,
@@ -109,6 +115,12 @@ impl StreamState {
                 }
             }
         };
+        // Completions are filled in virtual-time order by the round
+        // loop; the backlog computation below depends on that.
+        debug_assert!(
+            self.completions.windows(2).all(|w| w[0] <= w[1]),
+            "fetch completions must be non-decreasing"
+        );
         let mut fetched = 0u64;
         let mut violations = 0u64;
         let mut lateness = Vec::new();
@@ -118,6 +130,13 @@ impl StreamState {
             }
             let deadline = display_start + item.at;
             let done = self.completions[j];
+            obs.emit(|| Event::Deadline {
+                stream,
+                item: j as u64,
+                round: self.fetch_rounds[j],
+                deadline,
+                completed: done,
+            });
             if done > deadline {
                 violations += 1;
                 lateness.push(done - deadline);
@@ -125,7 +144,10 @@ impl StreamState {
         }
         // Required buffering: completions are non-decreasing, so the
         // backlog when item j starts playing is (#completions ≤ its
-        // deadline) − j.
+        // deadline) − j. The subtraction saturates by design: a starved
+        // stream can reach item j's play instant with fewer than j
+        // fetches resident (open-loop display consumes items whether or
+        // not they arrived), and its backlog is then 0, not negative.
         let mut max_buffered = 0u64;
         for (j, item) in items.iter().enumerate() {
             let deadline = display_start + item.at;
@@ -192,6 +214,7 @@ pub fn simulate_with_arrivals_ordered(
     }
 
     let busy_before = mrs.msm().disk().stats().busy_time();
+    let obs = mrs.msm().obs();
     let mut t = Instant::EPOCH;
     let mut round: u64 = 0;
     loop {
@@ -227,6 +250,12 @@ pub fn simulate_with_arrivals_ordered(
             active.sort_by_key(|&i| next_lba(mrs, &states[i]));
         }
         let k = k_of_round(round, active.len()).max(1);
+        obs.emit(|| Event::RoundStart {
+            round,
+            active: active.len(),
+            k,
+            at: t,
+        });
         for idx in active {
             let state = &mut states[idx];
             if state.service_start.is_none() {
@@ -248,11 +277,13 @@ pub fn simulate_with_arrivals_ordered(
                     t = op.completed;
                     state.completions.push(t);
                 }
+                state.fetch_rounds.push(round);
                 state.next += 1;
                 if state.display_start.is_none()
                     && (state.next as u64 >= state.read_ahead || state.finished())
                 {
                     state.display_start = Some(t);
+                    obs.emit(|| Event::DisplayStart { stream: idx, at: t });
                 }
             }
         }
@@ -260,7 +291,11 @@ pub fn simulate_with_arrivals_ordered(
     }
 
     SimReport {
-        streams: states.iter().map(StreamState::outcome).collect(),
+        streams: states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.outcome(i, &obs))
+            .collect(),
         disk_busy: mrs.msm().disk().stats().busy_time() - busy_before,
         rounds: round,
     }
@@ -423,5 +458,66 @@ mod tests {
         let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4));
         // 40 items at k=4 -> 10 rounds.
         assert_eq!(report.rounds, 10);
+    }
+
+    /// A deliberately starved stream: the display clock consumes items
+    /// faster than fetches complete, so `fetched_by < j` for late items
+    /// and the backlog computation must clamp at zero, not underflow.
+    #[test]
+    fn starved_stream_backlog_clamps_to_zero() {
+        fn item_at(ms: u64) -> strandfs_core::mrs::PlayItem {
+            strandfs_core::mrs::PlayItem {
+                at: Nanos::from_millis(ms),
+                medium: strandfs_media::Medium::Video,
+                strand: strandfs_core::StrandId::from_raw(1),
+                block: 0,
+                units: 1,
+                duration: Nanos::from_millis(100),
+                silence: false,
+            }
+        }
+        let schedule = PlaySchedule {
+            items: vec![item_at(0), item_at(100), item_at(200)],
+            duration: Nanos::from_millis(300),
+            triggers: Vec::new(),
+        };
+        let mut state = StreamState::new(schedule, 1);
+        state.service_start = Some(Instant::EPOCH);
+        state.display_start = Some(Instant::EPOCH);
+        // Only the first fetch lands before its deadline; the rest
+        // straggle in long after the display has moved past them.
+        state.completions = vec![
+            Instant::EPOCH,
+            Instant::EPOCH + Nanos::from_millis(500),
+            Instant::EPOCH + Nanos::from_millis(600),
+        ];
+        state.fetch_rounds = vec![0, 1, 2];
+        state.next = 3;
+        let out = state.outcome(0, &ObsSink::noop());
+        assert_eq!(out.violations, 2);
+        // When item 2 plays (t = 200 ms) only one fetch is resident:
+        // backlog saturates to 0 rather than wrapping.
+        assert_eq!(out.max_buffered, 1);
+    }
+
+    #[test]
+    fn sim_events_mirror_report() {
+        let (mut mrs, ropes) = volume(1);
+        let (sink, rec) = ObsSink::ring(16_384);
+        mrs.set_obs(sink);
+        let scheds = schedules(&mut mrs, &ropes);
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4));
+        let r = rec.borrow();
+        let m = r.metrics();
+        assert_eq!(m.rounds, report.rounds);
+        assert_eq!(m.deadline_blocks, report.streams[0].blocks);
+        assert_eq!(m.deadline_late, report.total_violations());
+        let display_starts = r.events().filter(|e| e.kind() == "display_start").count();
+        assert_eq!(display_starts, 1);
+        // Every deadline event carries a round the simulation executed.
+        assert!(r
+            .events()
+            .filter(|e| e.kind() == "deadline")
+            .all(|e| matches!(e, Event::Deadline { round, .. } if *round < report.rounds)));
     }
 }

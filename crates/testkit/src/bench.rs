@@ -144,6 +144,9 @@ pub struct Runner {
     suite: String,
     cfg: BenchConfig,
     results: Vec<BenchResult>,
+    /// Named pre-rendered JSON blobs appended to the report (e.g. the
+    /// observability capture of an instrumented run).
+    sections: Vec<(String, String)>,
     quiet: bool,
 }
 
@@ -154,6 +157,7 @@ impl Runner {
             suite: suite.to_string(),
             cfg: BenchConfig::from_env(),
             results: Vec::new(),
+            sections: Vec::new(),
             quiet: false,
         }
     }
@@ -224,6 +228,18 @@ impl Runner {
     /// Absorb another runner's results (used to aggregate suites).
     pub fn absorb(&mut self, other: Runner) {
         self.results.extend(other.results);
+        self.sections.extend(other.sections);
+    }
+
+    /// Attach a named, already-rendered JSON value to the report. It is
+    /// emitted verbatim under `"sections"` in [`Runner::to_json`], so
+    /// callers can merge arbitrary structured data (e.g. an
+    /// observability capture) into the `BENCH_*.json` document. The
+    /// caller is responsible for `json` being well-formed; a later
+    /// section replaces an earlier one of the same name.
+    pub fn add_section(&mut self, name: &str, json: impl Into<String>) {
+        self.sections.retain(|(n, _)| n != name);
+        self.sections.push((name.to_string(), json.into()));
     }
 
     /// Print a closing summary line.
@@ -256,7 +272,24 @@ impl Runner {
                 if i + 1 == self.results.len() { "" } else { "," },
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.sections.is_empty() {
+            out.push_str(",\n  \"sections\": {\n");
+            for (i, (name, json)) in self.sections.iter().enumerate() {
+                out.push_str(&format!(
+                    "    \"{}\": {}{}\n",
+                    escape(name),
+                    json.trim(),
+                    if i + 1 == self.sections.len() {
+                        ""
+                    } else {
+                        ","
+                    },
+                ));
+            }
+            out.push_str("  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -320,6 +353,7 @@ mod tests {
             suite: suite.to_string(),
             cfg: tiny_cfg(),
             results: Vec::new(),
+            sections: Vec::new(),
             quiet: true,
         }
     }
@@ -365,6 +399,21 @@ mod tests {
         assert!(json.contains("quote\\\"d"));
         assert!(json.contains("\"suite\": \"core\""));
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn sections_merge_into_json() {
+        let mut r = tiny_runner("core");
+        r.bench_function("a", |b| b.iter(|| black_box(1)));
+        r.add_section("obs", "{\"metrics\": {\"disk\": 3}}\n");
+        r.add_section("obs", "{\"metrics\": {\"disk\": 4}}"); // replaces
+        r.add_section("extra", "[1, 2]");
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"sections\": {"));
+        assert!(json.contains("\"obs\": {\"metrics\": {\"disk\": 4}},"));
+        assert!(json.contains("\"extra\": [1, 2]"));
+        assert!(!json.contains("\"disk\": 3"));
     }
 
     #[test]

@@ -146,7 +146,7 @@ where
         out.push(mid);
     }
     let down = v - T::one();
-    if down > lo && !out.iter().any(|c| *c == down) {
+    if down > lo && !out.contains(&down) {
         out.push(down);
     }
     out
@@ -201,7 +201,8 @@ impl Strategy for RangeInclusive<f64> {
 }
 
 fn shrink_f64(lo: f64, v: f64) -> Vec<f64> {
-    if !(v > lo) {
+    // NaN shrinks to nothing, so compare via partial_cmp, not `!(v > lo)`.
+    if v.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Vec::new();
     }
     let mut out = vec![lo];

@@ -16,6 +16,7 @@ use strandfs::core::msm::MsmConfig;
 use strandfs::core::rope::edit::{Interval, MediaSel};
 use strandfs::core::FsError;
 use strandfs::disk::{DiskGeometry, GapBounds, SeekModel};
+use strandfs::obs::ObsSink;
 use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
 use strandfs::sim::{volume_on, ClipSpec};
 use strandfs::units::Instant;
@@ -37,6 +38,11 @@ fn main() {
         ),
         &library,
     );
+    // Watch the server work: a bounded ring recorder captures every
+    // admission decision, service round and per-block deadline margin
+    // without perturbing the simulation.
+    let (sink, recorder) = ObsSink::ring(1 << 18);
+    mrs.set_obs(sink);
     println!(
         "library: {} clips, volume {:.0}% full",
         ropes.len(),
@@ -101,6 +107,27 @@ fn main() {
         report.rounds,
         report.disk_busy
     );
+
+    // What the observability layer saw.
+    {
+        let r = recorder.borrow();
+        let m = r.metrics();
+        println!(
+            "obs: {} reads / {} writes (mean service {}), \
+             {} admits / {} rejects (min Eq.18 slack {}), \
+             {} rounds, tightest deadline margin {}",
+            m.disk_reads,
+            m.disk_writes,
+            m.disk_service.summary().mean,
+            m.admits,
+            m.rejects,
+            m.admit_slack.summary().min,
+            m.rounds,
+            m.deadline_margin.summary().min,
+        );
+        assert_eq!(m.rejects, rejected, "every rejection was recorded");
+        assert_eq!(m.deadline_late, 0, "continuous run has no late blocks");
+    }
 
     // A rejected client can still compile a schedule for later (e.g.
     // reservation), it just cannot be serviced now.

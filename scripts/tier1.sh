@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 

@@ -14,7 +14,9 @@
 //! * [`core`] — the paper's contribution: the continuity model, admission
 //!   control, strands, ropes, the Multimedia Storage Manager (MSM) and
 //!   the Multimedia Rope Server (MRS);
-//! * [`sim`] — a discrete-event simulator measuring playback continuity.
+//! * [`sim`] — a discrete-event simulator measuring playback continuity;
+//! * [`obs`] — the zero-perturbation observability layer (structured
+//!   events, ring recorder, counters and histograms).
 //!
 //! ## Quickstart
 //!
@@ -27,5 +29,6 @@
 pub use strandfs_core as core;
 pub use strandfs_disk as disk;
 pub use strandfs_media as media;
+pub use strandfs_obs as obs;
 pub use strandfs_sim as sim;
 pub use strandfs_units as units;

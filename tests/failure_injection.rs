@@ -194,6 +194,50 @@ fn degenerate_single_cylinder_disk_works() {
 }
 
 #[test]
+fn gap_bounds_survive_degenerate_geometries() {
+    use strandfs::disk::GapBounds;
+    use strandfs::units::Seconds;
+    let single = DiskGeometry {
+        cylinders: 1,
+        tracks_per_cylinder: 4,
+        sectors_per_track: 32,
+        sector_size: strandfs::units::Bytes::new(512),
+        rpm: 3_600.0,
+        head_switch: strandfs::units::Seconds::from_millis(0.5),
+    };
+    let disk = SimDisk::new(single, SeekModel::vintage_1991());
+    // On one cylinder no seek is possible, so the scattering budget buys
+    // zero cylinders of separation — not a panic, and not a phantom
+    // 1-cylinder gap (the old binary search collapsed to lo = hi = 1).
+    let b = GapBounds::from_times(&disk, Seconds::ZERO, Seconds::from_millis(100.0))
+        .expect("generous budget is feasible");
+    assert_eq!(b.max_sectors, 0);
+    assert_eq!(b.min_sectors, 0);
+    // A budget below half a rotation is infeasible on any geometry.
+    assert_eq!(
+        GapBounds::from_times(&disk, Seconds::ZERO, Seconds::from_millis(1.0)),
+        None
+    );
+    // Recording still works end to end: every block lands gap-0.
+    let mut msm = Msm::new(
+        SimDisk::new(single, SeekModel::vintage_1991()),
+        MsmConfig::constrained(b, 1),
+    );
+    let id = msm.begin_strand(tiny_meta());
+    let mut t = Instant::EPOCH;
+    for i in 0..4u64 {
+        let (_, op) = msm.append_block(id, t, &vec![i as u8; 512], 1).unwrap();
+        t = op.completed;
+    }
+    msm.finish_strand(id, t).unwrap();
+    let strand = msm.strand(id).unwrap();
+    let blocks: Vec<_> = strand.stored_iter().map(|(_, e)| e).collect();
+    for w in blocks.windows(2) {
+        assert_eq!(w[1].start, w[0].end(), "gap must be exactly zero");
+    }
+}
+
+#[test]
 fn empty_strand_finishes_and_deletes_cleanly() {
     let mut msm = small_msm();
     let id = msm.begin_strand(tiny_meta());

@@ -1,0 +1,91 @@
+//! Properties of the observability layer.
+//!
+//! The central contract: attaching a recorder never changes what the
+//! system does. A run with a ring recorder must produce a bit-identical
+//! [`SimReport`] (and disk busy time) to the same run with the default
+//! no-op sink, and the recorded per-op timing decomposition must sum
+//! back to the disk's actual service time.
+
+use strandfs::core::mrs::{compile_schedule, Mrs};
+use strandfs::core::msm::{Msm, MsmConfig};
+use strandfs::core::rope::edit::{Interval, MediaSel};
+use strandfs::disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
+use strandfs::obs::{Event, ObsSink};
+use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
+use strandfs::sim::{record_clip, ClipSpec, SimReport};
+use strandfs::units::Nanos;
+
+/// One deterministic end-to-end session — record two A/V clips, play
+/// both — with the given sink attached from the very first write.
+fn session(obs: ObsSink) -> (SimReport, Nanos) {
+    let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+    let mut mrs = Mrs::new(Msm::new(
+        disk,
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 40_000,
+            },
+            1,
+        ),
+    ));
+    mrs.set_obs(obs);
+    let ropes: Vec<_> = (0..2)
+        .map(|i| {
+            record_clip(&mut mrs, &ClipSpec::av_seconds(2.0).with_seed(i)).expect("record clip")
+        })
+        .collect();
+    let scheds = ropes
+        .iter()
+        .map(|r| {
+            let rope = mrs.rope(*r).unwrap().clone();
+            let mut s =
+                compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+            mrs.resolve_silence(&mut s).unwrap();
+            s
+        })
+        .collect();
+    let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(2));
+    let busy = mrs.msm().disk().stats().busy_time();
+    (report, busy)
+}
+
+#[test]
+fn recording_perturbs_nothing() {
+    let (baseline, baseline_busy) = session(ObsSink::noop());
+    let (sink, rec) = ObsSink::ring(1 << 18);
+    let (traced, traced_busy) = session(sink);
+    assert_eq!(baseline, traced, "recorder changed the simulation");
+    assert_eq!(baseline_busy, traced_busy, "recorder changed disk timing");
+    let r = rec.borrow();
+    assert!(!r.is_empty(), "instrumented run recorded nothing");
+    assert_eq!(r.dropped(), 0, "ring too small for this session");
+}
+
+#[test]
+fn per_op_components_sum_to_service_time() {
+    let (sink, rec) = ObsSink::ring(1 << 18);
+    let (_report, busy) = session(sink);
+    let r = rec.borrow();
+    assert_eq!(r.dropped(), 0);
+    let mut total = Nanos::ZERO;
+    let mut ops = 0u64;
+    for e in r.events() {
+        if let Event::DiskOp {
+            seek,
+            rotation,
+            transfer,
+            ..
+        } = e
+        {
+            assert_eq!(e.service_time(), *seek + *rotation + *transfer);
+            total += e.service_time();
+            ops += 1;
+        }
+    }
+    assert!(ops > 0);
+    // The decomposed per-op times reconstruct the disk's own busy-time
+    // accounting exactly.
+    assert_eq!(total, busy);
+    assert_eq!(r.disk_service_total(), busy);
+}
