@@ -1,18 +1,30 @@
 //! The aggregate bench runner: registers every suite, prints a report,
-//! and writes `BENCH_core.json` in the current directory.
+//! and writes `BENCH_core.json` in the current directory — or, with
+//! `--check`, compares the fresh run against the committed baseline and
+//! exits nonzero on regression.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p strandfs-bench --release --bin bench [suite ...]
+//! cargo run -p strandfs-bench --release --bin bench [--check] [--quick]
+//!     [--baseline PATH] [suite ...]
 //! ```
 //!
-//! With no arguments every suite runs; otherwise only the named ones
-//! (e.g. `bench fig4 allocators`). Sample counts and durations follow
-//! `STRANDFS_BENCH_SAMPLES` / `STRANDFS_BENCH_WARMUP_MS` /
-//! `STRANDFS_BENCH_SAMPLE_MS`.
+//! With no suite arguments every suite runs; otherwise only the named
+//! ones (e.g. `bench fig4 allocators`). Sample counts and durations
+//! follow `STRANDFS_BENCH_SAMPLES` / `STRANDFS_BENCH_WARMUP_MS` /
+//! `STRANDFS_BENCH_SAMPLE_MS`; `--quick` lowers their defaults for a
+//! smoke-level run (explicit variables still win).
+//!
+//! In `--check` mode the suite is compared benchmark-by-benchmark
+//! against the baseline (default `BENCH_core.json`) with the
+//! data-driven tolerances of `strandfs_bench::check`. Suites with a
+//! flagged benchmark are re-run once before the verdict, so a single
+//! noisy scheduling event does not fail the gate; the observability
+//! capture is also cross-checked against the simulator's own
+//! bookkeeping. Nothing is written in `--check` mode.
 
-use strandfs_bench::suites;
+use strandfs_bench::{check, suites};
 use strandfs_testkit::bench::Runner;
 
 type RegisterFn = fn(&mut Runner);
@@ -32,9 +44,40 @@ const SUITES: &[(&str, RegisterFn)] = &[
     ("scan_order", suites::scan_order::register),
 ];
 
-fn main() {
-    let wanted: Vec<String> = std::env::args().skip(1).collect();
-    for w in &wanted {
+struct Cli {
+    check: bool,
+    quick: bool,
+    baseline: String,
+    suites: Vec<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        check: false,
+        quick: false,
+        baseline: "BENCH_core.json".to_string(),
+        suites: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => cli.check = true,
+            "--quick" => cli.quick = true,
+            "--baseline" => match args.next() {
+                Some(path) => cli.baseline = path,
+                None => {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            suite => cli.suites.push(suite.to_string()),
+        }
+    }
+    for w in &cli.suites {
         if !SUITES.iter().any(|(name, _)| name == w) {
             eprintln!("unknown suite `{w}`; available:");
             for (name, _) in SUITES {
@@ -43,17 +86,129 @@ fn main() {
             std::process::exit(2);
         }
     }
+    cli
+}
 
+/// Run the selected suites into a fresh runner.
+fn run_suites(wanted: &[String], quiet: bool) -> Runner {
     let mut c = Runner::new("core");
+    if quiet {
+        c = c.quiet();
+    }
     for (name, register) in SUITES {
         if wanted.is_empty() || wanted.iter().any(|w| w == name) {
             register(&mut c);
         }
     }
+    c
+}
+
+fn run_check(cli: &Cli) -> ! {
+    let text = match std::fs::read_to_string(&cli.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", cli.baseline);
+            std::process::exit(2);
+        }
+    };
+    let doc = match strandfs_testkit::json::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("baseline {} is not valid JSON: {e}", cli.baseline);
+            std::process::exit(2);
+        }
+    };
+    let baseline = match check::parse_baseline(&doc) {
+        Ok(b) => check::filter_suites(b, &cli.suites),
+        Err(e) => {
+            eprintln!("baseline {}: {e}", cli.baseline);
+            std::process::exit(2);
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!(
+            "baseline {} has no entries for the selected suites",
+            cli.baseline
+        );
+        std::process::exit(2);
+    }
+
+    let runner = run_suites(&cli.suites, false);
+    let mut outcome = check::compare(&baseline, runner.results());
+
+    // One retry for flagged suites: re-measure and keep a regression
+    // only if it reproduces.
+    if !outcome.regressions.is_empty() {
+        let mut flagged: Vec<String> = outcome
+            .regressions
+            .iter()
+            .map(|r| r.name.split('/').next().unwrap_or(&r.name).to_string())
+            .collect();
+        flagged.sort();
+        flagged.dedup();
+        eprintln!(
+            "\nretrying {} flagged suite(s): {}",
+            flagged.len(),
+            flagged.join(", ")
+        );
+        let retry = run_suites(&flagged, true);
+        let retry_baseline: Vec<_> = baseline
+            .iter()
+            .filter(|b| outcome.regressions.iter().any(|r| r.name == b.name))
+            .cloned()
+            .collect();
+        let confirmed = check::compare(&retry_baseline, retry.results());
+        outcome.regressions = confirmed.regressions;
+    }
+
+    // Cross-check the observability fold against the simulator's own
+    // accounting for the instrumented reference run.
+    let invariants = check::obs_invariants(&strandfs_bench::obs_capture::capture_full());
+
+    println!(
+        "\nbench check: {} benchmark(s) compared against {}",
+        outcome.compared, cli.baseline
+    );
+    if !outcome.passed() {
+        println!("\n{}", outcome.table());
+    }
+    for problem in &invariants {
+        println!("obs invariant violated — {problem}");
+    }
+    if outcome.passed() && invariants.is_empty() {
+        println!("bench check OK");
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let cli = parse_args();
+    if cli.quick {
+        // Smoke-level measurement; explicit env settings still win.
+        for (var, val) in [
+            ("STRANDFS_BENCH_SAMPLES", "5"),
+            ("STRANDFS_BENCH_WARMUP_MS", "5"),
+            ("STRANDFS_BENCH_SAMPLE_MS", "2"),
+        ] {
+            if std::env::var(var).is_err() {
+                std::env::set_var(var, val);
+            }
+        }
+    }
+
+    if cli.check {
+        run_check(&cli);
+    }
+
+    let mut c = run_suites(&cli.suites, false);
     // One instrumented end-to-end run: its per-op timing breakdowns,
     // admission decision counters and deadline-margin histograms ride
-    // along in the report under "sections".
-    c.add_section("obs", strandfs_bench::obs_capture::capture());
+    // along in the report under "sections", with the continuity SLO
+    // view of the same run beside them.
+    let cap = strandfs_bench::obs_capture::capture_full();
+    c.add_section("obs", cap.obs_json);
+    c.add_section("slo", cap.slo_json);
     c.report();
 
     let path = "BENCH_core.json";

@@ -1,0 +1,53 @@
+//! Export Chrome trace-event timelines of the E6 transient-admission
+//! experiment, one file per transition policy.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p strandfs-bench --release --bin trace
+//! ```
+//!
+//! Writes `TRACE_e6_stepwise.json` and `TRACE_e6_jump.json` in the
+//! current directory; load either in <https://ui.perfetto.dev> (or
+//! `chrome://tracing`) to see the service rounds, per-stream turns,
+//! disk-op decomposition, admission markers, deadline misses and
+//! buffer-occupancy counters of the transition. The jump policy's
+//! glitches show up as `deadline miss` instants inside the rounds that
+//! over-ran their Eq. 18 budget.
+
+use strandfs_bench::experiments::e6_transient::{run_with_obs, TransitionPolicy};
+use strandfs_obs::ObsSink;
+use strandfs_trace::{chrome_trace, TraceOptions};
+use strandfs_units::Nanos;
+
+fn main() {
+    for (policy, name) in [
+        (TransitionPolicy::StepWise, "stepwise"),
+        (TransitionPolicy::Jump, "jump"),
+    ] {
+        let (sink, recorder) = ObsSink::ring(1 << 20);
+        let outcome = run_with_obs(policy, sink);
+        let rec = recorder.borrow();
+        // γ = the scenario's 100 ms NTSC block duration: the slack
+        // counter then shows each round's Eq. 18 headroom.
+        let doc = chrome_trace(
+            rec.events(),
+            &TraceOptions {
+                gamma: Some(Nanos::from_millis(100)),
+            },
+        );
+        let path = format!("TRACE_e6_{name}.json");
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path} ({} events retained, {} violations: {} existing + {} new)",
+            rec.len(),
+            outcome.violations_existing + outcome.violations_new,
+            outcome.violations_existing,
+            outcome.violations_new,
+        );
+    }
+    println!("load in https://ui.perfetto.dev or chrome://tracing");
+}

@@ -99,7 +99,8 @@ pub fn play_statistical(n: usize) -> Played {
             4,
         ),
         &clips,
-    );
+    )
+    .expect("build volume");
     let env: ServiceEnv = *mrs.msm().admission_ref().env();
     let p = VbrParams::from_codec(
         &VideoCodec::uvc_ntsc_vbr(7),
@@ -124,7 +125,8 @@ pub fn play_statistical(n: usize) -> Played {
             s
         })
         .collect();
-    let report = simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+    let report =
+        simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k)).expect("simulate");
     Played {
         n,
         k,

@@ -55,7 +55,8 @@ fn run_order(order: ServiceOrder) -> Row {
             6,
         ),
         &[ClipSpec::video_seconds(8.0); STREAMS],
-    );
+    )
+    .expect("build volume");
     let schedules: Vec<_> = ropes
         .iter()
         .zip(OFFSETS_MS)
@@ -84,7 +85,7 @@ fn run_order(order: ServiceOrder) -> Row {
         read_ahead: 2 * K,
         order,
     };
-    let report = simulate_playback(&mut mrs, schedules, cfg);
+    let report = simulate_playback(&mut mrs, schedules, cfg).expect("simulate");
     let stats = mrs.msm().disk().stats();
     Row {
         order,

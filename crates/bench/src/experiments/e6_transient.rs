@@ -71,6 +71,7 @@ fn build_volume() -> strandfs_sim::Volume {
         ),
         &vec![ClipSpec::video_seconds(CLIP_SECONDS); BASE_STREAMS + 1],
     )
+    .expect("build volume")
 }
 
 /// Run one policy.
@@ -142,7 +143,8 @@ pub fn run_with_obs(policy: TransitionPolicy, obs: strandfs_obs::ObsSink) -> Out
                 }
             }
         },
-    );
+    )
+    .expect("simulate");
     let violations_existing = report.streams[..BASE_STREAMS]
         .iter()
         .map(|s| s.violations)

@@ -44,7 +44,8 @@ pub fn live_run() -> LiveRun {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::video_seconds(6.0),
         ClipSpec::video_seconds(6.0).with_seed(77),
-    ]);
+    ])
+    .expect("build volume");
     let joined = mrs.concat("sim", ropes[0], ropes[1]).unwrap();
     // CONCATE produces a new rope without healing (it shares strands);
     // heal it explicitly, as an in-place edit would.
@@ -55,7 +56,8 @@ pub fn live_run() -> LiveRun {
         compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     mrs.resolve_silence(&mut schedule).unwrap();
     let total_blocks = schedule.items.len() as u64;
-    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2)).expect("simulate");
     LiveRun {
         copied_blocks: copied,
         total_blocks,

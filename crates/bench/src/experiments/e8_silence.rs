@@ -64,7 +64,8 @@ pub fn end_to_end() -> EndToEnd {
             5,
         ),
         &[ClipSpec::av_seconds(30.0)],
-    );
+    )
+    .expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap();
     let aref = rope.segments[0].audio.unwrap();
     let strand = mrs.msm().strand(aref.strand).unwrap();

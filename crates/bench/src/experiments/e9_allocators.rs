@@ -51,7 +51,8 @@ fn run_policy(policy: AllocPolicy, label: &'static str) -> Row {
         SeekModel::projected_fast(),
         config,
         &[ClipSpec::video_seconds(8.0); STREAMS],
-    );
+    )
+    .expect("build volume");
     let schedules: Vec<_> = ropes
         .iter()
         .map(|r| {
@@ -63,7 +64,8 @@ fn run_policy(policy: AllocPolicy, label: &'static str) -> Row {
         })
         .collect();
     let busy_before = mrs.msm().disk().stats().clone();
-    let report = simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(K));
+    let report =
+        simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(K)).expect("simulate");
     let stats = mrs.msm().disk().stats();
     let pos = (stats.seek_time + stats.rotation_time)
         .saturating_sub(busy_before.seek_time + busy_before.rotation_time);

@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod experiments;
 pub mod obs_capture;
 pub mod suites;

@@ -7,6 +7,12 @@
 //! so the emitted report carries per-op disk timing breakdowns
 //! (seek / rotation / transfer), allocation gap statistics, admission
 //! decision counters with Eq. 18 slack, and deadline-margin histograms.
+//!
+//! [`capture_full`] additionally keeps the simulation's own
+//! [`SimReport`] and the derived continuity-SLO document, so the bench
+//! regression gate can cross-check that the two independent accountings
+//! (the event stream folded by `strandfs-obs`, the completion bookkeeping
+//! inside `strandfs-sim`) agree.
 
 use strandfs_core::mrs::Mrs;
 use strandfs_core::msm::{Msm, MsmConfig};
@@ -14,15 +20,31 @@ use strandfs_core::rope::edit::{Interval, MediaSel};
 use strandfs_disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
 use strandfs_obs::ObsSink;
 use strandfs_sim::playback::{simulate_playback, PlaybackConfig};
-use strandfs_sim::{record_clip, ClipSpec};
+use strandfs_sim::{record_clip, ClipSpec, SimReport};
 
 /// Clips recorded (and offered for playback) by the reference run. The
 /// vintage disk admits fewer, so the tail requests exercise rejection.
 pub const CLIPS: usize = 4;
 
-/// Run the instrumented session and render its capture as JSON (the
-/// [`strandfs_obs::RingRecorder::to_json`] document).
-pub fn capture() -> String {
+/// Everything the instrumented reference run produced.
+pub struct Capture {
+    /// The observability capture ([`strandfs_obs::RingRecorder::to_json`]).
+    pub obs_json: String,
+    /// The continuity SLO report derived from the simulation
+    /// ([`strandfs_sim::ContinuitySloReport::to_json`]).
+    pub slo_json: String,
+    /// The simulation's own report (independent of the event stream).
+    pub report: SimReport,
+    /// Late deadline events as counted by the obs fold.
+    pub obs_deadline_late: u64,
+    /// Deadline events seen by the obs fold.
+    pub obs_deadline_blocks: u64,
+    /// Rounds started as counted by the obs fold.
+    pub obs_rounds: u64,
+}
+
+/// Run the instrumented session and return the full capture.
+pub fn capture_full() -> Capture {
     let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
     let mut mrs = Mrs::new(Msm::new(
         disk,
@@ -56,10 +78,25 @@ pub fn capture() -> String {
     }
 
     let k = mrs.msm().admission_ref().k().max(1);
-    simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+    let report =
+        simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k)).expect("simulate");
 
-    let json = rec.borrow().to_json();
-    json
+    let rec = rec.borrow();
+    let metrics = rec.metrics();
+    Capture {
+        obs_json: rec.to_json(),
+        slo_json: report.slo().to_json(),
+        obs_deadline_late: metrics.deadline_late,
+        obs_deadline_blocks: metrics.deadline_blocks,
+        obs_rounds: metrics.rounds,
+        report,
+    }
+}
+
+/// Run the instrumented session and render its capture as JSON (the
+/// `"obs"` section of `BENCH_core.json`).
+pub fn capture() -> String {
+    capture_full().obs_json
 }
 
 #[cfg(test)]
@@ -68,7 +105,8 @@ mod tests {
 
     #[test]
     fn capture_contains_all_layers() {
-        let json = capture();
+        let cap = capture_full();
+        let json = &cap.obs_json;
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         for section in [
             "\"disk\"",
@@ -79,5 +117,8 @@ mod tests {
         ] {
             assert!(json.contains(section), "missing {section} in {json}");
         }
+        // The two independent accountings agree.
+        assert_eq!(cap.obs_deadline_late, cap.report.total_violations());
+        assert_eq!(cap.obs_rounds, cap.report.rounds);
     }
 }

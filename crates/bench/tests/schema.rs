@@ -1,0 +1,180 @@
+//! Golden schema tests: pin the key structure of the JSON documents
+//! other tooling consumes — the `sections/obs` capture and the
+//! continuity-SLO section inside `BENCH_core.json`, and the Chrome
+//! trace-event export. A renamed or dropped key is an API break for
+//! dashboards and the regression gate, so it must fail a test, not be
+//! discovered downstream.
+
+use strandfs_bench::obs_capture;
+use strandfs_obs::Event;
+use strandfs_testkit::bench::Runner;
+use strandfs_testkit::json::{validate, Json};
+use strandfs_trace::{chrome_trace, TraceOptions};
+use strandfs_units::Instant;
+
+#[test]
+fn obs_and_slo_sections_keep_their_shape() {
+    let cap = obs_capture::capture_full();
+
+    let obs = validate(&cap.obs_json);
+    assert_eq!(obs.keys(), vec!["metrics", "ring"]);
+    assert_eq!(
+        obs.get("ring").unwrap().keys(),
+        vec!["cap", "dropped", "len"]
+    );
+    let metrics = obs.get("metrics").unwrap();
+    assert_eq!(
+        metrics.keys(),
+        vec!["admission", "alloc", "deadlines", "disk", "rounds"]
+    );
+    assert_eq!(
+        metrics.get("disk").unwrap().keys(),
+        vec![
+            "cyl_distance",
+            "reads",
+            "rotation",
+            "sectors",
+            "seek",
+            "service",
+            "transfer",
+            "writes"
+        ]
+    );
+    assert_eq!(
+        metrics.get("rounds").unwrap().keys(),
+        vec![
+            "active",
+            "count",
+            "duration",
+            "k_max",
+            "service_span",
+            "stream_services"
+        ]
+    );
+    assert_eq!(
+        metrics.get("deadlines").unwrap().keys(),
+        vec!["blocks", "late", "lateness", "margin"]
+    );
+    // Duration summaries keep their unit-suffixed field names.
+    assert_eq!(
+        metrics.path("disk/seek").unwrap().keys(),
+        vec!["count", "max_ns", "mean_ns", "min_ns"]
+    );
+    // Histograms expose a summary plus sparse log2 buckets.
+    assert_eq!(
+        metrics.path("deadlines/margin").unwrap().keys(),
+        vec!["buckets", "summary"]
+    );
+
+    let slo = validate(&cap.slo_json);
+    assert_eq!(slo.keys(), vec!["streams", "total"]);
+    let total_keys = vec![
+        "blocks",
+        "miss_rate",
+        "p99_margin_ns",
+        "time_to_first_violation_ns",
+        "violations",
+        "worst_margin_ns",
+    ];
+    assert_eq!(slo.get("total").unwrap().keys(), total_keys);
+    let streams = slo.get("streams").and_then(Json::as_arr).unwrap();
+    assert!(!streams.is_empty());
+    let mut stream_keys = total_keys.clone();
+    stream_keys.insert(3, "stream");
+    assert_eq!(streams[0].keys(), stream_keys);
+}
+
+#[test]
+fn bench_document_envelope_keeps_its_shape() {
+    std::env::set_var("STRANDFS_BENCH_SAMPLES", "2");
+    std::env::set_var("STRANDFS_BENCH_WARMUP_MS", "1");
+    std::env::set_var("STRANDFS_BENCH_SAMPLE_MS", "1");
+    let mut r = Runner::new("core").quiet();
+    r.bench_function("schema/probe", |b| b.iter(|| std::hint::black_box(17 * 3)));
+    r.add_section("obs", "{\"metrics\":{}}");
+    r.add_section("slo", "{\"total\":{}}");
+    let doc = validate(&r.to_json());
+    assert_eq!(
+        doc.keys(),
+        vec!["harness", "results", "sections", "suite", "unit"]
+    );
+    assert_eq!(doc.get("unit").and_then(Json::as_str), Some("ns_per_iter"));
+    let results = doc.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        results[0].keys(),
+        vec![
+            "iters_per_sample",
+            "mean_ns",
+            "median_ns",
+            "min_ns",
+            "name",
+            "p95_ns",
+            "samples"
+        ]
+    );
+    assert_eq!(doc.get("sections").unwrap().keys(), vec!["obs", "slo"]);
+}
+
+#[test]
+fn trace_document_keeps_its_shape() {
+    let events = [
+        Event::RoundStart {
+            round: 0,
+            active: 1,
+            k: 2,
+            at: Instant::EPOCH,
+        },
+        Event::StreamService {
+            stream: 0,
+            round: 0,
+            begin: Instant::EPOCH,
+            end: Instant::from_nanos(4_000),
+            blocks: 2,
+        },
+        Event::RoundEnd {
+            round: 0,
+            at: Instant::from_nanos(5_000),
+        },
+        Event::Deadline {
+            stream: 0,
+            item: 0,
+            round: 0,
+            deadline: Instant::from_nanos(3_000),
+            completed: Instant::from_nanos(4_000),
+        },
+    ];
+    let doc = validate(&chrome_trace(events.iter(), &TraceOptions::default()));
+    assert_eq!(doc.keys(), vec!["displayTimeUnit", "traceEvents"]);
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    let by = |ph: &str, name: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some(ph)
+                    && e.get("name").and_then(Json::as_str) == Some(name)
+            })
+            .unwrap_or_else(|| panic!("no {ph} event named {name}"))
+    };
+    // Duration slices carry ts + dur; instants a scope; counters args.
+    assert_eq!(
+        by("X", "round 0").keys(),
+        vec!["args", "cat", "dur", "name", "ph", "pid", "tid", "ts"]
+    );
+    assert_eq!(
+        by("i", "deadline miss").keys(),
+        vec!["args", "cat", "name", "ph", "pid", "s", "tid", "ts"]
+    );
+    assert_eq!(
+        by("C", "stream 0 buffered").keys(),
+        vec!["args", "name", "ph", "pid", "tid", "ts"]
+    );
+    assert_eq!(
+        by("X", "round 0").path("args").unwrap().keys(),
+        vec!["active", "k"]
+    );
+    assert_eq!(
+        by("i", "deadline miss").path("args").unwrap().keys(),
+        vec!["deadline_ns", "item", "lateness_ns", "round", "stream"]
+    );
+}

@@ -62,6 +62,15 @@ pub enum FsError {
         /// What was expected.
         expected: &'static str,
     },
+    /// A simulation scenario or playback schedule was internally
+    /// inconsistent — e.g. a clip spec with no media tracks, a
+    /// recording that produced no rope, or a non-silence schedule item
+    /// resolving to a hole. Construction-time misuse surfaces as this
+    /// error instead of a panic.
+    InvalidScenario {
+        /// What was inconsistent.
+        reason: &'static str,
+    },
     /// Scattering healing tried to splice a bridge segment longer than
     /// the companion-medium track it must carry along: the companion
     /// content starting *before* the bridge interval cannot be moved
@@ -101,6 +110,9 @@ impl fmt::Display for FsError {
             FsError::CorruptIndex { what } => write!(f, "corrupt index: {what}"),
             FsError::BadRequestState { request, expected } => {
                 write!(f, "request {request} not in expected state ({expected})")
+            }
+            FsError::InvalidScenario { reason } => {
+                write!(f, "invalid scenario: {reason}")
             }
             FsError::BridgeExceedsTrack { bridge, track } => write!(
                 f,

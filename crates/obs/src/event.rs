@@ -20,7 +20,8 @@ pub enum AccessDir {
 /// The taxonomy mirrors the layers of the stack: `DiskOp` from the disk
 /// simulator, `Alloc` from the storage manager's placement decisions,
 /// `Admit`/`Reject`/`Release` from the admission controller, and
-/// `RoundStart`/`DisplayStart`/`Deadline` from the playback simulator.
+/// `RoundStart`/`StreamService`/`RoundEnd`/`DisplayStart`/`Deadline`
+/// from the playback simulator.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Event {
     /// One disk operation, fully decomposed (`strandfs-disk`).
@@ -106,6 +107,33 @@ pub enum Event {
         /// Virtual time at round start.
         at: Instant,
     },
+    /// One stream's service turn within a round finished: the server
+    /// transferred `blocks` schedule items for `stream` between `begin`
+    /// and `end` of round `round` (`strandfs-sim`). Carrying both
+    /// instants in one event keeps it `Copy` and self-contained — a
+    /// trace builder needs no pairing state to reconstruct the slice.
+    StreamService {
+        /// Stream index (report order).
+        stream: usize,
+        /// The round this turn belongs to.
+        round: u64,
+        /// Virtual time when the server switched to this stream.
+        begin: Instant,
+        /// Virtual time when the last of its fetches completed.
+        end: Instant,
+        /// Schedule items advanced this turn (silence included).
+        blocks: u64,
+    },
+    /// A service round finished: every active stream was serviced
+    /// (`strandfs-sim`). Paired with the matching [`Event::RoundStart`],
+    /// this bounds the round's duration slice exactly — including the
+    /// final round, which no successor start would otherwise close.
+    RoundEnd {
+        /// Round number (0-based).
+        round: u64,
+        /// Virtual time at round end.
+        at: Instant,
+    },
     /// A stream's display clock started (read-ahead satisfied).
     DisplayStart {
         /// Stream index (report order).
@@ -171,6 +199,8 @@ impl Event {
             Event::Reject { .. } => "reject",
             Event::Release { .. } => "release",
             Event::RoundStart { .. } => "round_start",
+            Event::StreamService { .. } => "stream_service",
+            Event::RoundEnd { .. } => "round_end",
             Event::DisplayStart { .. } => "display_start",
             Event::Deadline { .. } => "deadline",
         }

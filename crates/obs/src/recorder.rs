@@ -130,6 +130,15 @@ pub struct ObsMetrics {
     pub round_active: U64Acc,
     /// Largest `k` any round used.
     pub round_k_max: u64,
+    /// Wall-to-wall duration of completed rounds (start → end).
+    pub round_duration: NanosAcc,
+    /// Per-stream service turns.
+    pub stream_services: u64,
+    /// Duration of each stream's service turn within a round.
+    pub service_span: NanosAcc,
+    /// The most recent `RoundStart` not yet closed by its `RoundEnd`
+    /// (pairing state for `round_duration`).
+    open_round: Option<(u64, strandfs_units::Instant)>,
     /// Deadline events seen.
     pub deadline_blocks: u64,
     /// Deadline events whose fetch completed late.
@@ -188,10 +197,27 @@ impl ObsMetrics {
             }
             Event::Reject { .. } => self.rejects += 1,
             Event::Release { .. } => self.releases += 1,
-            Event::RoundStart { active, k, .. } => {
+            Event::RoundStart {
+                round,
+                active,
+                k,
+                at,
+            } => {
                 self.rounds += 1;
                 self.round_active.record(active as u64);
                 self.round_k_max = self.round_k_max.max(k);
+                self.open_round = Some((round, at));
+            }
+            Event::StreamService { begin, end, .. } => {
+                self.stream_services += 1;
+                self.service_span.record(end - begin);
+            }
+            Event::RoundEnd { round, at } => {
+                if let Some((open, started)) = self.open_round.take() {
+                    if open == round {
+                        self.round_duration.record(at - started);
+                    }
+                }
             }
             Event::DisplayStart { .. } => {}
             Event::Deadline {
@@ -221,7 +247,8 @@ impl ObsMetrics {
                 "\"alloc\":{{\"count\":{},\"unconstrained\":{},\"gap\":{},\"slack\":{}}},",
                 "\"admission\":{{\"admits\":{},\"rejects\":{},\"releases\":{},",
                 "\"k_growths\":{},\"k_peak\":{},\"slack\":{}}},",
-                "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{}}},",
+                "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{},",
+                "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
                 "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}}}}"
             ),
             self.disk_reads,
@@ -245,6 +272,9 @@ impl ObsMetrics {
             self.rounds,
             self.round_active.to_json(),
             self.round_k_max,
+            self.round_duration.summary().to_json(),
+            self.stream_services,
+            self.service_span.summary().to_json(),
             self.deadline_blocks,
             self.deadline_late,
             self.deadline_margin.to_json(),
@@ -461,6 +491,17 @@ mod tests {
             k: 2,
             at: Instant::EPOCH,
         });
+        rec.record(Event::StreamService {
+            stream: 0,
+            round: 0,
+            begin: Instant::EPOCH,
+            end: Instant::from_nanos(40),
+            blocks: 2,
+        });
+        rec.record(Event::RoundEnd {
+            round: 0,
+            at: Instant::from_nanos(90),
+        });
         rec.record(Event::DisplayStart {
             stream: 0,
             at: Instant::from_nanos(10),
@@ -488,6 +529,9 @@ mod tests {
         assert_eq!(m.k_peak, 2);
         assert_eq!(m.rounds, 1);
         assert_eq!(m.round_k_max, 2);
+        assert_eq!(m.stream_services, 1);
+        assert_eq!(m.service_span.summary().mean, Nanos::from_nanos(40));
+        assert_eq!(m.round_duration.summary().max, Nanos::from_nanos(90));
         assert_eq!(m.deadline_blocks, 2);
         assert_eq!(m.deadline_late, 1);
         assert_eq!(m.deadline_margin.count(), 1);

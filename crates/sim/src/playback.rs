@@ -10,10 +10,21 @@
 //! then on block `j` must be resident by `display_start + deadline_j`.
 //! Every late block is a continuity violation.
 
-use crate::metrics::{NanosSummary, SimReport, StreamOutcome};
+use crate::metrics::{NanosSummary, RoundSample, SimReport, StreamOutcome};
 use strandfs_core::mrs::{Mrs, PlaySchedule};
+use strandfs_core::FsError;
 use strandfs_obs::{Event, ObsSink};
 use strandfs_units::{Instant, Nanos};
+
+/// Signed deadline margin in nanoseconds: positive = early, negative =
+/// late (the same convention as [`Event::deadline_margin`]).
+fn signed_margin(deadline: Instant, done: Instant) -> i64 {
+    if done <= deadline {
+        (deadline - done).as_nanos() as i64
+    } else {
+        -((done - deadline).as_nanos() as i64)
+    }
+}
 
 /// How active streams are ordered within each service round.
 ///
@@ -124,6 +135,7 @@ impl StreamState {
         let mut fetched = 0u64;
         let mut violations = 0u64;
         let mut lateness = Vec::new();
+        let mut first_violation = None;
         for (j, item) in items.iter().enumerate() {
             if !item.silence {
                 fetched += 1;
@@ -140,7 +152,36 @@ impl StreamState {
             if done > deadline {
                 violations += 1;
                 lateness.push(done - deadline);
+                if first_violation.is_none() {
+                    first_violation = Some(deadline - display_start);
+                }
             }
+        }
+        // The per-round time series: group items by the round that
+        // fetched them (`fetch_rounds` is non-decreasing by
+        // construction), take the tightest margin in each group, and
+        // measure the backlog right after the group's last fetch.
+        let mut series = Vec::new();
+        let mut j = 0;
+        while j < items.len() {
+            let round = self.fetch_rounds[j];
+            let mut worst = i64::MAX;
+            let mut last = j;
+            while last < items.len() && self.fetch_rounds[last] == round {
+                let deadline = display_start + items[last].at;
+                worst = worst.min(signed_margin(deadline, self.completions[last]));
+                last += 1;
+            }
+            let turn_end = self.completions[last - 1];
+            // Items consumed by `turn_end`: deadlines are non-decreasing.
+            let consumed = items.partition_point(|it| display_start + it.at <= turn_end);
+            series.push(RoundSample {
+                round,
+                blocks: (last - j) as u64,
+                worst_margin_ns: worst,
+                buffered: (last as u64).saturating_sub(consumed as u64),
+            });
+            j = last;
         }
         // Required buffering: completions are non-decreasing, so the
         // backlog when item j starts playing is (#completions ≤ its
@@ -162,6 +203,8 @@ impl StreamState {
             lateness: NanosSummary::of(lateness),
             start_latency: display_start - self.service_start.expect("display implies service"),
             max_buffered,
+            series,
+            first_violation,
         }
     }
 }
@@ -171,13 +214,15 @@ impl StreamState {
 /// by `k_of_round(round, active_streams)`.
 ///
 /// Returns per-stream outcomes in the order: `streams`, then `arrivals`.
+/// Fails with [`FsError`] when a schedule references blocks the volume
+/// does not hold (scenario construction error), instead of panicking.
 pub fn simulate_with_arrivals(
     mrs: &mut Mrs,
     streams: Vec<PlaySchedule>,
     arrivals: Vec<Arrival>,
     read_ahead_of_k: impl Fn(u64) -> u64,
     k_of_round: impl FnMut(u64, usize) -> u64,
-) -> SimReport {
+) -> Result<SimReport, FsError> {
     simulate_with_arrivals_ordered(
         mrs,
         streams,
@@ -197,7 +242,7 @@ pub fn simulate_with_arrivals_ordered(
     read_ahead_of_k: impl Fn(u64) -> u64,
     mut k_of_round: impl FnMut(u64, usize) -> u64,
     order_policy: ServiceOrder,
-) -> SimReport {
+) -> Result<SimReport, FsError> {
     let mut states: Vec<StreamState> = Vec::new();
     let mut order: Vec<usize> = Vec::new(); // active stream indices
     let initial_k = k_of_round(0, streams.len().max(1));
@@ -261,6 +306,8 @@ pub fn simulate_with_arrivals_ordered(
             if state.service_start.is_none() {
                 state.service_start = Some(t);
             }
+            let turn_begin = t;
+            let mut turn_blocks = 0u64;
             for _ in 0..k {
                 if state.finished() {
                     break;
@@ -269,16 +316,16 @@ pub fn simulate_with_arrivals_ordered(
                 if item.silence {
                     state.completions.push(t);
                 } else {
-                    let (_payload, op) = mrs
-                        .msm_mut()
-                        .read_block(item.strand, item.block, t)
-                        .expect("schedule refers to stored blocks");
-                    let op = op.expect("non-silence item has disk op");
+                    let (_payload, op) = mrs.msm_mut().read_block(item.strand, item.block, t)?;
+                    let op = op.ok_or(FsError::InvalidScenario {
+                        reason: "non-silence schedule item resolves to a silence hole",
+                    })?;
                     t = op.completed;
                     state.completions.push(t);
                 }
                 state.fetch_rounds.push(round);
                 state.next += 1;
+                turn_blocks += 1;
                 if state.display_start.is_none()
                     && (state.next as u64 >= state.read_ahead || state.finished())
                 {
@@ -286,11 +333,19 @@ pub fn simulate_with_arrivals_ordered(
                     obs.emit(|| Event::DisplayStart { stream: idx, at: t });
                 }
             }
+            obs.emit(|| Event::StreamService {
+                stream: idx,
+                round,
+                begin: turn_begin,
+                end: t,
+                blocks: turn_blocks,
+            });
         }
+        obs.emit(|| Event::RoundEnd { round, at: t });
         round += 1;
     }
 
-    SimReport {
+    Ok(SimReport {
         streams: states
             .iter()
             .enumerate()
@@ -298,7 +353,7 @@ pub fn simulate_with_arrivals_ordered(
             .collect(),
         disk_busy: mrs.msm().disk().stats().busy_time() - busy_before,
         rounds: round,
-    }
+    })
 }
 
 fn true_marker(state: &mut StreamState, k_now: u64, read_ahead_of_k: &impl Fn(u64) -> u64) {
@@ -327,8 +382,12 @@ pub fn simulate_playback(
     mrs: &mut Mrs,
     streams: Vec<PlaySchedule>,
     cfg: PlaybackConfig,
-) -> SimReport {
-    assert!(cfg.k >= 1, "round size must be at least 1");
+) -> Result<SimReport, FsError> {
+    if cfg.k < 1 {
+        return Err(FsError::InvalidScenario {
+            reason: "round size k must be at least 1",
+        });
+    }
     let read_ahead = cfg.read_ahead.max(1);
     simulate_with_arrivals_ordered(
         mrs,
@@ -347,7 +406,7 @@ mod tests {
     use strandfs_core::rope::edit::{Interval, MediaSel};
 
     fn volume(n: usize) -> (Mrs, Vec<strandfs_core::RopeId>) {
-        standard_volume(&[ClipSpec::video_seconds(4.0); 1].repeat(n))
+        standard_volume(&[ClipSpec::video_seconds(4.0); 1].repeat(n)).expect("build volume")
     }
 
     /// Compile schedules without consuming admission slots (overload
@@ -373,7 +432,7 @@ mod tests {
     fn single_stream_plays_continuously() {
         let (mut mrs, ropes) = volume(1);
         let scheds = schedules(&mut mrs, &ropes);
-        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(1));
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(1)).unwrap();
         assert_eq!(report.streams.len(), 1);
         let s = &report.streams[0];
         assert!(s.continuous(), "violations = {}", s.violations);
@@ -400,7 +459,7 @@ mod tests {
         let agg = strandfs_core::admission::Aggregates::compute(&env, &specs).unwrap();
         assert!(agg.n_max() >= 2, "n_max = {}", agg.n_max());
         let k = agg.k_transient(2).unwrap();
-        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(k));
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(k)).unwrap();
         assert!(
             report.all_continuous(),
             "k = {k}, violations = {}",
@@ -422,7 +481,8 @@ mod tests {
                 read_ahead: 1,
                 order: ServiceOrder::RoundRobin,
             },
-        );
+        )
+        .unwrap();
         assert!(
             report.total_violations() > 0,
             "expected violations under overload"
@@ -443,7 +503,8 @@ mod tests {
             }],
             |k| k,
             |_round, n| if n > 1 { 2 } else { 1 },
-        );
+        )
+        .unwrap();
         assert_eq!(report.streams.len(), 2);
         assert!(report.streams[1].blocks > 0);
         // The late stream's display started after round 5 worth of
@@ -455,7 +516,7 @@ mod tests {
     fn report_counts_rounds_and_busy_time() {
         let (mut mrs, ropes) = volume(1);
         let scheds = schedules(&mut mrs, &ropes);
-        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4));
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4)).unwrap();
         // 40 items at k=4 -> 10 rounds.
         assert_eq!(report.rounds, 10);
     }
@@ -506,7 +567,7 @@ mod tests {
         let (sink, rec) = ObsSink::ring(16_384);
         mrs.set_obs(sink);
         let scheds = schedules(&mut mrs, &ropes);
-        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4));
+        let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4)).unwrap();
         let r = rec.borrow();
         let m = r.metrics();
         assert_eq!(m.rounds, report.rounds);

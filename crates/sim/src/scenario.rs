@@ -81,7 +81,11 @@ pub fn standard_audio_meta() -> StrandMeta {
 
 /// Build a rope server over a fresh vintage-1991 disk with generous
 /// constrained-allocation bounds, and record one rope per clip spec.
-pub fn standard_volume(clips: &[ClipSpec]) -> Volume {
+///
+/// Construction failures (volume exhaustion, an empty clip spec, a
+/// recording that produced no rope) surface as [`FsError`], never as a
+/// panic.
+pub fn standard_volume(clips: &[ClipSpec]) -> Result<Volume, FsError> {
     volume_on(
         DiskGeometry::vintage_1991(),
         SeekModel::vintage_1991(),
@@ -97,27 +101,31 @@ pub fn standard_volume(clips: &[ClipSpec]) -> Volume {
 }
 
 /// Build a rope server over an arbitrary disk and placement policy, and
-/// record one rope per clip spec.
+/// record one rope per clip spec. Fails like [`standard_volume`].
 pub fn volume_on(
     geometry: DiskGeometry,
     seek: SeekModel,
     config: MsmConfig,
     clips: &[ClipSpec],
-) -> Volume {
+) -> Result<Volume, FsError> {
     let disk = SimDisk::new(geometry, seek);
     let mut mrs = Mrs::new(Msm::new(disk, config));
     let ropes = clips
         .iter()
         .enumerate()
-        .map(|(i, c)| record_clip(&mut mrs, &c.with_seed(c.seed + i as u64)).expect("record clip"))
-        .collect();
-    (mrs, ropes)
+        .map(|(i, c)| record_clip(&mut mrs, &c.with_seed(c.seed + i as u64)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((mrs, ropes))
 }
 
 /// Record one clip through the full `RECORD` path (admission, per-block
 /// flushing, silence elimination) and return its rope.
 pub fn record_clip(mrs: &mut Mrs, spec: &ClipSpec) -> Result<RopeId, FsError> {
-    assert!(spec.video || spec.audio, "clip needs at least one medium");
+    if !spec.video && !spec.audio {
+        return Err(FsError::InvalidScenario {
+            reason: "clip needs at least one medium",
+        });
+    }
     let opts = RecordOpts {
         video: spec.video.then(|| TrackOpts {
             meta: standard_video_meta(),
@@ -155,7 +163,9 @@ pub fn record_clip(mrs: &mut Mrs, spec: &ClipSpec) -> Result<RopeId, FsError> {
             }
         }
     }
-    Ok(mrs.stop(req, t)?.expect("recording produced a rope"))
+    mrs.stop(req, t)?.ok_or(FsError::InvalidScenario {
+        reason: "recording produced no rope",
+    })
 }
 
 #[cfg(test)]
@@ -168,7 +178,8 @@ mod tests {
         let (mrs, ropes) = standard_volume(&[
             ClipSpec::video_seconds(2.0),
             ClipSpec::av_seconds(1.0).with_seed(9),
-        ]);
+        ])
+        .expect("build volume");
         assert_eq!(ropes.len(), 2);
         let r0 = mrs.rope(ropes[0]).unwrap();
         assert!(r0.has_video() && !r0.has_audio());
@@ -183,7 +194,8 @@ mod tests {
         let (mrs, ropes) = standard_volume(&[ClipSpec {
             vbr: true,
             ..ClipSpec::video_seconds(4.0)
-        }]);
+        }])
+        .expect("build volume");
         let rope = mrs.rope(ropes[0]).unwrap();
         let vref = rope.segments[0].video.unwrap();
         let strand = mrs.msm().strand(vref.strand).unwrap();
@@ -195,7 +207,7 @@ mod tests {
 
     #[test]
     fn recorded_clip_is_playable() {
-        let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(2.0)]);
+        let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(2.0)]).expect("build volume");
         let dur = mrs.rope(ropes[0]).unwrap().duration();
         let (_req, sched) = mrs
             .play("sim", ropes[0], MediaSel::Both, Interval::whole(dur))

@@ -13,6 +13,9 @@
 //! * [`bench`] — a benchmark runner in the spirit of `criterion`:
 //!   warmup, automatic batch sizing, timed samples, median/p95
 //!   statistics, and machine-readable JSON output for `BENCH_*.json`.
+//! * [`json`] — a strict minimal JSON reader, the counterpart to the
+//!   hand-rolled writers across the workspace, so tests can validate
+//!   and navigate exported documents instead of grepping substrings.
 //!
 //! Both harnesses are deterministic where it matters: property tests
 //! replay bit-identically for a fixed seed, and bench *structure* (which
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 
 pub use prop::{any_bool, check, check_with, just, vec, CaseError, Config, Strategy};

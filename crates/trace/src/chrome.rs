@@ -1,0 +1,237 @@
+//! A hand-rolled writer for the Chrome trace-event JSON format.
+//!
+//! The subset emitted here — complete slices (`ph:"X"`), instants
+//! (`"i"`), counters (`"C"`) and name metadata (`"M"`) — loads directly
+//! into Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//! Timestamps are microseconds; the simulation's virtual nanoseconds
+//! divide exactly into three decimal places, so the conversion is
+//! lossless.
+
+use std::fmt::Write as _;
+
+/// One typed argument value for an event's `args` object.
+#[derive(Clone, Copy, Debug)]
+pub enum ArgVal<'a> {
+    /// An unsigned integer.
+    U(u64),
+    /// A signed integer (deadline margins).
+    I(i64),
+    /// A float.
+    F(f64),
+    /// A string.
+    S(&'a str),
+}
+
+/// Named arguments attached to one trace event.
+pub type Args<'a> = [(&'a str, ArgVal<'a>)];
+
+/// Accumulates trace events and renders the final document.
+#[derive(Default, Debug)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+/// Convert virtual nanoseconds to the format's microsecond timestamps.
+/// Exact: at most three decimal places.
+fn us(ns: u64) -> String {
+    if ns.is_multiple_of(1_000) {
+        format!("{}", ns / 1_000)
+    } else {
+        format!("{:.3}", ns as f64 / 1_000.0)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_args(args: &Args) -> String {
+    let mut out = String::from("{");
+    for (i, (key, val)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(key));
+        match val {
+            ArgVal::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgVal::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgVal::F(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            ArgVal::S(v) => {
+                let _ = write!(out, "\"{}\"", escape(v));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name the process `pid` in the viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Name the track `(pid, tid)` in the viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// A duration slice: `[ts_ns, ts_ns + dur_ns]` on track
+    /// `(pid, tid)`. Slices on the same track nest by containment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: &Args,
+    ) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{},\"dur\":{},\"args\":{}}}",
+            escape(name),
+            escape(cat),
+            us(ts_ns),
+            us(dur_ns),
+            render_args(args)
+        ));
+    }
+
+    /// A thread-scoped instant event at `ts_ns`.
+    pub fn instant(&mut self, name: &str, cat: &str, pid: u64, tid: u64, ts_ns: u64, args: &Args) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\
+             \"tid\":{tid},\"ts\":{},\"args\":{}}}",
+            escape(name),
+            escape(cat),
+            us(ts_ns),
+            render_args(args)
+        ));
+    }
+
+    /// One sample of the counter track `name`: the viewer draws the
+    /// series in `args` as a stacked area over time.
+    pub fn counter(&mut self, name: &str, pid: u64, ts_ns: u64, args: &Args) {
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{}}}",
+            escape(name),
+            us(ts_ns),
+            render_args(args)
+        ));
+    }
+
+    /// Render the complete document (object form, so viewers accept
+    /// trailing metadata).
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microsecond_conversion_is_exact() {
+        assert_eq!(us(0), "0");
+        assert_eq!(us(2_000), "2");
+        assert_eq!(us(1_234_567), "1234.567");
+        assert_eq!(us(999), "0.999");
+    }
+
+    #[test]
+    fn renders_all_event_shapes() {
+        let mut t = ChromeTrace::new();
+        t.process_name(1, "strandfs");
+        t.thread_name(1, 2, "disk");
+        t.complete(
+            "read",
+            "disk",
+            1,
+            2,
+            1_000,
+            500,
+            &[("lba", ArgVal::U(42)), ("margin", ArgVal::I(-3))],
+        );
+        t.instant("miss", "deadline", 1, 3, 2_000, &[("f", ArgVal::F(1.5))]);
+        t.counter("buffered", 1, 2_500, &[("blocks", ArgVal::U(7))]);
+        assert_eq!(t.len(), 5);
+        let doc = t.finish();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"margin\":-3"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut t = ChromeTrace::new();
+        t.instant("a\"b", "c\\d", 1, 1, 0, &[("s", ArgVal::S("x\ny"))]);
+        let doc = t.finish();
+        assert!(doc.contains("a\\\"b"));
+        assert!(doc.contains("c\\\\d"));
+        assert!(doc.contains("x\\ny"));
+    }
+}

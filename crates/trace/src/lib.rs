@@ -1,0 +1,45 @@
+//! Causal timelines from [`strandfs_obs`] event streams.
+//!
+//! `strandfs-obs` answers *how much* — counters, accumulators,
+//! histograms. This crate answers *when* and *why*: it folds the raw
+//! event ring into a timeline and exports it as Chrome trace-event
+//! JSON, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`. Service rounds appear as duration slices with
+//! each stream's service turn nested inside; disk operations decompose
+//! into seek / rotation / transfer sub-slices; admission decisions and
+//! deadline misses are instant markers; per-stream buffer occupancy and
+//! (optionally) Eq. 18 round slack are counter tracks over virtual
+//! time.
+//!
+//! The export is pure: it reads a recorded `&[Event]` slice and writes
+//! a `String`, with no dependency on the layers that emitted the events
+//! — consistent with the observability layer's one-way rule.
+//!
+//! ```
+//! use strandfs_obs::{Event, ObsSink};
+//! use strandfs_trace::{chrome_trace, TraceOptions};
+//! use strandfs_units::Instant;
+//!
+//! let (sink, recorder) = ObsSink::ring(1024);
+//! sink.emit(|| Event::RoundStart {
+//!     round: 0,
+//!     active: 1,
+//!     k: 1,
+//!     at: Instant::EPOCH,
+//! });
+//! sink.emit(|| Event::RoundEnd {
+//!     round: 0,
+//!     at: Instant::from_nanos(5_000),
+//! });
+//! let json = chrome_trace(recorder.borrow().events(), &TraceOptions::default());
+//! assert!(json.contains("\"round 0\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod timeline;
+
+pub use chrome::{ArgVal, ChromeTrace};
+pub use timeline::{chrome_trace, TraceOptions};

@@ -1,0 +1,522 @@
+//! Folding a [`strandfs_obs::Event`] stream into a causal timeline.
+//!
+//! The event taxonomy was designed so that every event is self-placing:
+//! disk operations carry their issue instant and component durations,
+//! rounds carry their start/end instants, stream-service turns carry
+//! both endpoints, and deadline outcomes carry the fetch-completion
+//! instant. Folding is therefore a single pass that needs pairing state
+//! only for `RoundStart`/`RoundEnd`. Admission events are the one
+//! exception — the controller is called outside virtual time — so their
+//! instants are placed at the last virtual timestamp seen in the causal
+//! stream, which in practice is the disk/round activity that surrounded
+//! the decision.
+//!
+//! ## Track layout
+//!
+//! | pid | tid      | content                                          |
+//! |-----|----------|--------------------------------------------------|
+//! | 1   | 1        | service rounds ⊇ per-stream service turns        |
+//! | 1   | 2        | disk ops ⊇ seek / rotation / transfer sub-slices |
+//! | 1   | 3        | admission instants (admit / reject / release)    |
+//! | 1   | 4        | block-placement instants                         |
+//! | 1   | 100 + i  | stream `i`: display start, deadline misses       |
+//!
+//! Counter tracks: `stream {i} buffered` (occupancy in blocks, derived
+//! from deadline events: +1 when a fetch completes, −1 when its play
+//! instant passes) and, when [`TraceOptions::gamma`] is set, `round
+//! slack` (Eq. 18 headroom `k·γ − measured round duration`, sampled at
+//! each round end).
+
+use std::collections::BTreeMap;
+
+use strandfs_obs::{AccessDir, Event};
+use strandfs_units::Nanos;
+
+use crate::chrome::{ArgVal, ChromeTrace};
+
+/// The process id every track lives under.
+const PID: u64 = 1;
+/// Service rounds and the per-stream turns nested inside them.
+const TID_ROUNDS: u64 = 1;
+/// Disk operations and their mechanical sub-slices.
+const TID_DISK: u64 = 2;
+/// Admission-control decisions.
+const TID_ADMISSION: u64 = 3;
+/// Block-placement decisions.
+const TID_ALLOC: u64 = 4;
+/// Per-stream tracks start here: stream `i` → tid `TID_STREAM_BASE + i`.
+const TID_STREAM_BASE: u64 = 100;
+
+/// Options controlling the exported timeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceOptions {
+    /// The round duration bound γ (Eq. 14's `d_max·q_min`). When set,
+    /// the trace gains a `round slack` counter sampled at each round
+    /// end: `k·γ − measured duration`, the virtual-time analogue of the
+    /// Eq. 18 admission slack. Negative samples mark overrun rounds.
+    pub gamma: Option<Nanos>,
+}
+
+/// Fold `events` (oldest first, as [`strandfs_obs::RingRecorder`]
+/// retains them) into a Chrome trace-event JSON document.
+pub fn chrome_trace<'a, I>(events: I, opts: &TraceOptions) -> String
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    let mut t = ChromeTrace::new();
+    t.process_name(PID, "strandfs");
+    t.thread_name(PID, TID_ROUNDS, "service rounds");
+    t.thread_name(PID, TID_DISK, "disk");
+    t.thread_name(PID, TID_ADMISSION, "admission");
+    t.thread_name(PID, TID_ALLOC, "allocation");
+
+    // The last virtual timestamp seen in the stream: where events that
+    // carry no instant of their own (admission, allocation) are placed.
+    let mut now: u64 = 0;
+    // round id → (start ns, active, k); closed by the matching RoundEnd.
+    let mut open_rounds: BTreeMap<u64, (u64, usize, u64)> = BTreeMap::new();
+    // stream → occupancy deltas (ts ns, +1 fetch / −1 play).
+    let mut occupancy: BTreeMap<usize, Vec<(u64, i64)>> = BTreeMap::new();
+    // Streams needing a named track.
+    let mut stream_tracks: BTreeMap<usize, ()> = BTreeMap::new();
+
+    for event in events {
+        match *event {
+            Event::DiskOp {
+                dir,
+                lba,
+                sectors,
+                cylinder,
+                cyl_distance,
+                issued,
+                seek,
+                rotation,
+                transfer,
+            } => {
+                let start = issued.as_nanos();
+                let name = match dir {
+                    AccessDir::Read => "read",
+                    AccessDir::Write => "write",
+                };
+                let total = (seek + rotation + transfer).as_nanos();
+                t.complete(
+                    name,
+                    "disk",
+                    PID,
+                    TID_DISK,
+                    start,
+                    total,
+                    &[
+                        ("lba", ArgVal::U(lba)),
+                        ("sectors", ArgVal::U(sectors)),
+                        ("cylinder", ArgVal::U(cylinder)),
+                        ("cyl_distance", ArgVal::U(cyl_distance)),
+                    ],
+                );
+                // Mechanical decomposition as nested sub-slices, in
+                // physical order; zero-length phases are elided.
+                let mut at = start;
+                for (phase, dur) in [
+                    ("seek", seek.as_nanos()),
+                    ("rotation", rotation.as_nanos()),
+                    ("transfer", transfer.as_nanos()),
+                ] {
+                    if dur > 0 {
+                        t.complete(phase, "disk", PID, TID_DISK, at, dur, &[]);
+                    }
+                    at += dur;
+                }
+                now = now.max(start + total);
+            }
+            Event::Alloc {
+                strand,
+                block,
+                lba,
+                sectors,
+                gap,
+                slack,
+            } => {
+                let mut args = vec![
+                    ("strand", ArgVal::U(strand)),
+                    ("block", ArgVal::U(block)),
+                    ("lba", ArgVal::U(lba)),
+                    ("sectors", ArgVal::U(sectors)),
+                ];
+                if let Some(g) = gap {
+                    args.push(("gap", ArgVal::U(g)));
+                }
+                if let Some(s) = slack {
+                    args.push(("slack", ArgVal::U(s)));
+                }
+                t.instant("alloc", "alloc", PID, TID_ALLOC, now, &args);
+            }
+            Event::Admit {
+                request,
+                n,
+                k_old,
+                k_new,
+                slack,
+            } => {
+                t.instant(
+                    "admit",
+                    "admission",
+                    PID,
+                    TID_ADMISSION,
+                    now,
+                    &[
+                        ("request", ArgVal::U(request)),
+                        ("n", ArgVal::U(n as u64)),
+                        ("k_old", ArgVal::U(k_old)),
+                        ("k_new", ArgVal::U(k_new)),
+                        ("slack_ns", ArgVal::U(slack.as_nanos())),
+                    ],
+                );
+            }
+            Event::Reject {
+                request,
+                active,
+                n_max,
+            } => {
+                t.instant(
+                    "reject",
+                    "admission",
+                    PID,
+                    TID_ADMISSION,
+                    now,
+                    &[
+                        ("request", ArgVal::U(request)),
+                        ("active", ArgVal::U(active as u64)),
+                        ("n_max", ArgVal::U(n_max as u64)),
+                    ],
+                );
+            }
+            Event::Release { request, n, k } => {
+                t.instant(
+                    "release",
+                    "admission",
+                    PID,
+                    TID_ADMISSION,
+                    now,
+                    &[
+                        ("request", ArgVal::U(request)),
+                        ("n", ArgVal::U(n as u64)),
+                        ("k", ArgVal::U(k)),
+                    ],
+                );
+            }
+            Event::RoundStart {
+                round,
+                active,
+                k,
+                at,
+                ..
+            } => {
+                open_rounds.insert(round, (at.as_nanos(), active, k));
+                now = now.max(at.as_nanos());
+            }
+            Event::StreamService {
+                stream,
+                round,
+                begin,
+                end,
+                blocks,
+            } => {
+                stream_tracks.insert(stream, ());
+                t.complete(
+                    &format!("stream {stream}"),
+                    "service",
+                    PID,
+                    TID_ROUNDS,
+                    begin.as_nanos(),
+                    (end - begin).as_nanos(),
+                    &[("round", ArgVal::U(round)), ("blocks", ArgVal::U(blocks))],
+                );
+                now = now.max(end.as_nanos());
+            }
+            Event::RoundEnd { round, at } => {
+                let end = at.as_nanos();
+                if let Some((start, active, k)) = open_rounds.remove(&round) {
+                    t.complete(
+                        &format!("round {round}"),
+                        "round",
+                        PID,
+                        TID_ROUNDS,
+                        start,
+                        end - start,
+                        &[("active", ArgVal::U(active as u64)), ("k", ArgVal::U(k))],
+                    );
+                    if let Some(gamma) = opts.gamma {
+                        let slack = (k * gamma.as_nanos()) as i64 - (end - start) as i64;
+                        t.counter("round slack", PID, end, &[("ns", ArgVal::I(slack))]);
+                    }
+                }
+                now = now.max(end);
+            }
+            Event::DisplayStart { stream, at } => {
+                stream_tracks.insert(stream, ());
+                t.instant(
+                    "display start",
+                    "stream",
+                    PID,
+                    TID_STREAM_BASE + stream as u64,
+                    at.as_nanos(),
+                    &[("stream", ArgVal::U(stream as u64))],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Deadline {
+                stream,
+                item,
+                round,
+                deadline,
+                completed,
+            } => {
+                stream_tracks.insert(stream, ());
+                let entry = occupancy.entry(stream).or_default();
+                entry.push((completed.as_nanos(), 1));
+                entry.push((deadline.as_nanos(), -1));
+                if completed > deadline {
+                    t.instant(
+                        "deadline miss",
+                        "deadline",
+                        PID,
+                        TID_STREAM_BASE + stream as u64,
+                        completed.as_nanos(),
+                        &[
+                            ("stream", ArgVal::U(stream as u64)),
+                            ("item", ArgVal::U(item)),
+                            ("round", ArgVal::U(round)),
+                            ("deadline_ns", ArgVal::U(deadline.as_nanos())),
+                            ("lateness_ns", ArgVal::U((completed - deadline).as_nanos())),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    for stream in stream_tracks.keys() {
+        t.thread_name(
+            PID,
+            TID_STREAM_BASE + *stream as u64,
+            &format!("stream {stream}"),
+        );
+    }
+
+    // Buffer-occupancy counters: replay each stream's fetch (+1) and
+    // play (−1) deltas in time order. At a tie the fetch applies first —
+    // a block arriving exactly at its play instant was buffered, however
+    // briefly. Occupancy clamps at zero: an open-loop display consumes
+    // schedule items whether or not their fetch arrived, so a starved
+    // stream's backlog is empty, not negative.
+    for (stream, mut deltas) in occupancy {
+        deltas.sort_by_key(|&(ts, delta)| (ts, -delta));
+        let name = format!("stream {stream} buffered");
+        let mut level: i64 = 0;
+        let mut i = 0;
+        while i < deltas.len() {
+            let ts = deltas[i].0;
+            while i < deltas.len() && deltas[i].0 == ts {
+                level += deltas[i].1;
+                i += 1;
+            }
+            level = level.max(0);
+            t.counter(&name, PID, ts, &[("blocks", ArgVal::I(level))]);
+        }
+    }
+
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_units::Instant;
+
+    fn at(ns: u64) -> Instant {
+        Instant::from_nanos(ns)
+    }
+
+    fn round_trip(events: &[Event], opts: &TraceOptions) -> String {
+        let doc = chrome_trace(events.iter(), opts);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        doc
+    }
+
+    #[test]
+    fn rounds_nest_stream_turns_and_close_exactly() {
+        let events = [
+            Event::RoundStart {
+                round: 3,
+                active: 2,
+                k: 4,
+                at: at(10_000),
+            },
+            Event::StreamService {
+                stream: 0,
+                round: 3,
+                begin: at(10_000),
+                end: at(14_000),
+                blocks: 4,
+            },
+            Event::StreamService {
+                stream: 1,
+                round: 3,
+                begin: at(14_000),
+                end: at(19_000),
+                blocks: 4,
+            },
+            Event::RoundEnd {
+                round: 3,
+                at: at(19_000),
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        // The round slice spans exactly start → end (µs).
+        assert!(doc.contains("\"name\":\"round 3\""));
+        assert!(doc.contains("\"ts\":10,\"dur\":9"));
+        // Stream turns are slices on the same track, inside the round.
+        assert!(doc.contains("\"name\":\"stream 0\""));
+        assert!(doc.contains("\"ts\":14,\"dur\":5"));
+        // No slack counter without gamma.
+        assert!(!doc.contains("round slack"));
+    }
+
+    #[test]
+    fn gamma_yields_slack_counter() {
+        let events = [
+            Event::RoundStart {
+                round: 0,
+                active: 1,
+                k: 2,
+                at: at(0),
+            },
+            Event::RoundEnd {
+                round: 0,
+                at: at(5_000),
+            },
+        ];
+        let doc = round_trip(
+            &events,
+            &TraceOptions {
+                gamma: Some(Nanos::from_nanos(3_000)),
+            },
+        );
+        // k·γ − duration = 2·3000 − 5000 = 1000 ns.
+        assert!(doc.contains("\"name\":\"round slack\""));
+        assert!(doc.contains("{\"ns\":1000}"));
+    }
+
+    #[test]
+    fn deadline_misses_are_instants_at_completion() {
+        let events = [
+            Event::Deadline {
+                stream: 2,
+                item: 7,
+                round: 5,
+                deadline: at(1_000),
+                completed: at(4_000),
+            },
+            Event::Deadline {
+                stream: 2,
+                item: 8,
+                round: 5,
+                deadline: at(9_000),
+                completed: at(5_000),
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        // Only the late item produces a miss instant, at its completion.
+        assert_eq!(doc.matches("deadline miss").count(), 1);
+        assert!(doc.contains("\"lateness_ns\":3000"));
+        // Both items feed the occupancy counter for stream 2.
+        assert!(doc.contains("\"name\":\"stream 2 buffered\""));
+        assert!(doc.contains("\"name\":\"stream 2\""));
+    }
+
+    #[test]
+    fn occupancy_clamps_at_zero_and_orders_ties() {
+        let events = [
+            // Item 0 arrives late: play at 1000 precedes fetch at 2000.
+            Event::Deadline {
+                stream: 0,
+                item: 0,
+                round: 0,
+                deadline: at(1_000),
+                completed: at(2_000),
+            },
+            // Item 1 arrives exactly at its play instant.
+            Event::Deadline {
+                stream: 0,
+                item: 1,
+                round: 0,
+                deadline: at(3_000),
+                completed: at(3_000),
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        // At 1000 the play of an unfetched item clamps to 0, not −1.
+        assert!(doc.contains("\"ts\":1,\"args\":{\"blocks\":0}"));
+        // At 3000 the +1 applies before the −1: net 1 then consumed.
+        assert!(doc.contains("\"ts\":3,\"args\":{\"blocks\":1}"));
+    }
+
+    #[test]
+    fn admission_instants_ride_the_causal_clock() {
+        let events = [
+            Event::RoundStart {
+                round: 0,
+                active: 1,
+                k: 1,
+                at: at(7_000),
+            },
+            Event::Admit {
+                request: 9,
+                n: 2,
+                k_old: 1,
+                k_new: 2,
+                slack: Nanos::from_nanos(500),
+            },
+            Event::Reject {
+                request: 10,
+                active: 2,
+                n_max: 2,
+            },
+            Event::Release {
+                request: 9,
+                n: 1,
+                k: 1,
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        for name in ["admit", "reject", "release"] {
+            let needle = format!("\"name\":\"{name}\"");
+            assert!(doc.contains(&needle), "missing {name}");
+        }
+        // All three landed at the last-seen virtual instant (7 µs).
+        assert_eq!(doc.matches("\"ts\":7,").count(), 3);
+    }
+
+    #[test]
+    fn disk_ops_decompose_into_subslices() {
+        let events = [Event::DiskOp {
+            dir: AccessDir::Read,
+            lba: 64,
+            sectors: 8,
+            cylinder: 2,
+            cyl_distance: 1,
+            issued: at(1_000),
+            seek: Nanos::from_nanos(2_000),
+            rotation: Nanos::from_nanos(0),
+            transfer: Nanos::from_nanos(3_000),
+        }];
+        let doc = round_trip(&events, &TraceOptions::default());
+        assert!(doc.contains("\"name\":\"read\""));
+        assert!(doc.contains("\"name\":\"seek\""));
+        // Zero-length rotation is elided; transfer starts after seek.
+        assert!(!doc.contains("\"name\":\"rotation\""));
+        assert!(doc.contains(
+            "\"name\":\"transfer\",\"cat\":\"disk\",\"pid\":1,\"tid\":2,\"ts\":3,\"dur\":3"
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Pins the exported timeline of the E6 transient-admission experiment.
+//!
+//! E6 is the trace that matters: the naive jump policy glitches
+//! existing streams mid-transition, and the whole point of the exporter
+//! is that those misses land *inside* the round that caused them. This
+//! test replays the naive policy with a full-stack observability ring,
+//! exports the Chrome trace, parses it back with the testkit JSON
+//! reader, and pins the causal structure:
+//!
+//! * every `deadline miss` instant falls inside the duration slice of
+//!   the round its event attributed it to;
+//! * every admitted stream has a buffer-occupancy counter track;
+//! * the document is well-formed JSON with the trace-event envelope.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use strandfs_bench::experiments::e6_transient::{run_with_obs, TransitionPolicy, BASE_STREAMS};
+use strandfs_obs::ObsSink;
+use strandfs_testkit::json::{validate, Json};
+use strandfs_trace::{chrome_trace, TraceOptions};
+
+fn export_naive_jump() -> (Json, u64) {
+    let (sink, recorder) = ObsSink::ring(1 << 20);
+    let outcome = run_with_obs(TransitionPolicy::Jump, sink);
+    assert!(
+        outcome.violations_existing > 0,
+        "the naive jump must glitch existing streams for this test to bite"
+    );
+    let rec = recorder.borrow();
+    assert_eq!(rec.dropped(), 0, "ring must retain the full run");
+    let doc = chrome_trace(rec.events(), &TraceOptions::default());
+    (validate(&doc), outcome.report.total_violations())
+}
+
+#[test]
+fn e6_trace_pins_causal_structure() {
+    let (doc, total_violations) = export_naive_jump();
+    let events = doc
+        .path("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace-event envelope");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    // Index round slices by round number: name "round N", ph "X".
+    let mut rounds: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    let mut misses = Vec::new();
+    let mut counter_tracks: BTreeSet<String> = BTreeSet::new();
+    let mut service_streams: BTreeSet<u64> = BTreeSet::new();
+    for e in events {
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("");
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "X" => {
+                if let Some(n) = name.strip_prefix("round ") {
+                    let ts = e.get("ts").and_then(Json::as_num).unwrap();
+                    let dur = e.get("dur").and_then(Json::as_num).unwrap();
+                    rounds.insert(n.parse().unwrap(), (ts, ts + dur));
+                } else if let Some(s) = name.strip_prefix("stream ") {
+                    if let Ok(id) = s.parse::<u64>() {
+                        service_streams.insert(id);
+                    }
+                }
+            }
+            "i" if name == "deadline miss" => {
+                let ts = e.get("ts").and_then(Json::as_num).unwrap();
+                let round = e.path("args/round").and_then(Json::as_num).unwrap();
+                misses.push((ts, round as u64));
+            }
+            "C" => {
+                counter_tracks.insert(name.to_string());
+            }
+            _ => {}
+        }
+    }
+
+    // The experiment's glitches appear as miss instants, one per late
+    // block, each inside its attributed round's slice.
+    assert_eq!(
+        misses.len() as u64,
+        total_violations,
+        "one miss instant per continuity violation"
+    );
+    for (ts, round) in &misses {
+        let (start, end) = rounds
+            .get(round)
+            .unwrap_or_else(|| panic!("miss attributed to unknown round {round}"));
+        assert!(
+            start <= ts && ts <= end,
+            "miss at {ts}us outside round {round} [{start}, {end}]us"
+        );
+    }
+
+    // Every admitted stream (base set + the mid-flight arrival) was
+    // serviced and has a buffer-occupancy counter track.
+    assert_eq!(
+        service_streams.len(),
+        BASE_STREAMS + 1,
+        "service slices cover base streams and the arrival"
+    );
+    for stream in &service_streams {
+        let track = format!("stream {stream} buffered");
+        assert!(
+            counter_tracks.contains(&track),
+            "missing occupancy counter track {track:?}"
+        );
+    }
+}
+
+#[test]
+fn e6_trace_gamma_adds_slack_counter() {
+    let (sink, recorder) = ObsSink::ring(1 << 20);
+    run_with_obs(TransitionPolicy::StepWise, sink);
+    let rec = recorder.borrow();
+    // γ = 100 ms: the NTSC block duration the scenario is built around.
+    let doc = chrome_trace(
+        rec.events(),
+        &TraceOptions {
+            gamma: Some(strandfs_units::Nanos::from_millis(100)),
+        },
+    );
+    let doc = validate(&doc);
+    let events = doc.path("traceEvents").and_then(Json::as_arr).unwrap();
+    let slack_samples = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("round slack")
+        })
+        .count();
+    // One sample per completed round.
+    let round_slices = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("round "))
+        })
+        .count();
+    assert!(round_slices > 0);
+    assert_eq!(slack_samples, round_slices);
+}

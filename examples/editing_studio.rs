@@ -38,7 +38,8 @@ fn main() {
             ClipSpec::av_seconds(10.0).with_seed(1), // take 1
             ClipSpec::av_seconds(6.0).with_seed(2),  // take 2
         ],
-    );
+    )
+    .expect("build volume");
     let (take1, take2) = (ropes[0], ropes[1]);
     let voice_over = record_clip(
         &mut mrs,
@@ -50,7 +51,7 @@ fn main() {
             seed: 3,
         },
     )
-    .unwrap();
+    .expect("record clip");
     println!(
         "footage: take1 {:.0}s AV, take2 {:.0}s AV, voice-over {:.0}s audio",
         mrs.rope(take1).unwrap().duration().as_secs_f64(),
@@ -144,7 +145,8 @@ fn main() {
     let mut schedule =
         compile_schedule(&story, MediaSel::Both, Interval::whole(story.duration())).unwrap();
     mrs.resolve_silence(&mut schedule).unwrap();
-    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2)).expect("simulate");
     println!(
         "playback of the cut: {} blocks, {} violations",
         report.streams[0].blocks, report.streams[0].violations

@@ -32,7 +32,8 @@ fn main() {
             ClipSpec::av_seconds(8.0).with_seed(70),
             ClipSpec::av_seconds(8.0).with_seed(71),
         ],
-    );
+    )
+    .expect("build volume");
     let (track_a, track_b) = (ropes[0], ropes[1]);
     mrs.add_trigger("sim", track_a, Nanos::from_secs(0), "Track A — intro")
         .unwrap();
@@ -120,7 +121,8 @@ fn main() {
 
     // Both special modes play continuously on this volume.
     for (label, sched) in [("4x-skip", preview), ("0.5x chorus", slow)] {
-        let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+        let report =
+            simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
         println!(
             "{label}: {} violations, buffer high-water {} blocks",
             report.total_violations(),

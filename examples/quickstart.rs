@@ -108,7 +108,8 @@ fn main() {
         schedule.items.len(),
         schedule.fetch_count()
     );
-    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2)).expect("simulate");
     let s = &report.streams[0];
     println!(
         "playback: {} violations, start latency {}, max buffer {} blocks",

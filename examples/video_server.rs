@@ -19,7 +19,8 @@ use strandfs::disk::{DiskGeometry, GapBounds, SeekModel};
 use strandfs::obs::ObsSink;
 use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
 use strandfs::sim::{volume_on, ClipSpec};
-use strandfs::units::Instant;
+use strandfs::trace::{chrome_trace, TraceOptions};
+use strandfs::units::{Instant, Nanos};
 
 fn main() {
     // A library of 12 news clips on the projected-future disk.
@@ -37,7 +38,8 @@ fn main() {
             1,
         ),
         &library,
-    );
+    )
+    .expect("build volume");
     // Watch the server work: a bounded ring recorder captures every
     // admission decision, service round and per-block deadline margin
     // without perturbing the simulation.
@@ -87,7 +89,8 @@ fn main() {
     sanity_check_formula(&agg, admitted.len());
 
     let schedules: Vec<_> = admitted.iter().map(|(_, s)| s.clone()).collect();
-    let report = simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+    let report =
+        simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k)).expect("simulate");
     for (i, s) in report.streams.iter().enumerate() {
         println!(
             "client-{i}: {} blocks, {} violations, start latency {}, buffers {}",
@@ -138,6 +141,28 @@ fn main() {
         "(offline schedule for a waitlisted client: {} blocks)",
         offline.items.len()
     );
+
+    // The continuity SLO view of the same run: aggregate miss rate,
+    // worst and p99 deadline margins across every admitted client.
+    let slo = report.slo();
+    println!(
+        "slo: {} blocks, miss rate {:.4}, worst margin {} ns, p99 margin {} ns",
+        slo.total_blocks, slo.miss_rate, slo.worst_margin_ns, slo.p99_margin_ns
+    );
+    assert!(slo.clean());
+
+    // Export the whole session — recording, admission, rounds, per-op
+    // disk mechanics, deadline outcomes — as a Chrome trace. Load it in
+    // https://ui.perfetto.dev (γ enables the round-slack counter).
+    let doc = chrome_trace(
+        recorder.borrow().events(),
+        &TraceOptions {
+            gamma: Some(Nanos::from_secs_f64(agg.gamma.get())),
+        },
+    );
+    let path = "TRACE_video_server.json";
+    std::fs::write(path, &doc).expect("write trace");
+    println!("wrote {path} — open in Perfetto to see the timeline");
 }
 
 fn sanity_check_formula(agg: &Aggregates, n: usize) {

@@ -18,4 +18,7 @@ cargo build --workspace --release --offline
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
 
+echo "==> bench --check --quick (regression gate smoke)"
+cargo run -p strandfs-bench --release --offline --bin bench -- --check --quick
+
 echo "tier1: OK"

@@ -31,4 +31,5 @@ pub use strandfs_disk as disk;
 pub use strandfs_media as media;
 pub use strandfs_obs as obs;
 pub use strandfs_sim as sim;
+pub use strandfs_trace as trace;
 pub use strandfs_units as units;

@@ -24,6 +24,7 @@ fn projected_volume(n: usize) -> strandfs::sim::Volume {
         ),
         &vec![ClipSpec::video_seconds(6.0); n],
     )
+    .expect("build volume")
 }
 
 fn spec() -> RequestSpec {
@@ -57,7 +58,8 @@ fn every_admitted_set_size_plays_continuously() {
             .collect();
         let agg = Aggregates::compute(&env, &vec![spec(); n]).unwrap();
         let k = agg.k_transient(n).unwrap();
-        let report = simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k));
+        let report =
+            simulate_playback(&mut mrs, schedules, PlaybackConfig::with_k(k)).expect("simulate");
         assert!(
             report.all_continuous(),
             "n = {n}, k = {k}: {} violations",
@@ -168,7 +170,8 @@ fn mixed_media_tightens_capacity() {
             2,
         ),
         &vec![ClipSpec::av_seconds(4.0); 12],
-    );
+    )
+    .expect("build volume");
     let mut av_admitted = 0;
     for r in &ropes {
         let rope = mrs.rope(*r).unwrap().clone();

@@ -18,7 +18,8 @@ fn insert_preserves_total_media_and_heals() {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::av_seconds(6.0),
         ClipSpec::av_seconds(3.0).with_seed(50),
-    ]);
+    ])
+    .expect("build volume");
     let (base, clip) = (ropes[0], ropes[1]);
     mrs.insert(
         "sim",
@@ -42,7 +43,7 @@ fn insert_preserves_total_media_and_heals() {
 
 #[test]
 fn delete_then_play_remains_continuous() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(8.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(8.0)]).expect("build volume");
     let base = ropes[0];
     mrs.delete(
         "sim",
@@ -57,7 +58,8 @@ fn delete_then_play_remains_continuous() {
     let mut sched =
         compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
     mrs.resolve_silence(&mut sched).unwrap();
-    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(
         report.all_continuous(),
         "deleted-middle rope must play clean across the healed boundary"
@@ -66,7 +68,7 @@ fn delete_then_play_remains_continuous() {
 
 #[test]
 fn single_medium_delete_keeps_other_playing() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]).expect("build volume");
     let base = ropes[0];
     mrs.delete(
         "sim",
@@ -92,7 +94,8 @@ fn replace_dubs_audio_from_other_rope() {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::av_seconds(6.0),
         ClipSpec::av_seconds(6.0).with_seed(31),
-    ]);
+    ])
+    .expect("build volume");
     let (base, dub) = (ropes[0], ropes[1]);
     let dub_audio_strand = mrs.rope(dub).unwrap().segments[0].audio.unwrap().strand;
     mrs.replace(
@@ -121,7 +124,7 @@ fn replace_dubs_audio_from_other_rope() {
 
 #[test]
 fn substring_shares_strands_without_copying() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(6.0)]).expect("build volume");
     let base = ropes[0];
     let used_before = mrs.msm().allocator().freemap().used();
     let sub = mrs
@@ -139,7 +142,8 @@ fn concat_and_gc_interplay() {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::av_seconds(3.0),
         ClipSpec::av_seconds(3.0).with_seed(8),
-    ]);
+    ])
+    .expect("build volume");
     let joined = mrs.concat("sim", ropes[0], ropes[1]).unwrap();
     // Deleting the sources must not free the strands: the joined rope
     // still references them.
@@ -150,7 +154,8 @@ fn concat_and_gc_interplay() {
     let mut sched =
         compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
     mrs.resolve_silence(&mut sched).unwrap();
-    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
     // Now delete the joined rope: everything becomes collectable.
     mrs.delete_rope("sim", joined).unwrap();
@@ -162,7 +167,7 @@ fn concat_and_gc_interplay() {
 
 #[test]
 fn edit_access_is_enforced() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]).expect("build volume");
     let base = ropes[0];
     let err = mrs.delete(
         "mallory",
@@ -185,7 +190,7 @@ fn edit_access_is_enforced() {
 
 #[test]
 fn bad_intervals_rejected_everywhere() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]).expect("build volume");
     let base = ropes[0];
     let too_long = Interval::new(secs(2), secs(5));
     assert!(matches!(
@@ -209,7 +214,8 @@ fn volume_is_fsck_clean_after_edit_storm() {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::av_seconds(6.0),
         ClipSpec::av_seconds(4.0).with_seed(91),
-    ]);
+    ])
+    .expect("build volume");
     let (a, b) = (ropes[0], ropes[1]);
     mrs.insert(
         "sim",
@@ -250,7 +256,8 @@ fn chained_edits_keep_invariants() {
     let (mut mrs, ropes) = standard_volume(&[
         ClipSpec::av_seconds(6.0),
         ClipSpec::av_seconds(4.0).with_seed(21),
-    ]);
+    ])
+    .expect("build volume");
     let (a, b) = (ropes[0], ropes[1]);
     // insert -> delete -> replace -> insert, checking invariants at every
     // step.
@@ -291,6 +298,7 @@ fn chained_edits_keep_invariants() {
     let mut sched =
         compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
     mrs.resolve_silence(&mut sched).unwrap();
-    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
 }

@@ -45,7 +45,7 @@ fn session(obs: ObsSink) -> (SimReport, Nanos) {
             s
         })
         .collect();
-    let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(2));
+    let report = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(2)).expect("simulate");
     let busy = mrs.msm().disk().stats().busy_time();
     (report, busy)
 }

@@ -15,13 +15,14 @@ use strandfs::units::{Bits, Instant, Nanos};
 fn fast_forward_with_skip_stays_continuous_at_normal_k() {
     // 2× FF with skipping fetches at the normal rate; the same k that
     // sustains normal playback sustains it.
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]).expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap().clone();
     let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let mut ff = apply_play_mode(&base, 2.0, true);
     mrs.resolve_silence(&mut ff).unwrap();
     assert_eq!(ff.items.len(), base.items.len() / 2);
-    let report = simulate_playback(&mut mrs, vec![ff], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![ff], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
 }
 
@@ -31,13 +32,14 @@ fn fast_forward_without_skip_needs_more_bandwidth() {
     // ≈ 20.6 ms vs a 25 ms accelerated deadline), continuity collapses;
     // the same clip at 1× is clean. This is the paper's asymmetry
     // between the two fast-forward flavours.
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]).expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap().clone();
     let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
 
     let mut normal = base.clone();
     mrs.resolve_silence(&mut normal).unwrap();
-    let ok = simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
+    let ok =
+        simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(ok.all_continuous());
 
     let mut ff4 = apply_play_mode(&base, 4.0, false);
@@ -50,7 +52,8 @@ fn fast_forward_without_skip_needs_more_bandwidth() {
             read_ahead: 2,
             order: Default::default(),
         },
-    );
+    )
+    .expect("simulate");
     assert!(
         report.total_violations() > 0,
         "4x no-skip should overwhelm the vintage disk"
@@ -62,16 +65,18 @@ fn slow_motion_accumulates_buffers() {
     // §3.3.2: when blocks are displayed slower than retrieved, media
     // accumulates in buffers — the open-loop simulator measures the
     // accumulation directly.
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(8.0)]).expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap().clone();
     let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     let mut normal = base.clone();
     mrs.resolve_silence(&mut normal).unwrap();
-    let normal_report = simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2));
+    let normal_report =
+        simulate_playback(&mut mrs, vec![normal], PlaybackConfig::with_k(2)).expect("simulate");
 
     let mut slow = apply_play_mode(&base, 0.25, false);
     mrs.resolve_silence(&mut slow).unwrap();
-    let slow_report = simulate_playback(&mut mrs, vec![slow], PlaybackConfig::with_k(2));
+    let slow_report =
+        simulate_playback(&mut mrs, vec![slow], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(slow_report.all_continuous());
     assert!(
         slow_report.streams[0].max_buffered > normal_report.streams[0].max_buffered,
@@ -85,7 +90,7 @@ fn slow_motion_accumulates_buffers() {
 fn heterogeneous_blocks_store_and_separate_through_msm() {
     // §3.3.3: one disk block carries both media; a single fetch yields
     // implicit synchronization.
-    let (mut mrs, _ropes) = standard_volume(&[]);
+    let (mut mrs, _ropes) = standard_volume(&[]).expect("build volume");
     let msm = mrs.msm_mut();
     let meta = StrandMeta {
         medium: Medium::Video, // video paces a heterogeneous strand
@@ -115,7 +120,7 @@ fn heterogeneous_blocks_store_and_separate_through_msm() {
 
 #[test]
 fn reorganized_volume_still_plays() {
-    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(4.0)]);
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(4.0)]).expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap().clone();
     let video_strand = rope.segments[0].video.unwrap().strand;
     let audio_strand = rope.segments[0].audio.unwrap().strand;
@@ -131,13 +136,14 @@ fn reorganized_volume_still_plays() {
     let mut sched =
         compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
     mrs.resolve_silence(&mut sched).unwrap();
-    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
 }
 
 #[test]
 fn skip_deadline_spacing_is_block_duration() {
-    let (mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(4.0)]);
+    let (mrs, ropes) = standard_volume(&[ClipSpec::video_seconds(4.0)]).expect("build volume");
     let rope = mrs.rope(ropes[0]).unwrap().clone();
     let base = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
     for speed in [2.0, 3.0, 4.0] {

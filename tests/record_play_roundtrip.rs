@@ -129,7 +129,8 @@ fn playback_of_recording_is_continuous_and_ordered() {
         );
         assert_eq!(item.units, 3);
     }
-    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
     mrs.stop(play_req, Instant::EPOCH).unwrap();
 }
@@ -185,6 +186,7 @@ fn text_files_coexist_with_media() {
         .play("bob", rope_id, MediaSel::Video, Interval::whole(dur))
         .unwrap();
     mrs.resolve_silence(&mut schedule).unwrap();
-    let report = simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2));
+    let report =
+        simulate_playback(&mut mrs, vec![schedule], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
 }
