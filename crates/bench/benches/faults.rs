@@ -1,0 +1,11 @@
+//! Thin entry point for the `faults` suite; definitions live in
+//! `strandfs_bench::suites::faults`.
+
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
+
+fn main() {
+    let mut c = Runner::new("faults");
+    suites::faults::register(&mut c);
+    c.report();
+}

@@ -42,6 +42,7 @@ const SUITES: &[(&str, RegisterFn)] = &[
     ("index", suites::index::register),
     ("vbr", suites::vbr::register),
     ("scan_order", suites::scan_order::register),
+    ("faults", suites::faults::register),
 ];
 
 struct Cli {
@@ -165,17 +166,34 @@ fn run_check(cli: &Cli) -> ! {
     // accounting for the instrumented reference run.
     let invariants = check::obs_invariants(&strandfs_bench::obs_capture::capture_full());
 
+    // The fault section is virtual-time deterministic, so it is compared
+    // leaf-by-leaf at the noisy tier (skipped when a suite filter
+    // excludes `faults` or the baseline predates the section).
+    let mut faults = check::CheckOutcome::default();
+    let faults_selected = cli.suites.is_empty() || cli.suites.iter().any(|s| s == "faults");
+    if faults_selected {
+        if let Some(base) = doc.path("sections/faults") {
+            let fresh = strandfs_bench::experiments::e13_faults::section_json();
+            let fresh = strandfs_testkit::json::Json::parse(&fresh)
+                .expect("fresh faults section is valid JSON");
+            faults = check::compare_faults(base, &fresh);
+        }
+    }
+
     println!(
-        "\nbench check: {} benchmark(s) compared against {}",
-        outcome.compared, cli.baseline
+        "\nbench check: {} benchmark(s) + {} fault metric(s) compared against {}",
+        outcome.compared, faults.compared, cli.baseline
     );
     if !outcome.passed() {
         println!("\n{}", outcome.table());
     }
+    if !faults.passed() {
+        println!("\n{}", faults.table());
+    }
     for problem in &invariants {
         println!("obs invariant violated — {problem}");
     }
-    if outcome.passed() && invariants.is_empty() {
+    if outcome.passed() && faults.passed() && invariants.is_empty() {
         println!("bench check OK");
         std::process::exit(0);
     }
@@ -209,6 +227,12 @@ fn main() {
     let cap = strandfs_bench::obs_capture::capture_full();
     c.add_section("obs", cap.obs_json);
     c.add_section("slo", cap.slo_json);
+    // The E13 fault sweep rides along too: deterministic virtual-time
+    // metrics, compared leaf-by-leaf in `--check` mode.
+    c.add_section(
+        "faults",
+        strandfs_bench::experiments::e13_faults::section_json(),
+    );
     c.report();
 
     let path = "BENCH_core.json";

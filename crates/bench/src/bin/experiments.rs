@@ -69,6 +69,8 @@ fn main() {
     println!("{}", e11_vbr::table());
 
     println!("{}", e12_scan::table());
+
+    println!("{}", e13_faults::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

@@ -220,6 +220,61 @@ pub fn compare(baseline: &[BaselineEntry], current: &[BenchResult]) -> CheckOutc
     outcome
 }
 
+/// Flatten every numeric leaf of a JSON value into `(path, value)`
+/// pairs, depth-first, with `/`-joined object keys and `[i]` array
+/// indices.
+pub fn flatten_numbers(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    if let Some(n) = json.as_num() {
+        out.push((prefix.to_string(), n));
+    } else if let Some(obj) = json.as_obj() {
+        for (k, v) in obj {
+            let p = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}/{k}")
+            };
+            flatten_numbers(v, &p, out);
+        }
+    } else if let Some(arr) = json.as_arr() {
+        for (i, v) in arr.iter().enumerate() {
+            flatten_numbers(v, &format!("{prefix}[{i}]"), out);
+        }
+    }
+}
+
+/// Compare the committed `sections/faults` document against a fresh
+/// run's, numeric leaf by numeric leaf, at the noisy (macro) tolerance
+/// tier. The section mixes counts, rates and signed nanosecond margins
+/// — some negative, many exactly zero — so instead of a pure ratio the
+/// gate bounds the *drift magnitude* by the noisy tier's headroom
+/// (`tolerance_ratio(1) - 1` of the baseline magnitude) plus the
+/// absolute floor. The simulation is virtual-time deterministic, so in
+/// practice any drift at all means the fault model changed.
+pub fn compare_faults(baseline: &Json, current: &Json) -> CheckOutcome {
+    let mut base = Vec::new();
+    flatten_numbers(baseline, "faults", &mut base);
+    let mut fresh = Vec::new();
+    flatten_numbers(current, "faults", &mut fresh);
+    let mut outcome = CheckOutcome::default();
+    for (name, b) in base {
+        let Some((_, c)) = fresh.iter().find(|(n, _)| *n == name) else {
+            outcome.missing.push(name);
+            continue;
+        };
+        outcome.compared += 1;
+        let limit = b.abs() * (tolerance_ratio(1) - 1.0) + ABSOLUTE_FLOOR_NS;
+        if (c - b).abs() > limit {
+            outcome.regressions.push(Regression {
+                name,
+                baseline_ns: b,
+                current_ns: *c,
+                limit_ns: limit,
+            });
+        }
+    }
+    outcome
+}
+
 /// Cross-check the observability fold against the simulator's own
 /// bookkeeping for the instrumented reference run. Returns one message
 /// per violated invariant (empty = consistent).
@@ -351,6 +406,39 @@ mod tests {
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].name, "b/y");
         assert_eq!(filter_suites(all, &[]).len(), 2);
+    }
+
+    #[test]
+    fn fault_sections_compare_by_drift_magnitude() {
+        let base = strandfs_testkit::json::validate(
+            r#"{"sweep":[{"rate":0.2,"dropped_blocks":16,"p99_margin_ns":-25000}],
+                "shield":{"healthy_violations":0}}"#,
+        );
+        // Identical documents pass and count every numeric leaf.
+        let same = compare_faults(&base, &base);
+        assert!(same.passed());
+        assert_eq!(same.compared, 4);
+        // A count drifting past its headroom (16 * 1.5 + 100 = 124) fails;
+        // within it passes.
+        let drifted = strandfs_testkit::json::validate(
+            r#"{"sweep":[{"rate":0.2,"dropped_blocks":141,"p99_margin_ns":-25000}],
+                "shield":{"healthy_violations":0}}"#,
+        );
+        let out = compare_faults(&base, &drifted);
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].name, "faults/sweep[0]/dropped_blocks");
+        // Negative margins use the same magnitude rule: -60000 drifts
+        // 35000 > 25000 * 1.5 + 100.
+        let late = strandfs_testkit::json::validate(
+            r#"{"sweep":[{"rate":0.2,"dropped_blocks":16,"p99_margin_ns":-80000}],
+                "shield":{"healthy_violations":0}}"#,
+        );
+        assert!(!compare_faults(&base, &late).passed());
+        // A leaf missing from the fresh run fails loudly.
+        let shrunk = strandfs_testkit::json::validate(r#"{"sweep":[],"shield":{}}"#);
+        let out = compare_faults(&base, &shrunk);
+        assert_eq!(out.missing.len(), 4);
     }
 
     #[test]

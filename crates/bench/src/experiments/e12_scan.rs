@@ -84,6 +84,7 @@ fn run_order(order: ServiceOrder) -> Row {
         k: K,
         read_ahead: 2 * K,
         order,
+        ..PlaybackConfig::with_k(K)
     };
     let report = simulate_playback(&mut mrs, schedules, cfg).expect("simulate");
     let stats = mrs.msm().disk().stats();

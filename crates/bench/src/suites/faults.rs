@@ -1,0 +1,32 @@
+//! E13: fault injection — full record + faulted play runs, one per
+//! policy, plus the targeted bad-media shield scenario.
+
+use crate::experiments::e13_faults;
+use std::hint::black_box;
+use strandfs_sim::DegradeMode;
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    g.bench_function("abandon_full_sim", |b| {
+        b.iter(|| {
+            let row = e13_faults::run_cell(0.05, "abandon", DegradeMode::Abandon);
+            black_box((row.dropped_blocks, row.miss_rate))
+        })
+    });
+    g.bench_function("ladder_full_sim", |b| {
+        b.iter(|| {
+            let row = e13_faults::run_cell(0.05, "ladder", e13_faults::ladder());
+            black_box((row.retries, row.miss_rate))
+        })
+    });
+    g.bench_function("shield_full_sim", |b| {
+        b.iter(|| {
+            let s = e13_faults::run_shield();
+            black_box((s.victim_revokes, s.healthy_violations))
+        })
+    });
+    g.finish();
+}

@@ -14,6 +14,7 @@ pub mod allocators;
 pub mod architectures;
 pub mod capacity;
 pub mod edit_copy;
+pub mod faults;
 pub mod fig4;
 pub mod index;
 pub mod readahead;
@@ -37,4 +38,5 @@ pub fn register_all(c: &mut Runner) {
     index::register(c);
     vbr::register(c);
     scan_order::register(c);
+    faults::register(c);
 }

@@ -25,7 +25,14 @@ fn obs_and_slo_sections_keep_their_shape() {
     let metrics = obs.get("metrics").unwrap();
     assert_eq!(
         metrics.keys(),
-        vec!["admission", "alloc", "deadlines", "disk", "rounds"]
+        vec![
+            "admission",
+            "alloc",
+            "deadlines",
+            "disk",
+            "faults",
+            "rounds"
+        ]
     );
     assert_eq!(
         metrics.get("disk").unwrap().keys(),
@@ -55,6 +62,20 @@ fn obs_and_slo_sections_keep_their_shape() {
         metrics.get("deadlines").unwrap().keys(),
         vec!["blocks", "late", "lateness", "margin"]
     );
+    assert_eq!(
+        metrics.get("faults").unwrap().keys(),
+        vec![
+            "degraded",
+            "drops",
+            "media",
+            "penalty",
+            "readmits",
+            "retries",
+            "revokes",
+            "spike",
+            "transient"
+        ]
+    );
     // Duration summaries keep their unit-suffixed field names.
     assert_eq!(
         metrics.path("disk/seek").unwrap().keys(),
@@ -70,8 +91,11 @@ fn obs_and_slo_sections_keep_their_shape() {
     assert_eq!(slo.keys(), vec!["streams", "total"]);
     let total_keys = vec![
         "blocks",
+        "dropped_blocks",
         "miss_rate",
         "p99_margin_ns",
+        "recovery_time_ns",
+        "retries",
         "time_to_first_violation_ns",
         "violations",
         "worst_margin_ns",
@@ -80,7 +104,7 @@ fn obs_and_slo_sections_keep_their_shape() {
     let streams = slo.get("streams").and_then(Json::as_arr).unwrap();
     assert!(!streams.is_empty());
     let mut stream_keys = total_keys.clone();
-    stream_keys.insert(3, "stream");
+    stream_keys.insert(6, "stream");
     assert_eq!(streams[0].keys(), stream_keys);
 }
 
@@ -93,6 +117,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.bench_function("schema/probe", |b| b.iter(|| std::hint::black_box(17 * 3)));
     r.add_section("obs", "{\"metrics\":{}}");
     r.add_section("slo", "{\"total\":{}}");
+    r.add_section("faults", "{\"sweep\":[]}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -112,7 +137,48 @@ fn bench_document_envelope_keeps_its_shape() {
             "samples"
         ]
     );
-    assert_eq!(doc.get("sections").unwrap().keys(), vec!["obs", "slo"]);
+    assert_eq!(
+        doc.get("sections").unwrap().keys(),
+        vec!["faults", "obs", "slo"]
+    );
+}
+
+#[test]
+fn faults_section_keeps_its_shape() {
+    let doc = validate(&strandfs_bench::experiments::e13_faults::section_json());
+    assert_eq!(doc.keys(), vec!["shield", "sweep"]);
+    assert_eq!(
+        doc.get("shield").unwrap().keys(),
+        vec![
+            "healthy_dropped",
+            "healthy_violations",
+            "policy",
+            "victim_dropped",
+            "victim_recovery_ns",
+            "victim_retries",
+            "victim_revokes"
+        ]
+    );
+    let sweep = doc.get("sweep").and_then(Json::as_arr).unwrap();
+    // Every rate appears under both policies.
+    assert_eq!(
+        sweep.len(),
+        2 * strandfs_bench::experiments::e13_faults::RATES.len()
+    );
+    for cell in sweep {
+        assert_eq!(
+            cell.keys(),
+            vec![
+                "dropped_blocks",
+                "miss_rate",
+                "p99_margin_ns",
+                "policy",
+                "rate",
+                "recovery_time_ns",
+                "retries"
+            ]
+        );
+    }
 }
 
 #[test]

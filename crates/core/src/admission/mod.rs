@@ -277,6 +277,25 @@ impl AdmissionController {
         self.aggregates().map(|a| a.n_max()).unwrap_or(usize::MAX)
     }
 
+    /// Live Eq. 18 round slack for the current active set:
+    /// `k·γ − (n·α + n·k·β)` — the round-time headroom the admitted mix
+    /// retains at its accepted `(n, k)`. `None` when the server is idle.
+    ///
+    /// This is the continuity budget the resilient read path divides
+    /// among the `n` active streams: a stream may spend at most its
+    /// share on fault retries before another stream's deadlines would
+    /// be at risk.
+    pub fn eq18_slack(&self) -> Option<strandfs_units::Nanos> {
+        let agg = self.aggregates()?;
+        let n = self.requests.len();
+        if n == 0 || self.k == 0 {
+            return None;
+        }
+        let slack = agg.playback_budget(self.k)
+            - (agg.alpha * n as f64 + agg.beta * (n as f64 * self.k as f64));
+        Some(slack.max(Seconds::new(0.0)).to_nanos())
+    }
+
     /// Try to admit `spec` under id `id` (Eq. 18 test). On success the
     /// controller's `k` is updated and the step-wise transition schedule
     /// is returned; on failure nothing changes.

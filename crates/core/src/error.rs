@@ -71,6 +71,30 @@ pub enum FsError {
         /// What was inconsistent.
         reason: &'static str,
     },
+    /// A read failed with a permanent media error: the sectors are
+    /// unreadable on every attempt (bad blocks are data, not a panic).
+    MediaError {
+        /// First sector of the failed access.
+        lba: u64,
+        /// Sectors in the failed access.
+        sectors: u64,
+    },
+    /// Transient read errors persisted past the continuity retry budget.
+    RetriesExhausted {
+        /// First sector of the failed access.
+        lba: u64,
+        /// Retries attempted before giving up.
+        retries: u32,
+    },
+    /// A block fetch was abandoned without I/O because its playback
+    /// deadline had already passed — the degradation policy dropped it
+    /// rather than steal service time from other streams.
+    DeadlineAbandoned {
+        /// The strand whose block was abandoned.
+        strand: StrandId,
+        /// The abandoned block number.
+        block: u64,
+    },
     /// Scattering healing tried to splice a bridge segment longer than
     /// the companion-medium track it must carry along: the companion
     /// content starting *before* the bridge interval cannot be moved
@@ -113,6 +137,15 @@ impl fmt::Display for FsError {
             }
             FsError::InvalidScenario { reason } => {
                 write!(f, "invalid scenario: {reason}")
+            }
+            FsError::MediaError { lba, sectors } => {
+                write!(f, "media error reading {sectors} sectors at lba {lba}")
+            }
+            FsError::RetriesExhausted { lba, retries } => {
+                write!(f, "read at lba {lba} still failing after {retries} retries")
+            }
+            FsError::DeadlineAbandoned { strand, block } => {
+                write!(f, "abandoned block {block} of {strand}: deadline passed")
             }
             FsError::BridgeExceedsTrack { bridge, track } => write!(
                 f,

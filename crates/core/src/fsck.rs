@@ -69,6 +69,17 @@ pub enum Finding {
         /// The measured gap in sectors.
         gap: u64,
     },
+    /// A strand block lies on media the device reports as permanently
+    /// bad: its content is unreadable and the strand needs healing
+    /// (re-copying from a replica or splicing a silence hole).
+    BlockOnBadMedia {
+        /// The owning strand.
+        strand: StrandId,
+        /// The affected block extent.
+        extent: Extent,
+        /// The bad region it overlaps.
+        bad: Extent,
+    },
     /// A rope references a strand that does not exist or is not
     /// finished.
     DanglingStrandRef {
@@ -113,6 +124,14 @@ impl fmt::Display for Finding {
                 f,
                 "{strand}: gap {gap} sectors after block {after_block} out of bounds"
             ),
+            Finding::BlockOnBadMedia {
+                strand,
+                extent,
+                bad,
+            } => write!(
+                f,
+                "{strand}: extent {extent:?} overlaps bad media region {bad:?}"
+            ),
             Finding::DanglingStrandRef { rope, strand } => {
                 write!(f, "{rope}: dangling reference to {strand}")
             }
@@ -154,6 +173,7 @@ impl Report {
 pub fn check_msm(msm: &mut Msm, now: Instant) -> Report {
     let mut report = Report::default();
     let total = msm.disk().geometry().total_sectors();
+    let bad: Vec<Extent> = msm.disk().bad_extents().to_vec();
     let bounds = msm.gap_bounds();
     let ids = msm.strand_ids();
     // Sector claims for overlap detection: (start sector -> (len, owner)).
@@ -172,7 +192,7 @@ pub fn check_msm(msm: &mut Msm, now: Instant) -> Report {
         let mut prev: Option<(u64, Extent)> = None;
         for (n, block) in blocks.iter().enumerate() {
             let Some(e) = block else { continue };
-            check_extent(msm, *id, *e, total, &mut claims, &mut report);
+            check_extent(msm, *id, *e, total, &bad, &mut claims, &mut report);
             if let Some((pn, pe)) = prev {
                 if e.start >= pe.end() {
                     let gap = e.start - pe.end();
@@ -190,7 +210,7 @@ pub fn check_msm(msm: &mut Msm, now: Instant) -> Report {
             prev = Some((n as u64, *e));
         }
         for e in &index_extents {
-            check_extent(msm, *id, *e, total, &mut claims, &mut report);
+            check_extent(msm, *id, *e, total, &bad, &mut claims, &mut report);
         }
         // Index round-trip from disk.
         if let Some(header_extent) = header {
@@ -220,6 +240,7 @@ fn check_extent(
     id: StrandId,
     e: Extent,
     total: u64,
+    bad: &[Extent],
     claims: &mut BTreeMap<u64, (u64, StrandId)>,
     report: &mut Report,
 ) {
@@ -229,6 +250,15 @@ fn check_extent(
             extent: e,
         });
         return;
+    }
+    for b in bad {
+        if e.overlaps(*b) {
+            report.findings.push(Finding::BlockOnBadMedia {
+                strand: id,
+                extent: e,
+                bad: *b,
+            });
+        }
     }
     if !msm.allocator().freemap().extent_used(e) {
         report.findings.push(Finding::ExtentNotAllocated {
@@ -379,6 +409,38 @@ mod tests {
                 "unexpected finding: {f}"
             );
         }
+    }
+
+    #[test]
+    fn bad_media_under_a_strand_is_reported() {
+        use strandfs_disk::{FaultInjector, FaultPlan};
+        let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+        let mut m = Msm::new(
+            FaultInjector::new(disk, FaultPlan::clean(), 7),
+            MsmConfig::constrained(
+                GapBounds {
+                    min_sectors: 0,
+                    max_sectors: 40_000,
+                },
+                3,
+            ),
+        );
+        let id = record(&mut m, 10);
+        let victim = m.strand(id).unwrap().block(4).unwrap().unwrap();
+        // Mark one sector in the middle of block 4 bad, post-recording
+        // (media decays after the write).
+        m.arm_faults(FaultPlan::clean().with_bad_extent(Extent::new(victim.start + 1, 1)));
+        let report = check_msm(&mut m, Instant::EPOCH);
+        let hits: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| matches!(f, Finding::BlockOnBadMedia { .. }))
+            .collect();
+        assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+        assert!(matches!(
+            hits[0],
+            Finding::BlockOnBadMedia { strand, extent, .. } if *strand == id && *extent == victim
+        ));
     }
 
     #[test]

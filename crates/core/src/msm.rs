@@ -23,10 +23,57 @@ use crate::strand::{strand_from_index, Strand, StrandBuilder, StrandMeta};
 use crate::types::{BlockNo, StrandId};
 use std::collections::BTreeMap;
 use strandfs_disk::{
-    AccessKind, AllocPolicy, Allocator, DiskOp, Extent, GapBounds, SeekModel, SimDisk,
+    AccessKind, AllocPolicy, Allocator, BlockDevice, DiskOp, Extent, FaultKind, FaultPlan,
+    FaultStats, GapBounds, SeekModel, SimDisk,
 };
 use strandfs_obs::{Event, ObsSink};
-use strandfs_units::{Instant, Seconds};
+use strandfs_units::{Instant, Nanos, Seconds};
+
+/// Transient retries granted to non-real-time reads (index loads,
+/// healing copies): these paths have no playback deadline, so a small
+/// fixed budget replaces the Eq. 18 slack derivation.
+const BACKGROUND_RETRY_LIMIT: u32 = 3;
+
+/// Why a resilient block fetch gave up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchFailure {
+    /// Permanent media error: no retry can succeed.
+    Media,
+    /// Transient errors persisted past the retry budget.
+    RetriesExhausted,
+    /// The deadline had already passed; no I/O was attempted.
+    Abandoned,
+}
+
+/// Outcome of one resilient block fetch ([`Msm::read_block_resilient`]).
+///
+/// Unlike a plain `Result`, a failed fetch still advances virtual time
+/// (failed attempts occupy the disk), so the failure carries the
+/// instant the caller's clock must move to.
+#[derive(Clone, Debug)]
+pub enum BlockFetch {
+    /// A silence hole — no I/O, no payload (NULL primary pointer).
+    Silence,
+    /// The payload arrived, possibly after retries; `op` is the final
+    /// successful operation.
+    Data {
+        /// The block payload.
+        payload: Vec<u8>,
+        /// The successful disk operation.
+        op: DiskOp,
+        /// Transient failures retried before success.
+        retries: u32,
+    },
+    /// The fetch failed; the disk was busy until `at`.
+    Failed {
+        /// Why the fetch gave up.
+        reason: FetchFailure,
+        /// Virtual time when the failure was accepted.
+        at: Instant,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+}
 
 /// Configuration of a storage volume.
 #[derive(Clone, Debug)]
@@ -62,7 +109,7 @@ enum StrandState {
 
 /// The Multimedia Storage Manager.
 pub struct Msm {
-    disk: SimDisk,
+    disk: Box<dyn BlockDevice>,
     alloc: Allocator,
     gap_bounds: GapBounds,
     strands: BTreeMap<StrandId, StrandState>,
@@ -72,8 +119,9 @@ pub struct Msm {
 }
 
 impl Msm {
-    /// Create a storage manager over `disk` with the given configuration.
-    pub fn new(disk: SimDisk, config: MsmConfig) -> Self {
+    /// Create a storage manager over any [`BlockDevice`] — a bare
+    /// [`SimDisk`] or a fault-injecting wrapper.
+    pub fn new(disk: impl BlockDevice + 'static, config: MsmConfig) -> Self {
         let total = disk.geometry().total_sectors();
         let env = Self::service_env(&disk, config.gap_bounds);
         Msm {
@@ -83,7 +131,7 @@ impl Msm {
             next_strand: 0,
             admission: AdmissionController::new(env),
             obs: ObsSink::noop(),
-            disk,
+            disk: Box::new(disk),
         }
     }
 
@@ -117,7 +165,7 @@ impl Msm {
         Some(Msm::new(disk, MsmConfig::constrained(bounds, seed)))
     }
 
-    fn service_env(disk: &SimDisk, bounds: GapBounds) -> ServiceEnv {
+    fn service_env(disk: &(impl BlockDevice + ?Sized), bounds: GapBounds) -> ServiceEnv {
         let spc = disk.geometry().sectors_per_cylinder();
         let avg_gap_cyl = (bounds.min_sectors + bounds.max_sectors) / 2 / spc.max(1);
         ServiceEnv {
@@ -127,9 +175,22 @@ impl Msm {
         }
     }
 
-    /// The underlying disk (read-only).
-    pub fn disk(&self) -> &SimDisk {
-        &self.disk
+    /// The underlying device (read-only).
+    pub fn disk(&self) -> &dyn BlockDevice {
+        self.disk.as_ref()
+    }
+
+    /// Install (or replace) a fault plan on the underlying device.
+    /// Returns `false` when the device cannot inject faults (a bare
+    /// [`SimDisk`]); the plan is then ignored.
+    pub fn arm_faults(&mut self, plan: FaultPlan) -> bool {
+        self.disk.arm_faults(plan)
+    }
+
+    /// Cumulative fault counters from the underlying device (all-zero
+    /// for faultless devices).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.disk.fault_stats()
     }
 
     /// The allocator (read-only; exposes free-map statistics).
@@ -178,6 +239,64 @@ impl Msm {
         } else {
             Occupancy::Sparse
         }
+    }
+
+    /// Perform a timed write. Write faults are not injected today, but
+    /// the device contract allows them; surface rather than unwrap.
+    fn timed_write(&mut self, now: Instant, extent: Extent) -> Result<DiskOp, FsError> {
+        self.disk
+            .access(now, extent, AccessKind::Write)
+            .map_err(|f| FsError::MediaError {
+                lba: f.op.extent.start,
+                sectors: f.op.extent.sectors,
+            })
+    }
+
+    /// Timed read for non-real-time paths (index loads, healing copies):
+    /// no playback deadline, so transient faults get a small fixed retry
+    /// budget ([`BACKGROUND_RETRY_LIMIT`]) instead of the Eq. 18 share.
+    fn timed_read_bg(&mut self, now: Instant, extent: Extent) -> Result<DiskOp, FsError> {
+        let mut t = now;
+        let mut attempts = 0u32;
+        loop {
+            match self.disk.access(t, extent, AccessKind::Read) {
+                Ok(op) => return Ok(op),
+                Err(f) => match f.kind {
+                    FaultKind::Media => {
+                        return Err(FsError::MediaError {
+                            lba: extent.start,
+                            sectors: extent.sectors,
+                        })
+                    }
+                    FaultKind::Transient => {
+                        if attempts >= BACKGROUND_RETRY_LIMIT {
+                            return Err(FsError::RetriesExhausted {
+                                lba: extent.start,
+                                retries: attempts,
+                            });
+                        }
+                        attempts += 1;
+                        t = f.op.completed;
+                        let (s, b) = (extent.start, extent.sectors);
+                        self.obs.emit(|| Event::Retry {
+                            strand: s,
+                            block: b,
+                            attempt: attempts,
+                            at: t,
+                            budget: Nanos::ZERO,
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    /// Fetch the payload of a validated on-disk extent; a pointer off
+    /// the device is corrupt metadata, not a crash.
+    fn fetch_checked(&self, extent: Extent, what: &'static str) -> Result<Vec<u8>, FsError> {
+        self.disk
+            .try_fetch(extent)
+            .ok_or(FsError::CorruptIndex { what })
     }
 
     // ----- strand recording ------------------------------------------
@@ -233,7 +352,7 @@ impl Msm {
             &padded[..]
         };
         self.disk.store_data(extent, data);
-        let op = self.disk.access(now, extent, AccessKind::Write);
+        let op = self.timed_write(now, extent)?;
         Ok((block_no, op))
     }
 
@@ -280,7 +399,7 @@ impl Msm {
         for pb in &primaries {
             let e = self.alloc.allocate_anywhere(1)?;
             self.disk.store_data(e, &pb.encode(block_bytes));
-            self.disk.access(now, e, AccessKind::Write);
+            self.timed_write(now, e)?;
             primary_ptrs.push(e);
             index_extents.push(e);
         }
@@ -300,7 +419,7 @@ impl Msm {
             let sb = SecondaryBlock { entries };
             let e = self.alloc.allocate_anywhere(1)?;
             self.disk.store_data(e, &sb.encode(block_bytes));
-            self.disk.access(now, e, AccessKind::Write);
+            self.timed_write(now, e)?;
             secondary_ptrs.push(e);
             index_extents.push(e);
         }
@@ -319,7 +438,7 @@ impl Msm {
         };
         let he = self.alloc.allocate_anywhere(1)?;
         self.disk.store_data(he, &header.encode(block_bytes));
-        self.disk.access(now, he, AccessKind::Write);
+        self.timed_write(now, he)?;
         index_extents.push(he);
         Ok((he, index_extents))
     }
@@ -356,6 +475,9 @@ impl Msm {
 
     /// Read media block `n` of a strand at `now`. Returns `(payload,
     /// op)`; both are `None` for a silence hole (no I/O happens).
+    ///
+    /// A fault-free read through [`Msm::read_block_resilient`] with a
+    /// zero retry budget: any injected fault surfaces as an error.
     pub fn read_block(
         &mut self,
         id: StrandId,
@@ -363,12 +485,108 @@ impl Msm {
         now: Instant,
     ) -> Result<(Option<Vec<u8>>, Option<DiskOp>), FsError> {
         let extent = self.strand(id)?.block(n)?;
-        match extent {
-            None => Ok((None, None)),
-            Some(e) => {
-                let data = self.disk.fetch_data(e);
-                let op = self.disk.access(now, e, AccessKind::Read);
-                Ok((Some(data), Some(op)))
+        match self.read_block_resilient(id, n, now, Nanos::ZERO, None)? {
+            BlockFetch::Silence => Ok((None, None)),
+            BlockFetch::Data { payload, op, .. } => Ok((Some(payload), Some(op))),
+            BlockFetch::Failed {
+                reason, retries, ..
+            } => {
+                let e = extent.expect("failed fetch implies a stored extent");
+                Err(match reason {
+                    FetchFailure::Media => FsError::MediaError {
+                        lba: e.start,
+                        sectors: e.sectors,
+                    },
+                    FetchFailure::RetriesExhausted => FsError::RetriesExhausted {
+                        lba: e.start,
+                        retries,
+                    },
+                    FetchFailure::Abandoned => FsError::DeadlineAbandoned {
+                        strand: id,
+                        block: n,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Read media block `n` with a continuity-aware retry budget.
+    ///
+    /// `budget` is the service time this read may consume in *failed*
+    /// attempts beyond the first — in the simulator it is derived from
+    /// the live Eq. 18 round slack, so retrying here can never push
+    /// another admitted stream past its continuity bound. `deadline`,
+    /// when given, is the block's playback deadline: if `now` is already
+    /// past it the read is abandoned without I/O (the degradation policy
+    /// drops the block rather than waste disk time on dead data).
+    ///
+    /// Unlike [`Msm::read_block`], fault outcomes are *data* here
+    /// ([`BlockFetch::Failed`]), not errors — the caller chooses the
+    /// degradation step. `Err` is reserved for real failures (unknown
+    /// strand, corrupt index).
+    pub fn read_block_resilient(
+        &mut self,
+        id: StrandId,
+        n: BlockNo,
+        now: Instant,
+        budget: Nanos,
+        deadline: Option<Instant>,
+    ) -> Result<BlockFetch, FsError> {
+        let extent = self.strand(id)?.block(n)?;
+        let e = match extent {
+            None => return Ok(BlockFetch::Silence),
+            Some(e) => e,
+        };
+        if deadline.is_some_and(|d| now > d) {
+            return Ok(BlockFetch::Failed {
+                reason: FetchFailure::Abandoned,
+                at: now,
+                retries: 0,
+            });
+        }
+        let mut t = now;
+        let mut retries = 0u32;
+        loop {
+            match self.disk.access(t, e, AccessKind::Read) {
+                Ok(op) => {
+                    let payload = self.fetch_checked(e, "media extent beyond device")?;
+                    return Ok(BlockFetch::Data {
+                        payload,
+                        op,
+                        retries,
+                    });
+                }
+                Err(f) => match f.kind {
+                    FaultKind::Media => {
+                        return Ok(BlockFetch::Failed {
+                            reason: FetchFailure::Media,
+                            at: f.op.completed,
+                            retries,
+                        })
+                    }
+                    FaultKind::Transient => {
+                        let at = f.op.completed;
+                        let spent = at - now;
+                        if spent >= budget {
+                            return Ok(BlockFetch::Failed {
+                                reason: FetchFailure::RetriesExhausted,
+                                at,
+                                retries,
+                            });
+                        }
+                        retries += 1;
+                        let left = budget - spent;
+                        let (sid, attempt) = (id.raw(), retries);
+                        self.obs.emit(|| Event::Retry {
+                            strand: sid,
+                            block: n,
+                            attempt,
+                            at,
+                            budget: left,
+                        });
+                        t = at;
+                    }
+                },
             }
         }
     }
@@ -382,20 +600,22 @@ impl Msm {
         header_extent: Extent,
         now: Instant,
     ) -> Result<Strand, FsError> {
-        let bytes = self.disk.fetch_data(header_extent);
-        self.disk.access(now, header_extent, AccessKind::Read);
+        let bytes = self.fetch_checked(header_extent, "header extent beyond device")?;
+        self.timed_read_bg(now, header_extent)?;
         let header = HeaderBlock::decode(&bytes)?;
         let mut primaries = Vec::new();
         let mut index_extents = Vec::new();
         for sp in &header.secondaries {
             let se = sp.extent();
-            let sb = SecondaryBlock::decode(&self.disk.fetch_data(se))?;
-            self.disk.access(now, se, AccessKind::Read);
+            let sb =
+                SecondaryBlock::decode(&self.fetch_checked(se, "secondary extent beyond device")?)?;
+            self.timed_read_bg(now, se)?;
             index_extents.push(se);
             for entry in &sb.entries {
                 let pe = Extent::new(entry.sector, entry.sector_count as u64);
-                let pb = PrimaryBlock::decode(&self.disk.fetch_data(pe))?;
-                self.disk.access(now, pe, AccessKind::Read);
+                let pb =
+                    PrimaryBlock::decode(&self.fetch_checked(pe, "primary extent beyond device")?)?;
+                self.timed_read_bg(now, pe)?;
                 index_extents.push(pe);
                 primaries.push(pb);
             }
@@ -523,15 +743,15 @@ impl Msm {
                     self.append_silence(new_id, meta.granularity)?;
                 }
                 Some(e) => {
-                    let data = self.disk.fetch_data(e);
-                    let read_op = self.disk.access(t, e, AccessKind::Read);
+                    let data = self.fetch_checked(e, "media extent beyond device")?;
+                    let read_op = self.timed_read_bg(t, e)?;
                     t = read_op.completed;
                     let dst = match prev {
                         Some(p) => self.alloc.allocate_after(p, e.sectors)?,
                         None => self.alloc.allocate_first(e.sectors)?,
                     };
                     self.disk.store_data(dst, &data);
-                    let write_op = self.disk.access(t, dst, AccessKind::Write);
+                    let write_op = self.timed_write(t, dst)?;
                     t = write_op.completed;
                     let builder = self.recording_mut(new_id)?;
                     builder.push_block(dst, meta.granularity)?;
@@ -556,7 +776,7 @@ impl Msm {
             let mut sector = chunk.to_vec();
             sector.resize(ss, 0);
             self.disk.store_data(e, &sector);
-            self.disk.access(now, e, AccessKind::Write);
+            self.timed_write(now, e)?;
             extents.push(e);
         }
         Ok(extents)

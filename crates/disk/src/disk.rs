@@ -255,6 +255,17 @@ impl SimDisk {
         }
     }
 
+    /// Read the payload of `extent`, or `None` if any part of the extent
+    /// lies off the device. The checked variant the storage manager uses:
+    /// a corrupt on-disk pointer surfaces as an error, not a panic or a
+    /// silent zero-fill.
+    pub fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
+        if !self.geometry.extent_valid(extent) {
+            return None;
+        }
+        Some(self.fetch_data(extent))
+    }
+
     /// Read the payload of `extent`; unwritten sectors come back zeroed.
     pub fn fetch_data(&self, extent: Extent) -> Vec<u8> {
         let ss = self.geometry.sector_size.get() as usize;

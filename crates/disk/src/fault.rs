@@ -1,0 +1,704 @@
+//! Fault injection: a deterministic, seeded fault layer between the
+//! storage manager and the simulated disk.
+//!
+//! The continuity analysis (Eqs. 1–3, 15–18) assumes every block access
+//! completes in nominal `seek + rotation + transfer` time. Real media
+//! servers lose sectors, suffer latency spikes and see transient read
+//! errors; a robust design degrades gracefully instead of panicking.
+//! This module provides the substrate for exercising that behaviour:
+//!
+//! * [`BlockDevice`] — the small device trait the storage manager
+//!   programs against, with [`SimDisk`] as the faultless base
+//!   implementation;
+//! * [`FaultPlan`] — a declarative description of what should go wrong:
+//!   permanently bad extents, transient read errors that succeed after a
+//!   fixed number of retries, a seeded random transient-error rate,
+//!   latency spikes drawn from the vendored PRNG, and region-wide
+//!   degraded-transfer windows;
+//! * [`FaultInjector`] — a wrapper that executes a plan on top of a
+//!   `SimDisk`. It is deterministic under a fixed seed: the same plan,
+//!   seed and access sequence produce byte-identical timing, statistics
+//!   and observability event streams.
+//!
+//! Failed attempts still cost time — the arm moved and the platter spun
+//! before the error was detected — so a fault returns the full
+//! [`DiskOp`] timing of the wasted attempt. Callers decide whether the
+//! continuity budget allows a retry (see the MSM's resilient read path).
+
+use crate::disk::{AccessKind, DiskOp, SimDisk};
+use crate::geometry::{DiskGeometry, Extent, Lba};
+use crate::seek::SeekModel;
+use crate::trace::DiskStats;
+use std::collections::HashMap;
+use strandfs_obs::{Event, FaultClass, ObsSink};
+use strandfs_units::prng::mix_seed;
+use strandfs_units::{Instant, Nanos, Prng, Seconds};
+
+/// Domain-separation stream for the injector's PRNG.
+const FAULT_STREAM: u64 = 0xFA17;
+
+/// Why a device access failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Permanent media error: every attempt on these sectors fails.
+    Media,
+    /// Transient read error: a later retry may succeed.
+    Transient,
+}
+
+/// A failed access. The attempt consumed real service time — the head
+/// moved and the platter spun before the failure was detected — so the
+/// wasted [`DiskOp`] timing is carried along; `op.completed` is the
+/// instant the failure was detected.
+#[derive(Clone, Copy, Debug)]
+pub struct Faulted {
+    /// Permanent or transient.
+    pub kind: FaultKind,
+    /// Timing of the failed attempt.
+    pub op: DiskOp,
+}
+
+/// Outcome of one timed access through a [`BlockDevice`].
+pub type AccessResult = Result<DiskOp, Faulted>;
+
+/// A transient read error pinned to an extent: reads overlapping
+/// `extent` fail `failures` times, then succeed — the classic
+/// success-after-N-retries pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct TransientFault {
+    /// Sectors affected.
+    pub extent: Extent,
+    /// Failures before the first success.
+    pub failures: u32,
+}
+
+/// A seeded random transient-error process for fault-rate sweeps: each
+/// read fails with probability `per_read`; a failing extent draws a
+/// burst length in `1..=max_failures` and recovers after that many
+/// failed attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomTransients {
+    /// Probability that a (previously healthy) read faults.
+    pub per_read: f64,
+    /// Upper bound on consecutive failures per faulting extent.
+    pub max_failures: u32,
+}
+
+/// Seeded latency spikes: with probability `per_op` an operation pays
+/// extra positioning time drawn uniformly from `1..=max_extra` ns
+/// (thermal recalibration, servo retries).
+#[derive(Clone, Copy, Debug)]
+pub struct SpikeCfg {
+    /// Probability that an operation spikes.
+    pub per_op: f64,
+    /// Largest extra latency a spike can add.
+    pub max_extra: Nanos,
+}
+
+/// A degraded-transfer window: operations issued in `[from, until)`
+/// (and overlapping `region`, when one is given) have their media
+/// transfer stretched by `slowdown` (≥ 1.0) — a region of the drive
+/// limping along at reduced rate.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradedWindow {
+    /// Window start (inclusive).
+    pub from: Instant,
+    /// Window end (exclusive).
+    pub until: Instant,
+    /// Affected sectors; `None` degrades the whole device.
+    pub region: Option<Extent>,
+    /// Transfer-time multiplier (values below 1.0 are treated as 1.0).
+    pub slowdown: f64,
+}
+
+/// A declarative fault plan. An empty plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Permanently unreadable extents.
+    pub bad: Vec<Extent>,
+    /// Pinned success-after-N transient faults.
+    pub transients: Vec<TransientFault>,
+    /// Random transient-error process (fault-rate sweeps).
+    pub random_transients: Option<RandomTransients>,
+    /// Latency-spike process.
+    pub spikes: Option<SpikeCfg>,
+    /// Degraded-transfer windows.
+    pub degraded: Vec<DegradedWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a faultless device.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.bad.is_empty()
+            && self.transients.is_empty()
+            && self.random_transients.is_none()
+            && self.spikes.is_none()
+            && self.degraded.is_empty()
+    }
+
+    /// Add a permanently bad extent.
+    pub fn with_bad_extent(mut self, extent: Extent) -> Self {
+        self.bad.push(extent);
+        self
+    }
+
+    /// Add a pinned transient fault (fails `failures` times, then reads).
+    pub fn with_transient(mut self, extent: Extent, failures: u32) -> Self {
+        self.transients.push(TransientFault { extent, failures });
+        self
+    }
+
+    /// Enable the random transient-error process.
+    pub fn with_random_transients(mut self, per_read: f64, max_failures: u32) -> Self {
+        self.random_transients = Some(RandomTransients {
+            per_read,
+            max_failures: max_failures.max(1),
+        });
+        self
+    }
+
+    /// Enable latency spikes.
+    pub fn with_spikes(mut self, per_op: f64, max_extra: Nanos) -> Self {
+        self.spikes = Some(SpikeCfg { per_op, max_extra });
+        self
+    }
+
+    /// Add a degraded-transfer window.
+    pub fn with_degraded_window(mut self, window: DegradedWindow) -> Self {
+        self.degraded.push(window);
+        self
+    }
+}
+
+/// Cumulative fault counters kept by a [`FaultInjector`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads refused with a permanent media error.
+    pub media_errors: u64,
+    /// Reads refused with a transient error.
+    pub transient_errors: u64,
+    /// Operations that paid a latency spike.
+    pub spikes: u64,
+    /// Operations slowed by a degraded-transfer window.
+    pub degraded_ops: u64,
+    /// Total service time charged to faults: wasted failed attempts plus
+    /// extra latency from spikes and degraded transfers.
+    pub penalty: Nanos,
+}
+
+/// The device abstraction the storage manager programs against.
+///
+/// [`SimDisk`] is the faultless base implementation (its `access` never
+/// fails); [`FaultInjector`] wraps one and executes a [`FaultPlan`].
+/// Timing-estimate helpers (`positioning_time`, `gap_time`, …) stay on
+/// the trait because allocators and the analytic model consult them
+/// through the same handle as the data path.
+pub trait BlockDevice {
+    /// The device's geometry.
+    fn geometry(&self) -> &DiskGeometry;
+    /// The device's seek-time model.
+    fn seek_model(&self) -> &SeekModel;
+    /// The cylinder the arm currently rests on.
+    fn head_cylinder(&self) -> u64;
+    /// Cumulative operation statistics (faulted attempts included).
+    fn stats(&self) -> &DiskStats;
+    /// Route the device's observability events into `obs`.
+    fn set_obs(&mut self, obs: ObsSink);
+    /// Worst-case positioning time (the paper's `l_seek_max`).
+    fn max_positioning_time(&self) -> Seconds;
+    /// Expected positioning time for a move of `cylinder_distance`.
+    fn positioning_time(&self, cylinder_distance: u64) -> Seconds;
+    /// Expected gap time between two extents.
+    fn gap_time(&self, from: Extent, to: Extent) -> Seconds;
+    /// Perform a timed access; a fault carries the wasted attempt's
+    /// timing. Panics if the extent is off-device (a file-system bug,
+    /// not an I/O error — validate with [`DiskGeometry::extent_valid`]).
+    fn access(&mut self, now: Instant, extent: Extent, kind: AccessKind) -> AccessResult;
+    /// Write `data` into `extent` (length must match the extent).
+    fn store_data(&mut self, extent: Extent, data: &[u8]);
+    /// Read the payload of `extent`; `None` if the extent is off-device.
+    /// Unwritten sectors read back zeroed.
+    fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>>;
+    /// Drop the payload of `extent` (timing-neutral discard).
+    fn discard_data(&mut self, extent: Extent);
+    /// Number of sectors currently holding written payloads.
+    fn sectors_written(&self) -> usize;
+    /// Install (or replace) a fault plan, resetting all fault state and
+    /// the injector's PRNG. Returns `false` on devices that cannot
+    /// inject faults (the plan is ignored).
+    fn arm_faults(&mut self, plan: FaultPlan) -> bool {
+        let _ = plan;
+        false
+    }
+    /// Cumulative fault counters (all-zero for faultless devices).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+    /// Known-bad extents — first-class metadata for fsck, not a panic.
+    fn bad_extents(&self) -> &[Extent] {
+        &[]
+    }
+}
+
+impl BlockDevice for SimDisk {
+    fn geometry(&self) -> &DiskGeometry {
+        SimDisk::geometry(self)
+    }
+    fn seek_model(&self) -> &SeekModel {
+        SimDisk::seek_model(self)
+    }
+    fn head_cylinder(&self) -> u64 {
+        SimDisk::head_cylinder(self)
+    }
+    fn stats(&self) -> &DiskStats {
+        SimDisk::stats(self)
+    }
+    fn set_obs(&mut self, obs: ObsSink) {
+        SimDisk::set_obs(self, obs)
+    }
+    fn max_positioning_time(&self) -> Seconds {
+        SimDisk::max_positioning_time(self)
+    }
+    fn positioning_time(&self, cylinder_distance: u64) -> Seconds {
+        SimDisk::positioning_time(self, cylinder_distance)
+    }
+    fn gap_time(&self, from: Extent, to: Extent) -> Seconds {
+        SimDisk::gap_time(self, from, to)
+    }
+    fn access(&mut self, now: Instant, extent: Extent, kind: AccessKind) -> AccessResult {
+        Ok(SimDisk::access(self, now, extent, kind))
+    }
+    fn store_data(&mut self, extent: Extent, data: &[u8]) {
+        SimDisk::store_data(self, extent, data)
+    }
+    fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
+        SimDisk::try_fetch(self, extent)
+    }
+    fn discard_data(&mut self, extent: Extent) {
+        SimDisk::discard_data(self, extent)
+    }
+    fn sectors_written(&self) -> usize {
+        SimDisk::sectors_written(self)
+    }
+}
+
+/// A seeded fault injector wrapping a [`SimDisk`].
+///
+/// The inner disk keeps modelling mechanics (head position, platter
+/// angle, boundary crossings); the injector post-processes each
+/// operation according to its [`FaultPlan`] — stretching transfers in
+/// degraded windows, adding PRNG latency spikes, and converting reads
+/// of bad or transiently-failing extents into [`Faulted`] outcomes.
+/// All observability events ([`Event::DiskOp`] with the *adjusted*
+/// timing, plus one [`Event::Fault`] per fault) are emitted by the
+/// injector; the inner disk's sink stays disabled so the stream is
+/// consistent.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: SimDisk,
+    plan: FaultPlan,
+    seed: u64,
+    prng: Prng,
+    /// Remaining failures per pinned transient (parallel to
+    /// `plan.transients`).
+    transient_remaining: Vec<u32>,
+    /// Remaining failures per currently-faulting extent of the random
+    /// transient process, keyed by extent start.
+    random_remaining: HashMap<Lba, u32>,
+    stats: DiskStats,
+    fstats: FaultStats,
+    obs: ObsSink,
+}
+
+impl FaultInjector {
+    /// Wrap `disk`, executing `plan` with the given seed.
+    pub fn new(disk: SimDisk, plan: FaultPlan, seed: u64) -> FaultInjector {
+        let mut injector = FaultInjector {
+            inner: disk,
+            plan: FaultPlan::clean(),
+            seed,
+            prng: Prng::seed_from_u64(mix_seed(seed, FAULT_STREAM)),
+            transient_remaining: Vec::new(),
+            random_remaining: HashMap::new(),
+            stats: DiskStats::default(),
+            fstats: FaultStats::default(),
+            obs: ObsSink::noop(),
+        };
+        injector.install(plan);
+        injector
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped disk.
+    pub fn inner(&self) -> &SimDisk {
+        &self.inner
+    }
+
+    fn install(&mut self, plan: FaultPlan) {
+        self.transient_remaining = plan.transients.iter().map(|t| t.failures).collect();
+        self.random_remaining.clear();
+        self.prng = Prng::seed_from_u64(mix_seed(self.seed, FAULT_STREAM));
+        self.plan = plan;
+    }
+
+    /// Extra transfer time charged by degraded windows covering this op.
+    fn degraded_extra(&self, issued: Instant, extent: Extent, transfer: Nanos) -> Nanos {
+        let mut extra = Nanos::ZERO;
+        for w in &self.plan.degraded {
+            let in_window = issued >= w.from && issued < w.until;
+            let in_region = w.region.is_none_or(|r| r.overlaps(extent));
+            if in_window && in_region && w.slowdown > 1.0 {
+                let stretched = transfer.as_nanos() as f64 * (w.slowdown - 1.0);
+                extra += Nanos::from_nanos(stretched as u64);
+            }
+        }
+        extra
+    }
+
+    /// Decide whether this read fails, consuming fault state. Draws from
+    /// the PRNG happen in a fixed order so the stream is reproducible.
+    fn read_fault(&mut self, extent: Extent) -> Option<FaultKind> {
+        if self.plan.bad.iter().any(|b| b.overlaps(extent)) {
+            return Some(FaultKind::Media);
+        }
+        for (i, t) in self.plan.transients.iter().enumerate() {
+            if t.extent.overlaps(extent) {
+                if self.transient_remaining[i] > 0 {
+                    self.transient_remaining[i] -= 1;
+                    return Some(FaultKind::Transient);
+                }
+                return None;
+            }
+        }
+        if let Some(cfg) = self.plan.random_transients {
+            if let Some(rem) = self.random_remaining.get_mut(&extent.start) {
+                if *rem > 0 {
+                    *rem -= 1;
+                    return Some(FaultKind::Transient);
+                }
+                self.random_remaining.remove(&extent.start);
+                return None;
+            }
+            if cfg.per_read > 0.0 && self.prng.gen_bool(cfg.per_read.min(1.0)) {
+                // Burst of 1..=max_failures failures; this attempt
+                // consumes the first.
+                let burst = 1 + self.prng.bounded_u64(cfg.max_failures.max(1) as u64) as u32;
+                self.random_remaining.insert(extent.start, burst - 1);
+                return Some(FaultKind::Transient);
+            }
+        }
+        None
+    }
+
+    fn emit_op(&self, op: &DiskOp, cylinder: u64, cyl_distance: u64) {
+        self.obs.emit(|| Event::DiskOp {
+            dir: match op.kind {
+                AccessKind::Read => strandfs_obs::AccessDir::Read,
+                AccessKind::Write => strandfs_obs::AccessDir::Write,
+            },
+            lba: op.extent.start,
+            sectors: op.extent.sectors,
+            cylinder,
+            cyl_distance,
+            issued: op.issued,
+            seek: op.seek,
+            rotation: op.rotation,
+            transfer: op.transfer,
+        });
+    }
+}
+
+impl BlockDevice for FaultInjector {
+    fn geometry(&self) -> &DiskGeometry {
+        self.inner.geometry()
+    }
+    fn seek_model(&self) -> &SeekModel {
+        self.inner.seek_model()
+    }
+    fn head_cylinder(&self) -> u64 {
+        self.inner.head_cylinder()
+    }
+    fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+    fn set_obs(&mut self, obs: ObsSink) {
+        // The injector is the single event source; the inner disk's sink
+        // stays disabled so adjusted timing is reported exactly once.
+        self.obs = obs;
+    }
+    fn max_positioning_time(&self) -> Seconds {
+        self.inner.max_positioning_time()
+    }
+    fn positioning_time(&self, cylinder_distance: u64) -> Seconds {
+        self.inner.positioning_time(cylinder_distance)
+    }
+    fn gap_time(&self, from: Extent, to: Extent) -> Seconds {
+        self.inner.gap_time(from, to)
+    }
+
+    fn access(&mut self, now: Instant, extent: Extent, kind: AccessKind) -> AccessResult {
+        let cyl_before = self.inner.head_cylinder();
+        let target_cyl = self.inner.geometry().cylinder_of(extent.start);
+        let cyl_distance = target_cyl.abs_diff(cyl_before);
+        let mut op = SimDisk::access(&mut self.inner, now, extent, kind);
+
+        // Degraded-transfer windows stretch the media transfer.
+        let degraded = self.degraded_extra(op.issued, extent, op.transfer);
+        if degraded > Nanos::ZERO {
+            op.transfer += degraded;
+            self.fstats.degraded_ops += 1;
+            self.fstats.penalty += degraded;
+        }
+        // Latency spikes charge extra positioning (servo retry /
+        // recalibration), drawn from the seeded PRNG.
+        let mut spike = Nanos::ZERO;
+        if let Some(cfg) = self.plan.spikes {
+            if cfg.per_op > 0.0 && self.prng.gen_bool(cfg.per_op.min(1.0)) {
+                spike =
+                    Nanos::from_nanos(1 + self.prng.bounded_u64(cfg.max_extra.as_nanos().max(1)));
+                op.seek += spike;
+                self.fstats.spikes += 1;
+                self.fstats.penalty += spike;
+            }
+        }
+        op.completed = op.issued + op.seek + op.rotation + op.transfer;
+
+        let fault = match kind {
+            AccessKind::Read => self.read_fault(extent),
+            AccessKind::Write => None,
+        };
+
+        self.stats.record(&op);
+        self.emit_op(&op, target_cyl, cyl_distance);
+        if degraded > Nanos::ZERO {
+            self.obs.emit(|| Event::Fault {
+                class: FaultClass::Degraded,
+                lba: extent.start,
+                sectors: extent.sectors,
+                issued: op.issued,
+                detected: op.completed,
+                penalty: degraded,
+            });
+        }
+        if spike > Nanos::ZERO {
+            self.obs.emit(|| Event::Fault {
+                class: FaultClass::Spike,
+                lba: extent.start,
+                sectors: extent.sectors,
+                issued: op.issued,
+                detected: op.completed,
+                penalty: spike,
+            });
+        }
+
+        match fault {
+            None => Ok(op),
+            Some(fkind) => {
+                let class = match fkind {
+                    FaultKind::Media => {
+                        self.fstats.media_errors += 1;
+                        FaultClass::Media
+                    }
+                    FaultKind::Transient => {
+                        self.fstats.transient_errors += 1;
+                        FaultClass::Transient
+                    }
+                };
+                self.fstats.penalty += op.service_time();
+                self.obs.emit(|| Event::Fault {
+                    class,
+                    lba: extent.start,
+                    sectors: extent.sectors,
+                    issued: op.issued,
+                    detected: op.completed,
+                    penalty: op.service_time(),
+                });
+                Err(Faulted { kind: fkind, op })
+            }
+        }
+    }
+
+    fn store_data(&mut self, extent: Extent, data: &[u8]) {
+        self.inner.store_data(extent, data)
+    }
+    fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
+        self.inner.try_fetch(extent)
+    }
+    fn discard_data(&mut self, extent: Extent) {
+        self.inner.discard_data(extent)
+    }
+    fn sectors_written(&self) -> usize {
+        self.inner.sectors_written()
+    }
+    fn arm_faults(&mut self, plan: FaultPlan) -> bool {
+        self.install(plan);
+        true
+    }
+    fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+    fn bad_extents(&self) -> &[Extent] {
+        &self.plan.bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seek::SeekModel;
+
+    fn base_disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991())
+    }
+
+    fn read(d: &mut dyn BlockDevice, t: Instant, e: Extent) -> AccessResult {
+        d.access(t, e, AccessKind::Read)
+    }
+
+    #[test]
+    fn clean_plan_matches_bare_disk_exactly() {
+        let mut bare = base_disk();
+        let mut inj = FaultInjector::new(base_disk(), FaultPlan::clean(), 7);
+        let mut t = Instant::EPOCH;
+        for i in 0..20u64 {
+            let e = Extent::new((i * 37) % 2000, 4);
+            let a = SimDisk::access(&mut bare, t, e, AccessKind::Read);
+            let b = read(&mut inj, t, e).expect("clean plan never faults");
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(
+                (a.seek, a.rotation, a.transfer),
+                (b.seek, b.rotation, b.transfer)
+            );
+            t = a.completed;
+        }
+        assert_eq!(inj.fault_stats(), FaultStats::default());
+        assert_eq!(inj.stats().busy_time(), bare.stats().busy_time());
+    }
+
+    #[test]
+    fn bad_extent_always_fails_reads_but_not_writes() {
+        let plan = FaultPlan::clean().with_bad_extent(Extent::new(100, 8));
+        let mut inj = FaultInjector::new(base_disk(), plan, 1);
+        let e = Extent::new(102, 2);
+        for _ in 0..3 {
+            let err = read(&mut inj, Instant::EPOCH, e).unwrap_err();
+            assert_eq!(err.kind, FaultKind::Media);
+            assert!(
+                err.op.completed > Instant::EPOCH,
+                "failure still costs time"
+            );
+        }
+        // Writes are unaffected (remapping is the FS's job).
+        assert!(inj.access(Instant::EPOCH, e, AccessKind::Write).is_ok());
+        assert_eq!(inj.fault_stats().media_errors, 3);
+    }
+
+    #[test]
+    fn transient_succeeds_after_n_retries() {
+        let plan = FaultPlan::clean().with_transient(Extent::new(40, 8), 2);
+        let mut inj = FaultInjector::new(base_disk(), plan, 1);
+        let e = Extent::new(40, 4);
+        let mut t = Instant::EPOCH;
+        let e1 = read(&mut inj, t, e).unwrap_err();
+        assert_eq!(e1.kind, FaultKind::Transient);
+        t = e1.op.completed;
+        let e2 = read(&mut inj, t, e).unwrap_err();
+        t = e2.op.completed;
+        let ok = read(&mut inj, t, e).expect("third attempt succeeds");
+        assert!(ok.completed > t);
+        assert_eq!(inj.fault_stats().transient_errors, 2);
+        // Subsequent reads stay healthy.
+        assert!(read(&mut inj, ok.completed, e).is_ok());
+    }
+
+    #[test]
+    fn degraded_window_stretches_transfer_inside_window_only() {
+        let until = Instant::EPOCH + Nanos::from_millis(100);
+        let plan = FaultPlan::clean().with_degraded_window(DegradedWindow {
+            from: Instant::EPOCH,
+            until,
+            region: None,
+            slowdown: 3.0,
+        });
+        let mut inj = FaultInjector::new(base_disk(), plan, 1);
+        let mut bare = base_disk();
+        let e = Extent::new(0, 8);
+        let nominal = SimDisk::access(&mut bare, Instant::EPOCH, e, AccessKind::Read);
+        let slow = read(&mut inj, Instant::EPOCH, e).unwrap();
+        assert!(slow.transfer > nominal.transfer.mul_u64(2), "3x slowdown");
+        // Outside the window the same read is nominal again.
+        let after = until + Nanos::from_millis(1);
+        let normal = read(&mut inj, after, e).unwrap();
+        assert_eq!(normal.transfer, nominal.transfer);
+        assert_eq!(inj.fault_stats().degraded_ops, 1);
+    }
+
+    #[test]
+    fn spikes_are_deterministic_under_seed() {
+        let mk = |seed| {
+            let plan = FaultPlan::clean().with_spikes(0.5, Nanos::from_millis(5));
+            FaultInjector::new(base_disk(), plan, seed)
+        };
+        let run = |mut inj: FaultInjector| {
+            let mut t = Instant::EPOCH;
+            let mut completions = Vec::new();
+            for i in 0..50u64 {
+                let op = read(&mut inj, t, Extent::new((i * 13) % 1000, 2)).unwrap();
+                t = op.completed;
+                completions.push(op.completed);
+            }
+            (completions, inj.fault_stats())
+        };
+        let (a, sa) = run(mk(42));
+        let (b, sb) = run(mk(42));
+        assert_eq!(a, b, "same seed, same timeline");
+        assert_eq!(sa, sb);
+        assert!(sa.spikes > 0, "p=0.5 over 50 ops must spike");
+        let (c, _) = run(mk(43));
+        assert_ne!(a, c, "different seed, different spikes");
+    }
+
+    #[test]
+    fn rearming_resets_fault_state_and_prng() {
+        let plan = FaultPlan::clean().with_transient(Extent::new(0, 4), 1);
+        let mut inj = FaultInjector::new(base_disk(), plan.clone(), 9);
+        let e = Extent::new(0, 2);
+        assert!(read(&mut inj, Instant::EPOCH, e).is_err());
+        assert!(read(&mut inj, Instant::EPOCH, e).is_ok());
+        assert!(inj.arm_faults(plan));
+        assert!(
+            read(&mut inj, Instant::EPOCH, e).is_err(),
+            "re-armed plan fails again"
+        );
+        assert!(!inj.plan().is_clean());
+        assert_eq!(inj.bad_extents(), &[] as &[Extent]);
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let mut dev: Box<dyn BlockDevice> = Box::new(base_disk());
+        assert!(
+            !dev.arm_faults(FaultPlan::clean()),
+            "bare disk cannot inject"
+        );
+        let op = dev
+            .access(Instant::EPOCH, Extent::new(0, 1), AccessKind::Read)
+            .unwrap();
+        assert!(op.completed > Instant::EPOCH);
+        let mut dev: Box<dyn BlockDevice> =
+            Box::new(FaultInjector::new(base_disk(), FaultPlan::clean(), 0));
+        assert!(dev.arm_faults(FaultPlan::clean().with_bad_extent(Extent::new(0, 1))));
+        assert!(dev
+            .access(Instant::EPOCH, Extent::new(0, 1), AccessKind::Read)
+            .is_err());
+    }
+}

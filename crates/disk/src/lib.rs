@@ -18,6 +18,10 @@
 //!   *random* (the conventional-file-server strawman), *contiguous* (the
 //!   fragmentation-prone alternative) and *constrained* (the paper's
 //!   scattering-bounded policy), plus gap infill for non-real-time data;
+//! * [`fault`] — deterministic, seeded fault injection behind the small
+//!   [`BlockDevice`] trait: permanently bad extents, transient read
+//!   errors with success-after-N-retries, PRNG latency spikes and
+//!   region-wide degraded-transfer windows;
 //! * [`trace`] — per-operation traces and utilization statistics.
 
 #![forbid(unsafe_code)]
@@ -26,6 +30,7 @@
 pub mod alloc;
 mod array;
 mod disk;
+pub mod fault;
 mod freemap;
 mod geometry;
 mod seek;
@@ -34,6 +39,10 @@ pub mod trace;
 pub use alloc::{AllocError, AllocPolicy, Allocator, GapBounds};
 pub use array::{DiskArray, StripedExtent};
 pub use disk::{AccessKind, DiskOp, SimDisk};
+pub use fault::{
+    AccessResult, BlockDevice, DegradedWindow, FaultInjector, FaultKind, FaultPlan, FaultStats,
+    Faulted, RandomTransients, SpikeCfg, TransientFault,
+};
 pub use freemap::FreeMap;
 pub use geometry::{DiskGeometry, Extent, Lba};
 pub use seek::SeekModel;

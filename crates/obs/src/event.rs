@@ -15,13 +15,61 @@ pub enum AccessDir {
     Write,
 }
 
+/// Classification of an injected fault outcome (`strandfs-disk::fault`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Permanent media error: the sectors are unreadable on every attempt.
+    Media,
+    /// Transient read error: a later retry may succeed.
+    Transient,
+    /// Latency spike: the operation completed but took extra time.
+    Spike,
+    /// Degraded-transfer window: the operation's transfer was slowed.
+    Degraded,
+}
+
+impl FaultClass {
+    /// A short stable label for counters and trace names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Media => "media",
+            FaultClass::Transient => "transient",
+            FaultClass::Spike => "spike",
+            FaultClass::Degraded => "degraded",
+        }
+    }
+}
+
+/// A degradation-ladder decision taken by the playback simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradeAction {
+    /// The block was dropped; a silence/freeze-frame hole is displayed.
+    DropBlock,
+    /// The stream was revoked through admission control.
+    Revoke,
+    /// The revoked stream was re-admitted after the fault window cleared.
+    Readmit,
+}
+
+impl DegradeAction {
+    /// A short stable label for counters and trace names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradeAction::DropBlock => "drop",
+            DegradeAction::Revoke => "revoke",
+            DegradeAction::Readmit => "readmit",
+        }
+    }
+}
+
 /// One structured observability event.
 ///
-/// The taxonomy mirrors the layers of the stack: `DiskOp` from the disk
-/// simulator, `Alloc` from the storage manager's placement decisions,
+/// The taxonomy mirrors the layers of the stack: `DiskOp` and `Fault`
+/// from the disk simulator, `Alloc` from the storage manager's placement
+/// decisions, `Retry` from the storage manager's resilient read path,
 /// `Admit`/`Reject`/`Release` from the admission controller, and
-/// `RoundStart`/`StreamService`/`RoundEnd`/`DisplayStart`/`Deadline`
-/// from the playback simulator.
+/// `RoundStart`/`StreamService`/`RoundEnd`/`DisplayStart`/`Deadline`/
+/// `Degrade` from the playback simulator.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Event {
     /// One disk operation, fully decomposed (`strandfs-disk`).
@@ -155,6 +203,53 @@ pub enum Event {
         /// When the fetch completed.
         completed: Instant,
     },
+    /// A fault outcome on one disk operation (`strandfs-disk::fault`).
+    Fault {
+        /// What went wrong (or was slowed down).
+        class: FaultClass,
+        /// First sector of the affected access.
+        lba: u64,
+        /// Sectors in the affected access.
+        sectors: u64,
+        /// When the operation was issued.
+        issued: Instant,
+        /// When the fault was detected (the failed attempt's completion)
+        /// or, for spikes and degraded windows, when the slowed operation
+        /// completed.
+        detected: Instant,
+        /// Service time charged to the fault: the full wasted attempt for
+        /// media/transient errors, the extra latency for spikes and
+        /// degraded-transfer windows.
+        penalty: Nanos,
+    },
+    /// A retry of a faulted read within the continuity budget
+    /// (`strandfs-core`, MSM resilient read path).
+    Retry {
+        /// The strand being read.
+        strand: u64,
+        /// The block number being read.
+        block: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Virtual time the retry was issued.
+        at: Instant,
+        /// Eq. 18 retry budget remaining when the retry was issued.
+        budget: Nanos,
+    },
+    /// A degradation-ladder decision (`strandfs-sim`).
+    Degrade {
+        /// Stream index (report order).
+        stream: usize,
+        /// The round in which the decision was taken.
+        round: u64,
+        /// The schedule item that triggered it (for `Revoke`/`Readmit`,
+        /// the next item the stream would have fetched).
+        item: u64,
+        /// Which rung of the ladder fired.
+        action: DegradeAction,
+        /// Virtual time of the decision.
+        at: Instant,
+    },
 }
 
 impl Event {
@@ -203,6 +298,9 @@ impl Event {
             Event::RoundEnd { .. } => "round_end",
             Event::DisplayStart { .. } => "display_start",
             Event::Deadline { .. } => "deadline",
+            Event::Fault { .. } => "fault",
+            Event::Retry { .. } => "retry",
+            Event::Degrade { .. } => "degrade",
         }
     }
 }

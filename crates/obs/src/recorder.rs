@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use strandfs_units::Nanos;
 
-use crate::event::{AccessDir, Event};
+use crate::event::{AccessDir, DegradeAction, Event, FaultClass};
 use crate::summary::{NanosAcc, NanosHistogram, U64Acc};
 
 /// Default ring capacity when `STRANDFS_OBS_CAP` is unset.
@@ -147,6 +147,24 @@ pub struct ObsMetrics {
     pub deadline_margin: NanosHistogram,
     /// Lateness (completion − deadline) for late blocks.
     pub deadline_lateness: NanosHistogram,
+    /// Permanent media errors observed.
+    pub faults_media: u64,
+    /// Transient read errors observed.
+    pub faults_transient: u64,
+    /// Latency spikes observed.
+    pub faults_spike: u64,
+    /// Operations slowed by a degraded-transfer window.
+    pub faults_degraded: u64,
+    /// Service time charged to faults (wasted attempts + extra latency).
+    pub fault_penalty: NanosAcc,
+    /// Read retries issued by the resilient read path.
+    pub retries: u64,
+    /// Blocks dropped by the degradation ladder.
+    pub degrade_drops: u64,
+    /// Streams revoked through admission control.
+    pub degrade_revokes: u64,
+    /// Revoked streams re-admitted after the fault window cleared.
+    pub degrade_readmits: u64,
 }
 
 impl ObsMetrics {
@@ -233,6 +251,21 @@ impl ObsMetrics {
                     self.deadline_margin.record(deadline - completed);
                 }
             }
+            Event::Fault { class, penalty, .. } => {
+                match class {
+                    FaultClass::Media => self.faults_media += 1,
+                    FaultClass::Transient => self.faults_transient += 1,
+                    FaultClass::Spike => self.faults_spike += 1,
+                    FaultClass::Degraded => self.faults_degraded += 1,
+                }
+                self.fault_penalty.record(penalty);
+            }
+            Event::Retry { .. } => self.retries += 1,
+            Event::Degrade { action, .. } => match action {
+                DegradeAction::DropBlock => self.degrade_drops += 1,
+                DegradeAction::Revoke => self.degrade_revokes += 1,
+                DegradeAction::Readmit => self.degrade_readmits += 1,
+            },
         }
     }
 
@@ -249,7 +282,10 @@ impl ObsMetrics {
                 "\"k_growths\":{},\"k_peak\":{},\"slack\":{}}},",
                 "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{},",
                 "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
-                "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}}}}"
+                "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}},",
+                "\"faults\":{{\"media\":{},\"transient\":{},\"spike\":{},",
+                "\"degraded\":{},\"penalty\":{},\"retries\":{},",
+                "\"drops\":{},\"revokes\":{},\"readmits\":{}}}}}"
             ),
             self.disk_reads,
             self.disk_writes,
@@ -279,6 +315,15 @@ impl ObsMetrics {
             self.deadline_late,
             self.deadline_margin.to_json(),
             self.deadline_lateness.to_json(),
+            self.faults_media,
+            self.faults_transient,
+            self.faults_spike,
+            self.faults_degraded,
+            self.fault_penalty.summary().to_json(),
+            self.retries,
+            self.degrade_drops,
+            self.degrade_revokes,
+            self.degrade_readmits,
         )
     }
 }
@@ -520,6 +565,50 @@ mod tests {
             deadline: Instant::from_nanos(100),
             completed: Instant::from_nanos(130),
         });
+        rec.record(Event::Fault {
+            class: FaultClass::Transient,
+            lba: 40,
+            sectors: 8,
+            issued: Instant::EPOCH,
+            detected: Instant::from_nanos(50),
+            penalty: Nanos::from_nanos(50),
+        });
+        rec.record(Event::Fault {
+            class: FaultClass::Spike,
+            lba: 48,
+            sectors: 8,
+            issued: Instant::from_nanos(50),
+            detected: Instant::from_nanos(120),
+            penalty: Nanos::from_nanos(30),
+        });
+        rec.record(Event::Retry {
+            strand: 1,
+            block: 0,
+            attempt: 1,
+            at: Instant::from_nanos(50),
+            budget: Nanos::from_nanos(200),
+        });
+        rec.record(Event::Degrade {
+            stream: 0,
+            round: 1,
+            item: 2,
+            action: DegradeAction::DropBlock,
+            at: Instant::from_nanos(140),
+        });
+        rec.record(Event::Degrade {
+            stream: 0,
+            round: 1,
+            item: 3,
+            action: DegradeAction::Revoke,
+            at: Instant::from_nanos(150),
+        });
+        rec.record(Event::Degrade {
+            stream: 0,
+            round: 3,
+            item: 3,
+            action: DegradeAction::Readmit,
+            at: Instant::from_nanos(300),
+        });
         let m = rec.metrics();
         assert_eq!(m.allocs, 2);
         assert_eq!(m.allocs_unconstrained, 1);
@@ -536,6 +625,16 @@ mod tests {
         assert_eq!(m.deadline_late, 1);
         assert_eq!(m.deadline_margin.count(), 1);
         assert_eq!(m.deadline_lateness.count(), 1);
+        assert_eq!(
+            (m.faults_media, m.faults_transient, m.faults_spike),
+            (0, 1, 1)
+        );
+        assert_eq!(m.fault_penalty.count(), 2);
+        assert_eq!(m.retries, 1);
+        assert_eq!(
+            (m.degrade_drops, m.degrade_revokes, m.degrade_readmits),
+            (1, 1, 1)
+        );
         // JSON is well-formed enough to contain every section.
         let json = rec.to_json();
         for key in [
@@ -544,6 +643,7 @@ mod tests {
             "\"admission\"",
             "\"rounds\"",
             "\"deadlines\"",
+            "\"faults\"",
             "\"ring\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

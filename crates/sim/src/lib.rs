@@ -22,5 +22,7 @@ pub mod playback;
 pub mod scenario;
 
 pub use metrics::{NanosSummary, SimReport, StreamOutcome};
-pub use playback::{simulate_playback, Arrival, PlaybackConfig, ServiceOrder};
-pub use scenario::{record_clip, standard_volume, volume_on, ClipSpec, Volume};
+pub use playback::{
+    simulate_degraded, simulate_playback, Arrival, DegradeMode, PlaybackConfig, ServiceOrder,
+};
+pub use scenario::{faulty_volume, record_clip, standard_volume, volume_on, ClipSpec, Volume};

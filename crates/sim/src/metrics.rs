@@ -55,6 +55,16 @@ pub struct StreamOutcome {
     /// its first late block — the continuity horizon actually
     /// delivered. `None` when the stream played without violations.
     pub first_violation: Option<Nanos>,
+    /// Blocks the degradation policy dropped (silence/freeze-frame
+    /// holes spliced over faulted fetches), plus any items never
+    /// serviced because the stream stayed revoked to the end.
+    pub dropped_blocks: u64,
+    /// Transient-fault retries spent on this stream's fetches.
+    pub retries: u64,
+    /// Times the stream was revoked through admission control.
+    pub revokes: u64,
+    /// Total virtual time the stream spent revoked before re-admission.
+    pub recovery_time: Nanos,
 }
 
 impl StreamOutcome {
@@ -93,6 +103,16 @@ impl SimReport {
     /// True if every stream played with full continuity.
     pub fn all_continuous(&self) -> bool {
         self.streams.iter().all(StreamOutcome::continuous)
+    }
+
+    /// Total blocks dropped by the degradation policy.
+    pub fn total_dropped(&self) -> u64 {
+        self.streams.iter().map(|s| s.dropped_blocks).sum()
+    }
+
+    /// Total transient-fault retries spent.
+    pub fn total_retries(&self) -> u64 {
+        self.streams.iter().map(|s| s.retries).sum()
     }
 
     /// The largest buffer backlog any stream needed.
@@ -135,6 +155,12 @@ pub struct StreamSlo {
     /// Virtual nanoseconds of continuous playback delivered before the
     /// first violation (from display start); `None` if none occurred.
     pub time_to_first_violation_ns: Option<u64>,
+    /// Blocks the degradation policy dropped for this stream.
+    pub dropped_blocks: u64,
+    /// Transient-fault retries spent on this stream.
+    pub retries: u64,
+    /// Virtual nanoseconds the stream spent revoked before re-admission.
+    pub recovery_time_ns: u64,
 }
 
 /// The continuity SLO report for a whole simulation: per-stream
@@ -156,6 +182,12 @@ pub struct ContinuitySloReport {
     /// The shortest continuous-playback horizon any stream delivered
     /// before violating; `None` when every stream was continuous.
     pub time_to_first_violation_ns: Option<u64>,
+    /// Blocks dropped by the degradation policy across all streams.
+    pub dropped_blocks: u64,
+    /// Transient-fault retries spent across all streams.
+    pub retries: u64,
+    /// Total virtual nanoseconds streams spent revoked.
+    pub recovery_time_ns: u64,
 }
 
 impl ContinuitySloReport {
@@ -188,6 +220,9 @@ impl ContinuitySloReport {
                     worst_margin_ns: worst,
                     p99_margin_ns: p99,
                     time_to_first_violation_ns: s.first_violation.map(Nanos::as_nanos),
+                    dropped_blocks: s.dropped_blocks,
+                    retries: s.retries,
+                    recovery_time_ns: s.recovery_time.as_nanos(),
                 }
             })
             .collect();
@@ -196,6 +231,9 @@ impl ContinuitySloReport {
         ContinuitySloReport {
             total_blocks,
             total_violations,
+            dropped_blocks: streams.iter().map(|s| s.dropped_blocks).sum(),
+            retries: streams.iter().map(|s| s.retries).sum(),
+            recovery_time_ns: streams.iter().map(|s| s.recovery_time_ns).sum(),
             miss_rate: if total_blocks == 0 {
                 0.0
             } else {
@@ -226,7 +264,9 @@ impl ContinuitySloReport {
             concat!(
                 "{{\"total\":{{\"blocks\":{},\"violations\":{},",
                 "\"miss_rate\":{:.9},\"worst_margin_ns\":{},",
-                "\"p99_margin_ns\":{},\"time_to_first_violation_ns\":{}}},",
+                "\"p99_margin_ns\":{},\"time_to_first_violation_ns\":{},",
+                "\"dropped_blocks\":{},\"retries\":{},",
+                "\"recovery_time_ns\":{}}},",
                 "\"streams\":["
             ),
             self.total_blocks,
@@ -235,6 +275,9 @@ impl ContinuitySloReport {
             self.worst_margin_ns,
             self.p99_margin_ns,
             opt(self.time_to_first_violation_ns),
+            self.dropped_blocks,
+            self.retries,
+            self.recovery_time_ns,
         );
         for (i, s) in self.streams.iter().enumerate() {
             if i > 0 {
@@ -245,7 +288,9 @@ impl ContinuitySloReport {
                 concat!(
                     "{{\"stream\":{},\"blocks\":{},\"violations\":{},",
                     "\"miss_rate\":{:.9},\"worst_margin_ns\":{},",
-                    "\"p99_margin_ns\":{},\"time_to_first_violation_ns\":{}}}"
+                    "\"p99_margin_ns\":{},\"time_to_first_violation_ns\":{},",
+                    "\"dropped_blocks\":{},\"retries\":{},",
+                    "\"recovery_time_ns\":{}}}"
                 ),
                 s.stream,
                 s.blocks,
@@ -254,6 +299,9 @@ impl ContinuitySloReport {
                 s.worst_margin_ns,
                 s.p99_margin_ns,
                 opt(s.time_to_first_violation_ns),
+                s.dropped_blocks,
+                s.retries,
+                s.recovery_time_ns,
             );
         }
         out.push_str("]}");

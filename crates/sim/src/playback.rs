@@ -12,8 +12,9 @@
 
 use crate::metrics::{NanosSummary, RoundSample, SimReport, StreamOutcome};
 use strandfs_core::mrs::{Mrs, PlaySchedule};
+use strandfs_core::msm::BlockFetch;
 use strandfs_core::FsError;
-use strandfs_obs::{Event, ObsSink};
+use strandfs_obs::{DegradeAction, Event, ObsSink};
 use strandfs_units::{Instant, Nanos};
 
 /// Signed deadline margin in nanoseconds: positive = early, negative =
@@ -43,6 +44,39 @@ pub enum ServiceOrder {
     Scan,
 }
 
+/// What the server does when a block fetch faults (the device injected
+/// a media error, the transient-retry budget ran out, or the block's
+/// deadline had already passed).
+///
+/// The first rung of every policy is free: a late-but-successful block
+/// first consumes the stream's read-ahead `h`, absorbing lateness
+/// without any visible artifact. These modes govern what happens when a
+/// fetch *fails* outright.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DegradeMode {
+    /// Faults abort the simulation as [`FsError`]s — the pre-fault
+    /// behavior, appropriate when the volume is supposed to be clean.
+    #[default]
+    Strict,
+    /// Drop the faulted block immediately with no retry, splicing a
+    /// silence/freeze-frame hole (the NULL-primary-pointer mechanism).
+    /// The baseline E13 contrasts against.
+    Abandon,
+    /// The full degradation ladder: retry transient faults within the
+    /// Eq. 18 slack budget; drop the block if the budget runs out; and
+    /// when a single stream keeps faulting, revoke it through admission
+    /// control so the survivors keep their continuity guarantee,
+    /// re-admitting it once the fault window clears.
+    Ladder {
+        /// Drops a stream tolerates (since admission) before it is
+        /// revoked.
+        revoke_after_drops: u64,
+        /// Consecutive fault-free rounds before revoked streams are
+        /// re-admitted.
+        readmit_clean_rounds: u64,
+    },
+}
+
 /// Configuration of a playback simulation.
 #[derive(Clone, Copy, Debug)]
 pub struct PlaybackConfig {
@@ -54,22 +88,31 @@ pub struct PlaybackConfig {
     pub read_ahead: u64,
     /// Intra-round service order.
     pub order: ServiceOrder,
+    /// Fault-degradation policy.
+    pub degrade: DegradeMode,
 }
 
 impl PlaybackConfig {
     /// The standard configuration: read-ahead equal to the round size,
-    /// round-robin order.
+    /// round-robin order, strict (fault-free) service.
     pub fn with_k(k: u64) -> Self {
         PlaybackConfig {
             k,
             read_ahead: k,
             order: ServiceOrder::RoundRobin,
+            degrade: DegradeMode::Strict,
         }
     }
 
     /// Switch to SCAN-ordered rounds.
     pub fn scan(mut self) -> Self {
         self.order = ServiceOrder::Scan;
+        self
+    }
+
+    /// Set the fault-degradation policy.
+    pub fn degraded(mut self, mode: DegradeMode) -> Self {
+        self.degrade = mode;
         self
     }
 }
@@ -83,6 +126,17 @@ pub struct Arrival {
     pub schedule: PlaySchedule,
 }
 
+/// One display epoch: the open-loop display clock restarts whenever a
+/// revoked stream is re-admitted, so deadlines are measured against the
+/// epoch covering the item, not a single global display start.
+struct Epoch {
+    /// First schedule item served under this epoch.
+    first_item: usize,
+    /// When the epoch's display started (after its read-ahead filled);
+    /// `None` while buffering or if the simulation ended first.
+    display_start: Option<Instant>,
+}
+
 struct StreamState {
     schedule: PlaySchedule,
     /// Fetch completion instant per item, filled in service order.
@@ -91,10 +145,26 @@ struct StreamState {
     /// `completions` — lets a deadline violation be attributed to the
     /// specific round that fetched the late block.
     fetch_rounds: Vec<u64>,
+    /// Parallel to `completions`: the item was dropped (a degradation
+    /// hole was spliced in), so its "completion" is the drop decision
+    /// instant and it is exempt from deadline accounting.
+    dropped: Vec<bool>,
     next: usize,
     read_ahead: u64,
     service_start: Option<Instant>,
-    display_start: Option<Instant>,
+    /// Display epochs, oldest first; always non-empty.
+    epochs: Vec<Epoch>,
+    /// Transient-fault retries spent on this stream's fetches.
+    retries: u64,
+    /// Drops since the stream was (re-)admitted — the revocation
+    /// trigger under [`DegradeMode::Ladder`].
+    drops_since_admit: u64,
+    /// Set while the stream is revoked: when it happened.
+    revoked_at: Option<Instant>,
+    /// Times the stream was revoked.
+    revokes: u64,
+    /// Total virtual time spent revoked (revoke → re-admit).
+    recovery_time: Nanos,
 }
 
 impl StreamState {
@@ -104,10 +174,19 @@ impl StreamState {
             schedule,
             completions: Vec::with_capacity(n),
             fetch_rounds: Vec::with_capacity(n),
+            dropped: Vec::with_capacity(n),
             next: 0,
             read_ahead,
             service_start: None,
-            display_start: None,
+            epochs: vec![Epoch {
+                first_item: 0,
+                display_start: None,
+            }],
+            retries: 0,
+            drops_since_admit: 0,
+            revoked_at: None,
+            revokes: 0,
+            recovery_time: Nanos::ZERO,
         }
     }
 
@@ -115,32 +194,43 @@ impl StreamState {
         self.next >= self.schedule.items.len()
     }
 
+    /// Playback deadline of item `j` under its covering epoch; `None`
+    /// while that epoch's display has not started.
+    fn deadline_of(&self, j: usize) -> Option<Instant> {
+        let ep = self.epochs.iter().rev().find(|e| e.first_item <= j)?;
+        let ds = ep.display_start?;
+        let base = self.schedule.items[ep.first_item].at;
+        Some(ds + (self.schedule.items[j].at - base))
+    }
+
     fn outcome(&self, stream: usize, obs: &ObsSink) -> StreamOutcome {
         let items = &self.schedule.items;
-        let display_start = match self.display_start {
-            Some(t) => t,
-            None => {
-                return StreamOutcome {
-                    blocks: items.len() as u64,
-                    ..Default::default()
-                }
-            }
-        };
+        let serviced = self.completions.len();
         // Completions are filled in virtual-time order by the round
         // loop; the backlog computation below depends on that.
         debug_assert!(
             self.completions.windows(2).all(|w| w[0] <= w[1]),
             "fetch completions must be non-decreasing"
         );
+        // Items the simulation never serviced (a stream revoked to the
+        // end) are holes too: the open-loop display played past them.
+        let mut dropped_blocks = (items.len() - serviced) as u64;
         let mut fetched = 0u64;
         let mut violations = 0u64;
         let mut lateness = Vec::new();
         let mut first_violation = None;
-        for (j, item) in items.iter().enumerate() {
+        let first_display = self.epochs.first().and_then(|e| e.display_start);
+        for (j, item) in items.iter().enumerate().take(serviced) {
+            if self.dropped[j] {
+                dropped_blocks += 1;
+                continue;
+            }
             if !item.silence {
                 fetched += 1;
             }
-            let deadline = display_start + item.at;
+            let Some(deadline) = self.deadline_of(j) else {
+                continue;
+            };
             let done = self.completions[j];
             obs.emit(|| Event::Deadline {
                 stream,
@@ -153,7 +243,9 @@ impl StreamState {
                 violations += 1;
                 lateness.push(done - deadline);
                 if first_violation.is_none() {
-                    first_violation = Some(deadline - display_start);
+                    if let Some(ds) = first_display {
+                        first_violation = Some(deadline - ds);
+                    }
                 }
             }
         }
@@ -161,20 +253,33 @@ impl StreamState {
         // fetched them (`fetch_rounds` is non-decreasing by
         // construction), take the tightest margin in each group, and
         // measure the backlog right after the group's last fetch.
+        // Dropped items have no fetch to measure and are skipped.
         let mut series = Vec::new();
         let mut j = 0;
-        while j < items.len() {
+        while j < serviced {
             let round = self.fetch_rounds[j];
             let mut worst = i64::MAX;
             let mut last = j;
-            while last < items.len() && self.fetch_rounds[last] == round {
-                let deadline = display_start + items[last].at;
-                worst = worst.min(signed_margin(deadline, self.completions[last]));
+            while last < serviced && self.fetch_rounds[last] == round {
+                if !self.dropped[last] {
+                    if let Some(deadline) = self.deadline_of(last) {
+                        worst = worst.min(signed_margin(deadline, self.completions[last]));
+                    }
+                }
                 last += 1;
             }
+            if worst == i64::MAX {
+                // The round fetched only drops or pre-display items.
+                worst = 0;
+            }
             let turn_end = self.completions[last - 1];
-            // Items consumed by `turn_end`: deadlines are non-decreasing.
-            let consumed = items.partition_point(|it| display_start + it.at <= turn_end);
+            // Items consumed by `turn_end`: deadlines are non-decreasing
+            // within an epoch; count them epoch-free via the first
+            // display clock (good enough for the backlog gauge).
+            let consumed = match first_display {
+                Some(ds) => items.partition_point(|it| ds + it.at <= turn_end),
+                None => 0,
+            };
             series.push(RoundSample {
                 round,
                 blocks: (last - j) as u64,
@@ -190,8 +295,10 @@ impl StreamState {
         // fetches resident (open-loop display consumes items whether or
         // not they arrived), and its backlog is then 0, not negative.
         let mut max_buffered = 0u64;
-        for (j, item) in items.iter().enumerate() {
-            let deadline = display_start + item.at;
+        for j in 0..serviced {
+            let Some(deadline) = self.deadline_of(j) else {
+                continue;
+            };
             let fetched_by = self.completions.partition_point(|c| *c <= deadline);
             max_buffered = max_buffered.max((fetched_by as u64).saturating_sub(j as u64));
         }
@@ -201,10 +308,17 @@ impl StreamState {
             violations,
             max_lateness: lateness.iter().copied().max().unwrap_or(Nanos::ZERO),
             lateness: NanosSummary::of(lateness),
-            start_latency: display_start - self.service_start.expect("display implies service"),
+            start_latency: match (first_display, self.service_start) {
+                (Some(ds), Some(ss)) => ds - ss,
+                _ => Nanos::ZERO,
+            },
             max_buffered,
             series,
             first_violation,
+            dropped_blocks,
+            retries: self.retries,
+            revokes: self.revokes,
+            recovery_time: self.recovery_time,
         }
     }
 }
@@ -240,8 +354,31 @@ pub fn simulate_with_arrivals_ordered(
     streams: Vec<PlaySchedule>,
     arrivals: Vec<Arrival>,
     read_ahead_of_k: impl Fn(u64) -> u64,
+    k_of_round: impl FnMut(u64, usize) -> u64,
+    order_policy: ServiceOrder,
+) -> Result<SimReport, FsError> {
+    simulate_degraded(
+        mrs,
+        streams,
+        arrivals,
+        read_ahead_of_k,
+        k_of_round,
+        order_policy,
+        DegradeMode::Strict,
+    )
+}
+
+/// The full simulation loop: arrivals, service order and a fault
+/// degradation policy.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_degraded(
+    mrs: &mut Mrs,
+    streams: Vec<PlaySchedule>,
+    arrivals: Vec<Arrival>,
+    read_ahead_of_k: impl Fn(u64) -> u64,
     mut k_of_round: impl FnMut(u64, usize) -> u64,
     order_policy: ServiceOrder,
+    degrade: DegradeMode,
 ) -> Result<SimReport, FsError> {
     let mut states: Vec<StreamState> = Vec::new();
     let mut order: Vec<usize> = Vec::new(); // active stream indices
@@ -262,6 +399,8 @@ pub fn simulate_with_arrivals_ordered(
     let obs = mrs.msm().obs();
     let mut t = Instant::EPOCH;
     let mut round: u64 = 0;
+    // Consecutive fault-free rounds — the ladder's re-admission signal.
+    let mut clean_streak: u64 = 0;
     loop {
         // Activate arrivals due this round.
         pending.retain(|(at, idx)| {
@@ -277,15 +416,51 @@ pub fn simulate_with_arrivals_ordered(
                 true
             }
         });
+        // Ladder re-admission: once the fault window has stayed clear
+        // long enough, revoked streams rejoin with a fresh display
+        // epoch (their viewer resumes from where the freeze left off).
+        if let DegradeMode::Ladder {
+            readmit_clean_rounds,
+            ..
+        } = degrade
+        {
+            if clean_streak >= readmit_clean_rounds {
+                for (idx, state) in states.iter_mut().enumerate() {
+                    if let Some(since) = state.revoked_at.take() {
+                        state.recovery_time += t - since;
+                        state.drops_since_admit = 0;
+                        state.epochs.push(Epoch {
+                            first_item: state.next,
+                            display_start: None,
+                        });
+                        let item = state.next as u64;
+                        obs.emit(|| Event::Degrade {
+                            stream: idx,
+                            round,
+                            item,
+                            action: DegradeAction::Readmit,
+                            at: t,
+                        });
+                    }
+                }
+            }
+        }
         let mut active: Vec<usize> = order
             .iter()
             .copied()
-            .filter(|i| !states[*i].finished())
+            .filter(|i| !states[*i].finished() && states[*i].revoked_at.is_none())
             .collect();
         if active.is_empty() {
-            if pending.is_empty() {
+            let revoked_remain = order
+                .iter()
+                .any(|i| !states[*i].finished() && states[*i].revoked_at.is_some());
+            if pending.is_empty() && !revoked_remain {
                 break;
             }
+            // An idle round does no I/O and sees no faults: it counts
+            // toward the clean streak, so an all-revoked server still
+            // converges to re-admission.
+            clean_streak += 1;
             round += 1;
             continue;
         }
@@ -301,6 +476,21 @@ pub fn simulate_with_arrivals_ordered(
             k,
             at: t,
         });
+        // Per-fetch transient-retry budget: the live Eq. 18 round slack
+        // split evenly across the round's n·k fetches, so retrying here
+        // can never push another stream past its continuity bound. With
+        // no admitted requests (overload experiments bypass admission)
+        // each fetch falls back to its own block's playback duration —
+        // the slack one block of read-ahead buys.
+        let round_share: Option<Nanos> = match degrade {
+            DegradeMode::Strict | DegradeMode::Abandon => None,
+            DegradeMode::Ladder { .. } => mrs
+                .msm()
+                .admission_ref()
+                .eq18_slack()
+                .map(|s| Nanos::from_nanos(s.as_nanos() / (active.len() as u64 * k).max(1))),
+        };
+        let mut round_faults = false;
         for idx in active {
             let state = &mut states[idx];
             if state.service_start.is_none() {
@@ -308,28 +498,96 @@ pub fn simulate_with_arrivals_ordered(
             }
             let turn_begin = t;
             let mut turn_blocks = 0u64;
+            let mut revoked_now = false;
             for _ in 0..k {
-                if state.finished() {
+                if state.finished() || revoked_now {
                     break;
                 }
-                let item = state.schedule.items[state.next];
+                let j = state.next;
+                let item = state.schedule.items[j];
                 if item.silence {
                     state.completions.push(t);
-                } else {
+                    state.dropped.push(false);
+                } else if matches!(degrade, DegradeMode::Strict) {
                     let (_payload, op) = mrs.msm_mut().read_block(item.strand, item.block, t)?;
                     let op = op.ok_or(FsError::InvalidScenario {
                         reason: "non-silence schedule item resolves to a silence hole",
                     })?;
                     t = op.completed;
                     state.completions.push(t);
+                    state.dropped.push(false);
+                } else {
+                    let budget = match degrade {
+                        DegradeMode::Abandon => Nanos::ZERO,
+                        _ => round_share.unwrap_or(item.duration),
+                    };
+                    let deadline = state.deadline_of(j);
+                    match mrs.msm_mut().read_block_resilient(
+                        item.strand,
+                        item.block,
+                        t,
+                        budget,
+                        deadline,
+                    )? {
+                        BlockFetch::Silence => {
+                            return Err(FsError::InvalidScenario {
+                                reason: "non-silence schedule item resolves to a silence hole",
+                            })
+                        }
+                        BlockFetch::Data { op, retries, .. } => {
+                            t = op.completed;
+                            if retries > 0 {
+                                round_faults = true;
+                                state.retries += retries as u64;
+                            }
+                            state.completions.push(t);
+                            state.dropped.push(false);
+                        }
+                        BlockFetch::Failed { at, retries, .. } => {
+                            round_faults = true;
+                            state.retries += retries as u64;
+                            t = t.max(at);
+                            state.completions.push(t);
+                            state.dropped.push(true);
+                            state.drops_since_admit += 1;
+                            let drop_at = t;
+                            obs.emit(|| Event::Degrade {
+                                stream: idx,
+                                round,
+                                item: j as u64,
+                                action: DegradeAction::DropBlock,
+                                at: drop_at,
+                            });
+                            if let DegradeMode::Ladder {
+                                revoke_after_drops, ..
+                            } = degrade
+                            {
+                                if state.drops_since_admit >= revoke_after_drops.max(1) {
+                                    state.revoked_at = Some(t);
+                                    state.revokes += 1;
+                                    revoked_now = true;
+                                    obs.emit(|| Event::Degrade {
+                                        stream: idx,
+                                        round,
+                                        item: j as u64,
+                                        action: DegradeAction::Revoke,
+                                        at: drop_at,
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
                 state.fetch_rounds.push(round);
                 state.next += 1;
                 turn_blocks += 1;
-                if state.display_start.is_none()
-                    && (state.next as u64 >= state.read_ahead || state.finished())
+                let finished = state.finished();
+                let read_ahead = state.read_ahead;
+                let ep = state.epochs.last_mut().expect("epochs never empty");
+                if ep.display_start.is_none()
+                    && ((state.next - ep.first_item) as u64 >= read_ahead || finished)
                 {
-                    state.display_start = Some(t);
+                    ep.display_start = Some(t);
                     obs.emit(|| Event::DisplayStart { stream: idx, at: t });
                 }
             }
@@ -342,6 +600,11 @@ pub fn simulate_with_arrivals_ordered(
             });
         }
         obs.emit(|| Event::RoundEnd { round, at: t });
+        if round_faults {
+            clean_streak = 0;
+        } else {
+            clean_streak += 1;
+        }
         round += 1;
     }
 
@@ -389,13 +652,14 @@ pub fn simulate_playback(
         });
     }
     let read_ahead = cfg.read_ahead.max(1);
-    simulate_with_arrivals_ordered(
+    simulate_degraded(
         mrs,
         streams,
         Vec::new(),
         |_| read_ahead,
         |_, _| cfg.k,
         cfg.order,
+        cfg.degrade,
     )
 }
 
@@ -477,9 +741,8 @@ mod tests {
             &mut mrs,
             scheds,
             PlaybackConfig {
-                k: 1,
                 read_ahead: 1,
-                order: ServiceOrder::RoundRobin,
+                ..PlaybackConfig::with_k(1)
             },
         )
         .unwrap();
@@ -544,7 +807,7 @@ mod tests {
         };
         let mut state = StreamState::new(schedule, 1);
         state.service_start = Some(Instant::EPOCH);
-        state.display_start = Some(Instant::EPOCH);
+        state.epochs[0].display_start = Some(Instant::EPOCH);
         // Only the first fetch lands before its deadline; the rest
         // straggle in long after the display has moved past them.
         state.completions = vec![
@@ -553,12 +816,111 @@ mod tests {
             Instant::EPOCH + Nanos::from_millis(600),
         ];
         state.fetch_rounds = vec![0, 1, 2];
+        state.dropped = vec![false, false, false];
         state.next = 3;
         let out = state.outcome(0, &ObsSink::noop());
         assert_eq!(out.violations, 2);
         // When item 2 plays (t = 200 ms) only one fetch is resident:
         // backlog saturates to 0 rather than wrapping.
         assert_eq!(out.max_buffered, 1);
+    }
+
+    #[test]
+    fn ladder_retries_what_abandon_drops() {
+        use crate::scenario::faulty_volume;
+        use strandfs_disk::FaultPlan;
+        let clips = [ClipSpec::video_seconds(4.0); 2];
+        // 10% of reads fault transiently and succeed on the first retry.
+        let plan = FaultPlan::clean().with_random_transients(0.10, 1);
+        let run = |mode| {
+            let (mut mrs, ropes) = faulty_volume(&clips, 99).unwrap();
+            let scheds = schedules(&mut mrs, &ropes);
+            assert!(mrs.msm_mut().arm_faults(plan.clone()));
+            simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(4).degraded(mode)).unwrap()
+        };
+        let abandon = run(DegradeMode::Abandon);
+        let ladder = run(DegradeMode::Ladder {
+            revoke_after_drops: u64::MAX,
+            readmit_clean_rounds: 1,
+        });
+        assert!(abandon.total_dropped() > 0, "abandon must drop blocks");
+        assert!(abandon.total_retries() == 0);
+        assert!(ladder.total_retries() > 0, "ladder must retry");
+        assert!(
+            ladder.total_dropped() < abandon.total_dropped(),
+            "ladder {} vs abandon {}",
+            ladder.total_dropped(),
+            abandon.total_dropped()
+        );
+    }
+
+    #[test]
+    fn revoking_the_victim_shields_the_other_stream() {
+        use crate::scenario::faulty_volume;
+        use strandfs_disk::FaultPlan;
+        let clips = [ClipSpec::video_seconds(4.0); 2];
+        let (mut mrs, ropes) = faulty_volume(&clips, 7).unwrap();
+        let scheds = schedules(&mut mrs, &ropes);
+        // Permanently corrupt four mid-clip blocks of stream 1.
+        let mut plan = FaultPlan::clean();
+        for item in &scheds[1].items[10..14] {
+            let e = mrs
+                .msm()
+                .strand(item.strand)
+                .unwrap()
+                .block(item.block)
+                .unwrap()
+                .unwrap();
+            plan = plan.with_bad_extent(e);
+        }
+        assert!(mrs.msm_mut().arm_faults(plan));
+        let report = simulate_playback(
+            &mut mrs,
+            scheds,
+            PlaybackConfig::with_k(6).degraded(DegradeMode::Ladder {
+                revoke_after_drops: 2,
+                readmit_clean_rounds: 2,
+            }),
+        )
+        .unwrap();
+        let healthy = &report.streams[0];
+        let victim = &report.streams[1];
+        assert_eq!(healthy.violations, 0, "non-victim must stay continuous");
+        assert_eq!(healthy.dropped_blocks, 0);
+        assert!(victim.revokes >= 1, "victim must be revoked");
+        assert!(victim.dropped_blocks >= 2);
+        assert!(
+            victim.recovery_time > Nanos::ZERO,
+            "victim must be re-admitted after the fault window clears"
+        );
+        // Every scheduled item was either delivered or degraded into a
+        // hole — none simply vanished.
+        assert_eq!(victim.fetched + victim.dropped_blocks, victim.blocks);
+    }
+
+    #[test]
+    fn strict_mode_surfaces_faults_as_errors() {
+        use crate::scenario::faulty_volume;
+        use strandfs_disk::FaultPlan;
+        let clips = [ClipSpec::video_seconds(2.0)];
+        let (mut mrs, ropes) = faulty_volume(&clips, 3).unwrap();
+        let scheds = schedules(&mut mrs, &ropes);
+        let item = scheds[0].items[0];
+        let e = mrs
+            .msm()
+            .strand(item.strand)
+            .unwrap()
+            .block(item.block)
+            .unwrap()
+            .unwrap();
+        assert!(mrs
+            .msm_mut()
+            .arm_faults(FaultPlan::clean().with_bad_extent(e)));
+        let err = simulate_playback(&mut mrs, scheds, PlaybackConfig::with_k(2));
+        assert!(
+            matches!(err, Err(strandfs_core::FsError::MediaError { .. })),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use strandfs_core::mrs::{Mrs, RecordOpts, TrackOpts};
 use strandfs_core::msm::{Msm, MsmConfig};
 use strandfs_core::strand::StrandMeta;
 use strandfs_core::{FsError, RopeId};
-use strandfs_disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
+use strandfs_disk::{DiskGeometry, FaultInjector, FaultPlan, GapBounds, SeekModel, SimDisk};
 use strandfs_media::silence::{SilenceDetector, TalkSpurtSource};
 use strandfs_media::{Medium, VideoCodec};
 use strandfs_units::{Bits, Instant};
@@ -98,6 +98,31 @@ pub fn standard_volume(clips: &[ClipSpec]) -> Result<Volume, FsError> {
         ),
         clips,
     )
+}
+
+/// [`standard_volume`] on a fault-injecting disk. The volume records
+/// clean (the injector is armed with an empty plan); arm the real
+/// [`FaultPlan`] afterwards via `mrs.msm_mut().arm_faults(plan)` so
+/// recording is never disturbed — media decays after the write.
+pub fn faulty_volume(clips: &[ClipSpec], seed: u64) -> Result<Volume, FsError> {
+    let disk = SimDisk::new(DiskGeometry::vintage_1991(), SeekModel::vintage_1991());
+    let injector = FaultInjector::new(disk, FaultPlan::clean(), seed);
+    let mut mrs = Mrs::new(Msm::new(
+        injector,
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 40_000,
+            },
+            1,
+        ),
+    ));
+    let ropes = clips
+        .iter()
+        .enumerate()
+        .map(|(i, c)| record_clip(&mut mrs, &c.with_seed(c.seed + i as u64)))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((mrs, ropes))
 }
 
 /// Build a rope server over an arbitrary disk and placement policy, and

@@ -44,6 +44,8 @@ const TID_DISK: u64 = 2;
 const TID_ADMISSION: u64 = 3;
 /// Block-placement decisions.
 const TID_ALLOC: u64 = 4;
+/// Injected faults and retry attempts.
+const TID_FAULTS: u64 = 5;
 /// Per-stream tracks start here: stream `i` → tid `TID_STREAM_BASE + i`.
 const TID_STREAM_BASE: u64 = 100;
 
@@ -69,6 +71,7 @@ where
     t.thread_name(PID, TID_DISK, "disk");
     t.thread_name(PID, TID_ADMISSION, "admission");
     t.thread_name(PID, TID_ALLOC, "allocation");
+    t.thread_name(PID, TID_FAULTS, "faults");
 
     // The last virtual timestamp seen in the stream: where events that
     // carry no instant of their own (admission, allocation) are placed.
@@ -292,6 +295,76 @@ where
                     );
                 }
             }
+            Event::Fault {
+                class,
+                lba,
+                sectors,
+                issued,
+                detected,
+                penalty,
+            } => {
+                // A fault spans issue → detection; latency-shaping
+                // classes (spike, degraded) detect instantaneously at
+                // issue and render as zero-width markers.
+                t.complete(
+                    &format!("fault:{}", class.label()),
+                    "fault",
+                    PID,
+                    TID_FAULTS,
+                    issued.as_nanos(),
+                    (detected - issued).as_nanos(),
+                    &[
+                        ("lba", ArgVal::U(lba)),
+                        ("sectors", ArgVal::U(sectors)),
+                        ("penalty_ns", ArgVal::U(penalty.as_nanos())),
+                    ],
+                );
+                now = now.max(detected.as_nanos());
+            }
+            Event::Retry {
+                strand,
+                block,
+                attempt,
+                at,
+                budget,
+            } => {
+                t.instant(
+                    "retry",
+                    "fault",
+                    PID,
+                    TID_FAULTS,
+                    at.as_nanos(),
+                    &[
+                        ("strand", ArgVal::U(strand)),
+                        ("block", ArgVal::U(block)),
+                        ("attempt", ArgVal::U(attempt as u64)),
+                        ("budget_ns", ArgVal::U(budget.as_nanos())),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Degrade {
+                stream,
+                round,
+                item,
+                action,
+                at,
+            } => {
+                stream_tracks.insert(stream, ());
+                t.instant(
+                    action.label(),
+                    "degrade",
+                    PID,
+                    TID_STREAM_BASE + stream as u64,
+                    at.as_nanos(),
+                    &[
+                        ("stream", ArgVal::U(stream as u64)),
+                        ("round", ArgVal::U(round)),
+                        ("item", ArgVal::U(item)),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
         }
     }
 
@@ -495,6 +568,47 @@ mod tests {
         }
         // All three landed at the last-seen virtual instant (7 µs).
         assert_eq!(doc.matches("\"ts\":7,").count(), 3);
+    }
+
+    #[test]
+    fn fault_retry_and_degrade_render_on_their_tracks() {
+        use strandfs_obs::{DegradeAction, FaultClass};
+        let events = [
+            Event::Fault {
+                class: FaultClass::Transient,
+                lba: 640,
+                sectors: 8,
+                issued: at(1_000),
+                detected: at(4_000),
+                penalty: Nanos::from_nanos(3_000),
+            },
+            Event::Retry {
+                strand: 2,
+                block: 5,
+                attempt: 1,
+                at: at(4_000),
+                budget: Nanos::from_nanos(9_000),
+            },
+            Event::Degrade {
+                stream: 1,
+                round: 7,
+                item: 5,
+                action: DegradeAction::DropBlock,
+                at: at(6_000),
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        // The fault is a slice spanning issue → detection on the faults
+        // track (tid 5).
+        assert!(doc.contains("\"name\":\"fault:transient\""));
+        assert!(doc.contains("\"tid\":5,\"ts\":1,\"dur\":3"));
+        assert!(doc.contains("\"penalty_ns\":3000"));
+        // The retry instant carries its remaining budget.
+        assert!(doc.contains("\"name\":\"retry\""));
+        assert!(doc.contains("\"budget_ns\":9000"));
+        // The degrade instant lands on stream 1's track.
+        assert!(doc.contains("\"name\":\"drop\""));
+        assert!(doc.contains("\"name\":\"stream 1\""));
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //! geometries and scattering anomalies.
 
 use strandfs::core::mrs::{Mrs, RecordOpts, TrackOpts};
-use strandfs::core::msm::{Msm, MsmConfig};
+use strandfs::core::msm::{BlockFetch, FetchFailure, Msm, MsmConfig};
 use strandfs::core::strand::StrandMeta;
-use strandfs::core::FsError;
-use strandfs::disk::{AccessKind, DiskGeometry, GapBounds, SeekModel, SimDisk};
+use strandfs::core::{FsError, StrandId};
+use strandfs::disk::{
+    AccessKind, DiskGeometry, Extent, FaultInjector, FaultPlan, GapBounds, SeekModel, SimDisk,
+};
 use strandfs::media::Medium;
-use strandfs::units::{Bits, Instant};
+use strandfs::units::{Bits, Instant, Nanos};
 
 fn small_msm() -> Msm {
     let disk = SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991());
@@ -43,10 +45,7 @@ fn corrupted_header_is_detected_on_load() {
     }
     let header = msm.finish_strand(id, t).unwrap();
     // Corrupt the header sector on disk.
-    let mut bytes = {
-        let disk = msm.disk();
-        disk.fetch_data(header)
-    };
+    let mut bytes = msm.disk().try_fetch(header).unwrap();
     bytes[0] ^= 0xFF;
     // Rewrite the corrupted sector: release + re-store through the disk
     // handle is not exposed, so go through a fresh access pattern: the
@@ -246,6 +245,130 @@ fn empty_strand_finishes_and_deletes_cleanly() {
     assert_eq!(s.block_count(), 0);
     assert_eq!(s.unit_count(), 0);
     msm.delete_strand(id).unwrap();
+}
+
+/// A five-block strand on a fault-injecting tiny disk, recorded clean
+/// (faults are armed afterwards, so recording is never disturbed).
+fn faulted_msm() -> (Msm, StrandId, Instant) {
+    let disk = SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991());
+    let injector = FaultInjector::new(disk, FaultPlan::clean(), 42);
+    let mut msm = Msm::new(
+        injector,
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 128,
+            },
+            1,
+        ),
+    );
+    let id = msm.begin_strand(tiny_meta());
+    let mut t = Instant::EPOCH;
+    for i in 0..5u64 {
+        let (_, op) = msm.append_block(id, t, &vec![i as u8; 512], 1).unwrap();
+        t = op.completed;
+    }
+    msm.finish_strand(id, t).unwrap();
+    (msm, id, t)
+}
+
+fn block_extent(msm: &Msm, id: StrandId, n: u64) -> Extent {
+    msm.strand(id).unwrap().block(n).unwrap().unwrap()
+}
+
+#[test]
+fn bad_media_read_surfaces_as_media_error() {
+    let (mut msm, id, t) = faulted_msm();
+    let victim = block_extent(&msm, id, 2);
+    assert!(msm.arm_faults(FaultPlan::clean().with_bad_extent(victim)));
+    let err = msm.read_block(id, 2, t);
+    assert!(
+        matches!(err, Err(FsError::MediaError { lba, .. }) if lba == victim.start),
+        "got {err:?}"
+    );
+    // Blocks off the bad extent still read fine.
+    let (payload, _) = msm.read_block(id, 0, t).unwrap();
+    assert_eq!(payload.unwrap()[0], 0);
+}
+
+#[test]
+fn transient_fault_with_zero_budget_exhausts_retries() {
+    let (mut msm, id, t) = faulted_msm();
+    let victim = block_extent(&msm, id, 1);
+    assert!(msm.arm_faults(FaultPlan::clean().with_transient(victim, 3)));
+    // `read_block` runs with a zero retry budget: the first transient
+    // fault exhausts it.
+    let err = msm.read_block(id, 1, t);
+    assert!(
+        matches!(err, Err(FsError::RetriesExhausted { lba, .. }) if lba == victim.start),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn resilient_read_recovers_within_budget() {
+    let (mut msm, id, t) = faulted_msm();
+    let victim = block_extent(&msm, id, 1);
+    assert!(msm.arm_faults(FaultPlan::clean().with_transient(victim, 1)));
+    let fetch = msm
+        .read_block_resilient(id, 1, t, Nanos::from_millis(500), None)
+        .unwrap();
+    match fetch {
+        BlockFetch::Data {
+            payload, retries, ..
+        } => {
+            assert_eq!(retries, 1, "one transient failure, then success");
+            assert_eq!(payload[0], 1);
+        }
+        other => panic!("expected recovered data, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_abandons_without_io() {
+    let (mut msm, id, t) = faulted_msm();
+    let reads_before = msm.disk().stats().reads;
+    let fetch = msm
+        .read_block_resilient(id, 0, t, Nanos::from_millis(500), Some(Instant::EPOCH))
+        .unwrap();
+    assert!(
+        matches!(
+            fetch,
+            BlockFetch::Failed {
+                reason: FetchFailure::Abandoned,
+                retries: 0,
+                ..
+            }
+        ),
+        "got {fetch:?}"
+    );
+    assert_eq!(
+        msm.disk().stats().reads,
+        reads_before,
+        "an abandoned fetch must not touch the disk"
+    );
+}
+
+#[test]
+fn off_device_extents_fail_cleanly() {
+    let (mut msm, id, t) = faulted_msm();
+    // The checked fetch refuses extents past the end of the device.
+    assert!(msm.disk().try_fetch(Extent::new(1_000_000, 4)).is_none());
+    // A corrupt header pointer surfaces as CorruptIndex, not a panic.
+    let err = msm.load_strand(id, Extent::new(1_000_000, 1), t);
+    assert!(
+        matches!(err, Err(FsError::CorruptIndex { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn out_of_range_block_is_an_error() {
+    let (mut msm, id, t) = faulted_msm();
+    assert!(matches!(
+        msm.read_block(id, 999, t),
+        Err(FsError::BlockOutOfRange { block: 999, .. })
+    ));
 }
 
 #[test]

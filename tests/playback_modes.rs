@@ -48,9 +48,8 @@ fn fast_forward_without_skip_needs_more_bandwidth() {
         &mut mrs,
         vec![ff4],
         PlaybackConfig {
-            k: 2,
             read_ahead: 2,
-            order: Default::default(),
+            ..PlaybackConfig::with_k(2)
         },
     )
     .expect("simulate");

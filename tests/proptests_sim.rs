@@ -10,7 +10,7 @@ use strandfs::disk::{AccessKind, DiskGeometry, Extent, SeekModel, SimDisk};
 use strandfs::media::silence::SilenceDetector;
 use strandfs::media::{Medium, VideoCodec};
 use strandfs::units::{Instant, Nanos};
-use strandfs_testkit::{check, prop_assert, prop_assert_eq, vec as prop_vec};
+use strandfs_testkit::{check, check_with, prop_assert, prop_assert_eq, vec as prop_vec, Config};
 
 fn tiny_disk() -> SimDisk {
     SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991())
@@ -186,6 +186,124 @@ fn play_mode_duration_scales() {
             for w in out.items.windows(2) {
                 prop_assert!(w[0].at <= w[1].at);
             }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn random_fault_plans_keep_trace_invariants_and_shield_non_victims() {
+    use std::collections::HashMap;
+    use strandfs::core::mrs::compile_schedule;
+    use strandfs::core::rope::edit::{Interval, MediaSel};
+    use strandfs::disk::FaultPlan;
+    use strandfs::obs::{Event, ObsSink};
+    use strandfs::sim::playback::{simulate_playback, DegradeMode, PlaybackConfig};
+    use strandfs::sim::{faulty_volume, ClipSpec};
+
+    // Each case records a fresh two-stream volume and plays it through a
+    // randomly parameterised fault plan, so the case count stays small;
+    // `STRANDFS_TEST_CASES` rescales it for chaos runs.
+    check_with(
+        &Config::with_cases(6),
+        "random_fault_plans_keep_trace_invariants",
+        (0u64..1_000, 2u64..14, 1u64..5, 1u64..4, 1u64..3),
+        |&(seed, start, len, revoke_after, readmit_clean)| {
+            let clips = [ClipSpec::video_seconds(2.0); 2];
+            let (mut mrs, ropes) = faulty_volume(&clips, seed).expect("build volume");
+            let scheds: Vec<_> = ropes
+                .iter()
+                .map(|r| {
+                    let rope = mrs.rope(*r).unwrap().clone();
+                    let mut s =
+                        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration()))
+                            .unwrap();
+                    mrs.resolve_silence(&mut s).unwrap();
+                    s
+                })
+                .collect();
+            // Permanently corrupt a random run of stream 1's blocks; the
+            // plan arms only after the clean recording, like real decay.
+            let mut plan = FaultPlan::clean();
+            for item in scheds[1]
+                .items
+                .iter()
+                .skip(start as usize)
+                .take(len as usize)
+            {
+                let e = mrs
+                    .msm()
+                    .strand(item.strand)
+                    .unwrap()
+                    .block(item.block)
+                    .unwrap()
+                    .unwrap();
+                plan = plan.with_bad_extent(e);
+            }
+            prop_assert!(mrs.msm_mut().arm_faults(plan));
+            let (sink, rec) = ObsSink::ring(1 << 16);
+            mrs.set_obs(sink);
+            let report = simulate_playback(
+                &mut mrs,
+                scheds,
+                PlaybackConfig::with_k(6).degraded(DegradeMode::Ladder {
+                    revoke_after_drops: revoke_after,
+                    readmit_clean_rounds: readmit_clean,
+                }),
+            )
+            .expect("simulate");
+
+            // Round slices from the event stream: starts monotone, every
+            // slice well-formed.
+            let r = rec.borrow();
+            let mut slices: HashMap<u64, (Option<Instant>, Option<Instant>)> = HashMap::new();
+            let mut last_start = None;
+            for e in r.events() {
+                match *e {
+                    Event::RoundStart { round, at, .. } => {
+                        if let Some(prev) = last_start {
+                            prop_assert!(at >= prev, "round starts must be monotone");
+                        }
+                        last_start = Some(at);
+                        slices.entry(round).or_insert((None, None)).0 = Some(at);
+                    }
+                    Event::RoundEnd { round, at } => {
+                        slices.entry(round).or_insert((None, None)).1 = Some(at);
+                    }
+                    _ => {}
+                }
+            }
+            for (round, (s, e)) in &slices {
+                let (s, e) = (s.expect("round started"), e.expect("round ended"));
+                prop_assert!(s <= e, "round {} slice inverted", round);
+            }
+            // Every degrade decision and deadline completion lands inside
+            // the round slice it claims.
+            let inside = |round: u64, at: Instant| {
+                let (s, e) = slices[&round];
+                s.unwrap() <= at && at <= e.unwrap()
+            };
+            for e in r.events() {
+                match *e {
+                    Event::Degrade { round, at, .. } => {
+                        prop_assert!(inside(round, at), "degrade outside its round slice");
+                    }
+                    Event::Deadline {
+                        round, completed, ..
+                    } => {
+                        prop_assert!(inside(round, completed), "deadline outside its round");
+                    }
+                    _ => {}
+                }
+            }
+
+            // The non-victim stream is fully shielded by the ladder.
+            prop_assert_eq!(report.streams[0].violations, 0);
+            prop_assert_eq!(report.streams[0].dropped_blocks, 0);
+            // Every victim item was delivered or degraded into a hole —
+            // none simply vanished.
+            let v = &report.streams[1];
+            prop_assert_eq!(v.fetched + v.dropped_blocks, v.blocks);
             Ok(())
         },
     );
