@@ -1,0 +1,11 @@
+//! Thin entry point for the `crash` suite; definitions live in
+//! `strandfs_bench::suites::crash`.
+
+use strandfs_bench::suites;
+use strandfs_testkit::bench::Runner;
+
+fn main() {
+    let mut c = Runner::new("crash");
+    suites::crash::register(&mut c);
+    c.report();
+}

@@ -43,6 +43,7 @@ const SUITES: &[(&str, RegisterFn)] = &[
     ("vbr", suites::vbr::register),
     ("scan_order", suites::scan_order::register),
     ("faults", suites::faults::register),
+    ("crash", suites::crash::register),
 ];
 
 struct Cli {
@@ -166,34 +167,51 @@ fn run_check(cli: &Cli) -> ! {
     // accounting for the instrumented reference run.
     let invariants = check::obs_invariants(&strandfs_bench::obs_capture::capture_full());
 
-    // The fault section is virtual-time deterministic, so it is compared
-    // leaf-by-leaf at the noisy tier (skipped when a suite filter
-    // excludes `faults` or the baseline predates the section).
-    let mut faults = check::CheckOutcome::default();
-    let faults_selected = cli.suites.is_empty() || cli.suites.iter().any(|s| s == "faults");
-    if faults_selected {
-        if let Some(base) = doc.path("sections/faults") {
-            let fresh = strandfs_bench::experiments::e13_faults::section_json();
-            let fresh = strandfs_testkit::json::Json::parse(&fresh)
-                .expect("fresh faults section is valid JSON");
-            faults = check::compare_faults(base, &fresh);
+    // The fault and crash sections are virtual-time deterministic, so
+    // each is compared leaf-by-leaf at the noisy tier — numeric drift
+    // bounded, string leaves (the crash-image fingerprint) exact —
+    // skipped when a suite filter excludes it or the baseline predates
+    // the section.
+    let mut sections = check::CheckOutcome::default();
+    let mut compare_deterministic = |label: &str, fresh: fn() -> String| {
+        let selected = cli.suites.is_empty() || cli.suites.iter().any(|s| s == label);
+        if !selected {
+            return;
         }
-    }
+        if let Some(base) = doc.path(&format!("sections/{label}")) {
+            let fresh = fresh();
+            let fresh = strandfs_testkit::json::Json::parse(&fresh)
+                .unwrap_or_else(|e| panic!("fresh {label} section is valid JSON: {e}"));
+            let out = check::compare_section(label, base, &fresh);
+            sections.compared += out.compared;
+            sections.regressions.extend(out.regressions);
+            sections.missing.extend(out.missing);
+            sections.mismatched.extend(out.mismatched);
+        }
+    };
+    compare_deterministic(
+        "faults",
+        strandfs_bench::experiments::e13_faults::section_json,
+    );
+    compare_deterministic(
+        "crash",
+        strandfs_bench::experiments::e14_crash::section_json,
+    );
 
     println!(
-        "\nbench check: {} benchmark(s) + {} fault metric(s) compared against {}",
-        outcome.compared, faults.compared, cli.baseline
+        "\nbench check: {} benchmark(s) + {} section metric(s) compared against {}",
+        outcome.compared, sections.compared, cli.baseline
     );
     if !outcome.passed() {
         println!("\n{}", outcome.table());
     }
-    if !faults.passed() {
-        println!("\n{}", faults.table());
+    if !sections.passed() {
+        println!("\n{}", sections.table());
     }
     for problem in &invariants {
         println!("obs invariant violated — {problem}");
     }
-    if outcome.passed() && faults.passed() && invariants.is_empty() {
+    if outcome.passed() && sections.passed() && invariants.is_empty() {
         println!("bench check OK");
         std::process::exit(0);
     }
@@ -227,11 +245,16 @@ fn main() {
     let cap = strandfs_bench::obs_capture::capture_full();
     c.add_section("obs", cap.obs_json);
     c.add_section("slo", cap.slo_json);
-    // The E13 fault sweep rides along too: deterministic virtual-time
-    // metrics, compared leaf-by-leaf in `--check` mode.
+    // The E13 fault sweep and E14 crash-point sweep ride along too:
+    // deterministic virtual-time metrics, compared leaf-by-leaf in
+    // `--check` mode (the crash fingerprint byte-exactly).
     c.add_section(
         "faults",
         strandfs_bench::experiments::e13_faults::section_json(),
+    );
+    c.add_section(
+        "crash",
+        strandfs_bench::experiments::e14_crash::section_json(),
     );
     c.report();
 

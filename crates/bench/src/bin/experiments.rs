@@ -71,6 +71,8 @@ fn main() {
     println!("{}", e12_scan::table());
 
     println!("{}", e13_faults::table());
+
+    println!("{}", e14_crash::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

@@ -103,12 +103,17 @@ pub struct CheckOutcome {
     /// dropped benchmark breaks the gate rather than silently shrinking
     /// its coverage).
     pub missing: Vec<String>,
+    /// String leaves that changed between baseline and fresh run, as
+    /// `(path, baseline, current)`. Deterministic sections compare
+    /// string leaves — policy labels, image fingerprints — for exact
+    /// equality: no drift tolerance is meaningful for a label or hash.
+    pub mismatched: Vec<(String, String, String)>,
 }
 
 impl CheckOutcome {
     /// True when the gate passes.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty() && self.missing.is_empty() && self.mismatched.is_empty()
     }
 
     /// A readable delta table of everything that failed.
@@ -137,6 +142,9 @@ impl CheckOutcome {
                 out,
                 "{name:<44} present in baseline, missing from run  FAIL"
             );
+        }
+        for (name, base, cur) in &self.mismatched {
+            let _ = writeln!(out, "{name:<44} \"{base}\" became \"{cur}\"  FAIL");
         }
         out
     }
@@ -242,19 +250,45 @@ pub fn flatten_numbers(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) 
     }
 }
 
-/// Compare the committed `sections/faults` document against a fresh
-/// run's, numeric leaf by numeric leaf, at the noisy (macro) tolerance
-/// tier. The section mixes counts, rates and signed nanosecond margins
-/// — some negative, many exactly zero — so instead of a pure ratio the
-/// gate bounds the *drift magnitude* by the noisy tier's headroom
+/// Flatten every string leaf of a JSON value into `(path, value)`
+/// pairs, depth-first, with the same path syntax as
+/// [`flatten_numbers`].
+pub fn flatten_strings(json: &Json, prefix: &str, out: &mut Vec<(String, String)>) {
+    if let Some(s) = json.as_str() {
+        out.push((prefix.to_string(), s.to_string()));
+    } else if let Some(obj) = json.as_obj() {
+        for (k, v) in obj {
+            let p = if prefix.is_empty() {
+                k.clone()
+            } else {
+                format!("{prefix}/{k}")
+            };
+            flatten_strings(v, &p, out);
+        }
+    } else if let Some(arr) = json.as_arr() {
+        for (i, v) in arr.iter().enumerate() {
+            flatten_strings(v, &format!("{prefix}[{i}]"), out);
+        }
+    }
+}
+
+/// Compare a committed deterministic section (`sections/<label>`)
+/// against a fresh run's, leaf by leaf.
+///
+/// Numeric leaves compare at the noisy (macro) tolerance tier: the
+/// sections mix counts, rates and signed nanosecond margins — some
+/// negative, many exactly zero — so instead of a pure ratio the gate
+/// bounds the *drift magnitude* by the noisy tier's headroom
 /// (`tolerance_ratio(1) - 1` of the baseline magnitude) plus the
-/// absolute floor. The simulation is virtual-time deterministic, so in
-/// practice any drift at all means the fault model changed.
-pub fn compare_faults(baseline: &Json, current: &Json) -> CheckOutcome {
+/// absolute floor. String leaves — policy labels, image fingerprints —
+/// must match exactly. The simulations behind these sections are
+/// virtual-time deterministic, so in practice any drift at all means
+/// the model changed.
+pub fn compare_section(label: &str, baseline: &Json, current: &Json) -> CheckOutcome {
     let mut base = Vec::new();
-    flatten_numbers(baseline, "faults", &mut base);
+    flatten_numbers(baseline, label, &mut base);
     let mut fresh = Vec::new();
-    flatten_numbers(current, "faults", &mut fresh);
+    flatten_numbers(current, label, &mut fresh);
     let mut outcome = CheckOutcome::default();
     for (name, b) in base {
         let Some((_, c)) = fresh.iter().find(|(n, _)| *n == name) else {
@@ -272,7 +306,27 @@ pub fn compare_faults(baseline: &Json, current: &Json) -> CheckOutcome {
             });
         }
     }
+    let mut base_s = Vec::new();
+    flatten_strings(baseline, label, &mut base_s);
+    let mut fresh_s = Vec::new();
+    flatten_strings(current, label, &mut fresh_s);
+    for (name, b) in base_s {
+        let Some((_, c)) = fresh_s.iter().find(|(n, _)| *n == name) else {
+            outcome.missing.push(name);
+            continue;
+        };
+        outcome.compared += 1;
+        if *c != b {
+            outcome.mismatched.push((name, b, c.clone()));
+        }
+    }
     outcome
+}
+
+/// [`compare_section`] specialised to the committed `sections/faults`
+/// document (the E13 fault sweep).
+pub fn compare_faults(baseline: &Json, current: &Json) -> CheckOutcome {
+    compare_section("faults", baseline, current)
 }
 
 /// Cross-check the observability fold against the simulator's own
@@ -439,6 +493,27 @@ mod tests {
         let shrunk = strandfs_testkit::json::validate(r#"{"sweep":[],"shield":{}}"#);
         let out = compare_faults(&base, &shrunk);
         assert_eq!(out.missing.len(), 4);
+    }
+
+    #[test]
+    fn section_string_leaves_compare_exactly() {
+        let base =
+            strandfs_testkit::json::validate(r#"{"writes":62,"fingerprint":"00aa11bb22cc33dd"}"#);
+        let same = compare_section("crash", &base, &base);
+        assert!(same.passed());
+        assert_eq!(same.compared, 2);
+        // Any fingerprint change fails, no matter how "close".
+        let drifted =
+            strandfs_testkit::json::validate(r#"{"writes":62,"fingerprint":"00aa11bb22cc33de"}"#);
+        let out = compare_section("crash", &base, &drifted);
+        assert!(!out.passed());
+        assert_eq!(out.mismatched.len(), 1);
+        assert_eq!(out.mismatched[0].0, "crash/fingerprint");
+        assert!(out.table().contains("crash/fingerprint"));
+        // A vanished string leaf fails loudly too.
+        let shrunk = strandfs_testkit::json::validate(r#"{"writes":62}"#);
+        let out = compare_section("crash", &base, &shrunk);
+        assert_eq!(out.missing, vec!["crash/fingerprint".to_string()]);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub fn measure(blocks: u64) -> Row {
     let mut t = Instant::EPOCH;
     for i in 0..blocks {
         if i % 5 == 4 {
-            msm.append_silence(id, 800).unwrap();
+            msm.append_silence(id, 800, t).unwrap();
         } else {
             let (_, op) = msm.append_block(id, t, &payload, 800).unwrap();
             t = op.completed;

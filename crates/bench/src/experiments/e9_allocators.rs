@@ -42,9 +42,8 @@ fn run_policy(policy: AllocPolicy, label: &'static str) -> Row {
         max_sectors: 60_000,
     };
     let config = MsmConfig {
-        gap_bounds: bounds,
-        seed: 9,
         policy,
+        ..MsmConfig::constrained(bounds, 9)
     };
     let (mut mrs, ropes) = volume_on(
         DiskGeometry::projected_fast(),

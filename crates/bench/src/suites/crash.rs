@@ -1,0 +1,30 @@
+//! E14: crash recovery — baseline scenario recording plus single
+//! crash + remount cycles at an early and a late write index.
+
+use crate::experiments::e14_crash;
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+use strandfs_testkit::crash;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let marks = crash::baseline_marks(e14_crash::SEED);
+    let mut g = c.benchmark_group("crash");
+    g.sample_size(10);
+    g.bench_function("baseline_record", |b| {
+        b.iter(|| black_box(crash::baseline_marks(e14_crash::SEED).total))
+    });
+    g.bench_function("recover_early_crash", |b| {
+        b.iter(|| {
+            let o = crash::crash_once(1, e14_crash::SEED, &marks);
+            black_box((o.blocks_recovered, o.image_hash))
+        })
+    });
+    g.bench_function("recover_late_crash", |b| {
+        b.iter(|| {
+            let o = crash::crash_once(marks.total - 1, e14_crash::SEED, &marks);
+            black_box((o.durable_strands, o.image_hash))
+        })
+    });
+    g.finish();
+}

@@ -13,6 +13,7 @@ use strandfs_testkit::bench::Runner;
 pub mod allocators;
 pub mod architectures;
 pub mod capacity;
+pub mod crash;
 pub mod edit_copy;
 pub mod faults;
 pub mod fig4;
@@ -39,4 +40,5 @@ pub fn register_all(c: &mut Runner) {
     vbr::register(c);
     scan_order::register(c);
     faults::register(c);
+    crash::register(c);
 }

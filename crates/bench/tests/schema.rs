@@ -31,6 +31,7 @@ fn obs_and_slo_sections_keep_their_shape() {
             "deadlines",
             "disk",
             "faults",
+            "recovery",
             "rounds"
         ]
     );
@@ -65,6 +66,7 @@ fn obs_and_slo_sections_keep_their_shape() {
     assert_eq!(
         metrics.get("faults").unwrap().keys(),
         vec![
+            "crashed",
             "degraded",
             "drops",
             "media",
@@ -73,8 +75,14 @@ fn obs_and_slo_sections_keep_their_shape() {
             "retries",
             "revokes",
             "spike",
-            "transient"
+            "torn",
+            "transient",
+            "writes"
         ]
+    );
+    assert_eq!(
+        metrics.get("recovery").unwrap().keys(),
+        vec!["journal_records", "recovers", "repairs"]
     );
     // Duration summaries keep their unit-suffixed field names.
     assert_eq!(
@@ -118,6 +126,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("obs", "{\"metrics\":{}}");
     r.add_section("slo", "{\"total\":{}}");
     r.add_section("faults", "{\"sweep\":[]}");
+    r.add_section("crash", "{\"sweep\":[]}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -139,7 +148,7 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["faults", "obs", "slo"]
+        vec!["crash", "faults", "obs", "slo"]
     );
 }
 
@@ -179,6 +188,32 @@ fn faults_section_keeps_its_shape() {
             ]
         );
     }
+}
+
+#[test]
+fn crash_section_keeps_its_shape() {
+    let doc = validate(&strandfs_bench::experiments::e14_crash::section_json());
+    assert_eq!(
+        doc.keys(),
+        vec![
+            "blocks_recovered",
+            "blocks_rolled_back",
+            "completed_strands",
+            "deleted_strands",
+            "durable_strands",
+            "fingerprint",
+            "recovery_ns_total",
+            "writes"
+        ]
+    );
+    // The fingerprint pins the sweep's byte-level outcome: a
+    // fixed-width hex string, compared exactly by the gate.
+    let fp = doc.get("fingerprint").and_then(Json::as_str).unwrap();
+    assert_eq!(fp.len(), 16);
+    assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    // One crash point per device write of the scenario.
+    let writes = doc.get("writes").and_then(Json::as_num).unwrap();
+    assert!(writes > 10.0);
 }
 
 #[test]

@@ -95,6 +95,32 @@ pub enum FsError {
         /// The abandoned block number.
         block: u64,
     },
+    /// A write failed at the device: the sectors could not be persisted
+    /// (transient write fault, or the device has frozen after a crash
+    /// point). The in-memory state no longer matches the disk; the
+    /// caller should abort the recording and recover on remount.
+    WriteFault {
+        /// First sector of the failed write.
+        lba: u64,
+        /// Sectors in the failed write.
+        sectors: u64,
+    },
+    /// A write was torn: only a prefix of the extent's sectors reached
+    /// the platter before the fault. The on-disk extent holds partial
+    /// data that will fail its journal checksum at recovery.
+    TornWrite {
+        /// First sector of the torn write.
+        lba: u64,
+        /// Sectors the write was supposed to cover.
+        sectors: u64,
+    },
+    /// The intent journal is unusable: a record or checkpoint failed to
+    /// decode, its checksum did not match, or the journal ran out of
+    /// slots with live (uncheckpointed) records still pending.
+    JournalCorrupt {
+        /// What went wrong.
+        what: &'static str,
+    },
     /// Scattering healing tried to splice a bridge segment longer than
     /// the companion-medium track it must carry along: the companion
     /// content starting *before* the bridge interval cannot be moved
@@ -147,6 +173,19 @@ impl fmt::Display for FsError {
             FsError::DeadlineAbandoned { strand, block } => {
                 write!(f, "abandoned block {block} of {strand}: deadline passed")
             }
+            FsError::WriteFault { lba, sectors } => {
+                write!(
+                    f,
+                    "write fault: {sectors} sectors at lba {lba} not persisted"
+                )
+            }
+            FsError::TornWrite { lba, sectors } => {
+                write!(
+                    f,
+                    "torn write: {sectors} sectors at lba {lba} only partially persisted"
+                )
+            }
+            FsError::JournalCorrupt { what } => write!(f, "journal corrupt: {what}"),
             FsError::BridgeExceedsTrack { bridge, track } => write!(
                 f,
                 "bridge segment of {bridge} exceeds the {track} companion track"
@@ -178,5 +217,20 @@ mod tests {
         assert!(e.to_string().contains("n_max = 12"));
         let e: FsError = AllocError::NoSpace.into();
         assert!(e.to_string().contains("allocation failed"));
+        let e = FsError::WriteFault {
+            lba: 10,
+            sectors: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "write fault: 4 sectors at lba 10 not persisted"
+        );
+        let e = FsError::TornWrite {
+            lba: 10,
+            sectors: 4,
+        };
+        assert!(e.to_string().contains("torn write"));
+        let e = FsError::JournalCorrupt { what: "bad magic" };
+        assert_eq!(e.to_string(), "journal corrupt: bad magic");
     }
 }

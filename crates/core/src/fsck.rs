@@ -16,13 +16,27 @@
 //!
 //! The checker is read-mostly (index verification re-reads the on-disk
 //! blocks) and reports all findings rather than stopping at the first.
+//!
+//! # Repair mode
+//!
+//! [`repair_msm`] and [`repair_volume`] go further than reporting: a
+//! strand whose block map points at sectors that are off-device,
+//! unallocated or claimed by another strand is **truncated** to the
+//! blocks before the first bad pointer (its index is rewritten); space
+//! that is allocated but reachable from no strand, rope, journal or
+//! text file is **released** back to the free map; and rope references
+//! to missing or shortened strands are **dropped or clamped**. Each fix
+//! is reported as a `Repaired*` finding and a second check pass comes
+//! back clean — repair converges.
 
 use crate::mrs::Mrs;
 use crate::msm::Msm;
+use crate::rope::Segment;
 use crate::types::{RopeId, StrandId};
 use std::collections::BTreeMap;
 use std::fmt;
 use strandfs_disk::Extent;
+use strandfs_obs::{Event, RepairAction};
 use strandfs_units::Instant;
 
 /// One finding of a consistency check.
@@ -99,6 +113,31 @@ pub enum Finding {
         /// The strand's unit count.
         unit_count: u64,
     },
+    /// Repair truncated a strand at its first bad block pointer and
+    /// rewrote its index (`dropped_blocks == 0` means only the index
+    /// was rebuilt). A strand truncated to zero blocks is deleted.
+    RepairedTruncatedStrand {
+        /// The repaired strand.
+        strand: StrandId,
+        /// Blocks kept (the intact prefix).
+        kept_blocks: u64,
+        /// Blocks dropped (the dangling tail).
+        dropped_blocks: u64,
+    },
+    /// Repair released an allocated region reachable from no strand,
+    /// journal or text file back to the free map.
+    RepairedLeakedExtent {
+        /// The region released.
+        extent: Extent,
+    },
+    /// Repair dropped or clamped a rope's reference to a missing or
+    /// shortened strand.
+    RepairedRopeRef {
+        /// The rope whose reference was fixed.
+        rope: RopeId,
+        /// The strand the reference pointed at.
+        strand: StrandId,
+    },
 }
 
 impl fmt::Display for Finding {
@@ -144,6 +183,20 @@ impl fmt::Display for Finding {
                 f,
                 "{rope}: references {strand} units ..{end_unit} of {unit_count}"
             ),
+            Finding::RepairedTruncatedStrand {
+                strand,
+                kept_blocks,
+                dropped_blocks,
+            } => write!(
+                f,
+                "repaired {strand}: kept {kept_blocks} blocks, dropped {dropped_blocks}"
+            ),
+            Finding::RepairedLeakedExtent { extent } => {
+                write!(f, "repaired leak: released {extent:?}")
+            }
+            Finding::RepairedRopeRef { rope, strand } => {
+                write!(f, "repaired {rope}: fixed reference to {strand}")
+            }
         }
     }
 }
@@ -320,6 +373,278 @@ pub fn check_volume(mrs: &mut Mrs, now: Instant) -> Report {
     report
 }
 
+// ----- repair mode ------------------------------------------------------
+
+/// Pseudo-owner for non-strand claims (journal region, text files) in
+/// the repair walk's overlap map.
+const RESERVED_OWNER: u64 = u64::MAX;
+
+/// True when an extent cannot be part of a healthy strand: it runs off
+/// the device, the free map does not hold it allocated, or an earlier
+/// claimant already owns (part of) its sectors.
+fn extent_bad(
+    msm: &Msm,
+    id: StrandId,
+    e: Extent,
+    total: u64,
+    claims: &BTreeMap<u64, (u64, StrandId)>,
+) -> bool {
+    if e.end() > total || e.sectors == 0 {
+        return true;
+    }
+    if !msm.allocator().freemap().extent_used(e) {
+        return true;
+    }
+    if let Some((&start, &(len, owner))) = claims.range(..=e.start).next_back() {
+        if (owner != id || start != e.start) && start + len > e.start {
+            return true;
+        }
+    }
+    if let Some((&start, &(_, owner))) = claims.range(e.start..e.end()).next() {
+        if !(owner == id && start == e.start) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Merge possibly-overlapping `(start, end)` intervals into a sorted
+/// disjoint list.
+fn merge_intervals(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Subtract the (merged, sorted) `keep` intervals from `from`,
+/// returning what remains of `from`.
+fn subtract_intervals(from: &[(u64, u64)], keep: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &(mut s, e) in from {
+        for &(ks, ke) in keep {
+            if ke <= s || ks >= e {
+                continue;
+            }
+            if ks > s {
+                out.push((s, ks));
+            }
+            s = s.max(ke);
+            if s >= e {
+                break;
+            }
+        }
+        if s < e {
+            out.push((s, e));
+        }
+    }
+    out
+}
+
+/// Repair the storage layer in place:
+///
+/// 1. every strand is truncated at its first bad block pointer (and its
+///    index rewritten when the index itself is damaged or fails its
+///    round-trip) — a strand with no intact prefix is deleted;
+/// 2. allocated space reachable from no strand, the journal region or
+///    a text file is released back to the free map and scrubbed.
+///
+/// The returned report lists the fixes as `Repaired*` findings; a
+/// subsequent [`check_msm`] pass reports clean (bad-media findings
+/// excepted — decayed media is the healing layer's job, not fsck's).
+pub fn repair_msm(msm: &mut Msm, now: Instant) -> Report {
+    let obs = msm.obs();
+    let mut report = Report::default();
+    let total = msm.disk().geometry().total_sectors();
+    let ids = msm.strand_ids();
+    let mut claims: BTreeMap<u64, (u64, StrandId)> = BTreeMap::new();
+    let reserved = StrandId::from_raw(RESERVED_OWNER);
+    if let Some(region) = msm.journal_region() {
+        claims.insert(region.start, (region.sectors, reserved));
+    }
+    for e in msm.text_extents().to_vec() {
+        claims.insert(e.start, (e.sectors, reserved));
+    }
+
+    for id in &ids {
+        report.strands_checked += 1;
+        let (blocks, index_extents, unit_count) = {
+            let s = msm.strand(*id).expect("listed id");
+            (
+                s.blocks().to_vec(),
+                s.index_extents().to_vec(),
+                s.unit_count(),
+            )
+        };
+        let count = blocks.len() as u64;
+        // The intact prefix ends at the first bad stored pointer. Good
+        // blocks claim their sectors immediately so intra-strand
+        // self-overlaps are caught too.
+        let mut keep = count;
+        for (n, block) in blocks.iter().enumerate() {
+            let Some(e) = block else { continue };
+            if extent_bad(msm, *id, *e, total, &claims) {
+                keep = n as u64;
+                break;
+            }
+            claims.insert(e.start, (e.sectors, *id));
+        }
+        let mut rebuild = keep < count;
+        if !rebuild {
+            rebuild = index_extents
+                .iter()
+                .any(|e| extent_bad(msm, *id, *e, total, &claims));
+        }
+        if !rebuild {
+            if let Some(header) = index_extents.last() {
+                rebuild = match msm.load_strand(*id, *header, now) {
+                    Ok(loaded) => {
+                        loaded.blocks() != &blocks[..] || loaded.unit_count() != unit_count
+                    }
+                    Err(_) => true,
+                };
+            }
+        }
+        if rebuild {
+            let dropped = count - keep;
+            if let Err(e) = msm.truncate_strand(*id, keep, now) {
+                report.findings.push(Finding::IndexMismatch {
+                    strand: *id,
+                    detail: format!("repair failed: {e}"),
+                });
+                continue;
+            }
+            report.findings.push(Finding::RepairedTruncatedStrand {
+                strand: *id,
+                kept_blocks: keep,
+                dropped_blocks: dropped,
+            });
+            let sid = id.raw();
+            obs.emit(|| Event::Repair {
+                action: RepairAction::TruncateStrand,
+                strand: sid,
+                detail: dropped,
+                at: now,
+            });
+        }
+        // Claim whatever survived (including a rebuilt index) so later
+        // strands pointing into it are truncated, not this one.
+        if let Ok(s) = msm.strand(*id) {
+            for e in s.index_extents() {
+                claims.insert(e.start, (e.sectors, *id));
+            }
+        }
+    }
+
+    // Leak sweep: allocated space minus everything reachable.
+    let mut reachable: Vec<(u64, u64)> = Vec::new();
+    if let Some(region) = msm.journal_region() {
+        reachable.push((region.start, region.end()));
+    }
+    for e in msm.text_extents() {
+        reachable.push((e.start, e.end()));
+    }
+    for id in msm.strand_ids() {
+        let s = msm.strand(id).expect("listed id");
+        for (_n, e) in s.stored_iter() {
+            reachable.push((e.start, e.end()));
+        }
+        for e in s.index_extents() {
+            reachable.push((e.start, e.end()));
+        }
+    }
+    let reachable = merge_intervals(reachable);
+    let mut allocated: Vec<(u64, u64)> = Vec::new();
+    let mut cursor = 0u64;
+    for free in msm.allocator().freemap().free_extents() {
+        if free.start > cursor {
+            allocated.push((cursor, free.start));
+        }
+        cursor = free.end();
+    }
+    if cursor < total {
+        allocated.push((cursor, total));
+    }
+    for (s, e) in subtract_intervals(&allocated, &reachable) {
+        let extent = Extent::new(s, e - s);
+        msm.reclaim_extent(extent);
+        report
+            .findings
+            .push(Finding::RepairedLeakedExtent { extent });
+        obs.emit(|| Event::Repair {
+            action: RepairAction::ReleaseExtent,
+            strand: RESERVED_OWNER,
+            detail: extent.start,
+            at: now,
+        });
+    }
+    report
+}
+
+/// Repair the rope layer on top of [`repair_msm`]: references to
+/// missing strands are dropped, references past a (possibly just
+/// truncated) strand's length are clamped to it, and segments left
+/// without any media are removed.
+pub fn repair_volume(mrs: &mut Mrs, now: Instant) -> Report {
+    let mut report = repair_msm(mrs.msm_mut(), now);
+    let obs = mrs.msm().obs();
+    for rid in mrs.rope_ids() {
+        report.ropes_checked += 1;
+        let segments = mrs.rope(rid).expect("listed id").segments.clone();
+        let mut fixed: Vec<StrandId> = Vec::new();
+        let mut repaired_segments = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let mut media = [seg.video, seg.audio];
+            for r in media.iter_mut() {
+                let Some(sref) = r.as_mut() else { continue };
+                match mrs.msm().strand(sref.strand) {
+                    Err(_) => {
+                        fixed.push(sref.strand);
+                        *r = None;
+                    }
+                    Ok(s) => {
+                        let avail = s.unit_count();
+                        if sref.end_unit() > avail {
+                            fixed.push(sref.strand);
+                            if sref.start_unit >= avail {
+                                *r = None;
+                            } else {
+                                sref.len_units = avail - sref.start_unit;
+                            }
+                        }
+                    }
+                }
+            }
+            let [video, audio] = media;
+            let seg = Segment::new(video, audio);
+            if !seg.is_empty() {
+                repaired_segments.push(seg);
+            }
+        }
+        if !fixed.is_empty() {
+            mrs.rope_mut(rid).expect("listed id").segments = repaired_segments;
+            for strand in fixed {
+                report
+                    .findings
+                    .push(Finding::RepairedRopeRef { rope: rid, strand });
+                let sid = strand.raw();
+                obs.emit(|| Event::Repair {
+                    action: RepairAction::RopeRef,
+                    strand: sid,
+                    detail: rid.raw(),
+                    at: now,
+                });
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +766,133 @@ mod tests {
             hits[0],
             Finding::BlockOnBadMedia { strand, extent, .. } if *strand == id && *extent == victim
         ));
+    }
+
+    #[test]
+    fn repair_truncates_at_a_dangling_pointer_and_converges() {
+        let mut m = msm();
+        let id = record(&mut m, 10);
+        // Hand-corrupt: block 6's sectors vanish from the free map, as
+        // if a crash lost the allocation metadata.
+        let victim = m.strand(id).unwrap().block(6).unwrap().unwrap();
+        m.allocator_mut().release(victim);
+        let before = check_msm(&mut m, Instant::EPOCH);
+        assert!(
+            before
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::ExtentNotAllocated { .. })),
+            "corruption must be visible first: {:?}",
+            before.findings
+        );
+        let repair = repair_msm(&mut m, Instant::EPOCH);
+        assert!(
+            repair.findings.iter().any(|f| matches!(
+                f,
+                Finding::RepairedTruncatedStrand {
+                    strand,
+                    kept_blocks: 6,
+                    dropped_blocks: 4,
+                } if *strand == id
+            )),
+            "repair findings: {:?}",
+            repair.findings
+        );
+        assert_eq!(m.strand(id).unwrap().block_count(), 6);
+        // Convergence: the repaired volume checks clean and a second
+        // repair pass has nothing left to fix.
+        let after = check_msm(&mut m, Instant::EPOCH);
+        assert!(after.clean(), "after repair: {:?}", after.findings);
+        let second = repair_msm(&mut m, Instant::EPOCH);
+        assert!(second.clean(), "second pass: {:?}", second.findings);
+    }
+
+    #[test]
+    fn repair_deletes_a_strand_with_no_intact_prefix() {
+        let mut m = msm();
+        let id = record(&mut m, 4);
+        let first = m.strand(id).unwrap().block(0).unwrap().unwrap();
+        m.allocator_mut().release(first);
+        let repair = repair_msm(&mut m, Instant::EPOCH);
+        assert!(
+            repair
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::RepairedTruncatedStrand { kept_blocks: 0, .. })),
+            "repair findings: {:?}",
+            repair.findings
+        );
+        assert!(m.strand(id).is_err(), "empty strand must be deleted");
+        assert!(check_msm(&mut m, Instant::EPOCH).clean());
+    }
+
+    #[test]
+    fn repair_releases_leaked_extents() {
+        let mut m = msm();
+        record(&mut m, 8);
+        // Hand-corrupt: allocate space reachable from nothing, as if a
+        // crash left an in-flight allocation behind.
+        let leak = m.allocator_mut().allocate_anywhere(8).unwrap();
+        assert!(m.allocator().freemap().extent_used(leak));
+        let repair = repair_msm(&mut m, Instant::EPOCH);
+        assert!(
+            repair.findings.iter().any(|f| matches!(
+                f,
+                Finding::RepairedLeakedExtent { extent }
+                    if extent.start <= leak.start && extent.end() >= leak.end()
+            )),
+            "repair findings: {:?}",
+            repair.findings
+        );
+        assert!(m.allocator().freemap().extent_free(leak));
+        assert!(repair_msm(&mut m, Instant::EPOCH).clean(), "converges");
+    }
+
+    #[test]
+    fn repair_volume_clamps_rope_refs_to_a_truncated_strand() {
+        use strandfs_sim_free::standard_volume_like;
+        let mut mrs = standard_volume_like();
+        let rid = mrs.rope_ids()[0];
+        let sref = mrs.rope(rid).unwrap().segments[0]
+            .video
+            .expect("video segment");
+        let id = sref.strand;
+        // Hand-corrupt: the strand's last block loses its allocation.
+        let last_block = mrs.msm().strand(id).unwrap().block_count() - 1;
+        let victim = mrs
+            .msm()
+            .strand(id)
+            .unwrap()
+            .block(last_block)
+            .unwrap()
+            .unwrap();
+        mrs.msm_mut().allocator_mut().release(victim);
+        let repair = repair_volume(&mut mrs, Instant::EPOCH);
+        assert!(
+            repair
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::RepairedTruncatedStrand { .. })),
+            "repair findings: {:?}",
+            repair.findings
+        );
+        assert!(
+            repair.findings.iter().any(
+                |f| matches!(f, Finding::RepairedRopeRef { rope, strand } if *rope == rid && *strand == id)
+            ),
+            "repair findings: {:?}",
+            repair.findings
+        );
+        // The clamped reference now fits the shortened strand and the
+        // volume checks clean end to end.
+        let units = mrs.msm().strand(id).unwrap().unit_count();
+        let clamped = mrs.rope(rid).unwrap().segments[0]
+            .video
+            .expect("still present");
+        assert!(clamped.end_unit() <= units);
+        let after = check_volume(&mut mrs, Instant::EPOCH);
+        assert!(after.clean(), "after repair: {:?}", after.findings);
+        assert!(repair_volume(&mut mrs, Instant::EPOCH).clean());
     }
 
     #[test]

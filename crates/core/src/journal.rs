@@ -1,0 +1,664 @@
+//! The strand intent journal — crash consistency for recordings.
+//!
+//! Recording mutates two structures that must stay consistent: the
+//! free map (which sectors are claimed) and the strand index (which
+//! sectors belong to which block). Neither is durable until
+//! `finish_strand` writes the 3-level index, so a crash mid-recording
+//! leaves allocated-but-unindexed extents and a half-written strand.
+//! The journal closes that window with write-ahead *intent records*:
+//! every `append_block` / `append_silence` / `finish_strand` /
+//! `delete_strand` persists a checksummed record **before** the
+//! mutation it describes, and [`crate::msm::Msm::recover`] replays the
+//! records at mount to complete or roll back whatever was in flight.
+//!
+//! # On-disk layout
+//!
+//! The journal owns a reserved region at a fixed place on the volume
+//! (adopted out of the free map at format time):
+//!
+//! ```text
+//! | checkpoint A | checkpoint B | record slot 0 | ... | slot S-1 |
+//! |  4 sectors   |  4 sectors   |   1 sector    |     |          |
+//! ```
+//!
+//! * **Records** are one sector each, written to slot `seq % S` with a
+//!   monotonically increasing sequence number, so the record area is a
+//!   circular log. A slot holding a record whose embedded `seq` is
+//!   lower than expected is a stale survivor from an earlier lap and
+//!   marks the end of the log during replay.
+//! * **Checkpoints** are double-buffered (alternating A/B writes, the
+//!   newest valid one wins at recovery) and record the durable world:
+//!   the next strand id, the catalog of finished strands with their
+//!   header extents, and the *floor* — the oldest sequence number that
+//!   recovery still needs. Records below the floor are dead and their
+//!   slots may be reused; the writer refuses to lap a live record
+//!   ([`crate::FsError::JournalCorrupt`] "journal full").
+//!
+//! Both structures carry an FNV-1a-64 checksum over their encoded
+//! bytes; a torn record or checkpoint write fails its checksum and is
+//! treated as absent (for a record: end of log; for a checkpoint: fall
+//! back to the other slot).
+
+use crate::error::FsError;
+use crate::strand::wire::{PutLe, TakeLe};
+use std::collections::BTreeMap;
+use strandfs_disk::Extent;
+use strandfs_media::Medium;
+
+/// Sectors reserved for each of the two checkpoint slots.
+pub const CKPT_SECTORS: u64 = 4;
+
+/// Magic tag opening every journal record sector.
+const RECORD_MAGIC: u32 = 0x4C4A_5453; // "STJL"
+
+/// Magic tag opening every checkpoint.
+const CKPT_MAGIC: u32 = 0x4B43_5453; // "STCK"
+
+/// FNV-1a-64 over a byte slice — the journal's integrity check (same
+/// parameters as the device image hash, no external dependency).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Journal sizing, carried in [`crate::msm::MsmConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Record slots in the circular log (one sector each). Bounds the
+    /// number of uncheckpointed in-flight records; recordings append
+    /// one record per block, so this must exceed the longest strand
+    /// recorded between checkpoints.
+    pub slots: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig { slots: 256 }
+    }
+}
+
+/// One write-ahead intent record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A strand began recording; carries the metadata recovery needs
+    /// to rebuild its `StrandBuilder`.
+    Begin {
+        /// The strand's raw id.
+        strand: u64,
+        /// The strand's medium.
+        medium: Medium,
+        /// Media units per second.
+        unit_rate: f64,
+        /// Units per block (granularity).
+        granularity: u64,
+        /// Bits per unit.
+        unit_bits: u64,
+    },
+    /// Intent to append a stored media block: the extent was allocated
+    /// and the payload (whose FNV-1a sum is recorded) is about to be
+    /// written. Recovery verifies the sum to detect torn data writes.
+    Append {
+        /// The strand's raw id.
+        strand: u64,
+        /// The block number being appended.
+        block: u64,
+        /// First sector of the block's extent.
+        lba: u64,
+        /// Sectors in the block's extent.
+        sectors: u64,
+        /// Media units the block carries.
+        units: u64,
+        /// FNV-1a-64 of the padded payload as stored on disk.
+        payload_sum: u64,
+    },
+    /// A silence hole was appended (no data write to verify).
+    Silence {
+        /// The strand's raw id.
+        strand: u64,
+        /// The block number of the hole.
+        block: u64,
+        /// Media units the hole covers.
+        units: u64,
+    },
+    /// `finish_strand` is about to write the 3-level index.
+    FinishIntent {
+        /// The strand's raw id.
+        strand: u64,
+    },
+    /// The index is fully on disk; the strand is durable at this
+    /// header extent even if no checkpoint follows.
+    FinishCommit {
+        /// The strand's raw id.
+        strand: u64,
+        /// First sector of the header block.
+        header_lba: u64,
+        /// Sectors in the header block.
+        header_sectors: u64,
+    },
+    /// A finished strand was deleted and its extents released.
+    Delete {
+        /// The strand's raw id.
+        strand: u64,
+    },
+}
+
+impl Record {
+    fn tag(&self) -> u8 {
+        match self {
+            Record::Begin { .. } => 0,
+            Record::Append { .. } => 1,
+            Record::Silence { .. } => 2,
+            Record::FinishIntent { .. } => 3,
+            Record::FinishCommit { .. } => 4,
+            Record::Delete { .. } => 5,
+        }
+    }
+
+    /// Body length in bytes for a given tag; `None` for unknown tags.
+    fn body_len(tag: u8) -> Option<usize> {
+        Some(match tag {
+            0 => 8 + 1 + 8 + 8 + 8,
+            1 => 6 * 8,
+            2 => 3 * 8,
+            3 => 8,
+            4 => 3 * 8,
+            5 => 8,
+            _ => return None,
+        })
+    }
+
+    /// The strand the record belongs to.
+    pub fn strand(&self) -> u64 {
+        match *self {
+            Record::Begin { strand, .. }
+            | Record::Append { strand, .. }
+            | Record::Silence { strand, .. }
+            | Record::FinishIntent { strand }
+            | Record::FinishCommit { strand, .. }
+            | Record::Delete { strand } => strand,
+        }
+    }
+}
+
+/// Encode a record into one sector of `sector_size` bytes.
+pub fn encode_record(seq: u64, rec: &Record, sector_size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sector_size);
+    out.put_u32_le(RECORD_MAGIC);
+    out.put_u64_le(seq);
+    out.put_u8(rec.tag());
+    match *rec {
+        Record::Begin {
+            strand,
+            medium,
+            unit_rate,
+            granularity,
+            unit_bits,
+        } => {
+            out.put_u64_le(strand);
+            out.put_u8(match medium {
+                Medium::Video => 0,
+                Medium::Audio => 1,
+            });
+            out.put_f64_le(unit_rate);
+            out.put_u64_le(granularity);
+            out.put_u64_le(unit_bits);
+        }
+        Record::Append {
+            strand,
+            block,
+            lba,
+            sectors,
+            units,
+            payload_sum,
+        } => {
+            out.put_u64_le(strand);
+            out.put_u64_le(block);
+            out.put_u64_le(lba);
+            out.put_u64_le(sectors);
+            out.put_u64_le(units);
+            out.put_u64_le(payload_sum);
+        }
+        Record::Silence {
+            strand,
+            block,
+            units,
+        } => {
+            out.put_u64_le(strand);
+            out.put_u64_le(block);
+            out.put_u64_le(units);
+        }
+        Record::FinishIntent { strand } | Record::Delete { strand } => {
+            out.put_u64_le(strand);
+        }
+        Record::FinishCommit {
+            strand,
+            header_lba,
+            header_sectors,
+        } => {
+            out.put_u64_le(strand);
+            out.put_u64_le(header_lba);
+            out.put_u64_le(header_sectors);
+        }
+    }
+    let sum = fnv1a(&out);
+    out.put_u64_le(sum);
+    assert!(out.len() <= sector_size, "journal record exceeds a sector");
+    out.resize(sector_size, 0);
+    out
+}
+
+/// Decode one record sector; `None` when the sector does not hold a
+/// valid record (bad magic, unknown tag, short, or checksum mismatch).
+pub fn decode_record(bytes: &[u8]) -> Option<(u64, Record)> {
+    let mut buf: &[u8] = bytes;
+    if buf.remaining() < 4 + 8 + 1 {
+        return None;
+    }
+    if buf.get_u32_le() != RECORD_MAGIC {
+        return None;
+    }
+    let seq = buf.get_u64_le();
+    let tag = buf.get_u8();
+    let body = Record::body_len(tag)?;
+    if buf.remaining() < body + 8 {
+        return None;
+    }
+    let rec = match tag {
+        0 => Record::Begin {
+            strand: buf.get_u64_le(),
+            medium: match buf.get_u8() {
+                0 => Medium::Video,
+                1 => Medium::Audio,
+                _ => return None,
+            },
+            unit_rate: buf.get_f64_le(),
+            granularity: buf.get_u64_le(),
+            unit_bits: buf.get_u64_le(),
+        },
+        1 => Record::Append {
+            strand: buf.get_u64_le(),
+            block: buf.get_u64_le(),
+            lba: buf.get_u64_le(),
+            sectors: buf.get_u64_le(),
+            units: buf.get_u64_le(),
+            payload_sum: buf.get_u64_le(),
+        },
+        2 => Record::Silence {
+            strand: buf.get_u64_le(),
+            block: buf.get_u64_le(),
+            units: buf.get_u64_le(),
+        },
+        3 => Record::FinishIntent {
+            strand: buf.get_u64_le(),
+        },
+        4 => Record::FinishCommit {
+            strand: buf.get_u64_le(),
+            header_lba: buf.get_u64_le(),
+            header_sectors: buf.get_u64_le(),
+        },
+        5 => Record::Delete {
+            strand: buf.get_u64_le(),
+        },
+        _ => return None,
+    };
+    let covered = bytes.len() - buf.remaining();
+    let sum = buf.get_u64_le();
+    (sum == fnv1a(&bytes[..covered])).then_some((seq, rec))
+}
+
+/// A finished strand in the checkpoint catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The strand's raw id.
+    pub strand: u64,
+    /// The strand's on-disk header block.
+    pub header: Extent,
+}
+
+/// The durable world as of one checkpoint write.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Journal sequence at write time; orders the two slots.
+    pub seq: u64,
+    /// The volume's next fresh strand id.
+    pub next_strand: u64,
+    /// Oldest journal sequence recovery still needs.
+    pub floor: u64,
+    /// How many checkpoints have been written (restores the A/B
+    /// alternation across a remount).
+    pub count: u64,
+    /// Every finished strand and where its index lives.
+    pub catalog: Vec<CatalogEntry>,
+}
+
+/// Encode a checkpoint into its slot (`CKPT_SECTORS * sector_size`
+/// bytes). Errors when the catalog outgrows the slot.
+pub fn encode_checkpoint(c: &Checkpoint, sector_size: usize) -> Result<Vec<u8>, FsError> {
+    let cap = CKPT_SECTORS as usize * sector_size;
+    let mut out = Vec::with_capacity(cap);
+    out.put_u32_le(CKPT_MAGIC);
+    out.put_u64_le(c.seq);
+    out.put_u64_le(c.next_strand);
+    out.put_u64_le(c.floor);
+    out.put_u64_le(c.count);
+    out.put_u32_le(c.catalog.len() as u32);
+    for e in &c.catalog {
+        out.put_u64_le(e.strand);
+        out.put_u64_le(e.header.start);
+        out.put_u64_le(e.header.sectors);
+    }
+    if out.len() + 8 > cap {
+        return Err(FsError::JournalCorrupt {
+            what: "checkpoint catalog overflows its slot",
+        });
+    }
+    let sum = fnv1a(&out);
+    out.put_u64_le(sum);
+    out.resize(cap, 0);
+    Ok(out)
+}
+
+/// Decode a checkpoint slot; `None` when invalid (never-written slot,
+/// torn write, checksum mismatch).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    let mut buf: &[u8] = bytes;
+    if buf.remaining() < 4 + 8 + 8 + 8 + 8 + 4 {
+        return None;
+    }
+    if buf.get_u32_le() != CKPT_MAGIC {
+        return None;
+    }
+    let seq = buf.get_u64_le();
+    let next_strand = buf.get_u64_le();
+    let floor = buf.get_u64_le();
+    let count = buf.get_u64_le();
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 24 + 8 {
+        return None;
+    }
+    let mut catalog = Vec::with_capacity(n);
+    for _ in 0..n {
+        catalog.push(CatalogEntry {
+            strand: buf.get_u64_le(),
+            header: Extent::new(buf.get_u64_le(), buf.get_u64_le()),
+        });
+    }
+    let covered = bytes.len() - buf.remaining();
+    let sum = buf.get_u64_le();
+    (sum == fnv1a(&bytes[..covered])).then_some(Checkpoint {
+        seq,
+        next_strand,
+        floor,
+        count,
+        catalog,
+    })
+}
+
+/// In-memory journal state: geometry plus the write cursor. All device
+/// I/O stays in [`crate::msm::Msm`]; this type only decides *where*
+/// records and checkpoints go and *whether* a slot may be reused.
+#[derive(Debug)]
+pub struct Journal {
+    region_start: u64,
+    slots: u64,
+    sector_size: usize,
+    next_seq: u64,
+    ckpt_count: u64,
+    /// Raw strand id → `seq` of its `Begin` record, for every strand
+    /// whose records are still live (not yet checkpointed away).
+    live: BTreeMap<u64, u64>,
+}
+
+impl Journal {
+    /// A fresh journal at the start of an empty volume.
+    pub fn new(region_start: u64, config: JournalConfig, sector_size: usize) -> Journal {
+        Journal {
+            region_start,
+            slots: config.slots.max(1),
+            sector_size,
+            next_seq: 0,
+            ckpt_count: 0,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuild the cursor after recovery.
+    pub fn restore(&mut self, next_seq: u64, ckpt_count: u64) {
+        self.next_seq = next_seq;
+        self.ckpt_count = ckpt_count;
+        self.live.clear();
+    }
+
+    /// The whole reserved region (checkpoints + record slots).
+    pub fn region(&self) -> Extent {
+        Extent::new(self.region_start, 2 * CKPT_SECTORS + self.slots)
+    }
+
+    /// The sector size records are encoded into.
+    pub fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    /// Record slots in the circular log.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// The next sequence number to be written.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// How many checkpoints have been written.
+    pub fn ckpt_count(&self) -> u64 {
+        self.ckpt_count
+    }
+
+    /// The slot extent for sequence number `seq`.
+    pub fn record_extent(&self, seq: u64) -> Extent {
+        Extent::new(self.region_start + 2 * CKPT_SECTORS + (seq % self.slots), 1)
+    }
+
+    /// The checkpoint slot the next checkpoint write goes to.
+    pub fn next_ckpt_extent(&self) -> Extent {
+        self.ckpt_extent((self.ckpt_count % 2) as usize)
+    }
+
+    /// Checkpoint slot `i` (0 = A, 1 = B).
+    pub fn ckpt_extent(&self, i: usize) -> Extent {
+        Extent::new(self.region_start + i as u64 * CKPT_SECTORS, CKPT_SECTORS)
+    }
+
+    /// The oldest sequence number still needed: the earliest `Begin`
+    /// of a live strand, or the write cursor when nothing is in
+    /// flight.
+    pub fn floor(&self) -> u64 {
+        self.live.values().copied().min().unwrap_or(self.next_seq)
+    }
+
+    /// Claim the next sequence number, refusing to lap a live record.
+    pub fn take_seq(&mut self) -> Result<u64, FsError> {
+        if self.next_seq - self.floor() >= self.slots {
+            return Err(FsError::JournalCorrupt {
+                what: "journal full: live records fill every slot",
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Note that `strand`'s `Begin` landed at `seq`.
+    pub fn note_begin(&mut self, strand: u64, seq: u64) {
+        self.live.insert(strand, seq);
+    }
+
+    /// True if `strand` has already journaled its `Begin`.
+    pub fn has_begun(&self, strand: u64) -> bool {
+        self.live.contains_key(&strand)
+    }
+
+    /// Note that `strand` is durable (committed or deleted): its
+    /// records may be reclaimed at the next checkpoint.
+    pub fn note_end(&mut self, strand: u64) {
+        self.live.remove(&strand);
+    }
+
+    /// Note a checkpoint write.
+    pub fn note_checkpoint(&mut self) {
+        self.ckpt_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_every_variant() {
+        let recs = [
+            Record::Begin {
+                strand: 7,
+                medium: Medium::Audio,
+                unit_rate: 8_000.0,
+                granularity: 800,
+                unit_bits: 8,
+            },
+            Record::Append {
+                strand: 7,
+                block: 3,
+                lba: 4_096,
+                sectors: 71,
+                units: 800,
+                payload_sum: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Record::Silence {
+                strand: 7,
+                block: 4,
+                units: 800,
+            },
+            Record::FinishIntent { strand: 7 },
+            Record::FinishCommit {
+                strand: 7,
+                header_lba: 99,
+                header_sectors: 1,
+            },
+            Record::Delete { strand: 7 },
+        ];
+        for (i, rec) in recs.iter().enumerate() {
+            let sector = encode_record(i as u64, rec, 512);
+            assert_eq!(sector.len(), 512);
+            let (seq, back) = decode_record(&sector).expect("valid record");
+            assert_eq!(seq, i as u64);
+            assert_eq!(&back, rec);
+            assert_eq!(back.strand(), 7);
+        }
+    }
+
+    #[test]
+    fn corrupt_records_decode_to_none() {
+        let good = encode_record(
+            9,
+            &Record::Silence {
+                strand: 1,
+                block: 2,
+                units: 3,
+            },
+            512,
+        );
+        // Any single-byte flip in the covered prefix breaks the sum.
+        for at in [0usize, 5, 12, 20] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            assert!(decode_record(&bad).is_none(), "flip at {at} accepted");
+        }
+        assert!(decode_record(&[0u8; 512]).is_none(), "zeroed sector");
+        assert!(decode_record(&good[..8]).is_none(), "short buffer");
+        let mut bad_tag = good.clone();
+        bad_tag[12] = 200;
+        assert!(decode_record(&bad_tag).is_none(), "unknown tag");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_torn() {
+        let c = Checkpoint {
+            seq: 41,
+            next_strand: 3,
+            floor: 17,
+            count: 5,
+            catalog: vec![
+                CatalogEntry {
+                    strand: 0,
+                    header: Extent::new(900, 1),
+                },
+                CatalogEntry {
+                    strand: 2,
+                    header: Extent::new(1_400, 1),
+                },
+            ],
+        };
+        let bytes = encode_checkpoint(&c, 512).unwrap();
+        assert_eq!(bytes.len(), CKPT_SECTORS as usize * 512);
+        assert_eq!(decode_checkpoint(&bytes).as_ref(), Some(&c));
+        let mut torn = bytes.clone();
+        torn[40] ^= 1;
+        assert!(decode_checkpoint(&torn).is_none());
+        assert!(decode_checkpoint(&[0u8; 2048]).is_none());
+    }
+
+    #[test]
+    fn checkpoint_catalog_overflow_is_an_error() {
+        let c = Checkpoint {
+            catalog: (0..200)
+                .map(|i| CatalogEntry {
+                    strand: i,
+                    header: Extent::new(i, 1),
+                })
+                .collect(),
+            ..Checkpoint::default()
+        };
+        assert!(matches!(
+            encode_checkpoint(&c, 512),
+            Err(FsError::JournalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn circular_slots_and_live_floor_guard() {
+        let mut j = Journal::new(0, JournalConfig { slots: 4 }, 512);
+        assert_eq!(j.region(), Extent::new(0, 2 * CKPT_SECTORS + 4));
+        assert_eq!(j.record_extent(0).start, 8);
+        assert_eq!(j.record_extent(5).start, 9); // 5 % 4 = 1
+        assert_eq!(j.next_ckpt_extent(), Extent::new(0, CKPT_SECTORS));
+        j.note_checkpoint();
+        assert_eq!(
+            j.next_ckpt_extent(),
+            Extent::new(CKPT_SECTORS, CKPT_SECTORS)
+        );
+
+        // With no live strands the floor tracks the cursor: the log
+        // can wrap forever.
+        for _ in 0..10 {
+            j.take_seq().unwrap();
+        }
+        // A live strand pins the floor at its Begin.
+        let seq = j.take_seq().unwrap();
+        j.note_begin(42, seq);
+        assert!(j.has_begun(42));
+        assert_eq!(j.floor(), seq);
+        for _ in 0..3 {
+            j.take_seq().unwrap();
+        }
+        // All 4 slots now hold live records: the next take must refuse.
+        assert!(matches!(j.take_seq(), Err(FsError::JournalCorrupt { .. })));
+        j.note_end(42);
+        assert!(!j.has_begun(42));
+        j.take_seq().unwrap();
+    }
+}

@@ -30,6 +30,7 @@ pub mod admission;
 mod error;
 pub mod fsck;
 pub mod gc;
+pub mod journal;
 pub mod model;
 pub mod mrs;
 pub mod msm;

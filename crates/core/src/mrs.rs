@@ -165,6 +165,12 @@ impl Mrs {
         self.ropes.get(&id).ok_or(FsError::UnknownRope(id))
     }
 
+    /// Mutable access to a cataloged rope — fsck's repair hook for
+    /// dropping or clamping references to truncated strands.
+    pub(crate) fn rope_mut(&mut self, id: RopeId) -> Result<&mut Rope, FsError> {
+        self.ropes.get_mut(&id).ok_or(FsError::UnknownRope(id))
+    }
+
     /// All cataloged rope ids.
     pub fn rope_ids(&self) -> Vec<RopeId> {
         self.ropes.keys().copied().collect()
@@ -319,7 +325,11 @@ impl Mrs {
         for (strand, payload, units) in flushes {
             match payload {
                 None => {
-                    self.msm.append_silence(strand, units)?;
+                    let (_, op) = self.msm.append_silence(strand, units, t)?;
+                    if let Some(op) = op {
+                        t = op.completed;
+                        ops.push(op);
+                    }
                 }
                 Some(data) => {
                     let (_, op) = self.msm.append_block(strand, t, &data, units)?;

@@ -14,6 +14,7 @@
 
 use crate::admission::{AdmissionController, ServiceEnv};
 use crate::error::FsError;
+use crate::journal::{self, CatalogEntry, Checkpoint, Journal, JournalConfig, Record};
 use crate::rope::scattering::{plan_boundary, CopyPlan, CopySide, Occupancy};
 use crate::rope::StrandRef;
 use crate::strand::index::{
@@ -26,7 +27,7 @@ use strandfs_disk::{
     AccessKind, AllocPolicy, Allocator, BlockDevice, DiskOp, Extent, FaultKind, FaultPlan,
     FaultStats, GapBounds, SeekModel, SimDisk,
 };
-use strandfs_obs::{Event, ObsSink};
+use strandfs_obs::{Event, JournalOp, ObsSink};
 use strandfs_units::{Instant, Nanos, Seconds};
 
 /// Transient retries granted to non-real-time reads (index loads,
@@ -85,6 +86,11 @@ pub struct MsmConfig {
     /// Block-placement policy; defaults to constrained allocation with
     /// `gap_bounds`.
     pub policy: AllocPolicy,
+    /// When set, the volume reserves an intent-journal region at the
+    /// start of the device and records every strand mutation ahead of
+    /// the data, enabling [`Msm::recover`] after a crash. `None` (the
+    /// default) keeps the historical journal-free write path.
+    pub journal: Option<JournalConfig>,
 }
 
 impl MsmConfig {
@@ -98,8 +104,36 @@ impl MsmConfig {
                 bounds: gap_bounds,
                 allow_wrap: true,
             },
+            journal: None,
         }
     }
+
+    /// The same configuration with crash journaling enabled.
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+}
+
+/// What [`Msm::recover`] found and did while replaying the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Finished strands restored from the checkpoint catalog or from a
+    /// journaled `FinishCommit`.
+    pub durable_strands: u64,
+    /// In-flight recordings completed (given an index) by recovery.
+    pub completed_strands: u64,
+    /// Journaled blocks (stored or silence) whose data verified and
+    /// were kept.
+    pub blocks_recovered: u64,
+    /// Journaled blocks dropped: their data never fully reached the
+    /// disk, or they followed a torn block (recovery keeps a prefix).
+    pub blocks_rolled_back: u64,
+    /// Strands whose journaled deletion was replayed.
+    pub deleted_strands: u64,
+    /// Virtual time when recovery finished (reads and index writes
+    /// occupy the disk like any other I/O).
+    pub finished_at: Instant,
 }
 
 enum StrandState {
@@ -116,22 +150,47 @@ pub struct Msm {
     next_strand: u64,
     admission: AdmissionController,
     obs: ObsSink,
+    journal: Option<Journal>,
+    text_extents: Vec<Extent>,
+    /// Completion time of the most recent disk operation — the instant
+    /// journal writes issued by time-less entry points (deletes) use.
+    last_io: Instant,
 }
 
 impl Msm {
     /// Create a storage manager over any [`BlockDevice`] — a bare
     /// [`SimDisk`] or a fault-injecting wrapper.
     pub fn new(disk: impl BlockDevice + 'static, config: MsmConfig) -> Self {
+        Self::build(Box::new(disk), &config)
+    }
+
+    fn build(disk: Box<dyn BlockDevice>, config: &MsmConfig) -> Self {
         let total = disk.geometry().total_sectors();
-        let env = Self::service_env(&disk, config.gap_bounds);
+        let sector_size = disk.geometry().sector_size.get() as usize;
+        let env = Self::service_env(disk.as_ref(), config.gap_bounds);
+        let mut alloc = Allocator::new(total, config.policy.clone(), config.seed);
+        let journal = config.journal.map(|jc| {
+            let j = Journal::new(0, jc, sector_size);
+            let region = j.region();
+            assert!(
+                region.end() <= total,
+                "journal region ({} sectors) does not fit the device",
+                region.sectors
+            );
+            alloc.adopt(region);
+            j
+        });
         Msm {
-            alloc: Allocator::new(total, config.policy, config.seed),
+            alloc,
             gap_bounds: config.gap_bounds,
             strands: BTreeMap::new(),
             next_strand: 0,
             admission: AdmissionController::new(env),
             obs: ObsSink::noop(),
-            disk: Box::new(disk),
+            journal,
+            text_extents: Vec::new(),
+            last_io: Instant::EPOCH,
+            disk,
         }
     }
 
@@ -241,15 +300,156 @@ impl Msm {
         }
     }
 
-    /// Perform a timed write. Write faults are not injected today, but
-    /// the device contract allows them; surface rather than unwrap.
-    fn timed_write(&mut self, now: Instant, extent: Extent) -> Result<DiskOp, FsError> {
+    // ----- intent journal --------------------------------------------
+
+    /// The journal's reserved region, when journaling is enabled.
+    pub fn journal_region(&self) -> Option<Extent> {
+        self.journal.as_ref().map(|j| j.region())
+    }
+
+    /// Extents holding non-real-time (text) files stored on this
+    /// volume. Text data is outside the journal's protection: after a
+    /// crash these extents are garbage and fsck reclaims them.
+    pub fn text_extents(&self) -> &[Extent] {
+        &self.text_extents
+    }
+
+    /// Tear down the manager and hand back the device — the crash side
+    /// of a simulated remount ([`Msm::recover`] is the mount side).
+    pub fn into_device(self) -> Box<dyn BlockDevice> {
         self.disk
-            .access(now, extent, AccessKind::Write)
-            .map_err(|f| FsError::MediaError {
-                lba: f.op.extent.start,
-                sectors: f.op.extent.sectors,
+    }
+
+    fn journal_op_of(rec: &Record) -> JournalOp {
+        match rec {
+            Record::Begin { .. } => JournalOp::Begin,
+            Record::Append { .. } => JournalOp::Append,
+            Record::Silence { .. } => JournalOp::Silence,
+            Record::FinishIntent { .. } => JournalOp::FinishIntent,
+            Record::FinishCommit { .. } => JournalOp::FinishCommit,
+            Record::Delete { .. } => JournalOp::Delete,
+        }
+    }
+
+    /// Persist one intent record ahead of the mutation it describes.
+    /// No-op (`Ok(None)`) on journal-free volumes.
+    fn journal_append(&mut self, rec: Record, now: Instant) -> Result<Option<DiskOp>, FsError> {
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(None);
+        };
+        let seq = j.take_seq()?;
+        let extent = j.record_extent(seq);
+        let bytes = journal::encode_record(seq, &rec, j.sector_size());
+        match &rec {
+            Record::Begin { strand, .. } => j.note_begin(*strand, seq),
+            Record::FinishCommit { strand, .. } | Record::Delete { strand } => j.note_end(*strand),
+            _ => {}
+        }
+        self.disk.store_data(extent, &bytes);
+        let op = self.timed_write(now, extent)?;
+        let (strand, jop, at) = (rec.strand(), Self::journal_op_of(&rec), op.completed);
+        self.obs.emit(|| Event::Journal {
+            strand,
+            op: jop,
+            seq,
+            at,
+        });
+        Ok(Some(op))
+    }
+
+    /// Journal the `Begin` record for a recording strand if it has not
+    /// been journaled yet (deferred so that `begin_strand` itself stays
+    /// free of I/O). Returns the instant the caller should continue at.
+    fn ensure_begun(&mut self, id: StrandId, now: Instant) -> Result<Instant, FsError> {
+        match self.journal.as_ref() {
+            None => return Ok(now),
+            Some(j) if j.has_begun(id.raw()) => return Ok(now),
+            Some(_) => {}
+        }
+        let meta = *self.recording_mut(id)?.meta();
+        let op = self.journal_append(
+            Record::Begin {
+                strand: id.raw(),
+                medium: meta.medium,
+                unit_rate: meta.unit_rate,
+                granularity: meta.granularity,
+                unit_bits: meta.unit_bits.get(),
+            },
+            now,
+        )?;
+        Ok(op.map_or(now, |o| o.completed))
+    }
+
+    /// Write a checkpoint: the durable strand catalog plus the journal
+    /// floor, into the alternate checkpoint slot. Returns the instant
+    /// the write completed (or `now` unchanged on journal-free
+    /// volumes).
+    fn write_checkpoint(&mut self, now: Instant) -> Result<Instant, FsError> {
+        let Some(j) = self.journal.as_ref() else {
+            return Ok(now);
+        };
+        let catalog: Vec<CatalogEntry> = self
+            .strands
+            .iter()
+            .filter_map(|(id, st)| match st {
+                StrandState::Finished(s) => s.index_extents().last().map(|h| CatalogEntry {
+                    strand: id.raw(),
+                    header: *h,
+                }),
+                StrandState::Recording(_) => None,
             })
+            .collect();
+        let ck = Checkpoint {
+            seq: j.next_seq(),
+            next_strand: self.next_strand,
+            floor: j.floor(),
+            count: j.ckpt_count(),
+            catalog,
+        };
+        let bytes = journal::encode_checkpoint(&ck, j.sector_size())?;
+        let extent = j.next_ckpt_extent();
+        self.journal
+            .as_mut()
+            .expect("journal checked above")
+            .note_checkpoint();
+        self.disk.store_data(extent, &bytes);
+        let op = self.timed_write(now, extent)?;
+        let (seq, at) = (ck.seq, op.completed);
+        self.obs.emit(|| Event::Journal {
+            strand: u64::MAX,
+            op: JournalOp::Checkpoint,
+            seq,
+            at,
+        });
+        Ok(op.completed)
+    }
+
+    /// Perform a timed write, surfacing injected write faults: a torn
+    /// write (only a sector prefix persisted) is distinguished from a
+    /// fully-failed one because the caller's recovery story differs —
+    /// torn data fails its journal checksum, failed data is absent.
+    fn timed_write(&mut self, now: Instant, extent: Extent) -> Result<DiskOp, FsError> {
+        match self.disk.access(now, extent, AccessKind::Write) {
+            Ok(op) => {
+                self.last_io = op.completed;
+                Ok(op)
+            }
+            Err(f) => {
+                self.last_io = f.op.completed;
+                Err(match f.kind {
+                    FaultKind::Torn => FsError::TornWrite {
+                        lba: extent.start,
+                        sectors: extent.sectors,
+                    },
+                    FaultKind::Media | FaultKind::Transient | FaultKind::Crashed => {
+                        FsError::WriteFault {
+                            lba: extent.start,
+                            sectors: extent.sectors,
+                        }
+                    }
+                })
+            }
+        }
     }
 
     /// Timed read for non-real-time paths (index loads, healing copies):
@@ -260,9 +460,14 @@ impl Msm {
         let mut attempts = 0u32;
         loop {
             match self.disk.access(t, extent, AccessKind::Read) {
-                Ok(op) => return Ok(op),
+                Ok(op) => {
+                    self.last_io = op.completed;
+                    return Ok(op);
+                }
                 Err(f) => match f.kind {
-                    FaultKind::Media => {
+                    // `Torn` never fires on reads; a crashed device
+                    // fails every access permanently, like bad media.
+                    FaultKind::Media | FaultKind::Torn | FaultKind::Crashed => {
                         return Err(FsError::MediaError {
                             lba: extent.start,
                             sectors: extent.sectors,
@@ -351,21 +556,77 @@ impl Msm {
             padded.resize(sectors as usize * sector_size, 0);
             &padded[..]
         };
+        // Intent before data: the journal record carries the padded
+        // payload's checksum, so recovery can tell a complete block
+        // from a torn one.
+        let mut t = now;
+        if self.journal.is_some() {
+            t = self.ensure_begun(id, t)?;
+            let payload_sum = journal::fnv1a(data);
+            if let Some(op) = self.journal_append(
+                Record::Append {
+                    strand: id.raw(),
+                    block: block_no,
+                    lba: extent.start,
+                    sectors: extent.sectors,
+                    units,
+                    payload_sum,
+                },
+                t,
+            )? {
+                t = op.completed;
+            }
+        }
         self.disk.store_data(extent, data);
-        let op = self.timed_write(now, extent)?;
+        let op = self.timed_write(t, extent)?;
         Ok((block_no, op))
     }
 
-    /// Append a silence hole of `units` units (audio): no disk space, no
-    /// I/O — a NULL primary pointer.
-    pub fn append_silence(&mut self, id: StrandId, units: u64) -> Result<BlockNo, FsError> {
-        self.recording_mut(id)?.push_silence(units)
+    /// Append a silence hole of `units` units (audio): no disk space
+    /// and — on journal-free volumes — no I/O, just a NULL primary
+    /// pointer. A journaled volume persists a `Silence` intent record
+    /// (the returned [`DiskOp`]) so recovery can rebuild the hole.
+    pub fn append_silence(
+        &mut self,
+        id: StrandId,
+        units: u64,
+        now: Instant,
+    ) -> Result<(BlockNo, Option<DiskOp>), FsError> {
+        let block_no = self.recording_mut(id)?.push_silence(units)?;
+        let mut op = None;
+        if self.journal.is_some() {
+            let t = self.ensure_begun(id, now)?;
+            op = self.journal_append(
+                Record::Silence {
+                    strand: id.raw(),
+                    block: block_no,
+                    units,
+                },
+                t,
+            )?;
+        }
+        Ok((block_no, op))
     }
 
     /// Finish a recording: write the 3-level index to disk and freeze the
     /// strand. Returns the header-block extent (the strand's on-disk
     /// root).
+    ///
+    /// On a journaled volume the finish is a mini-transaction:
+    /// `FinishIntent` → index writes → `FinishCommit` → checkpoint. A
+    /// crash before the commit record leaves the strand in flight
+    /// (recovery rebuilds a fresh index from the journaled blocks); a
+    /// crash after it leaves the strand durable.
     pub fn finish_strand(&mut self, id: StrandId, now: Instant) -> Result<Extent, FsError> {
+        let mut t = now;
+        if self.journal.is_some()
+            && matches!(self.strands.get(&id), Some(StrandState::Recording(_)))
+        {
+            t = self.ensure_begun(id, t)?;
+            if let Some(op) = self.journal_append(Record::FinishIntent { strand: id.raw() }, t)? {
+                t = op.completed;
+            }
+        }
         let state = self.strands.remove(&id).ok_or(FsError::UnknownStrand(id))?;
         let builder = match state {
             StrandState::Recording(b) => b,
@@ -376,9 +637,21 @@ impl Msm {
         };
         let meta = *builder.meta();
         let (header_extent, index_extents) =
-            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, now)?;
+            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, t)?;
         let strand = builder.freeze(index_extents);
         self.strands.insert(id, StrandState::Finished(strand));
+        if self.journal.is_some() {
+            let op = self.journal_append(
+                Record::FinishCommit {
+                    strand: id.raw(),
+                    header_lba: header_extent.start,
+                    header_sectors: header_extent.sectors,
+                },
+                self.last_io,
+            )?;
+            let t = op.map_or(self.last_io, |o| o.completed);
+            self.write_checkpoint(t)?;
+        }
         Ok(header_extent)
     }
 
@@ -557,7 +830,9 @@ impl Msm {
                     });
                 }
                 Err(f) => match f.kind {
-                    FaultKind::Media => {
+                    // Reads are never torn; a crashed device is as
+                    // unreadable as bad media.
+                    FaultKind::Media | FaultKind::Torn | FaultKind::Crashed => {
                         return Ok(BlockFetch::Failed {
                             reason: FetchFailure::Media,
                             at: f.op.completed,
@@ -626,24 +901,135 @@ impl Msm {
 
     /// Delete a finished strand: free its media blocks and index blocks.
     /// The caller (GC) must have established that no rope references it.
+    ///
+    /// On a journaled volume a `Delete` intent record lands first and a
+    /// checkpoint (which drops the strand from the catalog) follows, so
+    /// a crash anywhere in between replays the deletion at recovery.
     pub fn delete_strand(&mut self, id: StrandId) -> Result<(), FsError> {
-        let strand = match self.strands.remove(&id) {
-            Some(StrandState::Finished(s)) => s,
-            Some(st @ StrandState::Recording(_)) => {
-                self.strands.insert(id, st);
-                return Err(FsError::StrandNotFinished(id));
-            }
+        match self.strands.get(&id) {
+            Some(StrandState::Finished(_)) => {}
+            Some(StrandState::Recording(_)) => return Err(FsError::StrandNotFinished(id)),
             None => return Err(FsError::UnknownStrand(id)),
+        }
+        if self.journal.is_some() {
+            let t = self.last_io;
+            self.journal_append(Record::Delete { strand: id.raw() }, t)?;
+        }
+        let Some(StrandState::Finished(strand)) = self.strands.remove(&id) else {
+            unreachable!("state checked above");
         };
+        // Skip extents the free map does not actually hold (a corrupt
+        // image being repaired) rather than double-freeing them.
         for (_n, e) in strand.stored_iter() {
             self.disk.discard_data(e);
-            self.alloc.release(e);
+            if self.alloc.freemap().extent_used(e) {
+                self.alloc.release(e);
+            }
         }
         for e in strand.index_extents() {
             self.disk.discard_data(*e);
-            self.alloc.release(*e);
+            if self.alloc.freemap().extent_used(*e) {
+                self.alloc.release(*e);
+            }
+        }
+        if self.journal.is_some() {
+            let t = self.last_io;
+            self.write_checkpoint(t)?;
         }
         Ok(())
+    }
+
+    /// Truncate a finished strand to its first `keep` blocks, rewriting
+    /// its on-disk index — fsck's repair primitive for dangling block
+    /// pointers. `keep == 0` deletes the strand outright. Extents that
+    /// the free map does not actually hold allocated (the corruption
+    /// being repaired) are skipped rather than double-freed; the
+    /// caller's leak sweep reclaims any remainder.
+    pub fn truncate_strand(
+        &mut self,
+        id: StrandId,
+        keep: u64,
+        now: Instant,
+    ) -> Result<(), FsError> {
+        match self.strands.get(&id) {
+            Some(StrandState::Finished(_)) => {}
+            Some(StrandState::Recording(_)) => return Err(FsError::StrandNotFinished(id)),
+            None => return Err(FsError::UnknownStrand(id)),
+        }
+        if keep == 0 {
+            return self.delete_strand(id);
+        }
+        let Some(StrandState::Finished(strand)) = self.strands.remove(&id) else {
+            unreachable!("state checked above");
+        };
+        let count = strand.block_count();
+        let keep = keep.min(count);
+        let meta = *strand.meta();
+        // Drop the tail blocks and the old index; keep only extents the
+        // free map really holds.
+        for (n, e) in strand.stored_iter() {
+            if n >= keep {
+                self.disk.discard_data(e);
+                if self.alloc.freemap().extent_used(e) {
+                    self.alloc.release(e);
+                }
+            }
+        }
+        for e in strand.index_extents() {
+            self.disk.discard_data(*e);
+            if self.alloc.freemap().extent_used(*e) {
+                self.alloc.release(*e);
+            }
+        }
+        // Rebuild: every block carries `granularity` units except the
+        // original final block, which keeps its partial fill.
+        let mut builder = StrandBuilder::new(id, meta);
+        for (i, b) in strand.blocks().iter().take(keep as usize).enumerate() {
+            let units = if i as u64 == count - 1 {
+                strand
+                    .unit_count()
+                    .saturating_sub((count - 1) * meta.granularity)
+                    .clamp(1, meta.granularity)
+            } else {
+                meta.granularity
+            };
+            match b {
+                Some(e) => builder.push_block(*e, units)?,
+                None => builder.push_silence(units)?,
+            };
+        }
+        let (header_extent, index_extents) =
+            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, now)?;
+        let rebuilt = builder.freeze(index_extents);
+        self.strands.insert(id, StrandState::Finished(rebuilt));
+        if self.journal.is_some() {
+            let t = self.last_io;
+            let op = self.journal_append(
+                Record::FinishCommit {
+                    strand: id.raw(),
+                    header_lba: header_extent.start,
+                    header_sectors: header_extent.sectors,
+                },
+                t,
+            )?;
+            let t = op.map_or(t, |o| o.completed);
+            self.write_checkpoint(t)?;
+        }
+        Ok(())
+    }
+
+    /// Release a fully-allocated region back to the free map and scrub
+    /// its data — fsck's primitive for reclaiming leaked space.
+    pub(crate) fn reclaim_extent(&mut self, e: Extent) {
+        self.disk.discard_data(e);
+        self.alloc.release(e);
+    }
+
+    /// Direct allocator access for hand-corrupting volumes in fsck
+    /// repair tests.
+    #[cfg(test)]
+    pub(crate) fn allocator_mut(&mut self) -> &mut Allocator {
+        &mut self.alloc
     }
 
     // ----- scattering maintenance (§4.2) ------------------------------
@@ -740,7 +1126,10 @@ impl Msm {
             let src_extent = self.strand(src)?.block(n)?;
             match src_extent {
                 None => {
-                    self.append_silence(new_id, meta.granularity)?;
+                    let (_, op) = self.append_silence(new_id, meta.granularity, t)?;
+                    if let Some(op) = op {
+                        t = op.completed;
+                    }
                 }
                 Some(e) => {
                     let data = self.fetch_checked(e, "media extent beyond device")?;
@@ -779,9 +1168,298 @@ impl Msm {
             self.timed_write(now, e)?;
             extents.push(e);
         }
+        // Remember the placement so fsck can tell infill from leaked
+        // space. Text files are not journaled: a crash orphans them and
+        // recovery's fsck sweep reclaims the sectors.
+        self.text_extents.extend_from_slice(&extents);
         Ok(extents)
     }
+
+    // ----- crash recovery ---------------------------------------------
+
+    /// Mount a volume from a (possibly crashed) device image by
+    /// replaying the intent journal: load the durable strands from the
+    /// newest valid checkpoint, re-apply committed finishes and
+    /// deletions, then for each in-flight recording verify the
+    /// journaled blocks against their checksums, keep the longest
+    /// intact prefix, roll the rest back, and finish the strand with a
+    /// fresh index. The device must have been power-cycled first if a
+    /// crash point froze it ([`BlockDevice::power_cycle`]).
+    ///
+    /// `config` must enable the journal with the same sizing the volume
+    /// was created with.
+    pub fn recover(
+        device: Box<dyn BlockDevice>,
+        config: MsmConfig,
+        now: Instant,
+    ) -> Result<(Msm, RecoveryReport), FsError> {
+        if config.journal.is_none() {
+            return Err(FsError::JournalCorrupt {
+                what: "recovery requires a journal-enabled config",
+            });
+        }
+        let mut msm = Msm::build(device, &config);
+        let mut report = RecoveryReport::default();
+        let mut t = now;
+
+        // Newest valid checkpoint wins; a torn checkpoint write fails
+        // its checksum and falls back to the other slot.
+        let (slot_a, slot_b) = {
+            let j = msm.journal.as_ref().expect("journal checked above");
+            (j.ckpt_extent(0), j.ckpt_extent(1))
+        };
+        let mut ckpt: Option<Checkpoint> = None;
+        for slot in [slot_a, slot_b] {
+            let Some(bytes) = msm.disk.try_fetch(slot) else {
+                continue;
+            };
+            t = msm.timed_read_bg(t, slot)?.completed;
+            if let Some(c) = journal::decode_checkpoint(&bytes) {
+                if ckpt.as_ref().is_none_or(|best| c.seq > best.seq) {
+                    ckpt = Some(c);
+                }
+            }
+        }
+        let found_ckpt = ckpt.is_some();
+        let ckpt = ckpt.unwrap_or_default();
+        // The checkpointed id counter can lag the journal tail (or be
+        // absent entirely); every id seen below bumps it so recovered
+        // strands are never shadowed by post-recovery recordings.
+        msm.next_strand = ckpt.next_strand;
+
+        // Read the journal tail before touching the catalog: a deletion
+        // journaled after the checkpoint vetoes loading its strand,
+        // whose extents the pre-crash delete already released (and a
+        // later allocation may have reused and the crash torn).
+        // Every record from the floor to the first slot that fails to
+        // decode or holds a stale sequence.
+        let (region_floor, slots) = {
+            let j = msm.journal.as_ref().expect("journal checked above");
+            (ckpt.floor, j.slots())
+        };
+        let mut records = Vec::new();
+        let mut seq = region_floor;
+        while seq - region_floor < slots {
+            let extent = msm
+                .journal
+                .as_ref()
+                .expect("journal checked above")
+                .record_extent(seq);
+            let Some(bytes) = msm.disk.try_fetch(extent) else {
+                break;
+            };
+            let Some((rseq, rec)) = journal::decode_record(&bytes) else {
+                break;
+            };
+            if rseq != seq {
+                break; // stale survivor from an earlier lap
+            }
+            t = msm.timed_read_bg(t, extent)?.completed;
+            records.push(rec);
+            seq += 1;
+        }
+        let tail = seq;
+
+        // Fold the records into per-strand outcomes, in order.
+        let mut inflight: BTreeMap<u64, (StrandMeta, ReplayBlocks)> = BTreeMap::new();
+        let mut committed: Vec<(u64, Extent)> = Vec::new();
+        let mut deletions: Vec<u64> = Vec::new();
+        for rec in records {
+            msm.next_strand = msm.next_strand.max(rec.strand() + 1);
+            match rec {
+                Record::Begin {
+                    strand,
+                    medium,
+                    unit_rate,
+                    granularity,
+                    unit_bits,
+                } => {
+                    if !msm.strands.contains_key(&StrandId::from_raw(strand)) {
+                        let meta = StrandMeta {
+                            medium,
+                            unit_rate,
+                            granularity,
+                            unit_bits: strandfs_units::Bits::new(unit_bits),
+                        };
+                        inflight.insert(strand, (meta, Vec::new()));
+                    }
+                }
+                Record::Append {
+                    strand,
+                    lba,
+                    sectors,
+                    units,
+                    payload_sum,
+                    ..
+                } => {
+                    if let Some((_, blocks)) = inflight.get_mut(&strand) {
+                        blocks.push((
+                            Some(ReplayAppend {
+                                extent: Extent::new(lba, sectors),
+                                payload_sum,
+                            }),
+                            units,
+                        ));
+                    }
+                }
+                Record::Silence { strand, units, .. } => {
+                    if let Some((_, blocks)) = inflight.get_mut(&strand) {
+                        blocks.push((None, units));
+                    }
+                }
+                Record::FinishIntent { .. } => {}
+                Record::FinishCommit {
+                    strand,
+                    header_lba,
+                    header_sectors,
+                } => {
+                    if inflight.remove(&strand).is_some() {
+                        committed.push((strand, Extent::new(header_lba, header_sectors)));
+                    }
+                }
+                Record::Delete { strand } => {
+                    inflight.remove(&strand);
+                    // The deletion wins outright: never resurrect the
+                    // strand from a commit whose extents may since have
+                    // been released and reused.
+                    committed.retain(|(s, _)| *s != strand);
+                    deletions.push(strand);
+                }
+            }
+        }
+        let deleted: std::collections::BTreeSet<u64> = deletions.iter().copied().collect();
+
+        // Durable strands from the catalog, minus journaled deletions.
+        for entry in &ckpt.catalog {
+            msm.next_strand = msm.next_strand.max(entry.strand + 1);
+            if deleted.contains(&entry.strand) {
+                continue;
+            }
+            let id = StrandId::from_raw(entry.strand);
+            let strand = msm.load_strand(id, entry.header, t)?;
+            msm.adopt_strand_extents(&strand);
+            msm.strands.insert(id, StrandState::Finished(strand));
+            report.durable_strands += 1;
+        }
+
+        // Strands committed after the last checkpoint: their index is
+        // durable (the commit record follows the final index write).
+        for (raw, header) in committed {
+            let id = StrandId::from_raw(raw);
+            if msm.strands.contains_key(&id) {
+                continue;
+            }
+            let strand = msm.load_strand(id, header, t)?;
+            msm.adopt_strand_extents(&strand);
+            msm.strands.insert(id, StrandState::Finished(strand));
+            report.durable_strands += 1;
+        }
+
+        // Journaled deletions already took physical effect before the
+        // crash — the delete discards and releases immediately after
+        // its record lands — so recovery simply never adopted the
+        // victims above. Only the count survives.
+        report.deleted_strands += deletions.len() as u64;
+
+        // In-flight recordings: keep the longest verified prefix.
+        let mut to_finish = Vec::new();
+        for (raw, (meta, blocks)) in inflight {
+            let id = StrandId::from_raw(raw);
+            let mut builder = StrandBuilder::new(id, meta);
+            let mut intact = true;
+            let mut kept_any = false;
+            for (append, units) in blocks {
+                match append {
+                    Some(a) if intact => {
+                        let verified = msm
+                            .disk
+                            .try_fetch(a.extent)
+                            .map(|d| journal::fnv1a(&d) == a.payload_sum)
+                            .unwrap_or(false);
+                        if verified {
+                            t = msm.timed_read_bg(t, a.extent)?.completed;
+                            msm.alloc.adopt(a.extent);
+                            builder.push_block(a.extent, units)?;
+                            report.blocks_recovered += 1;
+                            kept_any = true;
+                        } else {
+                            // Torn or never written: the prefix ends
+                            // here; scrub the partial data.
+                            msm.disk.discard_data(a.extent);
+                            report.blocks_rolled_back += 1;
+                            intact = false;
+                        }
+                    }
+                    Some(a) => {
+                        msm.disk.discard_data(a.extent);
+                        report.blocks_rolled_back += 1;
+                    }
+                    None if intact => {
+                        builder.push_silence(units)?;
+                        report.blocks_recovered += 1;
+                    }
+                    None => report.blocks_rolled_back += 1,
+                }
+            }
+            if kept_any {
+                msm.strands.insert(id, StrandState::Recording(builder));
+                to_finish.push(id);
+            }
+        }
+
+        // Restore the journal cursor, then finish the survivors through
+        // the normal journaled path (fresh Begin/Append records would
+        // be redundant — finish re-journals the strand wholesale via
+        // FinishIntent → index → FinishCommit → checkpoint).
+        msm.journal
+            .as_mut()
+            .expect("journal checked above")
+            .restore(tail, if found_ckpt { ckpt.count + 1 } else { 0 });
+        for id in &to_finish {
+            msm.finish_strand(*id, t)?;
+            t = msm.last_io;
+            report.completed_strands += 1;
+        }
+        // Make the recovered state durable even when nothing was in
+        // flight, so a second recovery replays an empty tail.
+        t = msm.write_checkpoint(t)?;
+
+        report.finished_at = t;
+        let (durable, completed, recovered, rolled) = (
+            report.durable_strands,
+            report.completed_strands,
+            report.blocks_recovered,
+            report.blocks_rolled_back,
+        );
+        msm.obs.emit(|| Event::Recover {
+            durable,
+            completed,
+            blocks_recovered: recovered,
+            blocks_rolled_back: rolled,
+            at: t,
+        });
+        Ok((msm, report))
+    }
+
+    fn adopt_strand_extents(&mut self, strand: &Strand) {
+        for (_n, e) in strand.stored_iter() {
+            self.alloc.adopt(e);
+        }
+        for e in strand.index_extents() {
+            self.alloc.adopt(*e);
+        }
+    }
 }
+
+/// A journaled stored-block append awaiting verification at recovery.
+struct ReplayAppend {
+    extent: Extent,
+    payload_sum: u64,
+}
+
+/// The journaled blocks of one in-flight recording, in append order;
+/// `None` entries are silence holes.
+type ReplayBlocks = Vec<(Option<ReplayAppend>, u64)>;
 
 #[cfg(test)]
 mod tests {
@@ -863,7 +1541,7 @@ mod tests {
         m.append_block(id, Instant::EPOCH, &[1u8; 800], 800)
             .unwrap();
         let after_block = m.allocator().freemap().used();
-        m.append_silence(id, 800).unwrap();
+        m.append_silence(id, 800, Instant::EPOCH).unwrap();
         assert_eq!(m.allocator().freemap().used(), after_block);
         m.append_block(id, Instant::EPOCH, &[2u8; 800], 800)
             .unwrap();
@@ -883,7 +1561,7 @@ mod tests {
         let mut t = Instant::EPOCH;
         for i in 0..100u64 {
             if i % 9 == 3 {
-                m.append_silence(id, 3).unwrap();
+                m.append_silence(id, 3, t).unwrap();
             } else {
                 let (_, op) = m
                     .append_block(id, t, &vec![(i % 251) as u8; 36_000], 3)

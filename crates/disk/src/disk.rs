@@ -290,6 +290,27 @@ impl SimDisk {
     pub fn sectors_written(&self) -> usize {
         self.store.len()
     }
+
+    /// FNV-1a hash over every written sector in address order: a stable
+    /// fingerprint of the device image for byte-identity assertions
+    /// (crash-point determinism — same plan, seed and access sequence
+    /// must freeze byte-identical post-crash images).
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut lbas: Vec<Lba> = self.store.keys().copied().collect();
+        lbas.sort_unstable();
+        let mut h = OFFSET;
+        for lba in lbas {
+            for byte in lba.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+            for &byte in self.store[&lba].iter() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use crate::geometry::{DiskGeometry, Extent, Lba};
 use crate::seek::SeekModel;
 use crate::trace::DiskStats;
 use std::collections::HashMap;
-use strandfs_obs::{Event, FaultClass, ObsSink};
+use strandfs_obs::{AccessDir, Event, FaultClass, ObsSink};
 use strandfs_units::prng::mix_seed;
 use strandfs_units::{Instant, Nanos, Prng, Seconds};
 
@@ -42,8 +42,13 @@ const FAULT_STREAM: u64 = 0xFA17;
 pub enum FaultKind {
     /// Permanent media error: every attempt on these sectors fails.
     Media,
-    /// Transient read error: a later retry may succeed.
+    /// Transient error: a later retry may succeed.
     Transient,
+    /// Torn write: only a prefix of the written sectors persisted.
+    Torn,
+    /// The device hit its crash point (or was already crashed): the
+    /// image is frozen and every access fails until a power cycle.
+    Crashed,
 }
 
 /// A failed access. The attempt consumed real service time — the head
@@ -95,6 +100,21 @@ pub struct SpikeCfg {
     pub max_extra: Nanos,
 }
 
+/// A deterministic crash point: when it fires, the in-flight write is
+/// torn (a seeded prefix of its sectors persists) and the device
+/// freezes into its post-crash image — every later access fails with
+/// [`FaultKind::Crashed`] and stores are dropped, until
+/// [`BlockDevice::power_cycle`] clears the freeze. Same plan + seed +
+/// access sequence ⇒ byte-identical post-crash image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashPoint {
+    /// Crash on device write number `n` (0-based): the first `n` writes
+    /// complete normally, the next one tears and freezes the device.
+    AfterWrites(u64),
+    /// Crash on the first write issued at or after this virtual instant.
+    AtInstant(Instant),
+}
+
 /// A degraded-transfer window: operations issued in `[from, until)`
 /// (and overlapping `region`, when one is given) have their media
 /// transfer stretched by `slowdown` (≥ 1.0) — a region of the drive
@@ -124,6 +144,14 @@ pub struct FaultPlan {
     pub spikes: Option<SpikeCfg>,
     /// Degraded-transfer windows.
     pub degraded: Vec<DegradedWindow>,
+    /// Torn-write regions: every overlapping write persists only a
+    /// seeded prefix of its sectors and fails with [`FaultKind::Torn`].
+    pub torn: Vec<Extent>,
+    /// Pinned success-after-N write transients: overlapping writes fail
+    /// `failures` times (persisting nothing), then succeed.
+    pub write_transients: Vec<TransientFault>,
+    /// The crash point, if any.
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -139,6 +167,9 @@ impl FaultPlan {
             && self.random_transients.is_none()
             && self.spikes.is_none()
             && self.degraded.is_empty()
+            && self.torn.is_empty()
+            && self.write_transients.is_empty()
+            && self.crash.is_none()
     }
 
     /// Add a permanently bad extent.
@@ -173,6 +204,26 @@ impl FaultPlan {
         self.degraded.push(window);
         self
     }
+
+    /// Add a torn-write region (writes persist a seeded sector prefix).
+    pub fn with_torn_extent(mut self, extent: Extent) -> Self {
+        self.torn.push(extent);
+        self
+    }
+
+    /// Add a pinned write transient (fails `failures` times persisting
+    /// nothing, then writes succeed).
+    pub fn with_write_transient(mut self, extent: Extent, failures: u32) -> Self {
+        self.write_transients
+            .push(TransientFault { extent, failures });
+        self
+    }
+
+    /// Set the crash point.
+    pub fn with_crash_point(mut self, crash: CrashPoint) -> Self {
+        self.crash = Some(crash);
+        self
+    }
 }
 
 /// Cumulative fault counters kept by a [`FaultInjector`].
@@ -180,8 +231,13 @@ impl FaultPlan {
 pub struct FaultStats {
     /// Reads refused with a permanent media error.
     pub media_errors: u64,
-    /// Reads refused with a transient error.
+    /// Accesses refused with a transient error (reads and writes).
     pub transient_errors: u64,
+    /// Writes torn to a sector prefix.
+    pub torn_writes: u64,
+    /// Accesses refused because the device is crashed (the crash-point
+    /// write itself included).
+    pub crashed_ops: u64,
     /// Operations that paid a latency spike.
     pub spikes: u64,
     /// Operations slowed by a degraded-transfer window.
@@ -243,6 +299,16 @@ pub trait BlockDevice {
     fn bad_extents(&self) -> &[Extent] {
         &[]
     }
+    /// Clear a crash-point freeze so the post-crash image can be
+    /// remounted: the device accepts operations again and the spent
+    /// crash point is disarmed (other fault state is retained). Returns
+    /// `false` on devices that cannot crash (nothing to clear).
+    fn power_cycle(&mut self) -> bool {
+        false
+    }
+    /// Stable FNV-1a fingerprint of the written device image, for
+    /// byte-identity assertions across crash replays.
+    fn content_hash(&self) -> u64;
 }
 
 impl BlockDevice for SimDisk {
@@ -285,6 +351,9 @@ impl BlockDevice for SimDisk {
     fn sectors_written(&self) -> usize {
         SimDisk::sectors_written(self)
     }
+    fn content_hash(&self) -> u64 {
+        SimDisk::content_hash(self)
+    }
 }
 
 /// A seeded fault injector wrapping a [`SimDisk`].
@@ -307,9 +376,16 @@ pub struct FaultInjector {
     /// Remaining failures per pinned transient (parallel to
     /// `plan.transients`).
     transient_remaining: Vec<u32>,
+    /// Remaining failures per pinned write transient (parallel to
+    /// `plan.write_transients`).
+    write_transient_remaining: Vec<u32>,
     /// Remaining failures per currently-faulting extent of the random
     /// transient process, keyed by extent start.
     random_remaining: HashMap<Lba, u32>,
+    /// Device writes attempted while healthy (drives `AfterWrites`).
+    writes_done: u64,
+    /// True once the crash point fired: the image is frozen.
+    crashed: bool,
     stats: DiskStats,
     fstats: FaultStats,
     obs: ObsSink,
@@ -324,7 +400,10 @@ impl FaultInjector {
             seed,
             prng: Prng::seed_from_u64(mix_seed(seed, FAULT_STREAM)),
             transient_remaining: Vec::new(),
+            write_transient_remaining: Vec::new(),
             random_remaining: HashMap::new(),
+            writes_done: 0,
+            crashed: false,
             stats: DiskStats::default(),
             fstats: FaultStats::default(),
             obs: ObsSink::noop(),
@@ -345,9 +424,23 @@ impl FaultInjector {
 
     fn install(&mut self, plan: FaultPlan) {
         self.transient_remaining = plan.transients.iter().map(|t| t.failures).collect();
+        self.write_transient_remaining = plan.write_transients.iter().map(|t| t.failures).collect();
         self.random_remaining.clear();
+        self.writes_done = 0;
+        self.crashed = false;
         self.prng = Prng::seed_from_u64(mix_seed(self.seed, FAULT_STREAM));
         self.plan = plan;
+    }
+
+    /// True once the crash point fired and no power cycle has cleared it.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Device writes attempted so far (healthy writes only): the index
+    /// space a crash-point sweep enumerates with `AfterWrites`.
+    pub fn writes_done(&self) -> u64 {
+        self.writes_done
     }
 
     /// Extra transfer time charged by degraded windows covering this op.
@@ -394,6 +487,50 @@ impl FaultInjector {
                 let burst = 1 + self.prng.bounded_u64(cfg.max_failures.max(1) as u64) as u32;
                 self.random_remaining.insert(extent.start, burst - 1);
                 return Some(FaultKind::Transient);
+            }
+        }
+        None
+    }
+
+    /// Tear a write: keep a seeded prefix of the extent's sectors on the
+    /// medium, drop the rest. The payload was already stored (the MSM
+    /// stores before it times the write), so tearing is a partial
+    /// discard of what just landed.
+    fn tear(&mut self, extent: Extent) {
+        let kept = self.prng.bounded_u64(extent.sectors);
+        if kept < extent.sectors {
+            self.inner
+                .discard_data(Extent::new(extent.start + kept, extent.sectors - kept));
+        }
+    }
+
+    /// Decide whether this write fails, consuming fault state and
+    /// mutating the stored image (torn prefix / dropped payload) so the
+    /// on-medium bytes match the failure the caller observes.
+    fn write_fault(&mut self, extent: Extent, issued: Instant) -> Option<FaultKind> {
+        let crash_now = match self.plan.crash {
+            Some(CrashPoint::AfterWrites(n)) => self.writes_done >= n,
+            Some(CrashPoint::AtInstant(t)) => issued >= t,
+            None => false,
+        };
+        if crash_now {
+            self.tear(extent);
+            self.crashed = true;
+            return Some(FaultKind::Crashed);
+        }
+        if self.plan.torn.iter().any(|t| t.overlaps(extent)) {
+            self.tear(extent);
+            return Some(FaultKind::Torn);
+        }
+        for (i, t) in self.plan.write_transients.iter().enumerate() {
+            if t.extent.overlaps(extent) {
+                if self.write_transient_remaining[i] > 0 {
+                    self.write_transient_remaining[i] -= 1;
+                    // A failed write attempt persists nothing.
+                    self.inner.discard_data(extent);
+                    return Some(FaultKind::Transient);
+                }
+                return None;
             }
         }
         None
@@ -472,9 +609,23 @@ impl BlockDevice for FaultInjector {
         }
         op.completed = op.issued + op.seek + op.rotation + op.transfer;
 
-        let fault = match kind {
-            AccessKind::Read => self.read_fault(extent),
-            AccessKind::Write => None,
+        let dir = match kind {
+            AccessKind::Read => AccessDir::Read,
+            AccessKind::Write => AccessDir::Write,
+        };
+        let fault = if self.crashed {
+            // Frozen image: every access fails, nothing persists (the
+            // matching `store_data` was already dropped).
+            Some(FaultKind::Crashed)
+        } else {
+            match kind {
+                AccessKind::Read => self.read_fault(extent),
+                AccessKind::Write => {
+                    let f = self.write_fault(extent, op.issued);
+                    self.writes_done += 1;
+                    f
+                }
+            }
         };
 
         self.stats.record(&op);
@@ -482,6 +633,7 @@ impl BlockDevice for FaultInjector {
         if degraded > Nanos::ZERO {
             self.obs.emit(|| Event::Fault {
                 class: FaultClass::Degraded,
+                dir,
                 lba: extent.start,
                 sectors: extent.sectors,
                 issued: op.issued,
@@ -492,6 +644,7 @@ impl BlockDevice for FaultInjector {
         if spike > Nanos::ZERO {
             self.obs.emit(|| Event::Fault {
                 class: FaultClass::Spike,
+                dir,
                 lba: extent.start,
                 sectors: extent.sectors,
                 issued: op.issued,
@@ -512,10 +665,21 @@ impl BlockDevice for FaultInjector {
                         self.fstats.transient_errors += 1;
                         FaultClass::Transient
                     }
+                    FaultKind::Torn => {
+                        self.fstats.torn_writes += 1;
+                        FaultClass::Torn
+                    }
+                    FaultKind::Crashed => {
+                        self.fstats.crashed_ops += 1;
+                        FaultClass::Crashed
+                    }
                 };
+                // A failed attempt — read or write — still cost the
+                // arm movement and rotation before it was detected.
                 self.fstats.penalty += op.service_time();
                 self.obs.emit(|| Event::Fault {
                     class,
+                    dir,
                     lba: extent.start,
                     sectors: extent.sectors,
                     issued: op.issued,
@@ -528,12 +692,20 @@ impl BlockDevice for FaultInjector {
     }
 
     fn store_data(&mut self, extent: Extent, data: &[u8]) {
+        // A crashed device drops stores on the floor: the image froze
+        // at the crash point.
+        if self.crashed {
+            return;
+        }
         self.inner.store_data(extent, data)
     }
     fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
         self.inner.try_fetch(extent)
     }
     fn discard_data(&mut self, extent: Extent) {
+        if self.crashed {
+            return;
+        }
         self.inner.discard_data(extent)
     }
     fn sectors_written(&self) -> usize {
@@ -548,6 +720,14 @@ impl BlockDevice for FaultInjector {
     }
     fn bad_extents(&self) -> &[Extent] {
         &self.plan.bad
+    }
+    fn power_cycle(&mut self) -> bool {
+        self.crashed = false;
+        self.plan.crash = None;
+        true
+    }
+    fn content_hash(&self) -> u64 {
+        self.inner.content_hash()
     }
 }
 
@@ -681,6 +861,116 @@ mod tests {
         );
         assert!(!inj.plan().is_clean());
         assert_eq!(inj.bad_extents(), &[] as &[Extent]);
+    }
+
+    fn write(d: &mut dyn BlockDevice, t: Instant, e: Extent, fill: u8) -> AccessResult {
+        let data = vec![fill; (e.sectors * 512) as usize];
+        d.store_data(e, &data);
+        d.access(t, e, AccessKind::Write)
+    }
+
+    #[test]
+    fn torn_extent_persists_only_a_prefix() {
+        let region = Extent::new(200, 16);
+        let plan = FaultPlan::clean().with_torn_extent(region);
+        let mut inj = FaultInjector::new(base_disk(), plan, 5);
+        let e = Extent::new(204, 8);
+        let err = write(&mut inj, Instant::EPOCH, e, 0xAB).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Torn);
+        assert!(err.op.completed > Instant::EPOCH, "torn write costs time");
+        // Some prefix of the sectors persisted; the suffix reads zero.
+        let bytes = inj.try_fetch(e).unwrap();
+        let kept = bytes.chunks(512).take_while(|s| s[0] == 0xAB).count();
+        assert!(kept < 8, "a torn write never lands fully");
+        assert!(
+            bytes[kept * 512..].iter().all(|&b| b == 0),
+            "suffix must be dropped"
+        );
+        assert_eq!(inj.fault_stats().torn_writes, 1);
+        // Writes outside the region are untouched.
+        assert!(write(&mut inj, err.op.completed, Extent::new(400, 4), 1).is_ok());
+    }
+
+    #[test]
+    fn write_transient_persists_nothing_then_succeeds() {
+        let e = Extent::new(80, 4);
+        let plan = FaultPlan::clean().with_write_transient(e, 2);
+        let mut inj = FaultInjector::new(base_disk(), plan, 1);
+        let mut t = Instant::EPOCH;
+        for _ in 0..2 {
+            let err = write(&mut inj, t, e, 7).unwrap_err();
+            assert_eq!(err.kind, FaultKind::Transient);
+            assert!(
+                inj.try_fetch(e).unwrap().iter().all(|&b| b == 0),
+                "failed write attempt must persist nothing"
+            );
+            t = err.op.completed;
+        }
+        let ok = write(&mut inj, t, e, 7).expect("third attempt lands");
+        assert!(inj.try_fetch(e).unwrap().iter().all(|&b| b == 7));
+        assert_eq!(inj.fault_stats().transient_errors, 2);
+        assert!(ok.completed > t);
+    }
+
+    #[test]
+    fn crash_point_freezes_image_until_power_cycle() {
+        let plan = FaultPlan::clean().with_crash_point(CrashPoint::AfterWrites(2));
+        let mut inj = FaultInjector::new(base_disk(), plan, 3);
+        let mut t = Instant::EPOCH;
+        for i in 0..2u64 {
+            let op = write(&mut inj, t, Extent::new(i * 16, 4), 1).expect("pre-crash writes land");
+            t = op.completed;
+        }
+        // The third write tears and freezes the device.
+        let err = write(&mut inj, t, Extent::new(64, 4), 2).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Crashed);
+        assert!(inj.is_crashed());
+        let frozen = inj.content_hash();
+        // Reads, writes and stores all bounce off the frozen image.
+        assert_eq!(
+            read(&mut inj, t, Extent::new(0, 4)).unwrap_err().kind,
+            FaultKind::Crashed
+        );
+        let _ = write(&mut inj, t, Extent::new(128, 4), 3);
+        inj.discard_data(Extent::new(0, 4));
+        assert_eq!(inj.content_hash(), frozen, "post-crash image is frozen");
+        assert!(inj.fault_stats().crashed_ops >= 2);
+        // Power-cycling disarms the spent crash point and thaws the device.
+        assert!(inj.power_cycle());
+        assert!(!inj.is_crashed());
+        assert!(write(&mut inj, t, Extent::new(128, 4), 3).is_ok());
+        assert!(read(&mut inj, t, Extent::new(128, 4)).is_ok());
+    }
+
+    #[test]
+    fn crash_image_is_deterministic_under_seed() {
+        let run = |seed| {
+            let plan = FaultPlan::clean().with_crash_point(CrashPoint::AfterWrites(3));
+            let mut inj = FaultInjector::new(base_disk(), plan, seed);
+            let mut t = Instant::EPOCH;
+            for i in 0..6u64 {
+                let e = Extent::new(i * 24, 6);
+                match write(&mut inj, t, e, i as u8 + 1) {
+                    Ok(op) => t = op.completed,
+                    Err(f) => t = f.op.completed,
+                }
+            }
+            inj.content_hash()
+        };
+        assert_eq!(run(11), run(11), "same plan+seed, byte-identical image");
+    }
+
+    #[test]
+    fn crash_at_instant_fires_on_first_write_past_it() {
+        let at = Instant::EPOCH + Nanos::from_millis(10);
+        let plan = FaultPlan::clean().with_crash_point(CrashPoint::AtInstant(at));
+        let mut inj = FaultInjector::new(base_disk(), plan, 1);
+        assert!(write(&mut inj, Instant::EPOCH, Extent::new(0, 2), 1).is_ok());
+        // Reads past the instant do not crash the device — only writes.
+        assert!(read(&mut inj, at, Extent::new(0, 2)).is_ok());
+        let err = write(&mut inj, at, Extent::new(8, 2), 2).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Crashed);
+        assert!(inj.is_crashed());
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use alloc::{AllocError, AllocPolicy, Allocator, GapBounds};
 pub use array::{DiskArray, StripedExtent};
 pub use disk::{AccessKind, DiskOp, SimDisk};
 pub use fault::{
-    AccessResult, BlockDevice, DegradedWindow, FaultInjector, FaultKind, FaultPlan, FaultStats,
-    Faulted, RandomTransients, SpikeCfg, TransientFault,
+    AccessResult, BlockDevice, CrashPoint, DegradedWindow, FaultInjector, FaultKind, FaultPlan,
+    FaultStats, Faulted, RandomTransients, SpikeCfg, TransientFault,
 };
 pub use freemap::FreeMap;
 pub use geometry::{DiskGeometry, Extent, Lba};

@@ -26,6 +26,12 @@ pub enum FaultClass {
     Spike,
     /// Degraded-transfer window: the operation's transfer was slowed.
     Degraded,
+    /// Torn write: only a prefix of the written sectors reached the
+    /// medium before the failure.
+    Torn,
+    /// Post-crash access: the device froze at a crash point and refuses
+    /// all further operations until power-cycled.
+    Crashed,
 }
 
 impl FaultClass {
@@ -36,6 +42,8 @@ impl FaultClass {
             FaultClass::Transient => "transient",
             FaultClass::Spike => "spike",
             FaultClass::Degraded => "degraded",
+            FaultClass::Torn => "torn",
+            FaultClass::Crashed => "crashed",
         }
     }
 }
@@ -58,6 +66,62 @@ impl DegradeAction {
             DegradeAction::DropBlock => "drop",
             DegradeAction::Revoke => "revoke",
             DegradeAction::Readmit => "readmit",
+        }
+    }
+}
+
+/// Which intent record the strand journal persisted (`strandfs-core`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JournalOp {
+    /// A recording strand was opened.
+    Begin,
+    /// A media block append was declared before its data write.
+    Append,
+    /// A silence hole was declared.
+    Silence,
+    /// A strand is about to write its on-disk index.
+    FinishIntent,
+    /// The on-disk index landed; the strand is durable.
+    FinishCommit,
+    /// A strand was deleted.
+    Delete,
+    /// A checkpoint (catalog + journal floor) was written.
+    Checkpoint,
+}
+
+impl JournalOp {
+    /// A short stable label for counters and trace names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JournalOp::Begin => "begin",
+            JournalOp::Append => "append",
+            JournalOp::Silence => "silence",
+            JournalOp::FinishIntent => "finish_intent",
+            JournalOp::FinishCommit => "finish_commit",
+            JournalOp::Delete => "delete",
+            JournalOp::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// A structural fix applied by fsck's repair mode (`strandfs-core`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RepairAction {
+    /// A strand was truncated to its last intact block.
+    TruncateStrand,
+    /// An allocated-but-unreachable extent was returned to free space.
+    ReleaseExtent,
+    /// A rope edit-log reference was rebuilt against a shorter strand.
+    RopeRef,
+}
+
+impl RepairAction {
+    /// A short stable label for counters and trace names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairAction::TruncateStrand => "truncate_strand",
+            RepairAction::ReleaseExtent => "release_extent",
+            RepairAction::RopeRef => "rope_ref",
         }
     }
 }
@@ -207,6 +271,8 @@ pub enum Event {
     Fault {
         /// What went wrong (or was slowed down).
         class: FaultClass,
+        /// Whether the faulted access was a read or a write.
+        dir: AccessDir,
         /// First sector of the affected access.
         lba: u64,
         /// Sectors in the affected access.
@@ -235,6 +301,43 @@ pub enum Event {
         at: Instant,
         /// Eq. 18 retry budget remaining when the retry was issued.
         budget: Nanos,
+    },
+    /// One intent record persisted by the strand journal
+    /// (`strandfs-core`, recording write path).
+    Journal {
+        /// The strand the record concerns (0 for checkpoints).
+        strand: u64,
+        /// Which record type was written.
+        op: JournalOp,
+        /// The record's monotonic sequence number.
+        seq: u64,
+        /// Virtual time the journal write was issued.
+        at: Instant,
+    },
+    /// A mount-time journal replay finished (`Msm::recover`).
+    Recover {
+        /// Strands restored from the durable catalog.
+        durable: u64,
+        /// In-flight recordings completed from their journal records.
+        completed: u64,
+        /// Media blocks whose payloads survived and were re-adopted.
+        blocks_recovered: u64,
+        /// Journaled appends rolled back (torn or never written).
+        blocks_rolled_back: u64,
+        /// Virtual time recovery finished.
+        at: Instant,
+    },
+    /// One structural fix applied by fsck's repair mode.
+    Repair {
+        /// Which repair rule fired.
+        action: RepairAction,
+        /// The strand (or rope, for `RopeRef`) repaired.
+        strand: u64,
+        /// Rule-specific magnitude: blocks dropped, sectors released, or
+        /// units clamped.
+        detail: u64,
+        /// Virtual time of the repair.
+        at: Instant,
     },
     /// A degradation-ladder decision (`strandfs-sim`).
     Degrade {
@@ -301,6 +404,9 @@ impl Event {
             Event::Fault { .. } => "fault",
             Event::Retry { .. } => "retry",
             Event::Degrade { .. } => "degrade",
+            Event::Journal { .. } => "journal",
+            Event::Recover { .. } => "recover",
+            Event::Repair { .. } => "repair",
         }
     }
 }

@@ -36,6 +36,6 @@ mod event;
 mod recorder;
 mod summary;
 
-pub use event::{AccessDir, DegradeAction, Event, FaultClass};
-pub use recorder::{ObsSink, Recorder, RingRecorder};
+pub use event::{AccessDir, DegradeAction, Event, FaultClass, JournalOp, RepairAction};
+pub use recorder::{ObsMetrics, ObsSink, Recorder, RingRecorder};
 pub use summary::{NanosAcc, NanosHistogram, NanosSummary, U64Acc};

@@ -155,10 +155,22 @@ pub struct ObsMetrics {
     pub faults_spike: u64,
     /// Operations slowed by a degraded-transfer window.
     pub faults_degraded: u64,
+    /// Torn writes: only a sector prefix reached the medium.
+    pub faults_torn: u64,
+    /// Accesses refused by a crashed (frozen) device.
+    pub faults_crashed: u64,
+    /// Faults whose affected access was a write.
+    pub faults_write: u64,
     /// Service time charged to faults (wasted attempts + extra latency).
     pub fault_penalty: NanosAcc,
     /// Read retries issued by the resilient read path.
     pub retries: u64,
+    /// Intent records persisted by the strand journal.
+    pub journal_records: u64,
+    /// Mount-time journal replays completed.
+    pub recovers: u64,
+    /// Structural fixes applied by fsck's repair mode.
+    pub repairs: u64,
     /// Blocks dropped by the degradation ladder.
     pub degrade_drops: u64,
     /// Streams revoked through admission control.
@@ -251,16 +263,29 @@ impl ObsMetrics {
                     self.deadline_margin.record(deadline - completed);
                 }
             }
-            Event::Fault { class, penalty, .. } => {
+            Event::Fault {
+                class,
+                dir,
+                penalty,
+                ..
+            } => {
                 match class {
                     FaultClass::Media => self.faults_media += 1,
                     FaultClass::Transient => self.faults_transient += 1,
                     FaultClass::Spike => self.faults_spike += 1,
                     FaultClass::Degraded => self.faults_degraded += 1,
+                    FaultClass::Torn => self.faults_torn += 1,
+                    FaultClass::Crashed => self.faults_crashed += 1,
+                }
+                if dir == AccessDir::Write {
+                    self.faults_write += 1;
                 }
                 self.fault_penalty.record(penalty);
             }
             Event::Retry { .. } => self.retries += 1,
+            Event::Journal { .. } => self.journal_records += 1,
+            Event::Recover { .. } => self.recovers += 1,
+            Event::Repair { .. } => self.repairs += 1,
             Event::Degrade { action, .. } => match action {
                 DegradeAction::DropBlock => self.degrade_drops += 1,
                 DegradeAction::Revoke => self.degrade_revokes += 1,
@@ -284,8 +309,10 @@ impl ObsMetrics {
                 "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
                 "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}},",
                 "\"faults\":{{\"media\":{},\"transient\":{},\"spike\":{},",
-                "\"degraded\":{},\"penalty\":{},\"retries\":{},",
-                "\"drops\":{},\"revokes\":{},\"readmits\":{}}}}}"
+                "\"degraded\":{},\"torn\":{},\"crashed\":{},\"writes\":{},",
+                "\"penalty\":{},\"retries\":{},",
+                "\"drops\":{},\"revokes\":{},\"readmits\":{}}},",
+                "\"recovery\":{{\"journal_records\":{},\"recovers\":{},\"repairs\":{}}}}}"
             ),
             self.disk_reads,
             self.disk_writes,
@@ -319,11 +346,17 @@ impl ObsMetrics {
             self.faults_transient,
             self.faults_spike,
             self.faults_degraded,
+            self.faults_torn,
+            self.faults_crashed,
+            self.faults_write,
             self.fault_penalty.summary().to_json(),
             self.retries,
             self.degrade_drops,
             self.degrade_revokes,
             self.degrade_readmits,
+            self.journal_records,
+            self.recovers,
+            self.repairs,
         )
     }
 }
@@ -567,6 +600,7 @@ mod tests {
         });
         rec.record(Event::Fault {
             class: FaultClass::Transient,
+            dir: AccessDir::Read,
             lba: 40,
             sectors: 8,
             issued: Instant::EPOCH,
@@ -575,11 +609,49 @@ mod tests {
         });
         rec.record(Event::Fault {
             class: FaultClass::Spike,
+            dir: AccessDir::Read,
             lba: 48,
             sectors: 8,
             issued: Instant::from_nanos(50),
             detected: Instant::from_nanos(120),
             penalty: Nanos::from_nanos(30),
+        });
+        rec.record(Event::Fault {
+            class: FaultClass::Torn,
+            dir: AccessDir::Write,
+            lba: 64,
+            sectors: 8,
+            issued: Instant::from_nanos(120),
+            detected: Instant::from_nanos(180),
+            penalty: Nanos::from_nanos(60),
+        });
+        rec.record(Event::Fault {
+            class: FaultClass::Crashed,
+            dir: AccessDir::Write,
+            lba: 72,
+            sectors: 8,
+            issued: Instant::from_nanos(180),
+            detected: Instant::from_nanos(240),
+            penalty: Nanos::from_nanos(60),
+        });
+        rec.record(Event::Journal {
+            strand: 1,
+            op: crate::event::JournalOp::Append,
+            seq: 4,
+            at: Instant::from_nanos(200),
+        });
+        rec.record(Event::Recover {
+            durable: 1,
+            completed: 1,
+            blocks_recovered: 3,
+            blocks_rolled_back: 1,
+            at: Instant::from_nanos(260),
+        });
+        rec.record(Event::Repair {
+            action: crate::event::RepairAction::TruncateStrand,
+            strand: 2,
+            detail: 1,
+            at: Instant::from_nanos(280),
         });
         rec.record(Event::Retry {
             strand: 1,
@@ -629,7 +701,9 @@ mod tests {
             (m.faults_media, m.faults_transient, m.faults_spike),
             (0, 1, 1)
         );
-        assert_eq!(m.fault_penalty.count(), 2);
+        assert_eq!((m.faults_torn, m.faults_crashed, m.faults_write), (1, 1, 2));
+        assert_eq!((m.journal_records, m.recovers, m.repairs), (1, 1, 1));
+        assert_eq!(m.fault_penalty.count(), 4);
         assert_eq!(m.retries, 1);
         assert_eq!(
             (m.degrade_drops, m.degrade_revokes, m.degrade_readmits),
@@ -644,6 +718,7 @@ mod tests {
             "\"rounds\"",
             "\"deadlines\"",
             "\"faults\"",
+            "\"recovery\"",
             "\"ring\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

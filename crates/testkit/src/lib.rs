@@ -16,6 +16,11 @@
 //! * [`json`] — a strict minimal JSON reader, the counterpart to the
 //!   hand-rolled writers across the workspace, so tests can validate
 //!   and navigate exported documents instead of grepping substrings.
+//! * [`crash`] — the crash-point sweep harness: records a fixed
+//!   scenario on a fault-injecting device, crashes at every write
+//!   index, remounts through journal recovery, and asserts the
+//!   crash-consistency invariants (tests and the E14 bench section
+//!   share it).
 //!
 //! Both harnesses are deterministic where it matters: property tests
 //! replay bit-identically for a fixed seed, and bench *structure* (which
@@ -25,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod crash;
 pub mod json;
 pub mod prop;
 

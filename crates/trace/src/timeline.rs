@@ -46,6 +46,8 @@ const TID_ADMISSION: u64 = 3;
 const TID_ALLOC: u64 = 4;
 /// Injected faults and retry attempts.
 const TID_FAULTS: u64 = 5;
+/// Journal records, mount-time recovery and fsck repairs.
+const TID_RECOVERY: u64 = 6;
 /// Per-stream tracks start here: stream `i` → tid `TID_STREAM_BASE + i`.
 const TID_STREAM_BASE: u64 = 100;
 
@@ -72,6 +74,7 @@ where
     t.thread_name(PID, TID_ADMISSION, "admission");
     t.thread_name(PID, TID_ALLOC, "allocation");
     t.thread_name(PID, TID_FAULTS, "faults");
+    t.thread_name(PID, TID_RECOVERY, "recovery");
 
     // The last virtual timestamp seen in the stream: where events that
     // carry no instant of their own (admission, allocation) are placed.
@@ -297,6 +300,7 @@ where
             }
             Event::Fault {
                 class,
+                dir,
                 lba,
                 sectors,
                 issued,
@@ -314,6 +318,13 @@ where
                     issued.as_nanos(),
                     (detected - issued).as_nanos(),
                     &[
+                        (
+                            "dir",
+                            ArgVal::S(match dir {
+                                AccessDir::Read => "read",
+                                AccessDir::Write => "write",
+                            }),
+                        ),
                         ("lba", ArgVal::U(lba)),
                         ("sectors", ArgVal::U(sectors)),
                         ("penalty_ns", ArgVal::U(penalty.as_nanos())),
@@ -362,6 +373,60 @@ where
                         ("round", ArgVal::U(round)),
                         ("item", ArgVal::U(item)),
                     ],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Journal {
+                strand,
+                op,
+                seq,
+                at,
+            } => {
+                t.instant(
+                    &format!("journal:{}", op.label()),
+                    "recovery",
+                    PID,
+                    TID_RECOVERY,
+                    at.as_nanos(),
+                    &[("strand", ArgVal::U(strand)), ("seq", ArgVal::U(seq))],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Recover {
+                durable,
+                completed,
+                blocks_recovered,
+                blocks_rolled_back,
+                at,
+            } => {
+                t.instant(
+                    "recover",
+                    "recovery",
+                    PID,
+                    TID_RECOVERY,
+                    at.as_nanos(),
+                    &[
+                        ("durable", ArgVal::U(durable)),
+                        ("completed", ArgVal::U(completed)),
+                        ("blocks_recovered", ArgVal::U(blocks_recovered)),
+                        ("blocks_rolled_back", ArgVal::U(blocks_rolled_back)),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Repair {
+                action,
+                strand,
+                detail,
+                at,
+            } => {
+                t.instant(
+                    &format!("repair:{}", action.label()),
+                    "recovery",
+                    PID,
+                    TID_RECOVERY,
+                    at.as_nanos(),
+                    &[("strand", ArgVal::U(strand)), ("detail", ArgVal::U(detail))],
                 );
                 now = now.max(at.as_nanos());
             }
@@ -576,6 +641,7 @@ mod tests {
         let events = [
             Event::Fault {
                 class: FaultClass::Transient,
+                dir: AccessDir::Read,
                 lba: 640,
                 sectors: 8,
                 issued: at(1_000),
@@ -609,6 +675,41 @@ mod tests {
         // The degrade instant lands on stream 1's track.
         assert!(doc.contains("\"name\":\"drop\""));
         assert!(doc.contains("\"name\":\"stream 1\""));
+    }
+
+    #[test]
+    fn recovery_events_render_on_their_track() {
+        use strandfs_obs::{JournalOp, RepairAction};
+        let events = [
+            Event::Journal {
+                strand: 3,
+                op: JournalOp::Append,
+                seq: 12,
+                at: at(2_000),
+            },
+            Event::Recover {
+                durable: 2,
+                completed: 1,
+                blocks_recovered: 5,
+                blocks_rolled_back: 1,
+                at: at(8_000),
+            },
+            Event::Repair {
+                action: RepairAction::TruncateStrand,
+                strand: 3,
+                detail: 2,
+                at: at(9_000),
+            },
+        ];
+        let doc = round_trip(&events, &TraceOptions::default());
+        assert!(doc.contains("\"name\":\"recovery\""));
+        assert!(doc.contains("\"name\":\"journal:append\""));
+        assert!(doc.contains("\"seq\":12"));
+        assert!(doc.contains("\"name\":\"recover\""));
+        assert!(doc.contains("\"blocks_rolled_back\":1"));
+        assert!(doc.contains("\"name\":\"repair:truncate_strand\""));
+        // All three land on the recovery track (tid 6).
+        assert_eq!(doc.matches("\"tid\":6,\"ts\":").count(), 3);
     }
 
     #[test]

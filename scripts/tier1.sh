@@ -22,12 +22,13 @@ echo "==> bench --check --quick (regression gate smoke)"
 cargo run -p strandfs-bench --release --offline --bin bench -- --check --quick
 
 # Seeded chaos pass: replay the failure-injection and fault-plan
-# property suites under a fresh random seed so each run explores new
-# fault schedules. The seed is logged; to replay a failure, re-run with
+# property suites plus the exhaustive crash-point sweep under a fresh
+# random seed so each run explores new fault schedules and tear
+# lengths. The seed is logged; to replay a failure, re-run with
 # STRANDFS_TEST_SEED pinned to the printed value.
 CHAOS_SEED="${STRANDFS_TEST_SEED:-$(od -An -N8 -tu8 /dev/urandom | tr -d ' ')}"
 echo "==> chaos pass (STRANDFS_TEST_SEED=$CHAOS_SEED)"
 STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline \
-    --test failure_injection --test proptests_sim
+    --test failure_injection --test proptests_sim --test crash_recovery
 
 echo "tier1: OK"

@@ -10,7 +10,9 @@ use strandfs::disk::{AccessKind, DiskGeometry, Extent, SeekModel, SimDisk};
 use strandfs::media::silence::SilenceDetector;
 use strandfs::media::{Medium, VideoCodec};
 use strandfs::units::{Instant, Nanos};
-use strandfs_testkit::{check, check_with, prop_assert, prop_assert_eq, vec as prop_vec, Config};
+use strandfs_testkit::{
+    any_bool, check, check_with, prop_assert, prop_assert_eq, vec as prop_vec, Config,
+};
 
 fn tiny_disk() -> SimDisk {
     SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991())
@@ -304,6 +306,114 @@ fn random_fault_plans_keep_trace_invariants_and_shield_non_victims() {
             // none simply vanished.
             let v = &report.streams[1];
             prop_assert_eq!(v.fetched + v.dropped_blocks, v.blocks);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn random_crash_points_recover_to_a_verified_prefix() {
+    use strandfs::core::journal::JournalConfig;
+    use strandfs::core::msm::{Msm, MsmConfig};
+    use strandfs::core::strand::StrandMeta;
+    use strandfs::core::{fsck, StrandId as Sid};
+    use strandfs::disk::{CrashPoint, FaultInjector, FaultPlan, GapBounds};
+    use strandfs::units::Bits;
+
+    fn config() -> MsmConfig {
+        MsmConfig::constrained(
+            GapBounds {
+                min_sectors: 0,
+                max_sectors: 128,
+            },
+            1,
+        )
+        .with_journal(JournalConfig { slots: 64 })
+    }
+    fn meta() -> StrandMeta {
+        StrandMeta {
+            medium: Medium::Video,
+            unit_rate: 30.0,
+            granularity: 3,             // blocks carry one to three units
+            unit_bits: Bits::new(4096), // 512 B units: one sector each
+        }
+    }
+    // Distinct nonzero fills, so a torn suffix can never pass for the
+    // intended content.
+    fn fill(strand: u64, block: u64) -> u8 {
+        (7 + strand * 31 + block * 3) as u8
+    }
+    fn payload(strand: u64, block: u64, units: u64) -> Vec<u8> {
+        vec![fill(strand, block); units as usize * 512]
+    }
+    // Record `counts[i]` blocks into strand `i` (block `b` carries
+    // `1 + (b % 3)` units), optionally deleting strand 0 at the end;
+    // crash at device-write `crash_at`, power-cycle and recover.
+    fn crashed_recovery(
+        seed: u64,
+        crash_at: u64,
+        counts: &[u64],
+        delete_first: bool,
+    ) -> Result<Msm, strandfs::core::FsError> {
+        let disk = SimDisk::new(DiskGeometry::tiny_test(), SeekModel::vintage_1991());
+        let plan = FaultPlan::clean().with_crash_point(CrashPoint::AfterWrites(crash_at));
+        let mut msm = Msm::new(FaultInjector::new(disk, plan, seed), config());
+        let mut t = Instant::EPOCH;
+        let workload = |msm: &mut Msm, t: &mut Instant| -> Result<(), strandfs::core::FsError> {
+            for (i, &blocks) in counts.iter().enumerate() {
+                let id = msm.begin_strand(meta());
+                for b in 0..blocks {
+                    let units = 1 + (b % 3);
+                    let (_, op) = msm.append_block(id, *t, &payload(i as u64, b, units), units)?;
+                    *t = op.completed;
+                }
+                msm.finish_strand(id, *t)?;
+            }
+            if delete_first {
+                msm.delete_strand(Sid::from_raw(0))?;
+            }
+            Ok(())
+        };
+        // A crash mid-recording surfaces as a write fault — exactly
+        // what it does to a real recorder.
+        let _ = workload(&mut msm, &mut t);
+        let mut device = msm.into_device();
+        device.power_cycle();
+        Msm::recover(device, config(), Instant::EPOCH).map(|(m, _)| m)
+    }
+
+    check_with(
+        &Config::with_cases(12),
+        "random_crash_points_recover_to_a_verified_prefix",
+        (0u64..1_000, 0u64..90, 1u64..7, 0u64..7, any_bool()),
+        |&(seed, crash_at, n0, n1, delete_first)| {
+            let counts = [n0, n1];
+            let mut rec = crashed_recovery(seed, crash_at, &counts, delete_first)
+                .expect("recovery must mount any crashed image");
+            // Every recovered strand is a verified prefix of the intent.
+            for (i, &blocks) in counts.iter().enumerate() {
+                let Ok(strand) = rec.strand(Sid::from_raw(i as u64)) else {
+                    continue; // absent: the empty prefix (or deleted)
+                };
+                let n = strand.block_count();
+                prop_assert!(n <= blocks, "strand {} grew past its intent", i);
+                for b in 0..n {
+                    let e = strand.block(b).unwrap().expect("no silence in intent");
+                    let got = rec.disk().try_fetch(e).expect("recovered block on device");
+                    prop_assert_eq!(got, payload(i as u64, b, 1 + (b % 3)));
+                    prop_assert!(
+                        rec.allocator().freemap().extent_used(e),
+                        "recovered block missing from the free map"
+                    );
+                }
+            }
+            // The volume is internally consistent without repairs.
+            let report = fsck::check_msm(&mut rec, Instant::EPOCH);
+            prop_assert!(report.clean(), "fsck after recovery: {:?}", report.findings);
+            // Same seed, same crash: byte-identical recovered image.
+            let rec2 = crashed_recovery(seed, crash_at, &counts, delete_first)
+                .expect("replayed recovery must mount");
+            prop_assert_eq!(rec.disk().content_hash(), rec2.disk().content_hash());
             Ok(())
         },
     );
