@@ -44,6 +44,7 @@ const SUITES: &[(&str, RegisterFn)] = &[
     ("scan_order", suites::scan_order::register),
     ("faults", suites::faults::register),
     ("crash", suites::crash::register),
+    ("fsx", suites::fsx::register),
 ];
 
 struct Cli {
@@ -197,6 +198,7 @@ fn run_check(cli: &Cli) -> ! {
         "crash",
         strandfs_bench::experiments::e14_crash::section_json,
     );
+    compare_deterministic("fsx", strandfs_bench::experiments::e15_fsx::section_json);
 
     println!(
         "\nbench check: {} benchmark(s) + {} section metric(s) compared against {}",
@@ -256,6 +258,9 @@ fn main() {
         "crash",
         strandfs_bench::experiments::e14_crash::section_json(),
     );
+    // The E15 fsx exerciser stream rides along the same way; its two
+    // fingerprints (op log, final image) are compared byte-exactly.
+    c.add_section("fsx", strandfs_bench::experiments::e15_fsx::section_json());
     c.report();
 
     let path = "BENCH_core.json";

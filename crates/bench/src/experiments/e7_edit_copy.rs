@@ -50,7 +50,9 @@ pub fn live_run() -> LiveRun {
     // CONCATE produces a new rope without healing (it shares strands);
     // heal it explicitly, as an in-place edit would.
     let mut rope = mrs.rope(joined).unwrap().clone();
-    let copied = mrs.heal_rope(&mut rope, Instant::EPOCH).unwrap();
+    let heal = mrs.heal_rope(&mut rope, Instant::EPOCH).unwrap();
+    assert!(heal.within_bounds(), "healing exceeded the Eq. 19/20 bound");
+    let copied = heal.blocks_copied();
     rope.check_invariants().unwrap();
     let mut schedule =
         compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();

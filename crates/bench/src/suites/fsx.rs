@@ -1,0 +1,29 @@
+//! E15: fsx editing exerciser — wall-clock cost of short model-checked
+//! edit streams (the committed deterministic stream rides along in
+//! `sections/fsx`; these benchmarks time the machinery itself).
+
+use crate::experiments::e15_fsx;
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+use strandfs_testkit::fsx::{run, FsxConfig};
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let mut g = c.benchmark_group("fsx");
+    g.sample_size(10);
+    g.bench_function("healthy_60_ops", |b| {
+        b.iter(|| {
+            let o = run(&FsxConfig::healthy(e15_fsx::SEED, 60));
+            black_box((o.op_log_hash, o.image_hash))
+        })
+    });
+    g.bench_function("crashing_60_ops_recover", |b| {
+        b.iter(|| {
+            // Crash mid-stream, power-cycle, recover, fsck, verify the
+            // surviving prefix — the whole consistency path.
+            let o = run(&FsxConfig::crashing(e15_fsx::SEED, 60, 2_000));
+            black_box((o.crashed, o.image_hash))
+        })
+    });
+    g.finish();
+}

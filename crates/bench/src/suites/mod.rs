@@ -17,6 +17,7 @@ pub mod crash;
 pub mod edit_copy;
 pub mod faults;
 pub mod fig4;
+pub mod fsx;
 pub mod index;
 pub mod readahead;
 pub mod scan_order;
@@ -41,4 +42,5 @@ pub fn register_all(c: &mut Runner) {
     scan_order::register(c);
     faults::register(c);
     crash::register(c);
+    fsx::register(c);
 }

@@ -30,10 +30,15 @@ fn obs_and_slo_sections_keep_their_shape() {
             "alloc",
             "deadlines",
             "disk",
+            "edits",
             "faults",
             "recovery",
             "rounds"
         ]
+    );
+    assert_eq!(
+        metrics.get("edits").unwrap().keys(),
+        vec!["bound_max", "copied", "heals"]
     );
     assert_eq!(
         metrics.get("disk").unwrap().keys(),
@@ -127,6 +132,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("slo", "{\"total\":{}}");
     r.add_section("faults", "{\"sweep\":[]}");
     r.add_section("crash", "{\"sweep\":[]}");
+    r.add_section("fsx", "{\"ops_attempted\":0}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -148,7 +154,7 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["crash", "faults", "obs", "slo"]
+        vec!["crash", "faults", "fsx", "obs", "slo"]
     );
 }
 
@@ -214,6 +220,42 @@ fn crash_section_keeps_its_shape() {
     // One crash point per device write of the scenario.
     let writes = doc.get("writes").and_then(Json::as_num).unwrap();
     assert!(writes > 10.0);
+}
+
+#[test]
+fn fsx_section_keeps_its_shape() {
+    let doc = validate(&strandfs_bench::experiments::e15_fsx::section_json());
+    assert_eq!(
+        doc.keys(),
+        vec![
+            "blocks_copied",
+            "boundaries_healed",
+            "cells_checked",
+            "edits",
+            "gc_runs",
+            "image_hash",
+            "max_bound_seen",
+            "max_copied_per_boundary",
+            "op_log_hash",
+            "ops_applied",
+            "ops_attempted",
+            "ops_rejected",
+            "play_cycles",
+            "strands_collected",
+            "verifies"
+        ]
+    );
+    // Both fingerprints pin byte-level reproducibility: the op log
+    // (what the exerciser did) and the final device image (what the
+    // volume looks like afterwards), each a fixed-width hex string
+    // compared exactly by the gate.
+    for key in ["op_log_hash", "image_hash"] {
+        let fp = doc.get(key).and_then(Json::as_str).unwrap();
+        assert_eq!(fp.len(), 16);
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+    let ops = doc.get("ops_attempted").and_then(Json::as_num).unwrap();
+    assert_eq!(ops, strandfs_bench::experiments::e15_fsx::OPS as f64);
 }
 
 #[test]

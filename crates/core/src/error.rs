@@ -3,7 +3,6 @@
 use crate::types::{RequestId, RopeId, StrandId};
 use std::fmt;
 use strandfs_disk::AllocError;
-use strandfs_units::Nanos;
 
 /// Errors surfaced by the strandfs core.
 #[derive(Clone, Debug, PartialEq)]
@@ -121,16 +120,6 @@ pub enum FsError {
         /// What went wrong.
         what: &'static str,
     },
-    /// Scattering healing tried to splice a bridge segment longer than
-    /// the companion-medium track it must carry along: the companion
-    /// content starting *before* the bridge interval cannot be moved
-    /// into it without desynchronizing the tracks.
-    BridgeExceedsTrack {
-        /// Duration of the bridge being spliced in.
-        bridge: Nanos,
-        /// Duration of the companion-medium track available.
-        track: Nanos,
-    },
 }
 
 impl fmt::Display for FsError {
@@ -186,10 +175,6 @@ impl fmt::Display for FsError {
                 )
             }
             FsError::JournalCorrupt { what } => write!(f, "journal corrupt: {what}"),
-            FsError::BridgeExceedsTrack { bridge, track } => write!(
-                f,
-                "bridge segment of {bridge} exceeds the {track} companion track"
-            ),
         }
     }
 }

@@ -45,7 +45,10 @@ use std::collections::BTreeMap;
 use strandfs_disk::Extent;
 use strandfs_media::Medium;
 
-/// Sectors reserved for each of the two checkpoint slots.
+/// Default sectors reserved for each of the two checkpoint slots. The
+/// slot bounds the strand catalog a checkpoint can hold (~21 entries
+/// per sector), so volumes expecting many strands raise
+/// [`JournalConfig::ckpt_sectors`].
 pub const CKPT_SECTORS: u64 = 4;
 
 /// Magic tag opening every journal record sector.
@@ -75,11 +78,28 @@ pub struct JournalConfig {
     /// one record per block, so this must exceed the longest strand
     /// recorded between checkpoints.
     pub slots: u64,
+    /// Sectors per checkpoint slot (two slots are reserved). Bounds the
+    /// strand catalog a checkpoint can carry: once the volume holds
+    /// more finished strands than fit, every checkpoint — and with it
+    /// every commit — fails with `JournalCorrupt`. Size for the
+    /// expected strand population.
+    pub ckpt_sectors: u64,
 }
 
 impl Default for JournalConfig {
     fn default() -> Self {
-        JournalConfig { slots: 256 }
+        JournalConfig {
+            slots: 256,
+            ckpt_sectors: CKPT_SECTORS,
+        }
+    }
+}
+
+impl JournalConfig {
+    /// Override the checkpoint slot size (in sectors).
+    pub fn with_ckpt_sectors(mut self, sectors: u64) -> Self {
+        self.ckpt_sectors = sectors;
+        self
     }
 }
 
@@ -337,10 +357,14 @@ pub struct Checkpoint {
     pub catalog: Vec<CatalogEntry>,
 }
 
-/// Encode a checkpoint into its slot (`CKPT_SECTORS * sector_size`
+/// Encode a checkpoint into its slot (`ckpt_sectors * sector_size`
 /// bytes). Errors when the catalog outgrows the slot.
-pub fn encode_checkpoint(c: &Checkpoint, sector_size: usize) -> Result<Vec<u8>, FsError> {
-    let cap = CKPT_SECTORS as usize * sector_size;
+pub fn encode_checkpoint(
+    c: &Checkpoint,
+    sector_size: usize,
+    ckpt_sectors: u64,
+) -> Result<Vec<u8>, FsError> {
+    let cap = ckpt_sectors as usize * sector_size;
     let mut out = Vec::with_capacity(cap);
     out.put_u32_le(CKPT_MAGIC);
     out.put_u64_le(c.seq);
@@ -407,6 +431,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
 pub struct Journal {
     region_start: u64,
     slots: u64,
+    ckpt_sectors: u64,
     sector_size: usize,
     next_seq: u64,
     ckpt_count: u64,
@@ -421,6 +446,7 @@ impl Journal {
         Journal {
             region_start,
             slots: config.slots.max(1),
+            ckpt_sectors: config.ckpt_sectors.max(1),
             sector_size,
             next_seq: 0,
             ckpt_count: 0,
@@ -437,7 +463,7 @@ impl Journal {
 
     /// The whole reserved region (checkpoints + record slots).
     pub fn region(&self) -> Extent {
-        Extent::new(self.region_start, 2 * CKPT_SECTORS + self.slots)
+        Extent::new(self.region_start, 2 * self.ckpt_sectors + self.slots)
     }
 
     /// The sector size records are encoded into.
@@ -448,6 +474,11 @@ impl Journal {
     /// Record slots in the circular log.
     pub fn slots(&self) -> u64 {
         self.slots
+    }
+
+    /// Sectors per checkpoint slot.
+    pub fn ckpt_sectors(&self) -> u64 {
+        self.ckpt_sectors
     }
 
     /// The next sequence number to be written.
@@ -462,7 +493,10 @@ impl Journal {
 
     /// The slot extent for sequence number `seq`.
     pub fn record_extent(&self, seq: u64) -> Extent {
-        Extent::new(self.region_start + 2 * CKPT_SECTORS + (seq % self.slots), 1)
+        Extent::new(
+            self.region_start + 2 * self.ckpt_sectors + (seq % self.slots),
+            1,
+        )
     }
 
     /// The checkpoint slot the next checkpoint write goes to.
@@ -472,7 +506,10 @@ impl Journal {
 
     /// Checkpoint slot `i` (0 = A, 1 = B).
     pub fn ckpt_extent(&self, i: usize) -> Extent {
-        Extent::new(self.region_start + i as u64 * CKPT_SECTORS, CKPT_SECTORS)
+        Extent::new(
+            self.region_start + i as u64 * self.ckpt_sectors,
+            self.ckpt_sectors,
+        )
     }
 
     /// The oldest sequence number still needed: the earliest `Begin`
@@ -603,7 +640,7 @@ mod tests {
                 },
             ],
         };
-        let bytes = encode_checkpoint(&c, 512).unwrap();
+        let bytes = encode_checkpoint(&c, 512, CKPT_SECTORS).unwrap();
         assert_eq!(bytes.len(), CKPT_SECTORS as usize * 512);
         assert_eq!(decode_checkpoint(&bytes).as_ref(), Some(&c));
         let mut torn = bytes.clone();
@@ -624,14 +661,23 @@ mod tests {
             ..Checkpoint::default()
         };
         assert!(matches!(
-            encode_checkpoint(&c, 512),
+            encode_checkpoint(&c, 512, CKPT_SECTORS),
             Err(FsError::JournalCorrupt { .. })
         ));
+        // A wider slot holds the same catalog.
+        assert!(encode_checkpoint(&c, 512, 16).is_ok());
     }
 
     #[test]
     fn circular_slots_and_live_floor_guard() {
-        let mut j = Journal::new(0, JournalConfig { slots: 4 }, 512);
+        let mut j = Journal::new(
+            0,
+            JournalConfig {
+                slots: 4,
+                ..JournalConfig::default()
+            },
+            512,
+        );
         assert_eq!(j.region(), Extent::new(0, 2 * CKPT_SECTORS + 4));
         assert_eq!(j.record_extent(0).start, 8);
         assert_eq!(j.record_extent(5).start, 9); // 5 % 4 = 1

@@ -21,7 +21,7 @@ use crate::gc::InterestRegistry;
 use crate::msm::Msm;
 use crate::rope::edit::{self, Interval, MediaSel};
 use crate::rope::scattering::CopySide;
-use crate::rope::{Rope, Segment, StrandRef, Trigger};
+use crate::rope::{split_proportional, Rope, Segment, StrandRef, Trigger};
 use crate::strand::StrandMeta;
 use crate::types::{BlockNo, RequestId, RopeId, StrandId};
 use std::collections::BTreeMap;
@@ -88,6 +88,63 @@ impl PlaySchedule {
     }
 }
 
+/// One healed boundary within an edit commit: what the §4.2 pass copied
+/// and the Eq. 19/20 bound it planned against.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryHeal {
+    /// The medium whose boundary was healed.
+    pub medium: Medium,
+    /// Which side of the boundary lost blocks to the bridge.
+    pub side: CopySide,
+    /// Media blocks copied into the bridging strand.
+    pub copied: u64,
+    /// The Eq. 19/20 copy bound in force when the plan was made.
+    pub bound: u64,
+    /// The freshly-created bridging strand.
+    pub new_strand: StrandId,
+}
+
+/// The healing report of one edit commit (`INSERT`/`REPLACE`/`DELETE`,
+/// or an explicit [`Mrs::heal_rope`] call): one entry per boundary the
+/// scattering-maintenance pass actually copied blocks for.
+#[derive(Clone, Debug, Default)]
+pub struct EditReport {
+    /// The healed boundaries, in rope order.
+    pub heals: Vec<BoundaryHeal>,
+}
+
+impl EditReport {
+    /// Total media blocks copied across all healed boundaries.
+    pub fn blocks_copied(&self) -> u64 {
+        self.heals.iter().map(|h| h.copied).sum()
+    }
+
+    /// The largest per-boundary copy count.
+    pub fn max_copied(&self) -> u64 {
+        self.heals.iter().map(|h| h.copied).max().unwrap_or(0)
+    }
+
+    /// True if every healed boundary respected its Eq. 19/20 bound.
+    pub fn within_bounds(&self) -> bool {
+        self.heals.iter().all(|h| h.copied <= h.bound)
+    }
+}
+
+/// Cumulative editing statistics for one MRS instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EditStats {
+    /// In-place edits committed (`INSERT`/`REPLACE`/`DELETE`).
+    pub edits: u64,
+    /// Boundaries the scattering pass copied blocks for.
+    pub boundaries_healed: u64,
+    /// Total media blocks copied by healing.
+    pub blocks_copied: u64,
+    /// Largest copy count any single boundary needed.
+    pub max_copied_per_boundary: u64,
+    /// Largest Eq. 19/20 bound in force at any heal.
+    pub max_bound: u64,
+}
+
 struct TrackAccum {
     strand: StrandId,
     opts: TrackOpts,
@@ -129,6 +186,8 @@ pub struct Mrs {
     sessions: BTreeMap<RequestId, Session>,
     next_rope: u64,
     next_request: u64,
+    edit_stats: EditStats,
+    last_edit: EditReport,
 }
 
 impl Mrs {
@@ -141,7 +200,28 @@ impl Mrs {
             sessions: BTreeMap::new(),
             next_rope: 0,
             next_request: 0,
+            edit_stats: EditStats::default(),
+            last_edit: EditReport::default(),
         }
+    }
+
+    /// Cumulative editing statistics (heal counts, blocks copied, the
+    /// largest Eq. 19/20 bound seen).
+    pub fn edit_stats(&self) -> &EditStats {
+        &self.edit_stats
+    }
+
+    /// The healing report of the most recent committed edit (empty when
+    /// no edit has run, or the last edit healed nothing).
+    pub fn last_edit_report(&self) -> &EditReport {
+        &self.last_edit
+    }
+
+    /// Tear the MRS down to its storage manager — the crash-composition
+    /// path: `mrs.into_msm().into_device()` yields the device image to
+    /// power-cycle and remount.
+    pub fn into_msm(self) -> Msm {
+        self.msm
     }
 
     /// The storage manager (read-only).
@@ -742,20 +822,43 @@ impl Mrs {
 
     fn commit_edit(&mut self, id: RopeId, mut edited: Rope, now: Instant) -> Result<(), FsError> {
         edited.id = id;
-        let healed = self.heal_rope(&mut edited, now)?;
-        let _ = healed;
+        let report = self.heal_rope(&mut edited, now)?;
+        self.note_edit(id, report, now);
         self.interests.register(&edited);
         self.ropes.insert(id, edited);
         Ok(())
+    }
+
+    /// Fold one edit's healing report into the cumulative stats and emit
+    /// an obs event per healed boundary.
+    fn note_edit(&mut self, id: RopeId, report: EditReport, now: Instant) {
+        self.edit_stats.edits += 1;
+        for h in &report.heals {
+            self.edit_stats.boundaries_healed += 1;
+            self.edit_stats.blocks_copied += h.copied;
+            self.edit_stats.max_copied_per_boundary =
+                self.edit_stats.max_copied_per_boundary.max(h.copied);
+            self.edit_stats.max_bound = self.edit_stats.max_bound.max(h.bound);
+            let (copied, bound, new_strand) = (h.copied, h.bound, h.new_strand);
+            self.msm.obs().emit(|| strandfs_obs::Event::EditHeal {
+                rope: id.raw(),
+                copied,
+                bound,
+                new_strand: new_strand.raw(),
+                at: now,
+            });
+        }
+        self.last_edit = report;
     }
 
     // ----- scattering healing (§4.2) -------------------------------------
 
     /// Walk a rope's segment boundaries and heal every one that breaks
     /// strand continuity, rewriting refs to point at the bridging
-    /// strands. Returns the number of media blocks copied.
-    pub fn heal_rope(&mut self, rope: &mut Rope, now: Instant) -> Result<u64, FsError> {
-        let mut copied = 0;
+    /// strands. Returns a report with one entry per healed boundary:
+    /// blocks copied and the Eq. 19/20 bound each plan was made under.
+    pub fn heal_rope(&mut self, rope: &mut Rope, now: Instant) -> Result<EditReport, FsError> {
+        let mut report = EditReport::default();
         for i in 0..rope.segments.len().saturating_sub(1) {
             let (head, tail) = rope.segments.split_at_mut(i + 1);
             let left_seg = &mut head[i];
@@ -773,8 +876,11 @@ impl Mrs {
                 if l.strand == r.strand && l.end_unit() == r.start_unit {
                     continue;
                 }
+                // The bound the heal will plan against, captured before
+                // the copy (the copy itself raises occupancy and can
+                // flip the regime for the *next* boundary).
+                let bound = self.msm.current_copy_bound();
                 if let Some((plan, new_id)) = self.msm.heal_boundary(l, r, now)? {
-                    copied += plan.count;
                     match plan.side {
                         CopySide::Right => {
                             // The first `count` blocks of the right ref
@@ -796,6 +902,13 @@ impl Mrs {
                                 len_units: r.len_units - head_units,
                                 ..*r
                             };
+                            report.heals.push(BoundaryHeal {
+                                medium,
+                                side: plan.side,
+                                copied: plan.count,
+                                bound,
+                                new_strand: new_id,
+                            });
                             // Rewrite in place: split the right segment's
                             // media track. For simplicity the bridge and
                             // rest stay inside one segment pair — we
@@ -827,12 +940,19 @@ impl Mrs {
                                 unit_rate: lr.unit_rate,
                                 granularity: q,
                             };
+                            report.heals.push(BoundaryHeal {
+                                medium,
+                                side: plan.side,
+                                copied: plan.count,
+                                bound,
+                                new_strand: new_id,
+                            });
                             lr.len_units -= tail_units;
                             let mut bridge_seg = match medium {
                                 Medium::Video => Segment::new(Some(bridge), None),
                                 Medium::Audio => Segment::new(None, Some(bridge)),
                             };
-                            split_other_medium_tail(left_seg, &mut bridge_seg, medium)?;
+                            split_other_medium_tail(left_seg, &mut bridge_seg, medium);
                             rope.segments.insert(i + 1, bridge_seg);
                         }
                     }
@@ -843,11 +963,19 @@ impl Mrs {
                 }
             }
         }
-        rope.segments.retain(|s| !s.duration.is_zero());
+        // A whole-segment bridge empties its source segment (both media
+        // moved out, zero timeline left); sweep such husks. Timeline is
+        // conserved by construction: every splice hands the bridge
+        // exactly the span it takes from its neighbour, and the
+        // density-proportional splits never mint or lose units.
+        rope.segments
+            .retain(|s| !(s.duration.is_zero() && s.video.is_none() && s.audio.is_none()));
         for s in rope.segments.iter_mut() {
-            *s = Segment::new(s.video, s.audio);
+            // Refresh block-level correspondence: healing re-points
+            // refs at bridge strands.
+            *s = Segment::with_duration(s.video, s.audio, s.duration);
         }
-        Ok(copied)
+        Ok(report)
     }
 
     // ----- garbage collection --------------------------------------------
@@ -894,9 +1022,11 @@ fn left_seg_medium_mut(seg: &mut Segment, medium: Medium) -> &mut Option<StrandR
 /// A companion track *shorter* than the bridge is fine here: the bridge
 /// occupies `[0, bridge_dur)` of the right segment's timeline, so a
 /// shorter companion lies entirely inside that window and moves into the
-/// bridge whole (`split_at` clamps to the track length). Contrast with
+/// bridge whole (the proportional split clamps to the track length).
+/// Contrast with
 /// [`split_other_medium_tail`], where the same clamp would be a bug.
 fn split_other_medium(right_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
+    let seg_dur = right_seg.duration;
     let bridge_dur = match healed {
         Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
         Medium::Audio => bridge_seg.audio.as_ref().map(StrandRef::duration),
@@ -907,61 +1037,97 @@ fn split_other_medium(right_seg: &mut Segment, bridge_seg: &mut Segment, healed:
         Medium::Audio => &mut right_seg.video,
     };
     if let Some(o) = other.take() {
-        let (head, tail) = o.split_at(bridge_dur);
+        // Exact boundary split: when the bridge covers the segment's
+        // whole timeline the remainder segment has zero duration, so
+        // the companion must move into the bridge whole. A rounded
+        // split here can strand a unit in the dropped remainder (the
+        // same hazard `Piece::split_at` short-circuits).
+        let (head, tail) = if bridge_dur >= seg_dur {
+            (
+                o,
+                StrandRef {
+                    start_unit: o.end_unit(),
+                    len_units: 0,
+                    ..o
+                },
+            )
+        } else {
+            o.split_units(split_proportional(bridge_dur, seg_dur, o.len_units))
+        };
         match healed {
             Medium::Video => bridge_seg.audio = (head.len_units > 0).then_some(head),
             Medium::Audio => bridge_seg.video = (head.len_units > 0).then_some(head),
         }
         *other = (tail.len_units > 0).then_some(tail);
     }
-    *bridge_seg = Segment::new(bridge_seg.video, bridge_seg.audio);
-    *right_seg = Segment::new(right_seg.video, right_seg.audio);
+    clear_empty_refs(right_seg);
+    clear_empty_refs(bridge_seg);
+    // Preserve the segment's share of the timeline: the bridge covers
+    // its leading `bridge_dur`, the remainder keeps the rest. Deriving
+    // both durations from ref lengths instead (`Segment::new`) let a
+    // coarse-unit medium stretch a segment past the other medium's
+    // invariant tolerance and drift the rope's total duration.
+    let bdur = bridge_dur.min(seg_dur);
+    *bridge_seg = Segment::with_duration(bridge_seg.video, bridge_seg.audio, bdur);
+    *right_seg = Segment::with_duration(right_seg.video, right_seg.audio, seg_dur - bdur);
+}
+
+/// Drop refs a heal emptied: a whole-ref copy leaves a zero-unit rest
+/// behind, and an empty ref inside a timed segment violates the rope
+/// invariants.
+fn clear_empty_refs(seg: &mut Segment) {
+    if seg.video.as_ref().is_some_and(|r| r.len_units == 0) {
+        seg.video = None;
+    }
+    if seg.audio.as_ref().is_some_and(|r| r.len_units == 0) {
+        seg.audio = None;
+    }
 }
 
 /// Symmetric helper for Left-side healing: move the trailing part of the
 /// other medium of `left_seg` into the bridge.
 ///
 /// The bridge occupies the *last* `bridge_dur` of the left segment's
-/// timeline. A companion track shorter than that is an error, not a
-/// clamp: [`Segment::new`] derives duration as the *longer* of the two
-/// tracks, so a short companion starts playing before the bridge
-/// interval, and moving all of it into the bridge (what the former
-/// `saturating_sub`-to-zero `keep` silently did) would shift content
-/// across the splice point and desynchronize the tracks.
-fn split_other_medium_tail(
-    left_seg: &mut Segment,
-    bridge_seg: &mut Segment,
-    healed: Medium,
-) -> Result<(), FsError> {
+/// timeline, i.e. the window `[seg_dur - bridge_dur, seg_dur)`. The
+/// companion is split at the window's start: whatever plays inside the
+/// window moves into the bridge, and a companion that ends *before* the
+/// window stays in the left segment whole. (An earlier revision errored
+/// on short companions because durations were re-derived from ref
+/// lengths, which made the window ill-defined; with explicit timeline
+/// durations the split point is exact.)
+fn split_other_medium_tail(left_seg: &mut Segment, bridge_seg: &mut Segment, healed: Medium) {
+    let seg_dur = left_seg.duration;
     let bridge_dur = match healed {
         Medium::Video => bridge_seg.video.as_ref().map(StrandRef::duration),
         Medium::Audio => bridge_seg.audio.as_ref().map(StrandRef::duration),
     }
     .unwrap_or(Nanos::ZERO);
+    let bdur = bridge_dur.min(seg_dur);
     let other = match healed {
         Medium::Video => &mut left_seg.audio,
         Medium::Audio => &mut left_seg.video,
     };
     if let Some(o) = other.take() {
-        let track = o.duration();
-        if track < bridge_dur {
-            *other = Some(o);
-            return Err(FsError::BridgeExceedsTrack {
-                bridge: bridge_dur,
-                track,
-            });
-        }
-        let keep = track - bridge_dur;
-        let (head, tail) = o.split_at(keep);
+        // Exact boundary split (mirror of `split_other_medium`): a
+        // bridge covering the whole timeline leaves the head segment
+        // zero-duration, so the companion must bridge whole.
+        let (head, tail) = if bdur >= seg_dur {
+            (StrandRef { len_units: 0, ..o }, o)
+        } else {
+            o.split_units(split_proportional(seg_dur - bdur, seg_dur, o.len_units))
+        };
         match healed {
             Medium::Video => bridge_seg.audio = (tail.len_units > 0).then_some(tail),
             Medium::Audio => bridge_seg.video = (tail.len_units > 0).then_some(tail),
         }
         *other = (head.len_units > 0).then_some(head);
     }
-    *bridge_seg = Segment::new(bridge_seg.video, bridge_seg.audio);
-    *left_seg = Segment::new(left_seg.video, left_seg.audio);
-    Ok(())
+    clear_empty_refs(left_seg);
+    clear_empty_refs(bridge_seg);
+    // As in `split_other_medium`: the bridge covers the trailing
+    // `bridge_dur` of the segment's timeline, the head keeps the rest.
+    *bridge_seg = Segment::with_duration(bridge_seg.video, bridge_seg.audio, bdur);
+    *left_seg = Segment::with_duration(left_seg.video, left_seg.audio, seg_dur - bdur);
 }
 
 /// Compile a rope interval into a deadline-stamped block schedule.
@@ -1596,41 +1762,53 @@ mod tests {
         // takes the last 1 s of audio along.
         let mut left = Segment::new(Some(vref(90)), Some(aref(24_000)));
         let mut bridge = Segment::new(Some(vref(30)), None);
-        split_other_medium_tail(&mut left, &mut bridge, Medium::Video).unwrap();
+        split_other_medium_tail(&mut left, &mut bridge, Medium::Video);
         assert_eq!(left.audio.unwrap().len_units, 16_000);
         assert_eq!(bridge.audio.unwrap().len_units, 8_000);
         assert_eq!(bridge.duration, Nanos::from_secs(1));
+        // Timeline conserved: the left segment keeps the rest.
+        assert_eq!(left.duration, Nanos::from_secs(2));
     }
 
     #[test]
-    fn tail_split_rejects_bridge_longer_than_companion() {
-        // Companion audio is only 0.5 s but the video bridge spans 1 s:
-        // the old saturating `keep = 0` silently moved audio that plays
-        // *before* the bridge interval into the bridge. Now it's typed.
-        let mut left = Segment::new(Some(vref(90)), Some(aref(4_000)));
+    fn tail_split_whole_segment_bridge_takes_companion_whole() {
+        // The video bridge spans the left segment's entire timeline:
+        // the companion must move into the bridge whole. A rounded
+        // split would strand units in the zero-duration remainder,
+        // which the re-zip then drops — lost media.
+        let mut left = Segment::new(Some(vref(30)), Some(aref(8_000)));
         let mut bridge = Segment::new(Some(vref(30)), None);
-        let err = split_other_medium_tail(&mut left, &mut bridge, Medium::Video).unwrap_err();
-        assert_eq!(
-            err,
-            FsError::BridgeExceedsTrack {
-                bridge: Nanos::from_secs(1),
-                track: Nanos::from_millis(500),
-            }
-        );
-        // Nothing moved: the left segment still owns its audio.
-        assert_eq!(left.audio.unwrap().len_units, 4_000);
-        assert!(bridge.audio.is_none());
+        split_other_medium_tail(&mut left, &mut bridge, Medium::Video);
+        assert_eq!(bridge.audio.unwrap().len_units, 8_000);
+        assert!(left.audio.is_none());
+        assert_eq!(bridge.duration, Nanos::from_secs(1));
+        assert_eq!(left.duration, Nanos::ZERO);
     }
 
     #[test]
-    fn head_split_clamps_short_companion_whole_into_bridge() {
-        // Right-side healing: the bridge occupies the *start* of the
-        // timeline, so a companion shorter than the bridge legitimately
-        // moves in whole.
-        let mut right = Segment::new(Some(vref(90)), Some(aref(4_000)));
+    fn head_split_takes_proportional_share_into_bridge() {
+        // Right-side healing: the bridge occupies the first 1 s of the
+        // 3 s segment timeline, so one third of the companion's cells
+        // follow it — proportional to the companion's actual density,
+        // not its nominal rate.
+        let mut right = Segment::new(Some(vref(90)), Some(aref(24_000)));
         let mut bridge = Segment::new(Some(vref(30)), None);
         split_other_medium(&mut right, &mut bridge, Medium::Video);
-        assert_eq!(bridge.audio.unwrap().len_units, 4_000);
+        assert_eq!(bridge.audio.unwrap().len_units, 8_000);
+        assert_eq!(right.audio.unwrap().len_units, 16_000);
+        assert_eq!(bridge.duration, Nanos::from_secs(1));
+        assert_eq!(right.duration, Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn head_split_whole_segment_bridge_takes_companion_whole() {
+        // Mirror of the tail case: bridge covers the whole right
+        // segment, companion bridges whole, remainder is empty.
+        let mut right = Segment::new(Some(vref(30)), Some(aref(8_000)));
+        let mut bridge = Segment::new(Some(vref(30)), None);
+        split_other_medium(&mut right, &mut bridge, Medium::Video);
+        assert_eq!(bridge.audio.unwrap().len_units, 8_000);
         assert!(right.audio.is_none());
+        assert_eq!(right.duration, Nanos::ZERO);
     }
 }

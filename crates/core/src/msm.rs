@@ -15,7 +15,7 @@
 use crate::admission::{AdmissionController, ServiceEnv};
 use crate::error::FsError;
 use crate::journal::{self, CatalogEntry, Checkpoint, Journal, JournalConfig, Record};
-use crate::rope::scattering::{plan_boundary, CopyPlan, CopySide, Occupancy};
+use crate::rope::scattering::{copy_bound, plan_boundary, CopyPlan, CopySide, Occupancy};
 use crate::rope::StrandRef;
 use crate::strand::index::{
     build_primaries, HeaderBlock, IndexPtr, PrimaryBlock, SecondaryBlock, SecondaryEntry,
@@ -406,7 +406,7 @@ impl Msm {
             count: j.ckpt_count(),
             catalog,
         };
-        let bytes = journal::encode_checkpoint(&ck, j.sector_size())?;
+        let bytes = journal::encode_checkpoint(&ck, j.sector_size(), j.ckpt_sectors())?;
         let extent = j.next_ckpt_extent();
         self.journal
             .as_mut()
@@ -1052,16 +1052,7 @@ impl Msm {
         if left.len_units == 0 || right.len_units == 0 {
             return Ok(None);
         }
-        let (l_lower, _) = self.scattering_time_bounds();
-        let l_seek_max = self.disk.max_positioning_time();
-        // A degenerate zero lower bound means blocks may be adjacent and
-        // no boundary can violate continuity from below; still bound the
-        // copy count by the upper-bound criterion via one block minimum.
-        let l_lower = if l_lower.get() <= 0.0 {
-            self.disk.positioning_time(1)
-        } else {
-            l_lower
-        };
+        let (l_seek_max, l_lower) = self.healing_params();
         let plan = plan_boundary(left, right, l_seek_max, l_lower, self.occupancy());
         if plan.count == 0 {
             return Ok(None);
@@ -1084,6 +1075,31 @@ impl Msm {
         let new_id =
             self.copy_blocks_to_new_strand(src.strand, first_block, plan.count, anchor, now)?;
         Ok(Some((plan, new_id)))
+    }
+
+    /// The `(l_seek_max, l_lower)` pair the next boundary heal will plan
+    /// against. A degenerate zero lower bound means blocks may be
+    /// adjacent and no boundary can violate continuity from below; still
+    /// bound the copy count by the upper-bound criterion via one block
+    /// minimum.
+    fn healing_params(&self) -> (Seconds, Seconds) {
+        let (l_lower, _) = self.scattering_time_bounds();
+        let l_seek_max = self.disk.max_positioning_time();
+        let l_lower = if l_lower.get() <= 0.0 {
+            self.disk.positioning_time(1)
+        } else {
+            l_lower
+        };
+        (l_seek_max, l_lower)
+    }
+
+    /// The Eq. 19/20 copy bound currently in force: what `heal_boundary`
+    /// caps its plan at, given the live occupancy regime. Exposed so the
+    /// edit layer can report (and tests can assert) that measured copy
+    /// counts never exceed the paper's bound.
+    pub fn current_copy_bound(&self) -> u64 {
+        let (l_seek_max, l_lower) = self.healing_params();
+        copy_bound(l_seek_max, l_lower, self.occupancy())
     }
 
     fn last_stored_block_of(&self, r: &StrandRef) -> Result<Option<Extent>, FsError> {

@@ -24,7 +24,7 @@
 //! MRS assigns a fresh id when it catalogs the result.
 
 use crate::error::FsError;
-use crate::rope::{Rope, Segment, StrandRef, Trigger};
+use crate::rope::{split_proportional, Rope, Segment, StrandRef, Trigger};
 use strandfs_units::Nanos;
 
 /// Which media an operation applies to.
@@ -122,7 +122,8 @@ impl Piece {
         match self.r {
             None => (Piece::gap(off), Piece::gap(self.dur - off)),
             Some(r) => {
-                let (l, rt) = r.split_at(off);
+                let units = split_proportional(off, self.dur, r.len_units);
+                let (l, rt) = r.split_units(units);
                 (
                     Piece {
                         dur: off,

@@ -65,11 +65,14 @@ impl StrandRef {
         }
     }
 
-    /// Split at a time offset into the interval: the left part carries
-    /// `round(offset · rate)` units (clamped to the interval), the right
-    /// part the rest. `left + right` exactly covers `self`.
-    pub fn split_at(&self, offset: Nanos) -> (StrandRef, StrandRef) {
-        let units = (offset.as_secs_f64() * self.unit_rate).round() as u64;
+    /// Split at a unit count: the left part carries the first `units`
+    /// (clamped to the interval), the right part the rest. `left +
+    /// right` exactly covers `self`. Callers pick `units` from their
+    /// own timeline context (see [`split_proportional`]): a ref does
+    /// not know how much wall-clock time its piece was allotted, so a
+    /// time-based split cannot live here without assuming the nominal
+    /// rate holds — which edit rounding does not guarantee.
+    pub fn split_units(&self, units: u64) -> (StrandRef, StrandRef) {
         let left_units = units.min(self.len_units);
         let left = StrandRef {
             len_units: left_units,
@@ -82,6 +85,25 @@ impl StrandRef {
         };
         (left, right)
     }
+}
+
+/// Units a cut at `offset` into a `window`-long span takes from a run
+/// of `len` units: `round(offset/window · len)` — proportional to the
+/// span's *actual* unit density, not the nominal rate.
+///
+/// Rate-based rounding (`round(offset · rate)`) concentrates debt: a
+/// piece whose timeline is shorter than its units' nominal duration
+/// (legal, within the segment tolerance) loses a sliver of timeline to
+/// every small cut that rounds to zero units, until several units sit
+/// in a few milliseconds of segment and the rope invariants break.
+/// Density-proportional splitting is self-correcting — as a remainder
+/// gets unit-heavy, the next cut takes units sooner.
+pub fn split_proportional(offset: Nanos, window: Nanos, len: u64) -> u64 {
+    if window.is_zero() {
+        return len;
+    }
+    let f = offset.as_secs_f64() / window.as_secs_f64();
+    ((f * len as f64).round() as u64).min(len)
 }
 
 /// Block-level correspondence at a segment start: which block of each
@@ -335,17 +357,34 @@ mod tests {
     #[test]
     fn strand_ref_split_exact() {
         let r = vref(1, 0, 30);
-        let (l, rt) = r.split_at(Nanos::from_millis(400));
+        // 400 ms into the ref's nominal 1 s window takes 12 of 30 units.
+        let units = split_proportional(Nanos::from_millis(400), r.duration(), r.len_units);
+        assert_eq!(units, 12);
+        let (l, rt) = r.split_units(units);
         assert_eq!(l.len_units, 12);
         assert_eq!(rt.start_unit, 12);
         assert_eq!(rt.len_units, 18);
-        // Degenerate splits.
-        let (l0, r0) = r.split_at(Nanos::ZERO);
+        // Degenerate splits: zero units, and a request past the end.
+        let (l0, r0) = r.split_units(0);
         assert_eq!(l0.len_units, 0);
         assert_eq!(r0.len_units, 30);
-        let (l1, r1) = r.split_at(Nanos::from_secs(5));
+        let (l1, r1) = r.split_units(99);
         assert_eq!(l1.len_units, 30);
         assert_eq!(r1.len_units, 0);
+    }
+
+    #[test]
+    fn split_proportional_tracks_density_not_rate() {
+        // A 30-unit run squeezed into a 750 ms window (denser than the
+        // nominal rate): a 25 ms cut takes 1 unit proportionally where
+        // nominal-rate rounding would keep taking zero and concentrate
+        // the units in an ever-thinner remainder.
+        let w = Nanos::from_millis(750);
+        assert_eq!(split_proportional(Nanos::from_millis(25), w, 30), 1);
+        assert_eq!(split_proportional(Nanos::ZERO, w, 30), 0);
+        assert_eq!(split_proportional(w, w, 30), 30);
+        // Zero-duration window: all units go left.
+        assert_eq!(split_proportional(Nanos::ZERO, Nanos::ZERO, 30), 30);
     }
 
     #[test]

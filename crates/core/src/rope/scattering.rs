@@ -227,4 +227,85 @@ mod tests {
     fn zero_lower_bound_rejected() {
         copy_bound_sparse(Seconds::from_millis(40.0), Seconds::ZERO);
     }
+
+    #[test]
+    fn copy_bounds_at_ceiling_boundaries() {
+        // Exact multiples sit on the ceil cliff: one ulp under stays,
+        // anything over rounds up — the regime where an off-by-one
+        // either under-heals a boundary (glitch) or copies a block too
+        // many (wasted bandwidth).
+        let lower = Seconds::from_millis(5.0);
+        // 40 / (2·5) = 4 exactly; 40.0001 → 5.
+        assert_eq!(copy_bound_sparse(Seconds::from_millis(40.0), lower), 4);
+        assert_eq!(copy_bound_sparse(Seconds::from_millis(40.001), lower), 5);
+        // 40 / 5 = 8 exactly; 39.999 → 8 still (ceil), 40.001 → 9.
+        assert_eq!(copy_bound_dense(Seconds::from_millis(40.0), lower), 8);
+        assert_eq!(copy_bound_dense(Seconds::from_millis(39.999), lower), 8);
+        assert_eq!(copy_bound_dense(Seconds::from_millis(40.001), lower), 9);
+    }
+
+    #[test]
+    fn copy_bounds_degenerate_regimes() {
+        let lower = Seconds::from_millis(5.0);
+        // Zero worst-case seek: the boundary is already in bounds, no
+        // copies needed under either occupancy.
+        assert_eq!(copy_bound_sparse(Seconds::ZERO, lower), 0);
+        assert_eq!(copy_bound_dense(Seconds::ZERO, lower), 0);
+        // Seek below one lower-bound step: a single copied block always
+        // suffices, sparse or dense.
+        let tiny = Seconds::from_millis(1.0);
+        assert_eq!(copy_bound_sparse(tiny, lower), 1);
+        assert_eq!(copy_bound_dense(tiny, lower), 1);
+        // Seek exactly one step: dense needs the full step, sparse
+        // halves it.
+        assert_eq!(copy_bound_sparse(lower, lower), 1);
+        assert_eq!(copy_bound_dense(lower, lower), 1);
+    }
+
+    #[test]
+    fn copy_bounds_monotone_in_seek_and_lower() {
+        // More worst-case seek never needs fewer copies; a tighter
+        // lower bound never needs fewer either.
+        let lower = Seconds::from_millis(5.0);
+        let mut prev = 0;
+        for ms in 1..=100 {
+            let b = copy_bound_dense(Seconds::from_millis(ms as f64), lower);
+            assert!(b >= prev, "dense bound not monotone at {ms} ms");
+            prev = b;
+        }
+        let seek = Seconds::from_millis(40.0);
+        let loose = copy_bound_sparse(seek, Seconds::from_millis(10.0));
+        let tight = copy_bound_sparse(seek, Seconds::from_millis(2.0));
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn ramp_gap_boundary_indices() {
+        let start = Seconds::from_millis(40.0);
+        let steady = Seconds::from_millis(10.0);
+        // A one-block ramp lands directly on the steady gap.
+        let only = ramp_gap(start, steady, 0, 1);
+        assert!((only.get() - steady.get()).abs() < 1e-12);
+        // The last block of any ramp ends at the steady gap; every
+        // interior step stays inside (steady, start).
+        for count in 2..8u64 {
+            let last = ramp_gap(start, steady, count - 1, count);
+            assert!((last.get() - steady.get()).abs() < 1e-12);
+            for i in 0..count - 1 {
+                let g = ramp_gap(start, steady, i, count);
+                assert!(g.get() < start.get() && g.get() > steady.get());
+            }
+        }
+        // Degenerate ramp: start already at steady — flat line.
+        for i in 0..4 {
+            let g = ramp_gap(steady, steady, i, 4);
+            assert!((g.get() - steady.get()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp index out of range")]
+    fn ramp_gap_index_past_count_rejected() {
+        ramp_gap(Seconds::from_millis(40.0), Seconds::from_millis(10.0), 3, 3);
+    }
 }

@@ -327,6 +327,23 @@ pub enum Event {
         /// Virtual time recovery finished.
         at: Instant,
     },
+    /// One edit boundary healed by the scattering-maintenance pass
+    /// (§4.2, Eqs. 19–20): the MSM copied `copied` blocks into a fresh
+    /// bridging strand to ramp the boundary gap back into bounds
+    /// (`strandfs-core`, MRS edit commit path).
+    EditHeal {
+        /// The rope whose edit created the boundary.
+        rope: u64,
+        /// Media blocks copied into the bridging strand.
+        copied: u64,
+        /// The Eq. 19/20 copy bound in force when the plan was made;
+        /// `copied` never exceeds it.
+        bound: u64,
+        /// The freshly-created bridging strand.
+        new_strand: u64,
+        /// Virtual time of the heal.
+        at: Instant,
+    },
     /// One structural fix applied by fsck's repair mode.
     Repair {
         /// Which repair rule fired.
@@ -406,6 +423,7 @@ impl Event {
             Event::Degrade { .. } => "degrade",
             Event::Journal { .. } => "journal",
             Event::Recover { .. } => "recover",
+            Event::EditHeal { .. } => "edit_heal",
             Event::Repair { .. } => "repair",
         }
     }

@@ -165,6 +165,12 @@ pub struct ObsMetrics {
     pub fault_penalty: NanosAcc,
     /// Read retries issued by the resilient read path.
     pub retries: u64,
+    /// Edit boundaries healed by the scattering-maintenance pass.
+    pub edit_heals: u64,
+    /// Media blocks copied per healed boundary.
+    pub edit_copied: U64Acc,
+    /// Largest Eq. 19/20 copy bound in force at any heal.
+    pub edit_bound_max: u64,
     /// Intent records persisted by the strand journal.
     pub journal_records: u64,
     /// Mount-time journal replays completed.
@@ -283,6 +289,11 @@ impl ObsMetrics {
                 self.fault_penalty.record(penalty);
             }
             Event::Retry { .. } => self.retries += 1,
+            Event::EditHeal { copied, bound, .. } => {
+                self.edit_heals += 1;
+                self.edit_copied.record(copied);
+                self.edit_bound_max = self.edit_bound_max.max(bound);
+            }
             Event::Journal { .. } => self.journal_records += 1,
             Event::Recover { .. } => self.recovers += 1,
             Event::Repair { .. } => self.repairs += 1,
@@ -308,6 +319,7 @@ impl ObsMetrics {
                 "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{},",
                 "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
                 "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}},",
+                "\"edits\":{{\"heals\":{},\"copied\":{},\"bound_max\":{}}},",
                 "\"faults\":{{\"media\":{},\"transient\":{},\"spike\":{},",
                 "\"degraded\":{},\"torn\":{},\"crashed\":{},\"writes\":{},",
                 "\"penalty\":{},\"retries\":{},",
@@ -342,6 +354,9 @@ impl ObsMetrics {
             self.deadline_late,
             self.deadline_margin.to_json(),
             self.deadline_lateness.to_json(),
+            self.edit_heals,
+            self.edit_copied.to_json(),
+            self.edit_bound_max,
             self.faults_media,
             self.faults_transient,
             self.faults_spike,
@@ -660,6 +675,13 @@ mod tests {
             at: Instant::from_nanos(50),
             budget: Nanos::from_nanos(200),
         });
+        rec.record(Event::EditHeal {
+            rope: 3,
+            copied: 2,
+            bound: 4,
+            new_strand: 9,
+            at: Instant::from_nanos(290),
+        });
         rec.record(Event::Degrade {
             stream: 0,
             round: 1,
@@ -705,6 +727,9 @@ mod tests {
         assert_eq!((m.journal_records, m.recovers, m.repairs), (1, 1, 1));
         assert_eq!(m.fault_penalty.count(), 4);
         assert_eq!(m.retries, 1);
+        assert_eq!(m.edit_heals, 1);
+        assert_eq!(m.edit_copied.mean(), 2);
+        assert_eq!(m.edit_bound_max, 4);
         assert_eq!(
             (m.degrade_drops, m.degrade_revokes, m.degrade_readmits),
             (1, 1, 1)
@@ -717,6 +742,7 @@ mod tests {
             "\"admission\"",
             "\"rounds\"",
             "\"deadlines\"",
+            "\"edits\"",
             "\"faults\"",
             "\"recovery\"",
             "\"ring\"",

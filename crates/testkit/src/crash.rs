@@ -129,7 +129,10 @@ pub fn msm_config() -> MsmConfig {
         },
         1,
     )
-    .with_journal(JournalConfig { slots: SLOTS })
+    .with_journal(JournalConfig {
+        slots: SLOTS,
+        ..JournalConfig::default()
+    })
 }
 
 fn meta_video() -> StrandMeta {

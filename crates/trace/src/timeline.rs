@@ -414,6 +414,28 @@ where
                 );
                 now = now.max(at.as_nanos());
             }
+            Event::EditHeal {
+                rope,
+                copied,
+                bound,
+                new_strand,
+                at,
+            } => {
+                t.instant(
+                    "edit_heal",
+                    "alloc",
+                    PID,
+                    TID_ALLOC,
+                    at.as_nanos(),
+                    &[
+                        ("rope", ArgVal::U(rope)),
+                        ("copied", ArgVal::U(copied)),
+                        ("bound", ArgVal::U(bound)),
+                        ("new_strand", ArgVal::U(new_strand)),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
             Event::Repair {
                 action,
                 strand,

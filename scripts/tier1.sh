@@ -31,4 +31,13 @@ echo "==> chaos pass (STRANDFS_TEST_SEED=$CHAOS_SEED)"
 STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline \
     --test failure_injection --test proptests_sim --test crash_recovery
 
+# Bounded fsx chaos: one seeded random rope-editing stream, model-checked
+# at every step with Eq. 19/20 copy-bound enforcement (tests/fsx.rs,
+# `chaos_pass_bounded_by_env`). STRANDFS_FSX_OPS bounds the stream
+# length (default 80); replay any failure with the printed seed.
+FSX_OPS="${STRANDFS_FSX_OPS:-80}"
+echo "==> fsx chaos pass (STRANDFS_TEST_SEED=$CHAOS_SEED STRANDFS_FSX_OPS=$FSX_OPS)"
+STRANDFS_TEST_SEED="$CHAOS_SEED" STRANDFS_FSX_OPS="$FSX_OPS" \
+    cargo test -q --offline --test fsx chaos_pass_bounded_by_env
+
 echo "tier1: OK"

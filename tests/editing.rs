@@ -302,3 +302,142 @@ fn chained_edits_keep_invariants() {
         simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
     assert!(report.all_continuous());
 }
+
+// ---------------------------------------------------------------------
+// Regressions pinned by the fsx exerciser (`strandfs_testkit::fsx`).
+// Each test replays the seeded op stream that originally exposed a
+// latent edit-surface bug; the exerciser's own model check is the
+// assertion. Keep the seeds — they are the reproduction recipe.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fsx_regression_seed23_zero_duration_remainder_and_zip_debt() {
+    // Seed 23 exposed two bugs in one stream:
+    //  * op 119 — an audio heal moved a whole ref into the bridge; the
+    //    companion video split left one unit stranded in the dropped
+    //    zero-duration remainder (fixed by the whole-bridge
+    //    short-circuit in the companion splits);
+    //  * op 333 — nominal-rate rounding concentrated split debt until
+    //    three video units sat in a 7.5 ms sliver segment, breaking the
+    //    rope's unit tolerance (fixed by density-proportional splits,
+    //    `split_proportional`).
+    let out = strandfs_testkit::fsx::run(&strandfs_testkit::fsx::FsxConfig::healthy(23, 400));
+    assert!(out.edits > 100, "stream lost its edit mix: {out:?}");
+}
+
+#[test]
+fn fsx_regression_seed1_substring_inflation_and_catalog_growth() {
+    // Seed 1 exposed:
+    //  * op 326 — substring of a dense region re-anchored a 5 ms
+    //    segment to its 50 ms nominal ref duration, inflating the new
+    //    rope (fixed by removing commit-time re-anchoring once splits
+    //    became density-proportional);
+    //  * op 492 — the live strand population (every healed boundary
+    //    mints a bridge strand) outgrew the journal's checkpoint
+    //    catalog slot (exercised the capacity error; the fsx volume now
+    //    provisions the slot for thousands of entries).
+    let out = strandfs_testkit::fsx::run(&strandfs_testkit::fsx::FsxConfig::healthy(1, 500));
+    assert!(out.boundaries_healed > 500, "healing mix too thin: {out:?}");
+}
+
+#[test]
+fn substring_exact_boundaries_share_everything() {
+    // Off-by-one hunting at the substring edges: a whole-rope substring
+    // must reproduce the rope exactly, and zero-length intervals must
+    // be rejected rather than produce empty ropes.
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(4.0)]).expect("build volume");
+    let base = ropes[0];
+    let total = mrs.rope(base).unwrap().duration();
+    let whole = mrs
+        .substring("sim", base, MediaSel::Both, Interval::whole(total))
+        .unwrap();
+    let (b, w) = (
+        mrs.rope(base).unwrap().clone(),
+        mrs.rope(whole).unwrap().clone(),
+    );
+    assert_eq!(b.duration(), w.duration());
+    let sb = compile_schedule(&b, MediaSel::Both, Interval::whole(total)).unwrap();
+    let sw = compile_schedule(&w, MediaSel::Both, Interval::whole(total)).unwrap();
+    assert_eq!(sb.items.len(), sw.items.len());
+    for (x, y) in sb.items.iter().zip(&sw.items) {
+        assert_eq!((x.strand, x.block, x.units), (y.strand, y.block, y.units));
+    }
+    // Degenerate interval: rejected, not an empty rope.
+    let r = mrs.substring(
+        "sim",
+        base,
+        MediaSel::Both,
+        Interval::new(secs(2), Nanos::ZERO),
+    );
+    assert!(matches!(r, Err(FsError::BadInterval { .. })), "{r:?}");
+}
+
+#[test]
+fn delete_to_rope_end_keeps_tail_boundary_exact() {
+    // Deleting the exact tail interval [2 s, 4 s) of a 4 s rope must
+    // leave a 2 s rope whose last segment still ends on a playable
+    // block boundary — the tail-edge twin of the head off-by-one.
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(4.0)]).expect("build volume");
+    let base = ropes[0];
+    mrs.delete(
+        "sim",
+        base,
+        MediaSel::Both,
+        Interval::new(secs(2), secs(2)),
+        Instant::EPOCH,
+    )
+    .unwrap();
+    let rope = mrs.rope(base).unwrap().clone();
+    rope.check_invariants().unwrap();
+    assert!((rope.duration().as_secs_f64() - 2.0).abs() < 0.1);
+    let sched = compile_schedule(&rope, MediaSel::Video, Interval::whole(rope.duration())).unwrap();
+    let units: u64 = sched.items.iter().map(|i| i.units).sum();
+    assert_eq!(units, 60, "2 s of NTSC video after the tail delete");
+}
+
+#[test]
+fn gc_spares_strands_reachable_only_through_chained_edits() {
+    // A concat-of-substrings rope is the only holder of its sources'
+    // strands after the sources die: two generations of derived ropes,
+    // and gc must trace interests through both.
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(3.0),
+        ClipSpec::av_seconds(3.0).with_seed(8),
+    ])
+    .expect("build volume");
+    let sub_a = mrs
+        .substring(
+            "sim",
+            ropes[0],
+            MediaSel::Both,
+            Interval::new(secs(1), secs(2)),
+        )
+        .unwrap();
+    let sub_b = mrs
+        .substring(
+            "sim",
+            ropes[1],
+            MediaSel::Both,
+            Interval::new(Nanos::ZERO, secs(2)),
+        )
+        .unwrap();
+    let joined = mrs.concat("sim", sub_a, sub_b).unwrap();
+    for r in [ropes[0], ropes[1], sub_a, sub_b] {
+        mrs.delete_rope("sim", r).unwrap();
+    }
+    assert!(
+        mrs.gc().is_empty(),
+        "gc collected strands still referenced through the concat result"
+    );
+    let rope = mrs.rope(joined).unwrap().clone();
+    rope.check_invariants().unwrap();
+    let mut sched =
+        compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report =
+        simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2)).expect("simulate");
+    assert!(report.all_continuous());
+    // Dropping the last holder frees the whole chain.
+    mrs.delete_rope("sim", joined).unwrap();
+    assert!(!mrs.gc().is_empty());
+}

@@ -156,3 +156,94 @@ fn skip_deadline_spacing_is_block_duration() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Destructive pause / resume interacting with concurrent playback
+// (§"PAUSE/RESUME": a destructive pause releases its admission slots to
+// other clients; RESUME re-runs admission and may lose them).
+// ---------------------------------------------------------------------
+
+#[test]
+fn destructive_pause_frees_slots_a_concurrent_stream_can_take() {
+    use strandfs::core::FsError;
+
+    let (mut mrs, ropes) = standard_volume(&[ClipSpec::av_seconds(3.0)]).expect("build volume");
+    let rope = ropes[0];
+    let dur = mrs.rope(rope).unwrap().duration();
+    let iv = Interval::whole(dur);
+    // Saturate admission with concurrent plays of the same rope.
+    let mut live = Vec::new();
+    loop {
+        match mrs.play("sim", rope, MediaSel::Both, iv) {
+            Ok((req, _)) => live.push(req),
+            Err(FsError::AdmissionRejected { .. }) => break,
+            Err(e) => panic!("unexpected {e}"),
+        }
+        assert!(live.len() < 200, "admission never rejected");
+    }
+    let victim = live.pop().expect("server admitted at least one stream");
+    // A non-destructive pause keeps the reservation: still full.
+    mrs.pause(victim, false).unwrap();
+    assert!(matches!(
+        mrs.play("sim", rope, MediaSel::Both, iv),
+        Err(FsError::AdmissionRejected { .. })
+    ));
+    mrs.resume(victim).unwrap();
+    // A destructive pause frees the slots: an interloper is admitted.
+    mrs.pause(victim, true).unwrap();
+    let (interloper, _) = mrs
+        .play("sim", rope, MediaSel::Both, iv)
+        .expect("released slots must be admittable");
+    // The victim's RESUME re-runs admission — and loses while the
+    // interloper holds the capacity…
+    assert!(matches!(
+        mrs.resume(victim),
+        Err(FsError::AdmissionRejected { .. })
+    ));
+    // …but the session survives the failed resume, still paused.
+    let (_, _, _, paused) = mrs.play_info(victim).unwrap();
+    assert!(paused, "failed RESUME must leave the session paused");
+    // Once the interloper stops, the resume goes through.
+    mrs.stop(interloper, Instant::EPOCH).unwrap();
+    mrs.resume(victim).unwrap();
+    let (_, _, _, paused) = mrs.play_info(victim).unwrap();
+    assert!(!paused);
+    for r in live {
+        mrs.stop(r, Instant::EPOCH).unwrap();
+    }
+    mrs.stop(victim, Instant::EPOCH).unwrap();
+}
+
+#[test]
+fn interloper_playback_is_continuous_while_victim_paused() {
+    // The freed slots are genuinely usable: while the victim is
+    // destructively paused, the interloper's stream plays end-to-end
+    // continuously, and after it finishes the resumed victim does too.
+    let (mut mrs, ropes) = standard_volume(&[
+        ClipSpec::av_seconds(4.0),
+        ClipSpec::av_seconds(4.0).with_seed(9),
+    ])
+    .expect("build volume");
+    let (va, vb) = (ropes[0], ropes[1]);
+    let dur = mrs.rope(va).unwrap().duration();
+    let (victim, _) = mrs
+        .play("sim", va, MediaSel::Both, Interval::whole(dur))
+        .unwrap();
+    mrs.pause(victim, true).unwrap();
+
+    let rb = mrs.rope(vb).unwrap().clone();
+    let mut sched = compile_schedule(&rb, MediaSel::Both, Interval::whole(rb.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2))
+        .expect("interloper simulate");
+    assert!(report.all_continuous());
+
+    mrs.resume(victim).unwrap();
+    let ra = mrs.rope(va).unwrap().clone();
+    let mut sched = compile_schedule(&ra, MediaSel::Both, Interval::whole(ra.duration())).unwrap();
+    mrs.resolve_silence(&mut sched).unwrap();
+    let report = simulate_playback(&mut mrs, vec![sched], PlaybackConfig::with_k(2))
+        .expect("victim simulate");
+    assert!(report.all_continuous());
+    mrs.stop(victim, Instant::EPOCH).unwrap();
+}

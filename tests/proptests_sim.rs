@@ -10,8 +10,9 @@ use strandfs::disk::{AccessKind, DiskGeometry, Extent, SeekModel, SimDisk};
 use strandfs::media::silence::SilenceDetector;
 use strandfs::media::{Medium, VideoCodec};
 use strandfs::units::{Instant, Nanos};
+use strandfs_testkit::fsx::{try_run as fsx_try_run, FsxConfig};
 use strandfs_testkit::{
-    any_bool, check, check_with, prop_assert, prop_assert_eq, vec as prop_vec, Config,
+    any_bool, check, check_with, prop_assert, prop_assert_eq, vec as prop_vec, CaseError, Config,
 };
 
 fn tiny_disk() -> SimDisk {
@@ -328,7 +329,10 @@ fn random_crash_points_recover_to_a_verified_prefix() {
             },
             1,
         )
-        .with_journal(JournalConfig { slots: 64 })
+        .with_journal(JournalConfig {
+            slots: 64,
+            ..JournalConfig::default()
+        })
     }
     fn meta() -> StrandMeta {
         StrandMeta {
@@ -435,6 +439,31 @@ fn play_mode_skip_keeps_every_nth() {
                 prop_assert_eq!(item.at, Nanos::from_millis(j as u64 * 100));
             }
             Ok(())
+        },
+    );
+}
+
+#[test]
+fn fsx_model_checks_on_random_streams() {
+    // The fsx exerciser as a shrinking property: any (seed, ops) stream
+    // must keep the real MRS and the in-memory model rope in lockstep
+    // (durations, flattened bytes, triggers, copy bounds). On failure
+    // the harness shrinks `ops` toward the shortest prefix that still
+    // diverges, and the panic carries the replay seed.
+    check_with(
+        &Config::with_cases(6),
+        "fsx_model_checks_on_random_streams",
+        (0u64..1 << 32, 30u64..90),
+        |&(seed, ops)| {
+            let cfg = FsxConfig::healthy(seed, ops);
+            match fsx_try_run(&cfg) {
+                Ok(out) => {
+                    prop_assert_eq!(out.ops_attempted, ops);
+                    prop_assert!(out.verifies > 0);
+                    Ok(())
+                }
+                Err(e) => Err(CaseError::fail(e)),
+            }
         },
     );
 }
