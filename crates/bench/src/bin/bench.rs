@@ -45,6 +45,7 @@ const SUITES: &[(&str, RegisterFn)] = &[
     ("faults", suites::faults::register),
     ("crash", suites::crash::register),
     ("fsx", suites::fsx::register),
+    ("scale", suites::scale::register),
 ];
 
 struct Cli {
@@ -128,6 +129,18 @@ fn run_check(cli: &Cli) -> ! {
             std::process::exit(2);
         }
     };
+    // The committed baseline is generated uncapped; when
+    // STRANDFS_SCALE_CAP excludes a scale size from this run, its
+    // baseline benchmark entry must be dropped rather than reported
+    // missing.
+    let active_scale: Vec<String> = strandfs_bench::experiments::e16_scale::active_sizes()
+        .iter()
+        .map(|n| format!("scale/n{n}_playback"))
+        .collect();
+    let baseline: Vec<_> = baseline
+        .into_iter()
+        .filter(|b| b.suite() != "scale" || active_scale.contains(&b.name))
+        .collect();
     if baseline.is_empty() {
         eprintln!(
             "baseline {} has no entries for the selected suites",
@@ -200,6 +213,29 @@ fn run_check(cli: &Cli) -> ! {
     );
     compare_deterministic("fsx", strandfs_bench::experiments::e15_fsx::section_json);
 
+    // The scale section is compared one size at a time, so a
+    // STRANDFS_SCALE_CAP-bounded run still checks the sizes it swept
+    // and skips the rest (wall-clock never appears in the section —
+    // the scale *benchmarks* carry the timing side).
+    let scale_selected = cli.suites.is_empty() || cli.suites.iter().any(|s| s == "scale");
+    if scale_selected && doc.path("sections/scale").is_some() {
+        let fresh = strandfs_bench::experiments::e16_scale::section_json();
+        let fresh = strandfs_testkit::json::Json::parse(&fresh)
+            .unwrap_or_else(|e| panic!("fresh scale section is valid JSON: {e}"));
+        for n in strandfs_bench::experiments::e16_scale::active_sizes() {
+            let key = format!("n{n}");
+            let base = doc.path(&format!("sections/scale/{key}"));
+            let (Some(base), Some(cur)) = (base, fresh.get(&key)) else {
+                continue;
+            };
+            let out = check::compare_section(&format!("scale/{key}"), base, cur);
+            sections.compared += out.compared;
+            sections.regressions.extend(out.regressions);
+            sections.missing.extend(out.missing);
+            sections.mismatched.extend(out.mismatched);
+        }
+    }
+
     println!(
         "\nbench check: {} benchmark(s) + {} section metric(s) compared against {}",
         outcome.compared, sections.compared, cli.baseline
@@ -261,6 +297,12 @@ fn main() {
     // The E15 fsx exerciser stream rides along the same way; its two
     // fingerprints (op log, final image) are compared byte-exactly.
     c.add_section("fsx", strandfs_bench::experiments::e15_fsx::section_json());
+    // The E16 scale sweep's virtual-time outcome rides along per size;
+    // its wall-clock side lives in the `scale` benchmarks above.
+    c.add_section(
+        "scale",
+        strandfs_bench::experiments::e16_scale::section_json(),
+    );
     c.report();
 
     let path = "BENCH_core.json";

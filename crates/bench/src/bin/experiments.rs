@@ -73,6 +73,8 @@ fn main() {
     println!("{}", e13_faults::table());
 
     println!("{}", e14_crash::table());
+
+    println!("{}", e16_scale::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

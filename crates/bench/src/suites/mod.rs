@@ -20,6 +20,7 @@ pub mod fig4;
 pub mod fsx;
 pub mod index;
 pub mod readahead;
+pub mod scale;
 pub mod scan_order;
 pub mod silence;
 pub mod transient;
@@ -43,4 +44,5 @@ pub fn register_all(c: &mut Runner) {
     faults::register(c);
     crash::register(c);
     fsx::register(c);
+    scale::register(c);
 }

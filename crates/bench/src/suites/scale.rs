@@ -1,0 +1,28 @@
+//! E16: simulator scale — wall-clock per full CSCAN playback run at
+//! 1k / 10k / 100k concurrent streams.
+//!
+//! One benchmark per active size (`STRANDFS_SCALE_CAP` caps the sweep;
+//! `bench --check` drops baseline entries for capped-out sizes). Each
+//! iteration is the whole experiment — volume build, schedule fan-out
+//! and the timed service loop — so the measured medians move with the
+//! loop's real per-round cost, scheduler noise absorbed by the macro
+//! tolerance tier.
+
+use crate::experiments::e16_scale;
+use std::hint::black_box;
+use strandfs_testkit::bench::Runner;
+
+/// Register the suite's benchmarks.
+pub fn register(c: &mut Runner) {
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(5);
+    for n in e16_scale::active_sizes() {
+        g.bench_function(&format!("n{n}_playback"), move |b| {
+            b.iter(|| {
+                let row = e16_scale::run(n);
+                black_box((row.rounds, row.wall))
+            })
+        });
+    }
+    g.finish();
+}

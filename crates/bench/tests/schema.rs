@@ -59,6 +59,7 @@ fn obs_and_slo_sections_keep_their_shape() {
             "active",
             "count",
             "duration",
+            "idle",
             "k_max",
             "service_span",
             "stream_services"
@@ -133,6 +134,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("faults", "{\"sweep\":[]}");
     r.add_section("crash", "{\"sweep\":[]}");
     r.add_section("fsx", "{\"ops_attempted\":0}");
+    r.add_section("scale", "{\"n1000\":{}}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -154,8 +156,26 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["crash", "faults", "fsx", "obs", "slo"]
+        vec!["crash", "faults", "fsx", "obs", "scale", "slo"]
     );
+}
+
+#[test]
+fn scale_section_keeps_its_shape() {
+    // Cap the sweep to its smallest size: the shape is identical per
+    // size and the 100k cell is too slow for a schema check.
+    std::env::set_var("STRANDFS_SCALE_CAP", "1000");
+    let doc = validate(&strandfs_bench::experiments::e16_scale::section_json());
+    assert_eq!(doc.keys(), vec!["n1000"]);
+    let row = doc.get("n1000").unwrap();
+    assert_eq!(
+        row.keys(),
+        vec!["disk_busy_ns", "fetched", "rounds", "violations"]
+    );
+    // Wall-clock must never leak into the deterministic section.
+    assert!(row.get("wall_ns").is_none());
+    let fetched = row.get("fetched").and_then(Json::as_num).unwrap();
+    assert_eq!(fetched, 20_000.0, "1000 streams x 20 stored blocks");
 }
 
 #[test]

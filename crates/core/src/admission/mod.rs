@@ -222,6 +222,18 @@ pub struct AdmissionController {
     requests: BTreeMap<RequestId, RequestSpec>,
     k: u64,
     obs: ObsSink,
+    /// Exact integer sum of `q·s` over the active set — the numerator of
+    /// the mean block size that α and β share. Kept incrementally so the
+    /// per-round slack query never walks the request set.
+    sum_block_bits: u128,
+    /// Multiset of block playback durations keyed by the IEEE-754 bit
+    /// pattern (positive finite f64s order identically by bits and by
+    /// value), so γ — the minimum — is the first key. Counted, because
+    /// identical specs are common and releases must not lose the min.
+    gamma_multiset: BTreeMap<u64, usize>,
+    /// Cached Eq. 18 slack for the current `(set, k)`; refreshed on every
+    /// admit/release, read in O(1) by [`Self::eq18_slack`].
+    slack: Option<strandfs_units::Nanos>,
 }
 
 impl AdmissionController {
@@ -232,6 +244,9 @@ impl AdmissionController {
             requests: BTreeMap::new(),
             k: 0,
             obs: ObsSink::noop(),
+            sum_block_bits: 0,
+            gamma_multiset: BTreeMap::new(),
+            slack: None,
         }
     }
 
@@ -285,15 +300,36 @@ impl AdmissionController {
     /// among the `n` active streams: a stream may spend at most its
     /// share on fault retries before another stream's deadlines would
     /// be at risk.
+    ///
+    /// O(1): the value is maintained incrementally across admit/release
+    /// (exact integer block-bit sum + γ multiset), not recomputed from
+    /// the request set — the simulator queries it every round.
     pub fn eq18_slack(&self) -> Option<strandfs_units::Nanos> {
-        let agg = self.aggregates()?;
+        self.slack
+    }
+
+    /// Recompute the cached Eq. 18 slack from the incremental aggregates.
+    /// Arithmetic mirrors [`Aggregates::compute`] exactly: per-request
+    /// block-bit values are whole numbers well below 2^53, so the seed's
+    /// sequential f64 sum is exact and equals `sum_block_bits as f64`.
+    fn refresh_slack(&mut self) {
         let n = self.requests.len();
         if n == 0 || self.k == 0 {
-            return None;
+            self.slack = None;
+            return;
         }
-        let slack = agg.playback_budget(self.k)
-            - (agg.alpha * n as f64 + agg.beta * (n as f64 * self.k as f64));
-        Some(slack.max(Seconds::new(0.0)).to_nanos())
+        let mean_block_bits = self.sum_block_bits as f64 / n as f64;
+        let mean_transfer = Seconds::new(mean_block_bits / self.env.r_dt.get());
+        let alpha = self.env.l_seek_max + mean_transfer;
+        let beta = self.env.l_ds_avg + mean_transfer;
+        let gamma_bits = *self
+            .gamma_multiset
+            .keys()
+            .next()
+            .expect("non-empty request set keeps a γ entry");
+        let gamma = Seconds::new(f64::from_bits(gamma_bits));
+        let slack = gamma * self.k as f64 - (alpha * n as f64 + beta * (n as f64 * self.k as f64));
+        self.slack = Some(slack.max(Seconds::new(0.0)).to_nanos());
     }
 
     /// Try to admit `spec` under id `id` (Eq. 18 test). On success the
@@ -335,6 +371,12 @@ impl AdmissionController {
         };
         self.requests.insert(id, spec);
         self.k = k_new;
+        self.sum_block_bits += spec.block_bits().get() as u128;
+        *self
+            .gamma_multiset
+            .entry(spec.block_playback().get().to_bits())
+            .or_insert(0) += 1;
+        self.refresh_slack();
         self.obs.emit(|| Event::Admit {
             request: id.raw(),
             n,
@@ -355,8 +397,19 @@ impl AdmissionController {
     /// Remove a request from service, recomputing `k` for the remaining
     /// set (0 when the server goes idle).
     pub fn release(&mut self, id: RequestId) -> Result<(), FsError> {
-        if self.requests.remove(&id).is_none() {
-            return Err(FsError::UnknownRequest(id));
+        let spec = match self.requests.remove(&id) {
+            Some(spec) => spec,
+            None => return Err(FsError::UnknownRequest(id)),
+        };
+        self.sum_block_bits -= spec.block_bits().get() as u128;
+        let gamma_key = spec.block_playback().get().to_bits();
+        let count = self
+            .gamma_multiset
+            .get_mut(&gamma_key)
+            .expect("released spec was counted");
+        *count -= 1;
+        if *count == 0 {
+            self.gamma_multiset.remove(&gamma_key);
         }
         self.k = match self.aggregates() {
             Some(agg) => agg
@@ -364,6 +417,7 @@ impl AdmissionController {
                 .expect("shrinking the set keeps feasibility"),
             None => 0,
         };
+        self.refresh_slack();
         self.obs.emit(|| Event::Release {
             request: id.raw(),
             n: self.requests.len(),
@@ -590,6 +644,66 @@ mod tests {
         assert_eq!(k, 7);
         assert!(agg.transient_feasible(3, k));
         assert!(!agg.transient_feasible(3, k - 1), "k−1 must be infeasible");
+    }
+
+    #[test]
+    fn incremental_slack_matches_full_recompute() {
+        // The cached slack is maintained across admit/release churn of a
+        // heterogeneous mix; after every mutation it must equal the
+        // from-scratch Eq. 18 computation over the live request set —
+        // bit-for-bit, since the incremental mean uses the same exact
+        // integer sum the sequential f64 sum produces.
+        let full_recompute = |ac: &AdmissionController| -> Option<strandfs_units::Nanos> {
+            let agg = ac.aggregates()?;
+            let n = ac.active();
+            if n == 0 || ac.k() == 0 {
+                return None;
+            }
+            let slack = agg.playback_budget(ac.k())
+                - (agg.alpha * n as f64 + agg.beta * (n as f64 * ac.k() as f64));
+            Some(slack.max(Seconds::new(0.0)).to_nanos())
+        };
+        let menu = [
+            spec(),
+            RequestSpec {
+                q: 400,
+                unit_bits: Bits::new(8),
+                unit_rate: 8_000.0,
+            },
+            RequestSpec {
+                q: 2,
+                unit_bits: Bits::new(96_000),
+                unit_rate: 30.0,
+            },
+        ];
+        let mut prng = strandfs_units::Prng::seed_from_u64(0x051a_ce18);
+        let mut ac = AdmissionController::new(env());
+        let mut live: Vec<RequestId> = Vec::new();
+        for i in 0..200u64 {
+            let admit = live.is_empty() || prng.gen_bool(0.6);
+            if admit {
+                let spec = *prng.choose(&menu).unwrap();
+                let id = RequestId::from_raw(i);
+                if ac.try_admit(id, spec).is_ok() {
+                    live.push(id);
+                }
+            } else {
+                let pick = prng.bounded_u64(live.len() as u64) as usize;
+                ac.release(live.swap_remove(pick)).unwrap();
+            }
+            assert_eq!(
+                ac.eq18_slack(),
+                full_recompute(&ac),
+                "cached slack diverged after step {i} (n={}, k={})",
+                ac.active(),
+                ac.k()
+            );
+        }
+        // Drain to idle: the cache must fall back to None.
+        for id in live {
+            ac.release(id).unwrap();
+        }
+        assert_eq!(ac.eq18_slack(), None);
     }
 
     #[test]

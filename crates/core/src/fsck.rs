@@ -267,7 +267,7 @@ pub fn check_msm(msm: &mut Msm, now: Instant) -> Report {
         }
         // Index round-trip from disk.
         if let Some(header_extent) = header {
-            match msm.load_strand(*id, header_extent, now) {
+            match msm.load_strand_uncached(*id, header_extent, now) {
                 Ok(loaded) => {
                     let orig = msm.strand(*id).expect("listed id");
                     if loaded.blocks() != orig.blocks() || loaded.unit_count() != orig.unit_count()
@@ -502,7 +502,7 @@ pub fn repair_msm(msm: &mut Msm, now: Instant) -> Report {
         }
         if !rebuild {
             if let Some(header) = index_extents.last() {
-                rebuild = match msm.load_strand(*id, *header, now) {
+                rebuild = match msm.load_strand_uncached(*id, *header, now) {
                     Ok(loaded) => {
                         loaded.blocks() != &blocks[..] || loaded.unit_count() != unit_count
                     }

@@ -155,6 +155,14 @@ pub struct Msm {
     /// Completion time of the most recent disk operation — the instant
     /// journal writes issued by time-less entry points (deletes) use.
     last_io: Instant,
+    /// Verified header→secondary→primary index traversals, keyed by
+    /// strand id and pinned to the header location that was read: a
+    /// reload of an unchanged index is served from memory with no disk
+    /// I/O, like a RAM-resident index in a real server. Entries drop
+    /// whenever the strand's on-disk index can change (delete, truncate)
+    /// and wholesale when a fault plan is armed (media may decay under
+    /// the cache). fsck bypasses it — its whole point is the disk bytes.
+    index_cache: BTreeMap<StrandId, (Extent, Strand)>,
 }
 
 impl Msm {
@@ -190,6 +198,7 @@ impl Msm {
             journal,
             text_extents: Vec::new(),
             last_io: Instant::EPOCH,
+            index_cache: BTreeMap::new(),
             disk,
         }
     }
@@ -243,6 +252,9 @@ impl Msm {
     /// Returns `false` when the device cannot inject faults (a bare
     /// [`SimDisk`]); the plan is then ignored.
     pub fn arm_faults(&mut self, plan: FaultPlan) -> bool {
+        // Media may decay (or be torn) under a cached traversal — every
+        // future reload must go back to the disk image.
+        self.index_cache.clear();
         self.disk.arm_faults(plan)
     }
 
@@ -805,6 +817,72 @@ impl Msm {
         budget: Nanos,
         deadline: Option<Instant>,
     ) -> Result<BlockFetch, FsError> {
+        self.fetch_block(id, n, now, budget, deadline, true)
+    }
+
+    /// [`Msm::read_block_resilient`] without materializing the payload:
+    /// identical timing, retries, and fault outcomes, but `Data` carries
+    /// an empty `payload` vector (`Vec::new()` does not allocate). The
+    /// simulator's service loop reads hundreds of thousands of blocks
+    /// per round at scale and only consumes the *timing* of each fetch —
+    /// copying block payloads out of the device image would dominate the
+    /// run and churn the allocator.
+    pub fn read_block_resilient_timed(
+        &mut self,
+        id: StrandId,
+        n: BlockNo,
+        now: Instant,
+        budget: Nanos,
+        deadline: Option<Instant>,
+    ) -> Result<BlockFetch, FsError> {
+        self.fetch_block(id, n, now, budget, deadline, false)
+    }
+
+    /// [`Msm::read_block`] without materializing the payload: the strict
+    /// (zero-budget) read path of the simulator. Returns the successful
+    /// disk operation, `None` for a silence hole, and maps fault
+    /// outcomes to the same errors as [`Msm::read_block`].
+    pub fn read_block_timed(
+        &mut self,
+        id: StrandId,
+        n: BlockNo,
+        now: Instant,
+    ) -> Result<Option<DiskOp>, FsError> {
+        let extent = self.strand(id)?.block(n)?;
+        match self.fetch_block(id, n, now, Nanos::ZERO, None, false)? {
+            BlockFetch::Silence => Ok(None),
+            BlockFetch::Data { op, .. } => Ok(Some(op)),
+            BlockFetch::Failed {
+                reason, retries, ..
+            } => {
+                let e = extent.expect("failed fetch implies a stored extent");
+                Err(match reason {
+                    FetchFailure::Media => FsError::MediaError {
+                        lba: e.start,
+                        sectors: e.sectors,
+                    },
+                    FetchFailure::RetriesExhausted => FsError::RetriesExhausted {
+                        lba: e.start,
+                        retries,
+                    },
+                    FetchFailure::Abandoned => FsError::DeadlineAbandoned {
+                        strand: id,
+                        block: n,
+                    },
+                })
+            }
+        }
+    }
+
+    fn fetch_block(
+        &mut self,
+        id: StrandId,
+        n: BlockNo,
+        now: Instant,
+        budget: Nanos,
+        deadline: Option<Instant>,
+        want_payload: bool,
+    ) -> Result<BlockFetch, FsError> {
         let extent = self.strand(id)?.block(n)?;
         let e = match extent {
             None => return Ok(BlockFetch::Silence),
@@ -822,7 +900,14 @@ impl Msm {
         loop {
             match self.disk.access(t, e, AccessKind::Read) {
                 Ok(op) => {
-                    let payload = self.fetch_checked(e, "media extent beyond device")?;
+                    // `access` succeeding guarantees the extent is
+                    // on-device, so the timed path can skip the copy
+                    // outright — an empty Vec never touches the heap.
+                    let payload = if want_payload {
+                        self.fetch_checked(e, "media extent beyond device")?
+                    } else {
+                        Vec::new()
+                    };
                     return Ok(BlockFetch::Data {
                         payload,
                         op,
@@ -866,10 +951,30 @@ impl Msm {
         }
     }
 
+    /// Reload a strand from its on-disk index — served from the index
+    /// cache when this `(id, header)` pair was already traversed and has
+    /// not been invalidated since, with no disk I/O or virtual time.
+    /// Use [`Msm::load_strand_uncached`] when the point is to verify the
+    /// bytes currently on disk (fsck does).
+    pub fn load_strand(
+        &mut self,
+        id: StrandId,
+        header_extent: Extent,
+        now: Instant,
+    ) -> Result<Strand, FsError> {
+        if let Some((cached_header, strand)) = self.index_cache.get(&id) {
+            if *cached_header == header_extent {
+                return Ok(strand.clone());
+            }
+        }
+        self.load_strand_uncached(id, header_extent, now)
+    }
+
     /// Reload a strand purely from its on-disk index, verifying the
     /// storage format end-to-end. Reads the header at `header_extent`,
-    /// then its secondaries, then their primaries.
-    pub fn load_strand(
+    /// then its secondaries, then their primaries. Refreshes the index
+    /// cache on success.
+    pub fn load_strand_uncached(
         &mut self,
         id: StrandId,
         header_extent: Extent,
@@ -896,7 +1001,9 @@ impl Msm {
             }
         }
         index_extents.push(header_extent);
-        strand_from_index(id, &header, &primaries, index_extents)
+        let strand = strand_from_index(id, &header, &primaries, index_extents)?;
+        self.index_cache.insert(id, (header_extent, strand.clone()));
+        Ok(strand)
     }
 
     /// Delete a finished strand: free its media blocks and index blocks.
@@ -911,6 +1018,7 @@ impl Msm {
             Some(StrandState::Recording(_)) => return Err(FsError::StrandNotFinished(id)),
             None => return Err(FsError::UnknownStrand(id)),
         }
+        self.index_cache.remove(&id);
         if self.journal.is_some() {
             let t = self.last_io;
             self.journal_append(Record::Delete { strand: id.raw() }, t)?;
@@ -959,6 +1067,7 @@ impl Msm {
         if keep == 0 {
             return self.delete_strand(id);
         }
+        self.index_cache.remove(&id);
         let Some(StrandState::Finished(strand)) = self.strands.remove(&id) else {
             unreachable!("state checked above");
         };

@@ -246,6 +246,20 @@ pub enum Event {
         /// Virtual time at round end.
         at: Instant,
     },
+    /// A service round passed with no stream to service — every admitted
+    /// stream was revoked and the server sat out the round waiting for
+    /// readmission (`strandfs-sim`). The virtual clock still advances by
+    /// the idle round's playback duration; `advanced` is that span, so
+    /// outage accounting (`recovery_time`) can be cross-checked against
+    /// the idle rounds that produced it.
+    RoundIdle {
+        /// Round number (0-based).
+        round: u64,
+        /// Virtual time at the start of the idle round.
+        at: Instant,
+        /// How far the clock moved across the idle round.
+        advanced: Nanos,
+    },
     /// A stream's display clock started (read-ahead satisfied).
     DisplayStart {
         /// Stream index (report order).
@@ -416,6 +430,7 @@ impl Event {
             Event::RoundStart { .. } => "round_start",
             Event::StreamService { .. } => "stream_service",
             Event::RoundEnd { .. } => "round_end",
+            Event::RoundIdle { .. } => "round_idle",
             Event::DisplayStart { .. } => "display_start",
             Event::Deadline { .. } => "deadline",
             Event::Fault { .. } => "fault",

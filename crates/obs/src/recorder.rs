@@ -132,6 +132,8 @@ pub struct ObsMetrics {
     pub round_k_max: u64,
     /// Wall-to-wall duration of completed rounds (start → end).
     pub round_duration: NanosAcc,
+    /// Rounds that passed with nothing to service (all streams revoked).
+    pub rounds_idle: u64,
     /// Per-stream service turns.
     pub stream_services: u64,
     /// Duration of each stream's service turn within a round.
@@ -255,6 +257,7 @@ impl ObsMetrics {
                     }
                 }
             }
+            Event::RoundIdle { .. } => self.rounds_idle += 1,
             Event::DisplayStart { .. } => {}
             Event::Deadline {
                 deadline,
@@ -316,7 +319,7 @@ impl ObsMetrics {
                 "\"alloc\":{{\"count\":{},\"unconstrained\":{},\"gap\":{},\"slack\":{}}},",
                 "\"admission\":{{\"admits\":{},\"rejects\":{},\"releases\":{},",
                 "\"k_growths\":{},\"k_peak\":{},\"slack\":{}}},",
-                "\"rounds\":{{\"count\":{},\"active\":{},\"k_max\":{},",
+                "\"rounds\":{{\"count\":{},\"idle\":{},\"active\":{},\"k_max\":{},",
                 "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
                 "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}},",
                 "\"edits\":{{\"heals\":{},\"copied\":{},\"bound_max\":{}}},",
@@ -345,6 +348,7 @@ impl ObsMetrics {
             self.k_peak,
             self.admit_slack.summary().to_json(),
             self.rounds,
+            self.rounds_idle,
             self.round_active.to_json(),
             self.round_k_max,
             self.round_duration.summary().to_json(),

@@ -19,6 +19,7 @@
 
 pub mod metrics;
 pub mod playback;
+pub mod reference;
 pub mod scenario;
 
 pub use metrics::{NanosSummary, SimReport, StreamOutcome};

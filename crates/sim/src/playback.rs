@@ -42,6 +42,14 @@ pub enum ServiceOrder {
     RoundRobin,
     /// Ascending-address sweep each round.
     Scan,
+    /// Circular SCAN: one ascending sweep per round that *starts from
+    /// the head's position after the previous round* instead of
+    /// restarting at the lowest address — streams below the sweep
+    /// position wrap to the end of the round. At 100k streams per round
+    /// this keeps the arm moving in one direction across round
+    /// boundaries instead of paying a full-stroke seek back to LBA 0
+    /// every round.
+    Cscan,
 }
 
 /// What the server does when a block fetch faults (the device injected
@@ -110,6 +118,12 @@ impl PlaybackConfig {
         self
     }
 
+    /// Switch to CSCAN-ordered rounds (circular sweep).
+    pub fn cscan(mut self) -> Self {
+        self.order = ServiceOrder::Cscan;
+        self
+    }
+
     /// Set the fault-degradation policy.
     pub fn degraded(mut self, mode: DegradeMode) -> Self {
         self.degrade = mode;
@@ -165,6 +179,15 @@ struct StreamState {
     revokes: u64,
     /// Total virtual time spent revoked (revoke → re-admit).
     recovery_time: Nanos,
+    /// Memoized SCAN key: `(lba, item)` — the disk address of the
+    /// stream's first non-silence schedule item at or after `item`
+    /// (`u64::MAX`/`usize::MAX` once only silence remains). Valid while
+    /// `next <= item`: every item between the position the key was
+    /// computed at and `item` was silence, so advancing `next` through
+    /// that run cannot change which block the arm would seek to. One
+    /// index probe per *consumed stored block*, instead of the
+    /// O(n log n) probes per round a sort key re-invocation costs.
+    lba_cache: Option<(u64, usize)>,
 }
 
 impl StreamState {
@@ -187,6 +210,7 @@ impl StreamState {
             revoked_at: None,
             revokes: 0,
             recovery_time: Nanos::ZERO,
+            lba_cache: None,
         }
     }
 
@@ -370,6 +394,18 @@ pub fn simulate_with_arrivals_ordered(
 
 /// The full simulation loop: arrivals, service order and a fault
 /// degradation policy.
+///
+/// The loop is written for scale: per-round state (`active`, the SCAN
+/// key table, the sweep order) lives in buffers reused across rounds,
+/// SCAN keys are memoized per stream instead of re-probed inside the
+/// sort, the strict/degraded read paths go through the payload-free
+/// `read_block_timed` family, and the per-round Eq. 18 slack query is
+/// O(1) against the admission controller's incremental cache. After the
+/// first few rounds warm the buffers, a round allocates nothing —
+/// 100k-stream rounds run at a flat memory footprint
+/// (`tests/alloc_steady.rs` pins this). `crates/sim/src/reference.rs`
+/// keeps a direct transliteration of the seed loop; a property test
+/// pins this implementation to it report-for-report.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_degraded(
     mrs: &mut Mrs,
@@ -381,7 +417,7 @@ pub fn simulate_degraded(
     degrade: DegradeMode,
 ) -> Result<SimReport, FsError> {
     let mut states: Vec<StreamState> = Vec::new();
-    let mut order: Vec<usize> = Vec::new(); // active stream indices
+    let mut order: Vec<usize> = Vec::new(); // admitted stream indices
     let initial_k = k_of_round(0, streams.len().max(1));
     for s in streams {
         order.push(states.len());
@@ -401,16 +437,26 @@ pub fn simulate_degraded(
     let mut round: u64 = 0;
     // Consecutive fault-free rounds — the ladder's re-admission signal.
     let mut clean_streak: u64 = 0;
+    // Round-scoped buffers, allocated once and reused: the live active
+    // set, streams activated this round, the SCAN key table and the
+    // resulting sweep order.
+    let mut active: Vec<usize> = Vec::with_capacity(order.len());
+    let mut activated: Vec<usize> = Vec::new();
+    let mut keys: Vec<(u64, u32)> = Vec::new();
+    let mut sweep: Vec<usize> = Vec::new();
+    // CSCAN head position: the key of the last stream serviced in the
+    // previous sweep; the next sweep continues upward from here.
+    let mut sweep_pos: u64 = 0;
     loop {
-        // Activate arrivals due this round.
+        // Activate arrivals due this round. Their read-ahead is sized
+        // below, once the round's live population — and with it the
+        // round's k — is known; sizing from `order.len()` here would
+        // count finished and revoked streams.
+        activated.clear();
         pending.retain(|(at, idx)| {
             if *at <= round {
                 order.push(*idx);
-                true_marker(
-                    &mut states[*idx],
-                    k_of_round(round, order.len()),
-                    &read_ahead_of_k,
-                );
+                activated.push(*idx);
                 false
             } else {
                 true
@@ -445,31 +491,99 @@ pub fn simulate_degraded(
                 }
             }
         }
-        let mut active: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|i| !states[*i].finished() && states[*i].revoked_at.is_none())
-            .collect();
-        if active.is_empty() {
-            let revoked_remain = order
+        active.clear();
+        active.extend(
+            order
                 .iter()
-                .any(|i| !states[*i].finished() && states[*i].revoked_at.is_some());
-            if pending.is_empty() && !revoked_remain {
+                .copied()
+                .filter(|i| !states[*i].finished() && states[*i].revoked_at.is_none()),
+        );
+        if active.is_empty() {
+            let revoked_live = order
+                .iter()
+                .filter(|i| !states[**i].finished() && states[**i].revoked_at.is_some())
+                .count();
+            if pending.is_empty() && revoked_live == 0 {
                 break;
             }
-            // An idle round does no I/O and sees no faults: it counts
-            // toward the clean streak, so an all-revoked server still
-            // converges to re-admission.
+            if revoked_live > 0 {
+                // An all-revoked round does no I/O, but it is not free:
+                // the revoked viewers' displays sit frozen while the
+                // round passes. Advance the virtual clock by the round's
+                // playback span (k blocks of the shortest next item
+                // among the revoked streams) so `recovery_time` and the
+                // readmit instants account for the full outage; the
+                // seed loop froze `t` here and under-reported both.
+                let k_idle = k_of_round(round, revoked_live).max(1);
+                let min_dur = order
+                    .iter()
+                    .filter(|i| !states[**i].finished() && states[**i].revoked_at.is_some())
+                    .map(|i| {
+                        let s = &states[*i];
+                        s.schedule.items[s.next].duration
+                    })
+                    .min()
+                    .unwrap_or(Nanos::ZERO);
+                let advanced = Nanos::from_nanos(k_idle.saturating_mul(min_dur.as_nanos()));
+                let at = t;
+                obs.emit(|| Event::RoundIdle {
+                    round,
+                    at,
+                    advanced,
+                });
+                t += advanced;
+            }
+            // Idle rounds see no faults: they count toward the clean
+            // streak, so an all-revoked server still converges to
+            // re-admission.
             clean_streak += 1;
             round += 1;
             continue;
         }
-        if order_policy == ServiceOrder::Scan {
-            // One ascending-address sweep: sort by the disk address of
-            // each stream's next non-silence block.
-            active.sort_by_key(|&i| next_lba(mrs, &states[i]));
-        }
         let k = k_of_round(round, active.len()).max(1);
+        // Fix the read-ahead of freshly activated arrivals from the
+        // *live* round size — the same k their first round services
+        // them with.
+        for &idx in &activated {
+            true_marker(&mut states[idx], k, &read_ahead_of_k);
+        }
+        let service: &[usize] = match order_policy {
+            ServiceOrder::RoundRobin => &active,
+            ServiceOrder::Scan | ServiceOrder::Cscan => {
+                // One ascending-address sweep: sort by the disk address
+                // of each stream's next non-silence block. Keys come
+                // from the per-stream memo (one index probe per consumed
+                // stored block, amortized) and carry the stream's
+                // position in `active`, so ties keep activation order —
+                // exactly the stable `sort_by_key` the seed loop ran,
+                // without re-invoking the key O(n log n) times.
+                keys.clear();
+                for (pos, &i) in active.iter().enumerate() {
+                    keys.push((next_lba_memo(mrs, &mut states[i]), pos as u32));
+                }
+                keys.sort_unstable();
+                let start = match order_policy {
+                    // CSCAN: continue the sweep from where the last
+                    // round's arm stopped; lower-addressed streams wrap
+                    // to the end of this round.
+                    ServiceOrder::Cscan => keys.partition_point(|&(lba, _)| lba < sweep_pos),
+                    _ => 0,
+                };
+                sweep.clear();
+                sweep.extend(
+                    keys[start..]
+                        .iter()
+                        .chain(keys[..start].iter())
+                        .map(|&(_, pos)| active[pos as usize]),
+                );
+                sweep_pos = if start > 0 {
+                    keys[start - 1].0
+                } else {
+                    keys.last().expect("active is non-empty").0
+                };
+                &sweep
+            }
+        };
         obs.emit(|| Event::RoundStart {
             round,
             active: active.len(),
@@ -491,7 +605,7 @@ pub fn simulate_degraded(
                 .map(|s| Nanos::from_nanos(s.as_nanos() / (active.len() as u64 * k).max(1))),
         };
         let mut round_faults = false;
-        for idx in active {
+        for &idx in service {
             let state = &mut states[idx];
             if state.service_start.is_none() {
                 state.service_start = Some(t);
@@ -509,7 +623,7 @@ pub fn simulate_degraded(
                     state.completions.push(t);
                     state.dropped.push(false);
                 } else if matches!(degrade, DegradeMode::Strict) {
-                    let (_payload, op) = mrs.msm_mut().read_block(item.strand, item.block, t)?;
+                    let op = mrs.msm_mut().read_block_timed(item.strand, item.block, t)?;
                     let op = op.ok_or(FsError::InvalidScenario {
                         reason: "non-silence schedule item resolves to a silence hole",
                     })?;
@@ -522,7 +636,7 @@ pub fn simulate_degraded(
                         _ => round_share.unwrap_or(item.duration),
                     };
                     let deadline = state.deadline_of(j);
-                    match mrs.msm_mut().read_block_resilient(
+                    match mrs.msm_mut().read_block_resilient_timed(
                         item.strand,
                         item.block,
                         t,
@@ -623,21 +737,61 @@ fn true_marker(state: &mut StreamState, k_now: u64, read_ahead_of_k: &impl Fn(u6
     state.read_ahead = read_ahead_of_k(k_now).max(1);
 }
 
-/// Disk address of a stream's next non-silence block (`u64::MAX` when
-/// only silence or nothing remains, sorting it last).
-fn next_lba(mrs: &Mrs, state: &StreamState) -> u64 {
-    state.schedule.items[state.next..]
-        .iter()
-        .find(|item| !item.silence)
-        .and_then(|item| {
-            mrs.msm()
+thread_local! {
+    /// Count of on-index next-LBA probes (test instrumentation): every
+    /// walk from a stream's schedule into the strand index to resolve
+    /// its next block address bumps this. The SCAN-key memo keeps it
+    /// near one probe per consumed stored block; the seed loop's
+    /// `sort_by_key` re-probed O(n log n) times per round.
+    static LBA_PROBES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total next-LBA index probes performed on this thread (monotone; take
+/// a before/after difference around a simulation).
+#[doc(hidden)]
+pub fn lba_probe_count() -> u64 {
+    LBA_PROBES.with(|c| c.get())
+}
+
+pub(crate) fn count_lba_probe() {
+    LBA_PROBES.with(|c| c.set(c.get() + 1));
+}
+
+/// Resolve `(lba, item)` for the stream's first non-silence schedule
+/// item at or after `next`: the disk address the arm would visit next
+/// (`u64::MAX`/`usize::MAX` when only silence or nothing remains,
+/// sorting the stream last).
+fn next_lba_probe(mrs: &Mrs, state: &StreamState) -> (u64, usize) {
+    count_lba_probe();
+    for (off, item) in state.schedule.items[state.next..].iter().enumerate() {
+        if !item.silence {
+            let lba = mrs
+                .msm()
                 .strand(item.strand)
                 .ok()
                 .and_then(|s| s.block(item.block).ok())
                 .flatten()
                 .map(|e| e.start)
-        })
-        .unwrap_or(u64::MAX)
+                .unwrap_or(u64::MAX);
+            return (lba, state.next + off);
+        }
+    }
+    (u64::MAX, usize::MAX)
+}
+
+/// The memoizing SCAN-key lookup: serve from the stream's cached
+/// `(lba, item)` while `next` has not passed the cached item (any items
+/// skipped in between were silence and cannot move the arm), probing
+/// the index only when the cached block was actually consumed.
+fn next_lba_memo(mrs: &Mrs, state: &mut StreamState) -> u64 {
+    if let Some((lba, item)) = state.lba_cache {
+        if item >= state.next {
+            return lba;
+        }
+    }
+    let probed = next_lba_probe(mrs, state);
+    state.lba_cache = Some(probed);
+    probed.0
 }
 
 /// Simulate steady-state playback of `streams` with a fixed round size.

@@ -239,6 +239,24 @@ where
                 );
                 now = now.max(end.as_nanos());
             }
+            Event::RoundIdle {
+                round,
+                at,
+                advanced,
+            } => {
+                // An all-revoked round: render the dead span as its own
+                // slice so outage windows are visible on the round track.
+                t.complete(
+                    &format!("round {round} (idle)"),
+                    "round",
+                    PID,
+                    TID_ROUNDS,
+                    at.as_nanos(),
+                    advanced.as_nanos(),
+                    &[("active", ArgVal::U(0))],
+                );
+                now = now.max(at.as_nanos() + advanced.as_nanos());
+            }
             Event::RoundEnd { round, at } => {
                 let end = at.as_nanos();
                 if let Some((start, active, k)) = open_rounds.remove(&round) {

@@ -18,8 +18,14 @@ cargo build --workspace --release --offline
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
 
-echo "==> bench --check --quick (regression gate smoke)"
-cargo run -p strandfs-bench --release --offline --bin bench -- --check --quick
+# The quick gate caps the E16 scale sweep at 10k streams (the 100k cell
+# is a multi-second measurement); the committed baseline is generated
+# uncapped, and `bench --check` drops baseline entries for capped-out
+# sizes. Override with STRANDFS_SCALE_CAP= to sweep everything.
+SCALE_CAP="${STRANDFS_SCALE_CAP:-10000}"
+echo "==> bench --check --quick (regression gate smoke, STRANDFS_SCALE_CAP=$SCALE_CAP)"
+STRANDFS_SCALE_CAP="$SCALE_CAP" \
+    cargo run -p strandfs-bench --release --offline --bin bench -- --check --quick
 
 # Seeded chaos pass: replay the failure-injection and fault-plan
 # property suites plus the exhaustive crash-point sweep under a fresh

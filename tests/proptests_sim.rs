@@ -444,6 +444,118 @@ fn play_mode_skip_keeps_every_nth() {
 }
 
 #[test]
+fn optimized_service_loop_matches_the_reference_loop() {
+    use strandfs::core::mrs::compile_schedule;
+    use strandfs::core::rope::edit::{Interval, MediaSel};
+    use strandfs::disk::FaultPlan;
+    use strandfs::sim::playback::{simulate_degraded, Arrival, DegradeMode, ServiceOrder};
+    use strandfs::sim::reference::simulate_degraded_reference;
+    use strandfs::sim::{faulty_volume, ClipSpec};
+
+    // The scale-reworked loop (persistent round buffers, memoized SCAN
+    // keys, payload-free reads, O(1) slack) must be observationally
+    // identical to the naive reference transliteration: same per-stream
+    // outcomes, same round count, same disk busy time — across random
+    // populations, service orders, degradation modes, fault plans and
+    // mid-flight arrivals. Both runs build the same volume from the
+    // same seed, so any divergence is the loops', not the scenario's.
+    check_with(
+        &Config::with_cases(8),
+        "optimized_service_loop_matches_the_reference_loop",
+        (0u64..1_000, 1usize..4, 0u8..3, 0u8..3, any_bool(), 2u64..6),
+        |&(seed, n, order_sel, degrade_sel, with_arrival, k)| {
+            let order = match order_sel {
+                0 => ServiceOrder::RoundRobin,
+                1 => ServiceOrder::Scan,
+                _ => ServiceOrder::Cscan,
+            };
+            let degrade = match degrade_sel {
+                0 => DegradeMode::Strict,
+                1 => DegradeMode::Abandon,
+                _ => DegradeMode::Ladder {
+                    revoke_after_drops: 2,
+                    readmit_clean_rounds: 2,
+                },
+            };
+            let build = || {
+                let clips = vec![ClipSpec::video_seconds(2.0); n];
+                let (mut mrs, ropes) = faulty_volume(&clips, seed).expect("build volume");
+                let scheds: Vec<_> = ropes
+                    .iter()
+                    .map(|r| {
+                        let rope = mrs.rope(*r).unwrap().clone();
+                        let mut s = compile_schedule(
+                            &rope,
+                            MediaSel::Both,
+                            Interval::whole(rope.duration()),
+                        )
+                        .unwrap();
+                        mrs.resolve_silence(&mut s).unwrap();
+                        s
+                    })
+                    .collect();
+                // Strict service must stay fault-free (faults abort the
+                // run); the degraded modes face transient decay plus, on
+                // the ladder, one permanently bad block to force the
+                // revoke/readmit path.
+                if !matches!(degrade, DegradeMode::Strict) {
+                    let mut plan = FaultPlan::clean().with_random_transients(0.08, 1);
+                    if matches!(degrade, DegradeMode::Ladder { .. }) {
+                        let item = scheds[0].items[8];
+                        if !item.silence {
+                            let e = mrs
+                                .msm()
+                                .strand(item.strand)
+                                .unwrap()
+                                .block(item.block)
+                                .unwrap()
+                                .unwrap();
+                            plan = plan.with_bad_extent(e);
+                        }
+                    }
+                    assert!(mrs.msm_mut().arm_faults(plan));
+                }
+                let arrivals = if with_arrival {
+                    vec![Arrival {
+                        at_round: 3,
+                        schedule: scheds[0].clone(),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                (mrs, scheds, arrivals)
+            };
+            let k_of_round = move |round: u64, live: usize| k + (round + live as u64) % 2;
+
+            let (mut mrs, scheds, arrivals) = build();
+            let optimized = simulate_degraded(
+                &mut mrs,
+                scheds,
+                arrivals,
+                |k| k,
+                k_of_round,
+                order,
+                degrade,
+            )
+            .expect("optimized run");
+            let (mut mrs, scheds, arrivals) = build();
+            let reference = simulate_degraded_reference(
+                &mut mrs,
+                scheds,
+                arrivals,
+                |k| k,
+                k_of_round,
+                order,
+                degrade,
+            )
+            .expect("reference run");
+            prop_assert_eq!(&optimized, &reference);
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn fsx_model_checks_on_random_streams() {
     // The fsx exerciser as a shrinking property: any (seed, ops) stream
     // must keep the real MRS and the in-memory model rope in lockstep
