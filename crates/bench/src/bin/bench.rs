@@ -133,10 +133,16 @@ fn run_check(cli: &Cli) -> ! {
     // STRANDFS_SCALE_CAP excludes a scale size from this run, its
     // baseline benchmark entry must be dropped rather than reported
     // missing.
-    let active_scale: Vec<String> = strandfs_bench::experiments::e16_scale::active_sizes()
+    let active_sizes = strandfs_bench::experiments::e16_scale::active_sizes();
+    let mut active_scale: Vec<String> = active_sizes
         .iter()
         .map(|n| format!("scale/n{n}_playback"))
         .collect();
+    // The monitored companion benchmark runs for the largest active
+    // size only, so under a cap its baseline entry moves with the cap.
+    if let Some(n) = active_sizes.last() {
+        active_scale.push(format!("scale/n{n}_playback_monitored"));
+    }
     let baseline: Vec<_> = baseline
         .into_iter()
         .filter(|b| b.suite() != "scale" || active_scale.contains(&b.name))
@@ -212,6 +218,18 @@ fn run_check(cli: &Cli) -> ! {
         strandfs_bench::experiments::e14_crash::section_json,
     );
     compare_deterministic("fsx", strandfs_bench::experiments::e15_fsx::section_json);
+    // E17's monitor state (window series, alerts, flight-dump
+    // summaries) and the profiler's span counts are virtual-time
+    // deterministic too; they key off the `monitor` pseudo-suite name
+    // so explicit suite filters skip them.
+    compare_deterministic(
+        "monitor",
+        strandfs_bench::experiments::e17_monitor::section_json,
+    );
+    compare_deterministic(
+        "profile",
+        strandfs_bench::experiments::e17_monitor::profile_json,
+    );
 
     // The scale section is compared one size at a time, so a
     // STRANDFS_SCALE_CAP-bounded run still checks the sizes it swept
@@ -302,6 +320,17 @@ fn main() {
     c.add_section(
         "scale",
         strandfs_bench::experiments::e16_scale::section_json(),
+    );
+    // The E17 live-monitoring run: the windowed monitor's full state
+    // (windows, alerts, flight-dump summaries) plus the service-loop
+    // profiler's deterministic span counts.
+    c.add_section(
+        "monitor",
+        strandfs_bench::experiments::e17_monitor::section_json(),
+    );
+    c.add_section(
+        "profile",
+        strandfs_bench::experiments::e17_monitor::profile_json(),
     );
     c.report();
 

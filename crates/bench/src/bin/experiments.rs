@@ -75,6 +75,8 @@ fn main() {
     println!("{}", e14_crash::table());
 
     println!("{}", e16_scale::table());
+
+    println!("{}", e17_monitor::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

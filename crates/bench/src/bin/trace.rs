@@ -28,12 +28,19 @@ fn main() {
         let (sink, recorder) = ObsSink::ring(1 << 20);
         let outcome = run_with_obs(policy, sink);
         let rec = recorder.borrow();
+        if rec.dropped() > 0 {
+            eprintln!(
+                "warning: ring dropped {} events; the {name} export is truncated at the front",
+                rec.dropped()
+            );
+        }
         // γ = the scenario's 100 ms NTSC block duration: the slack
         // counter then shows each round's Eq. 18 headroom.
         let doc = chrome_trace(
             rec.events(),
             &TraceOptions {
                 gamma: Some(Nanos::from_millis(100)),
+                dropped_events: rec.dropped(),
             },
         );
         let path = format!("TRACE_e6_{name}.json");

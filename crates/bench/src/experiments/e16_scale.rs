@@ -22,6 +22,7 @@ use std::time::Duration;
 use crate::table::Table;
 use strandfs_core::mrs::compile_schedule;
 use strandfs_core::rope::edit::{Interval, MediaSel};
+use strandfs_obs::{MonitorConfig, ObsSink, SloRule, WindowedMonitor};
 use strandfs_sim::playback::{simulate_degraded, DegradeMode, ServiceOrder};
 use strandfs_sim::{standard_volume, ClipSpec};
 use strandfs_units::Nanos;
@@ -71,8 +72,37 @@ pub struct Row {
 /// Play `n` concurrent copies of one recorded clip under CSCAN rounds
 /// and strict service, timing the service loop.
 pub fn run(n: usize) -> Row {
+    run_with_obs(n, ObsSink::noop())
+}
+
+/// [`run`] with a [`WindowedMonitor`] attached: the full live-health
+/// fold (window stats, SLO rules, flight ring) watching every event
+/// the loop emits. The virtual-time outcome is identical to [`run`]'s
+/// (the zero-perturbation rule); the wall-clock delta *is* the
+/// monitoring overhead, which the scale suite's
+/// `n<size>_playback_monitored` benchmark tracks next to the bare one.
+pub fn run_monitored(n: usize) -> Row {
+    let monitor = std::rc::Rc::new(std::cell::RefCell::new(WindowedMonitor::new(
+        MonitorConfig::rounds(4)
+            .retain(64)
+            .ring_cap(4096)
+            .rule(SloRule::BurnRate {
+                label: "miss-burn",
+                short_windows: 1,
+                long_windows: 4,
+                short_rate: 0.5,
+                long_rate: 0.25,
+            }),
+    )));
+    let row = run_with_obs(n, ObsSink::shared(&monitor));
+    monitor.borrow_mut().finish();
+    row
+}
+
+fn run_with_obs(n: usize, obs: ObsSink) -> Row {
     let (mut mrs, ropes) =
         standard_volume(&[ClipSpec::video_seconds(2.0)]).expect("build scale volume");
+    mrs.set_obs(obs);
     let rope = mrs.rope(ropes[0]).expect("recorded rope").clone();
     let mut sched = compile_schedule(&rope, MediaSel::Both, Interval::whole(rope.duration()))
         .expect("compile schedule");
@@ -171,6 +201,18 @@ mod tests {
         assert_eq!(sizes_under_cap(Some(10_000)), vec![1_000, 10_000]);
         assert_eq!(sizes_under_cap(Some(999)), Vec::<usize>::new());
         assert_eq!(sizes_under_cap(Some(usize::MAX)), sizes_under_cap(None));
+    }
+
+    #[test]
+    fn monitored_run_matches_bare_run() {
+        let bare = run(SIZES[0]);
+        let monitored = run_monitored(SIZES[0]);
+        // The monitor observes; it must not perturb the virtual-time
+        // outcome.
+        assert_eq!(bare.rounds, monitored.rounds);
+        assert_eq!(bare.fetched, monitored.fetched);
+        assert_eq!(bare.violations, monitored.violations);
+        assert_eq!(bare.disk_busy, monitored.disk_busy);
     }
 
     #[test]

@@ -24,5 +24,16 @@ pub fn register(c: &mut Runner) {
             })
         });
     }
+    // The largest active size again with the windowed monitor attached:
+    // the medians of this pair bound the live-monitoring overhead at
+    // scale (the acceptance bar is monitored ≤ 1.25x bare).
+    if let Some(&n) = e16_scale::active_sizes().last() {
+        g.bench_function(&format!("n{n}_playback_monitored"), move |b| {
+            b.iter(|| {
+                let row = e16_scale::run_monitored(n);
+                black_box((row.rounds, row.wall))
+            })
+        });
+    }
     g.finish();
 }

@@ -1,0 +1,73 @@
+//! End-to-end gate for the live-monitoring path (ISSUE PR 8
+//! acceptance): the deterministic 20 %-fault scenario must raise a
+//! burn-rate alert, its flight dump must serialize to well-formed JSON,
+//! and the Perfetto-loadable excerpt rendered by `strandfs-trace` must
+//! contain the offending rounds and the alert marker.
+
+use strandfs_bench::experiments::e17_monitor;
+use strandfs_testkit::json::{validate, Json};
+use strandfs_trace::{flight_trace, TraceOptions};
+
+#[test]
+fn fault_storm_alert_renders_a_loadable_flight_excerpt() {
+    let out = e17_monitor::run();
+
+    // The storm deterministically raises the burn-rate alert.
+    let alert = out
+        .monitor
+        .alerts()
+        .iter()
+        .find(|a| a.rule == "miss-burn")
+        .expect("the 20% fault storm must trip the burn-rate rule");
+    let dump = out
+        .monitor
+        .dumps()
+        .iter()
+        .find(|d| d.alert.rule == "miss-burn")
+        .expect("the first alert must capture a flight dump");
+    assert_eq!(dump.alert, *alert);
+
+    // The dump summary is well-formed JSON with a covered round range.
+    let summary = validate(&dump.to_json());
+    let first = summary.get("first_round").and_then(Json::as_num).unwrap();
+    let last = summary.get("last_round").and_then(Json::as_num).unwrap();
+    assert!(first <= last);
+
+    // The rendered excerpt is itself valid JSON in the Chrome
+    // trace-event envelope…
+    let excerpt = flight_trace(dump, &TraceOptions::default());
+    let doc = validate(&excerpt);
+    assert_eq!(doc.keys(), vec!["displayTimeUnit", "traceEvents"]);
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    // …containing a slice for every round the ring covered around the
+    // alert (the offending window's rounds included)…
+    let alert_rounds = (alert.window * e17_monitor::WINDOW_ROUNDS)
+        ..((alert.window + 1) * e17_monitor::WINDOW_ROUNDS);
+    let round_named = |name: &str| {
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some(name))
+    };
+    let mut covered = 0;
+    for round in alert_rounds {
+        if round_named(&format!("round {round}")) {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered > 0,
+        "excerpt must contain at least one offending round slice"
+    );
+
+    // …plus the alert instant on the dedicated alerts track.
+    let marker = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("alert:miss-burn"))
+        .expect("excerpt carries the alert marker");
+    assert_eq!(marker.get("ph").and_then(Json::as_str), Some("i"));
+    assert_eq!(
+        marker.path("args/window").and_then(Json::as_num),
+        Some(alert.window as f64)
+    );
+}

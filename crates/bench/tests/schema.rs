@@ -33,12 +33,21 @@ fn obs_and_slo_sections_keep_their_shape() {
             "edits",
             "faults",
             "recovery",
-            "rounds"
+            "rounds",
+            "startup"
         ]
     );
     assert_eq!(
         metrics.get("edits").unwrap().keys(),
         vec!["bound_max", "copied", "heals"]
+    );
+    assert_eq!(
+        metrics.get("startup").unwrap().keys(),
+        vec!["count", "latency"]
+    );
+    assert_eq!(
+        metrics.path("startup/latency").unwrap().keys(),
+        vec!["buckets", "summary"]
     );
     assert_eq!(
         metrics.get("disk").unwrap().keys(),
@@ -135,6 +144,8 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("crash", "{\"sweep\":[]}");
     r.add_section("fsx", "{\"ops_attempted\":0}");
     r.add_section("scale", "{\"n1000\":{}}");
+    r.add_section("monitor", "{\"monitor\":{}}");
+    r.add_section("profile", "{\"phases\":{}}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -156,8 +167,103 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["crash", "faults", "fsx", "obs", "scale", "slo"]
+        vec!["crash", "faults", "fsx", "monitor", "obs", "profile", "scale", "slo"]
     );
+}
+
+#[test]
+fn monitor_and_profile_sections_keep_their_shape() {
+    let doc = validate(&strandfs_bench::experiments::e17_monitor::section_json());
+    assert_eq!(doc.keys(), vec!["monitor", "run", "scenario"]);
+    assert_eq!(
+        doc.get("scenario").unwrap().keys(),
+        vec!["k", "rate", "read_ahead", "streams", "window_rounds"]
+    );
+    assert_eq!(doc.get("run").unwrap().keys(), vec!["miss_rate", "rounds"]);
+    let monitor = doc.get("monitor").unwrap();
+    assert_eq!(
+        monitor.keys(),
+        vec![
+            "alerts",
+            "closed",
+            "dumps",
+            "evicted",
+            "mode",
+            "ring_dropped",
+            "width",
+            "windows"
+        ]
+    );
+    // One window-stats object per closed window, every O(1) fold field
+    // named: dashboards address these leaves directly.
+    let windows = monitor.get("windows").and_then(Json::as_arr).unwrap();
+    assert!(!windows.is_empty());
+    assert_eq!(
+        windows[0].keys(),
+        vec![
+            "admits",
+            "blocks",
+            "disk_busy_ns",
+            "disk_ops",
+            "display_starts",
+            "drops",
+            "end_round",
+            "events",
+            "faults",
+            "first_at_ns",
+            "idle_rounds",
+            "index",
+            "last_at_ns",
+            "late",
+            "margin_min_ns",
+            "margin_p1_ns",
+            "margin_p50_ns",
+            "miss_rate",
+            "readmits",
+            "rejects",
+            "releases",
+            "retries",
+            "revokes",
+            "rounds",
+            "slack_ns",
+            "start_round",
+            "utilization"
+        ]
+    );
+    let alerts = monitor.get("alerts").and_then(Json::as_arr).unwrap();
+    assert!(!alerts.is_empty(), "the fault storm must raise an alert");
+    assert_eq!(
+        alerts[0].keys(),
+        vec!["at_ns", "kind", "rule", "threshold", "value", "window"]
+    );
+    let dumps = monitor.get("dumps").and_then(Json::as_arr).unwrap();
+    assert!(!dumps.is_empty(), "an alert must capture a flight dump");
+    assert_eq!(
+        dumps[0].keys(),
+        vec![
+            "alert",
+            "dropped",
+            "events",
+            "first_round",
+            "last_round",
+            "span_begin_ns",
+            "span_end_ns",
+            "windows"
+        ]
+    );
+
+    let profile = validate(&strandfs_bench::experiments::e17_monitor::profile_json());
+    assert_eq!(profile.keys(), vec!["phases", "scenario"]);
+    assert_eq!(
+        profile.get("phases").unwrap().keys(),
+        vec!["admission", "bookkeeping", "service", "sort"]
+    );
+    for phase in ["admission", "bookkeeping", "service", "sort"] {
+        assert_eq!(
+            profile.path(&format!("phases/{phase}")).unwrap().keys(),
+            vec!["spans"]
+        );
+    }
 }
 
 #[test]

@@ -266,6 +266,10 @@ pub enum Event {
         stream: usize,
         /// Virtual display-start instant.
         at: Instant,
+        /// Time-to-first-frame: how long the viewer waited between the
+        /// epoch entering service (admission for the first epoch,
+        /// re-admission for later ones) and this display start.
+        latency: Nanos,
     },
     /// Deadline outcome of one scheduled item, emitted once its fetch
     /// completion and display start are both known.
@@ -419,6 +423,35 @@ impl Event {
         }
     }
 
+    /// The virtual instant the event is anchored to, when it carries
+    /// one: issue time for disk ops, detection time for faults,
+    /// completion time for deadlines and service turns, and the `at`
+    /// stamp everywhere else. Admission decisions and allocations are
+    /// instant-less (`None`) — time-windowed consumers fold them into
+    /// whichever window is current when they arrive.
+    pub fn at(&self) -> Option<Instant> {
+        match *self {
+            Event::DiskOp { issued, .. } => Some(issued),
+            Event::Alloc { .. }
+            | Event::Admit { .. }
+            | Event::Reject { .. }
+            | Event::Release { .. } => None,
+            Event::RoundStart { at, .. }
+            | Event::RoundEnd { at, .. }
+            | Event::RoundIdle { at, .. }
+            | Event::DisplayStart { at, .. }
+            | Event::Retry { at, .. }
+            | Event::Journal { at, .. }
+            | Event::Recover { at, .. }
+            | Event::EditHeal { at, .. }
+            | Event::Repair { at, .. }
+            | Event::Degrade { at, .. } => Some(at),
+            Event::StreamService { end, .. } => Some(end),
+            Event::Deadline { completed, .. } => Some(completed),
+            Event::Fault { detected, .. } => Some(detected),
+        }
+    }
+
     /// A short stable label for counters and JSON keys.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -463,6 +496,32 @@ mod tests {
         };
         assert_eq!(e.service_time(), Nanos::from_millis(6));
         assert_eq!(e.kind(), "disk_op");
+    }
+
+    #[test]
+    fn at_anchors_timed_events_only() {
+        let admit = Event::Admit {
+            request: 1,
+            n: 1,
+            k_old: 0,
+            k_new: 2,
+            slack: Nanos::from_millis(5),
+        };
+        assert_eq!(admit.at(), None);
+        let start = Event::DisplayStart {
+            stream: 0,
+            at: Instant::from_nanos(70),
+            latency: Nanos::from_nanos(70),
+        };
+        assert_eq!(start.at(), Some(Instant::from_nanos(70)));
+        let dl = Event::Deadline {
+            stream: 0,
+            item: 0,
+            round: 0,
+            deadline: Instant::from_nanos(100),
+            completed: Instant::from_nanos(60),
+        };
+        assert_eq!(dl.at(), Some(Instant::from_nanos(60)));
     }
 
     #[test]

@@ -19,7 +19,17 @@
 //! * [`RingRecorder`] — the bundled recorder: a bounded ring buffer of
 //!   recent events plus cumulative counters, [`NanosSummary`] timing
 //!   aggregates and log₂ [`NanosHistogram`]s, exportable as hand-rolled
-//!   JSON (no external dependencies) for merging into `BENCH_*.json`.
+//!   JSON (no external dependencies) for merging into `BENCH_*.json`;
+//! * [`WindowedMonitor`] — live health monitoring: the same event
+//!   stream folded into fixed-width virtual-time windows (miss rate,
+//!   margin quantiles via the mergeable [`QuantileSketch`], disk
+//!   utilization, Eq. 18 slack, fault/degradation rates) with
+//!   declarative [`SloRule`]s evaluated at window close and an
+//!   anomaly-triggered flight recorder ([`FlightDump`]) that snapshots
+//!   the raw-event ring around the offending span;
+//! * [`Profiler`]/[`ProfSink`] — wall-clock phase timers for the
+//!   service loop's hot phases, behind the same
+//!   never-touches-the-clock-when-disabled discipline.
 //!
 //! Environment knobs (read by [`RingRecorder::from_env`]):
 //!
@@ -32,10 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alert;
 mod event;
+mod profile;
 mod recorder;
+mod sketch;
 mod summary;
+mod window;
 
+pub use alert::{Alert, SloRule};
 pub use event::{AccessDir, DegradeAction, Event, FaultClass, JournalOp, RepairAction};
+pub use profile::{Phase, PhaseSpan, PhaseStats, ProfSink, Profiler, PHASES};
 pub use recorder::{ObsMetrics, ObsSink, Recorder, RingRecorder};
+pub use sketch::QuantileSketch;
 pub use summary::{NanosAcc, NanosHistogram, NanosSummary, U64Acc};
+pub use window::{FlightDump, MonitorConfig, WindowStats, WindowWidth, WindowedMonitor};

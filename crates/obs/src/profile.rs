@@ -1,0 +1,248 @@
+//! Wall-clock self-profiling for the service loop's hot phases.
+//!
+//! The scale suite (E16) showed the service loop is dominated by four
+//! phases — round bookkeeping, the service-order sort, the admission
+//! slack query, and the per-stream service turn — but a wall-clock
+//! regression in `sections/scale` names none of them. [`Profiler`]
+//! attributes real time to [`Phase`]s so a regression is actionable.
+//!
+//! The discipline mirrors [`crate::ObsSink`]: a disabled [`ProfSink`]
+//! never reads the clock — [`ProfSink::enter`] returns `None` before
+//! touching `std::time::Instant`, so uninstrumented runs pay one
+//! branch per phase entry and zero timing syscalls. Wall-clock totals
+//! are real time, hence nondeterministic; span *counts* are
+//! deterministic and are what the bench baseline pins.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use strandfs_units::Nanos;
+
+/// The profiled phases of one service round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Activation, readmit checks, and active-set construction.
+    Bookkeeping,
+    /// Service-order key construction and sorting (SCAN/CSCAN).
+    Sort,
+    /// The Eq. 18 slack query that budgets retries for the round.
+    Admission,
+    /// The per-stream k-block service turns.
+    Service,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 4] = [
+    Phase::Bookkeeping,
+    Phase::Sort,
+    Phase::Admission,
+    Phase::Service,
+];
+
+impl Phase {
+    /// Stable lowercase label for JSON keys and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Bookkeeping => "bookkeeping",
+            Phase::Sort => "sort",
+            Phase::Admission => "admission",
+            Phase::Service => "service",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Phase::Bookkeeping => 0,
+            Phase::Sort => 1,
+            Phase::Admission => 2,
+            Phase::Service => 3,
+        }
+    }
+}
+
+/// Accumulated timings of one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Spans recorded (deterministic given the workload).
+    pub spans: u64,
+    /// Total wall-clock time inside the phase.
+    pub total: Nanos,
+    /// Longest single span.
+    pub max: Nanos,
+}
+
+impl PhaseStats {
+    fn record(&mut self, elapsed: Nanos) {
+        self.spans += 1;
+        self.total += elapsed;
+        self.max = self.max.max(elapsed);
+    }
+}
+
+/// Per-phase wall-clock accumulators.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    phases: [PhaseStats; 4],
+}
+
+impl Profiler {
+    /// A zeroed profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// The accumulated stats for `phase`.
+    pub fn stats(&self, phase: Phase) -> PhaseStats {
+        self.phases[phase.index()]
+    }
+
+    /// Total wall-clock time across all phases.
+    pub fn total(&self) -> Nanos {
+        self.phases.iter().map(|p| p.total).sum()
+    }
+
+    /// Fold one finished span in.
+    pub fn record(&mut self, phase: Phase, elapsed: Nanos) {
+        self.phases[phase.index()].record(elapsed);
+    }
+
+    /// Full JSON including wall-clock times (nondeterministic; for
+    /// human-facing reports, not the pinned baseline).
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = PHASES
+            .iter()
+            .map(|p| {
+                let s = self.stats(*p);
+                format!(
+                    "\"{}\":{{\"spans\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                    p.label(),
+                    s.spans,
+                    s.total.as_nanos(),
+                    s.max.as_nanos()
+                )
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Deterministic JSON carrying span counts only (what the bench
+    /// baseline pins as `sections/profile`).
+    pub fn counts_json(&self) -> String {
+        let fields: Vec<String> = PHASES
+            .iter()
+            .map(|p| format!("\"{}\":{{\"spans\":{}}}", p.label(), self.stats(*p).spans))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// The handle the service loop holds: either disabled (default) or a
+/// shared reference to a [`Profiler`].
+#[derive(Clone, Default)]
+pub struct ProfSink(Option<Rc<RefCell<Profiler>>>);
+
+impl ProfSink {
+    /// The disabled sink: `enter` returns `None` without reading the
+    /// clock.
+    pub fn noop() -> ProfSink {
+        ProfSink(None)
+    }
+
+    /// A sink feeding a shared profiler the caller keeps a handle to.
+    pub fn shared(profiler: &Rc<RefCell<Profiler>>) -> ProfSink {
+        ProfSink(Some(Rc::clone(profiler)))
+    }
+
+    /// Convenience: a fresh profiler plus the sink feeding it.
+    pub fn fresh() -> (ProfSink, Rc<RefCell<Profiler>>) {
+        let profiler = Rc::new(RefCell::new(Profiler::new()));
+        (ProfSink::shared(&profiler), profiler)
+    }
+
+    /// True if spans are being timed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Open a span for `phase`. Disabled sinks return `None` before
+    /// touching the clock; enabled sinks stamp the span start, and the
+    /// span records itself into the profiler when dropped.
+    #[inline]
+    pub fn enter(&self, phase: Phase) -> Option<PhaseSpan> {
+        let profiler = self.0.as_ref()?;
+        Some(PhaseSpan {
+            profiler: Rc::clone(profiler),
+            phase,
+            begin: std::time::Instant::now(),
+        })
+    }
+}
+
+impl fmt::Debug for ProfSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProfSink")
+            .field(&if self.0.is_some() { "enabled" } else { "noop" })
+            .finish()
+    }
+}
+
+/// An open phase span; records its elapsed wall time on drop.
+pub struct PhaseSpan {
+    profiler: Rc<RefCell<Profiler>>,
+    phase: Phase,
+    begin: std::time::Instant,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        let elapsed =
+            Nanos::from_nanos(self.begin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.profiler.borrow_mut().record(self.phase, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_opens_no_spans() {
+        let sink = ProfSink::noop();
+        assert!(!sink.is_enabled());
+        assert!(sink.enter(Phase::Sort).is_none());
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let (sink, profiler) = ProfSink::fresh();
+        assert!(sink.is_enabled());
+        {
+            let _span = sink.enter(Phase::Service);
+            let _nested = sink.enter(Phase::Admission);
+        }
+        let p = profiler.borrow();
+        assert_eq!(p.stats(Phase::Service).spans, 1);
+        assert_eq!(p.stats(Phase::Admission).spans, 1);
+        assert_eq!(p.stats(Phase::Sort).spans, 0);
+        assert!(p.total() >= p.stats(Phase::Service).max);
+    }
+
+    #[test]
+    fn counts_json_is_deterministic_shape() {
+        let mut p = Profiler::new();
+        p.record(Phase::Sort, Nanos::from_nanos(10));
+        p.record(Phase::Sort, Nanos::from_nanos(30));
+        let counts = p.counts_json();
+        assert_eq!(
+            counts,
+            "{\"bookkeeping\":{\"spans\":0},\"sort\":{\"spans\":2},\
+             \"admission\":{\"spans\":0},\"service\":{\"spans\":0}}"
+        );
+        assert_eq!(p.stats(Phase::Sort).max, Nanos::from_nanos(30));
+        assert_eq!(p.stats(Phase::Sort).total, Nanos::from_nanos(40));
+        let full = p.to_json();
+        assert!(full.contains("\"sort\":{\"spans\":2,\"total_ns\":40,\"max_ns\":30}"));
+    }
+}

@@ -141,6 +141,11 @@ pub struct ObsMetrics {
     /// The most recent `RoundStart` not yet closed by its `RoundEnd`
     /// (pairing state for `round_duration`).
     open_round: Option<(u64, strandfs_units::Instant)>,
+    /// Display-clock starts observed (one per stream epoch that
+    /// satisfied its read-ahead).
+    pub display_starts: u64,
+    /// Time-to-first-frame: admission (or re-admission) → display start.
+    pub startup_latency: NanosHistogram,
     /// Deadline events seen.
     pub deadline_blocks: u64,
     /// Deadline events whose fetch completed late.
@@ -258,7 +263,10 @@ impl ObsMetrics {
                 }
             }
             Event::RoundIdle { .. } => self.rounds_idle += 1,
-            Event::DisplayStart { .. } => {}
+            Event::DisplayStart { latency, .. } => {
+                self.display_starts += 1;
+                self.startup_latency.record(latency);
+            }
             Event::Deadline {
                 deadline,
                 completed,
@@ -321,6 +329,7 @@ impl ObsMetrics {
                 "\"k_growths\":{},\"k_peak\":{},\"slack\":{}}},",
                 "\"rounds\":{{\"count\":{},\"idle\":{},\"active\":{},\"k_max\":{},",
                 "\"duration\":{},\"stream_services\":{},\"service_span\":{}}},",
+                "\"startup\":{{\"count\":{},\"latency\":{}}},",
                 "\"deadlines\":{{\"blocks\":{},\"late\":{},\"margin\":{},\"lateness\":{}}},",
                 "\"edits\":{{\"heals\":{},\"copied\":{},\"bound_max\":{}}},",
                 "\"faults\":{{\"media\":{},\"transient\":{},\"spike\":{},",
@@ -354,6 +363,8 @@ impl ObsMetrics {
             self.round_duration.summary().to_json(),
             self.stream_services,
             self.service_span.summary().to_json(),
+            self.display_starts,
+            self.startup_latency.to_json(),
             self.deadline_blocks,
             self.deadline_late,
             self.deadline_margin.to_json(),
@@ -602,6 +613,7 @@ mod tests {
         rec.record(Event::DisplayStart {
             stream: 0,
             at: Instant::from_nanos(10),
+            latency: Nanos::from_nanos(10),
         });
         rec.record(Event::Deadline {
             stream: 0,
@@ -718,6 +730,8 @@ mod tests {
         assert_eq!(m.round_k_max, 2);
         assert_eq!(m.stream_services, 1);
         assert_eq!(m.service_span.summary().mean, Nanos::from_nanos(40));
+        assert_eq!(m.display_starts, 1);
+        assert_eq!(m.startup_latency.count(), 1);
         assert_eq!(m.round_duration.summary().max, Nanos::from_nanos(90));
         assert_eq!(m.deadline_blocks, 2);
         assert_eq!(m.deadline_late, 1);
@@ -745,6 +759,7 @@ mod tests {
             "\"alloc\"",
             "\"admission\"",
             "\"rounds\"",
+            "\"startup\"",
             "\"deadlines\"",
             "\"edits\"",
             "\"faults\"",

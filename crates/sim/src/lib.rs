@@ -24,6 +24,7 @@ pub mod scenario;
 
 pub use metrics::{NanosSummary, SimReport, StreamOutcome};
 pub use playback::{
-    simulate_degraded, simulate_playback, Arrival, DegradeMode, PlaybackConfig, ServiceOrder,
+    set_profiler, simulate_degraded, simulate_playback, Arrival, DegradeMode, PlaybackConfig,
+    ServiceOrder,
 };
 pub use scenario::{faulty_volume, record_clip, standard_volume, volume_on, ClipSpec, Volume};

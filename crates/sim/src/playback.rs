@@ -14,7 +14,7 @@ use crate::metrics::{NanosSummary, RoundSample, SimReport, StreamOutcome};
 use strandfs_core::mrs::{Mrs, PlaySchedule};
 use strandfs_core::msm::BlockFetch;
 use strandfs_core::FsError;
-use strandfs_obs::{DegradeAction, Event, ObsSink};
+use strandfs_obs::{DegradeAction, Event, ObsSink, Phase, ProfSink};
 use strandfs_units::{Instant, Nanos};
 
 /// Signed deadline margin in nanoseconds: positive = early, negative =
@@ -149,6 +149,11 @@ struct Epoch {
     /// When the epoch's display started (after its read-ahead filled);
     /// `None` while buffering or if the simulation ended first.
     display_start: Option<Instant>,
+    /// When the epoch entered service: the re-admission instant for
+    /// post-revocation epochs, `None` for the initial epoch (whose
+    /// anchor is the stream's first service turn). Display start minus
+    /// this anchor is the viewer-visible time-to-first-frame.
+    resumed_at: Option<Instant>,
 }
 
 struct StreamState {
@@ -179,6 +184,12 @@ struct StreamState {
     revokes: u64,
     /// Total virtual time spent revoked (revoke → re-admit).
     recovery_time: Nanos,
+    /// Items `0..deadline_emitted` have had their [`Event::Deadline`]
+    /// emitted live (or been skipped for good: dropped, or covered by
+    /// an epoch that never started displaying). The live-emission
+    /// pointer lets windowed monitors see misses in the round that
+    /// produced them instead of in one end-of-run burst.
+    deadline_emitted: usize,
     /// Memoized SCAN key: `(lba, item)` — the disk address of the
     /// stream's first non-silence schedule item at or after `item`
     /// (`u64::MAX`/`usize::MAX` once only silence remains). Valid while
@@ -204,12 +215,14 @@ impl StreamState {
             epochs: vec![Epoch {
                 first_item: 0,
                 display_start: None,
+                resumed_at: None,
             }],
             retries: 0,
             drops_since_admit: 0,
             revoked_at: None,
             revokes: 0,
             recovery_time: Nanos::ZERO,
+            deadline_emitted: 0,
             lba_cache: None,
         }
     }
@@ -225,6 +238,51 @@ impl StreamState {
         let ds = ep.display_start?;
         let base = self.schedule.items[ep.first_item].at;
         Some(ds + (self.schedule.items[j].at - base))
+    }
+
+    /// Emit [`Event::Deadline`]s for every serviced item whose deadline
+    /// has become known, advancing the live-emission pointer. Called at
+    /// the end of each service turn; the values emitted are identical
+    /// to the end-of-run emission [`StreamState::outcome`] used to do —
+    /// an item's covering epoch (and hence its deadline) is fixed once
+    /// the item is serviced, because later epochs start at `next`,
+    /// past every recorded item.
+    fn emit_due_deadlines(&mut self, stream: usize, obs: &ObsSink) {
+        if !obs.is_enabled() {
+            return;
+        }
+        while self.deadline_emitted < self.completions.len() {
+            let j = self.deadline_emitted;
+            if self.dropped[j] {
+                self.deadline_emitted += 1;
+                continue;
+            }
+            let pos = self
+                .epochs
+                .iter()
+                .rposition(|e| e.first_item <= j)
+                .expect("epoch 0 covers every item");
+            match self.epochs[pos].display_start {
+                Some(_) => {
+                    let deadline = self.deadline_of(j).expect("covering epoch has started");
+                    let done = self.completions[j];
+                    let round = self.fetch_rounds[j];
+                    obs.emit(|| Event::Deadline {
+                        stream,
+                        item: j as u64,
+                        round,
+                        deadline,
+                        completed: done,
+                    });
+                    self.deadline_emitted += 1;
+                }
+                // The covering epoch's display has not started. The
+                // live (last) epoch still may — wait here; a superseded
+                // epoch never will — skip the item for good.
+                None if pos + 1 == self.epochs.len() => break,
+                None => self.deadline_emitted += 1,
+            }
+        }
     }
 
     fn outcome(&self, stream: usize, obs: &ObsSink) -> StreamOutcome {
@@ -256,13 +314,19 @@ impl StreamState {
                 continue;
             };
             let done = self.completions[j];
-            obs.emit(|| Event::Deadline {
-                stream,
-                item: j as u64,
-                round: self.fetch_rounds[j],
-                deadline,
-                completed: done,
-            });
+            // Items past the live-emission pointer were never flushed
+            // by `emit_due_deadlines` (possible only when the loop
+            // ended mid-buffer); emit them now so the event set is
+            // complete. Items before it already went out live.
+            if j >= self.deadline_emitted {
+                obs.emit(|| Event::Deadline {
+                    stream,
+                    item: j as u64,
+                    round: self.fetch_rounds[j],
+                    deadline,
+                    completed: done,
+                });
+            }
             if done > deadline {
                 violations += 1;
                 lateness.push(done - deadline);
@@ -433,6 +497,7 @@ pub fn simulate_degraded(
 
     let busy_before = mrs.msm().disk().stats().busy_time();
     let obs = mrs.msm().obs();
+    let prof = profiler();
     let mut t = Instant::EPOCH;
     let mut round: u64 = 0;
     // Consecutive fault-free rounds — the ladder's re-admission signal.
@@ -448,6 +513,9 @@ pub fn simulate_degraded(
     // previous sweep; the next sweep continues upward from here.
     let mut sweep_pos: u64 = 0;
     loop {
+        // Bookkeeping phase: activation, readmit checks, active-set
+        // construction, and the idle-round path.
+        let bookkeeping = prof.enter(Phase::Bookkeeping);
         // Activate arrivals due this round. Their read-ahead is sized
         // below, once the round's live population — and with it the
         // round's k — is known; sizing from `order.len()` here would
@@ -478,6 +546,7 @@ pub fn simulate_degraded(
                         state.epochs.push(Epoch {
                             first_item: state.next,
                             display_start: None,
+                            resumed_at: Some(t),
                         });
                         let item = state.next as u64;
                         obs.emit(|| Event::Degrade {
@@ -547,6 +616,9 @@ pub fn simulate_degraded(
         for &idx in &activated {
             true_marker(&mut states[idx], k, &read_ahead_of_k);
         }
+        drop(bookkeeping);
+        // Sort phase: service-order key construction and the sweep.
+        let sort_span = prof.enter(Phase::Sort);
         let service: &[usize] = match order_policy {
             ServiceOrder::RoundRobin => &active,
             ServiceOrder::Scan | ServiceOrder::Cscan => {
@@ -584,6 +656,7 @@ pub fn simulate_degraded(
                 &sweep
             }
         };
+        drop(sort_span);
         obs.emit(|| Event::RoundStart {
             round,
             active: active.len(),
@@ -596,15 +669,20 @@ pub fn simulate_degraded(
         // no admitted requests (overload experiments bypass admission)
         // each fetch falls back to its own block's playback duration —
         // the slack one block of read-ahead buys.
-        let round_share: Option<Nanos> = match degrade {
-            DegradeMode::Strict | DegradeMode::Abandon => None,
-            DegradeMode::Ladder { .. } => mrs
-                .msm()
-                .admission_ref()
-                .eq18_slack()
-                .map(|s| Nanos::from_nanos(s.as_nanos() / (active.len() as u64 * k).max(1))),
-        };
+        let round_share: Option<Nanos> =
+            {
+                // Admission phase: the Eq. 18 slack query.
+                let _span = prof.enter(Phase::Admission);
+                match degrade {
+                    DegradeMode::Strict | DegradeMode::Abandon => None,
+                    DegradeMode::Ladder { .. } => mrs.msm().admission_ref().eq18_slack().map(|s| {
+                        Nanos::from_nanos(s.as_nanos() / (active.len() as u64 * k).max(1))
+                    }),
+                }
+            };
         let mut round_faults = false;
+        // Service phase: the per-stream k-block turns.
+        let service_span = prof.enter(Phase::Service);
         for &idx in service {
             let state = &mut states[idx];
             if state.service_start.is_none() {
@@ -702,9 +780,19 @@ pub fn simulate_degraded(
                     && ((state.next - ep.first_item) as u64 >= read_ahead || finished)
                 {
                     ep.display_start = Some(t);
-                    obs.emit(|| Event::DisplayStart { stream: idx, at: t });
+                    // Time-to-first-frame: how long the viewer waited
+                    // since the epoch entered service — first service
+                    // turn for the initial epoch, re-admission for
+                    // later ones.
+                    let anchor = ep.resumed_at.or(state.service_start).unwrap_or(t);
+                    obs.emit(|| Event::DisplayStart {
+                        stream: idx,
+                        at: t,
+                        latency: t - anchor,
+                    });
                 }
             }
+            state.emit_due_deadlines(idx, &obs);
             obs.emit(|| Event::StreamService {
                 stream: idx,
                 round,
@@ -713,6 +801,7 @@ pub fn simulate_degraded(
                 blocks: turn_blocks,
             });
         }
+        drop(service_span);
         obs.emit(|| Event::RoundEnd { round, at: t });
         if round_faults {
             clean_streak = 0;
@@ -735,6 +824,28 @@ pub fn simulate_degraded(
 
 fn true_marker(state: &mut StreamState, k_now: u64, read_ahead_of_k: &impl Fn(u64) -> u64) {
     state.read_ahead = read_ahead_of_k(k_now).max(1);
+}
+
+thread_local! {
+    /// The installed service-loop profiler. A thread-local (like
+    /// `LBA_PROBES` below) rather than a parameter so the profiler can
+    /// be switched on without touching every `simulate_*` signature;
+    /// the loop clones the handle once per simulation, and the default
+    /// noop sink never reads the clock.
+    static PROFILER: std::cell::RefCell<ProfSink> =
+        std::cell::RefCell::new(ProfSink::noop());
+}
+
+/// Install `sink` as this thread's service-loop profiler (pass
+/// [`ProfSink::noop`] to uninstall). Takes effect at the next
+/// `simulate_*` call on this thread.
+pub fn set_profiler(sink: ProfSink) {
+    PROFILER.with(|p| *p.borrow_mut() = sink);
+}
+
+/// The currently installed profiler handle.
+fn profiler() -> ProfSink {
+    PROFILER.with(|p| p.borrow().clone())
 }
 
 thread_local! {

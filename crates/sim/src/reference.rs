@@ -36,6 +36,9 @@ fn signed_margin(deadline: Instant, done: Instant) -> i64 {
 struct Epoch {
     first_item: usize,
     display_start: Option<Instant>,
+    /// Re-admission instant for post-revocation epochs (`None` for the
+    /// initial epoch) — the time-to-first-frame anchor.
+    resumed_at: Option<Instant>,
 }
 
 struct StreamState {
@@ -52,6 +55,9 @@ struct StreamState {
     revoked_at: Option<Instant>,
     revokes: u64,
     recovery_time: Nanos,
+    /// Live deadline-emission pointer (see the optimized loop's
+    /// `StreamState::deadline_emitted`).
+    deadline_emitted: usize,
 }
 
 impl StreamState {
@@ -68,12 +74,14 @@ impl StreamState {
             epochs: vec![Epoch {
                 first_item: 0,
                 display_start: None,
+                resumed_at: None,
             }],
             retries: 0,
             drops_since_admit: 0,
             revoked_at: None,
             revokes: 0,
             recovery_time: Nanos::ZERO,
+            deadline_emitted: 0,
         }
     }
 
@@ -86,6 +94,43 @@ impl StreamState {
         let ds = ep.display_start?;
         let base = self.schedule.items[ep.first_item].at;
         Some(ds + (self.schedule.items[j].at - base))
+    }
+
+    /// Live deadline emission, transliterated from the optimized
+    /// loop's `StreamState::emit_due_deadlines`.
+    fn emit_due_deadlines(&mut self, stream: usize, obs: &ObsSink) {
+        if !obs.is_enabled() {
+            return;
+        }
+        while self.deadline_emitted < self.completions.len() {
+            let j = self.deadline_emitted;
+            if self.dropped[j] {
+                self.deadline_emitted += 1;
+                continue;
+            }
+            let pos = self
+                .epochs
+                .iter()
+                .rposition(|e| e.first_item <= j)
+                .expect("epoch 0 covers every item");
+            match self.epochs[pos].display_start {
+                Some(_) => {
+                    let deadline = self.deadline_of(j).expect("covering epoch has started");
+                    let done = self.completions[j];
+                    let round = self.fetch_rounds[j];
+                    obs.emit(|| Event::Deadline {
+                        stream,
+                        item: j as u64,
+                        round,
+                        deadline,
+                        completed: done,
+                    });
+                    self.deadline_emitted += 1;
+                }
+                None if pos + 1 == self.epochs.len() => break,
+                None => self.deadline_emitted += 1,
+            }
+        }
     }
 
     fn outcome(&self, stream: usize, obs: &ObsSink) -> StreamOutcome {
@@ -113,13 +158,15 @@ impl StreamState {
                 continue;
             };
             let done = self.completions[j];
-            obs.emit(|| Event::Deadline {
-                stream,
-                item: j as u64,
-                round: self.fetch_rounds[j],
-                deadline,
-                completed: done,
-            });
+            if j >= self.deadline_emitted {
+                obs.emit(|| Event::Deadline {
+                    stream,
+                    item: j as u64,
+                    round: self.fetch_rounds[j],
+                    deadline,
+                    completed: done,
+                });
+            }
             if done > deadline {
                 violations += 1;
                 lateness.push(done - deadline);
@@ -274,6 +321,7 @@ pub fn simulate_degraded_reference(
                         state.epochs.push(Epoch {
                             first_item: state.next,
                             display_start: None,
+                            resumed_at: Some(t),
                         });
                         let item = state.next as u64;
                         obs.emit(|| Event::Degrade {
@@ -472,9 +520,15 @@ pub fn simulate_degraded_reference(
                     && ((state.next - ep.first_item) as u64 >= read_ahead || finished)
                 {
                     ep.display_start = Some(t);
-                    obs.emit(|| Event::DisplayStart { stream: idx, at: t });
+                    let anchor = ep.resumed_at.or(state.service_start).unwrap_or(t);
+                    obs.emit(|| Event::DisplayStart {
+                        stream: idx,
+                        at: t,
+                        latency: t - anchor,
+                    });
                 }
             }
+            state.emit_due_deadlines(idx, &obs);
             obs.emit(|| Event::StreamService {
                 stream: idx,
                 round,

@@ -1,0 +1,119 @@
+//! Rendering a [`FlightDump`] as a Perfetto-loadable excerpt.
+//!
+//! The windowed monitor's flight recorder snapshots the raw-event ring
+//! the moment an SLO rule fires. This module turns that snapshot into
+//! the same Chrome trace-event timeline [`crate::chrome_trace`]
+//! produces for whole runs, plus two excerpt-specific annotations: an
+//! `alert:…` instant on a dedicated track marking the rule that
+//! triggered the capture, and the standard `ring truncated` marker when
+//! the ring had already evicted part of the anomalous span.
+
+use strandfs_obs::FlightDump;
+
+use crate::chrome::{ArgVal, ChromeTrace};
+use crate::timeline::{fold_into, name_tracks, TraceOptions, PID};
+
+/// The track carrying the triggering alert marker.
+const TID_ALERTS: u64 = 7;
+
+/// Render `dump` as a self-contained Chrome trace-event document: the
+/// captured raw events folded exactly as a whole-run export, the
+/// triggering alert as an instant on an `alerts` track, and a
+/// truncation marker when the flight ring had dropped events before
+/// capture (`opts.dropped_events` is widened to `dump.dropped`).
+pub fn flight_trace(dump: &FlightDump, opts: &TraceOptions) -> String {
+    let mut t = ChromeTrace::new();
+    name_tracks(&mut t);
+    t.thread_name(PID, TID_ALERTS, "alerts");
+
+    let mut opts = *opts;
+    opts.dropped_events = opts.dropped_events.max(dump.dropped);
+    fold_into(&mut t, dump.events.iter(), &opts);
+
+    let alert = &dump.alert;
+    t.instant(
+        &format!("alert:{}", alert.rule),
+        "alert",
+        PID,
+        TID_ALERTS,
+        alert.at.as_nanos(),
+        &[
+            ("kind", ArgVal::S(alert.kind)),
+            ("window", ArgVal::U(alert.window)),
+            ("value", ArgVal::F(alert.value)),
+            ("threshold", ArgVal::F(alert.threshold)),
+        ],
+    );
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strandfs_obs::{Alert, Event};
+    use strandfs_units::{Instant, Nanos};
+
+    fn dump(dropped: u64) -> FlightDump {
+        FlightDump {
+            alert: Alert {
+                rule: "miss-burn",
+                kind: "burn_rate",
+                window: 3,
+                at: Instant::from_nanos(8_000),
+                value: 0.5,
+                threshold: 0.1,
+            },
+            windows: Vec::new(),
+            events: vec![
+                Event::RoundStart {
+                    round: 6,
+                    active: 1,
+                    k: 1,
+                    at: Instant::from_nanos(6_000),
+                },
+                Event::Deadline {
+                    stream: 0,
+                    item: 2,
+                    round: 6,
+                    deadline: Instant::from_nanos(7_000),
+                    completed: Instant::from_nanos(8_000),
+                },
+                Event::RoundEnd {
+                    round: 6,
+                    at: Instant::from_nanos(8_000),
+                },
+            ],
+            dropped,
+        }
+    }
+
+    #[test]
+    fn excerpt_contains_events_and_alert_marker() {
+        let doc = flight_trace(
+            &dump(0),
+            &TraceOptions {
+                gamma: Some(Nanos::from_nanos(9_000)),
+                ..TraceOptions::default()
+            },
+        );
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // The captured span renders like a whole-run export…
+        assert!(doc.contains("\"name\":\"round 6\""));
+        assert!(doc.contains("\"name\":\"deadline miss\""));
+        assert!(doc.contains("\"name\":\"round slack\""));
+        // …plus the triggering alert on its own named track.
+        assert!(doc.contains("\"name\":\"alerts\""));
+        assert!(doc.contains("\"name\":\"alert:miss-burn\""));
+        assert!(doc.contains("\"kind\":\"burn_rate\""));
+        assert!(doc.contains("\"threshold\":0.1"));
+        // Nothing was dropped, so no truncation marker.
+        assert!(!doc.contains("ring truncated"));
+    }
+
+    #[test]
+    fn dropped_ring_prefix_marks_the_excerpt_truncated() {
+        let doc = flight_trace(&dump(41), &TraceOptions::default());
+        assert!(doc.contains("\"name\":\"ring truncated\""));
+        assert!(doc.contains("\"dropped_events\":41"));
+    }
+}

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod timeline;
 
 pub use chrome::{ArgVal, ChromeTrace};
+pub use flight::flight_trace;
 pub use timeline::{chrome_trace, TraceOptions};

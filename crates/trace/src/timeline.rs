@@ -35,7 +35,7 @@ use strandfs_units::Nanos;
 use crate::chrome::{ArgVal, ChromeTrace};
 
 /// The process id every track lives under.
-const PID: u64 = 1;
+pub(crate) const PID: u64 = 1;
 /// Service rounds and the per-stream turns nested inside them.
 const TID_ROUNDS: u64 = 1;
 /// Disk operations and their mechanical sub-slices.
@@ -59,6 +59,22 @@ pub struct TraceOptions {
     /// end: `k·γ − measured duration`, the virtual-time analogue of the
     /// Eq. 18 admission slack. Negative samples mark overrun rounds.
     pub gamma: Option<Nanos>,
+    /// Events the source ring evicted before export
+    /// ([`strandfs_obs::RingRecorder::dropped`]). When non-zero the
+    /// trace opens with a `ring truncated` marker so a viewer knows the
+    /// excerpt's prefix is missing, and callers should warn on stderr.
+    pub dropped_events: u64,
+}
+
+/// Name the fixed tracks every export starts with.
+pub(crate) fn name_tracks(t: &mut ChromeTrace) {
+    t.process_name(PID, "strandfs");
+    t.thread_name(PID, TID_ROUNDS, "service rounds");
+    t.thread_name(PID, TID_DISK, "disk");
+    t.thread_name(PID, TID_ADMISSION, "admission");
+    t.thread_name(PID, TID_ALLOC, "allocation");
+    t.thread_name(PID, TID_FAULTS, "faults");
+    t.thread_name(PID, TID_RECOVERY, "recovery");
 }
 
 /// Fold `events` (oldest first, as [`strandfs_obs::RingRecorder`]
@@ -68,13 +84,31 @@ where
     I: IntoIterator<Item = &'a Event>,
 {
     let mut t = ChromeTrace::new();
-    t.process_name(PID, "strandfs");
-    t.thread_name(PID, TID_ROUNDS, "service rounds");
-    t.thread_name(PID, TID_DISK, "disk");
-    t.thread_name(PID, TID_ADMISSION, "admission");
-    t.thread_name(PID, TID_ALLOC, "allocation");
-    t.thread_name(PID, TID_FAULTS, "faults");
-    t.thread_name(PID, TID_RECOVERY, "recovery");
+    name_tracks(&mut t);
+    fold_into(&mut t, events, opts);
+    t.finish()
+}
+
+/// Fold `events` into a caller-supplied trace, so excerpt renderers
+/// (the flight recorder) can surround the timeline with their own
+/// annotations before finishing the document.
+pub(crate) fn fold_into<'a, I>(t: &mut ChromeTrace, events: I, opts: &TraceOptions)
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    // A truncated export is still loadable; the marker makes the
+    // missing prefix visible in the viewer instead of silently
+    // presenting a shortened run as the whole story.
+    if opts.dropped_events > 0 {
+        t.instant(
+            "ring truncated",
+            "meta",
+            PID,
+            TID_ROUNDS,
+            0,
+            &[("dropped_events", ArgVal::U(opts.dropped_events))],
+        );
+    }
 
     // The last virtual timestamp seen in the stream: where events that
     // carry no instant of their own (admission, allocation) are placed.
@@ -276,7 +310,11 @@ where
                 }
                 now = now.max(end);
             }
-            Event::DisplayStart { stream, at } => {
+            Event::DisplayStart {
+                stream,
+                at,
+                latency,
+            } => {
                 stream_tracks.insert(stream, ());
                 t.instant(
                     "display start",
@@ -284,7 +322,10 @@ where
                     PID,
                     TID_STREAM_BASE + stream as u64,
                     at.as_nanos(),
-                    &[("stream", ArgVal::U(stream as u64))],
+                    &[
+                        ("stream", ArgVal::U(stream as u64)),
+                        ("ttff_ns", ArgVal::U(latency.as_nanos())),
+                    ],
                 );
                 now = now.max(at.as_nanos());
             }
@@ -502,8 +543,6 @@ where
             t.counter(&name, PID, ts, &[("blocks", ArgVal::I(level))]);
         }
     }
-
-    t.finish()
 }
 
 #[cfg(test)]
@@ -578,11 +617,46 @@ mod tests {
             &events,
             &TraceOptions {
                 gamma: Some(Nanos::from_nanos(3_000)),
+                ..TraceOptions::default()
             },
         );
         // k·γ − duration = 2·3000 − 5000 = 1000 ns.
         assert!(doc.contains("\"name\":\"round slack\""));
         assert!(doc.contains("{\"ns\":1000}"));
+    }
+
+    #[test]
+    fn display_start_carries_time_to_first_frame() {
+        let events = [Event::DisplayStart {
+            stream: 4,
+            at: at(12_000),
+            latency: Nanos::from_nanos(9_000),
+        }];
+        let doc = round_trip(&events, &TraceOptions::default());
+        assert!(doc.contains("\"name\":\"display start\""));
+        assert!(doc.contains("\"ttff_ns\":9000"));
+        assert!(doc.contains("\"name\":\"stream 4\""));
+    }
+
+    #[test]
+    fn dropped_events_annotate_the_export() {
+        let events = [Event::RoundStart {
+            round: 0,
+            active: 1,
+            k: 1,
+            at: at(1_000),
+        }];
+        let full = round_trip(&events, &TraceOptions::default());
+        assert!(!full.contains("ring truncated"));
+        let truncated = round_trip(
+            &events,
+            &TraceOptions {
+                dropped_events: 17,
+                ..TraceOptions::default()
+            },
+        );
+        assert!(truncated.contains("\"name\":\"ring truncated\""));
+        assert!(truncated.contains("\"dropped_events\":17"));
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn e6_trace_gamma_adds_slack_counter() {
         rec.events(),
         &TraceOptions {
             gamma: Some(strandfs_units::Nanos::from_millis(100)),
+            ..TraceOptions::default()
         },
     );
     let doc = validate(&doc);

@@ -158,6 +158,7 @@ fn main() {
         recorder.borrow().events(),
         &TraceOptions {
             gamma: Some(Nanos::from_secs_f64(agg.gamma.get())),
+            dropped_events: recorder.borrow().dropped(),
         },
     );
     let path = "TRACE_video_server.json";

@@ -27,6 +27,12 @@ echo "==> bench --check --quick (regression gate smoke, STRANDFS_SCALE_CAP=$SCAL
 STRANDFS_SCALE_CAP="$SCALE_CAP" \
     cargo run -p strandfs-bench --release --offline --bin bench -- --check --quick
 
+# Live-monitoring smoke: the deterministic E17 fault storm must raise
+# its burn-rate alert and render a loadable flight excerpt covering the
+# offending rounds (bounded: 2 streams, 80 rounds, <1 s).
+echo "==> live-monitor smoke (E17 alert + flight excerpt)"
+cargo test -q --offline -p strandfs-bench --test monitor_gate
+
 # Seeded chaos pass: replay the failure-injection and fault-plan
 # property suites plus the exhaustive crash-point sweep under a fresh
 # random seed so each run explores new fault schedules and tear

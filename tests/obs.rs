@@ -10,7 +10,7 @@ use strandfs::core::mrs::{compile_schedule, Mrs};
 use strandfs::core::msm::{Msm, MsmConfig};
 use strandfs::core::rope::edit::{Interval, MediaSel};
 use strandfs::disk::{DiskGeometry, GapBounds, SeekModel, SimDisk};
-use strandfs::obs::{Event, ObsSink};
+use strandfs::obs::{Event, MonitorConfig, ObsSink, ProfSink, SloRule, WindowedMonitor, PHASES};
 use strandfs::sim::playback::{simulate_playback, PlaybackConfig};
 use strandfs::sim::{record_clip, ClipSpec, SimReport};
 use strandfs::units::Nanos;
@@ -60,6 +60,50 @@ fn recording_perturbs_nothing() {
     let r = rec.borrow();
     assert!(!r.is_empty(), "instrumented run recorded nothing");
     assert_eq!(r.dropped(), 0, "ring too small for this session");
+}
+
+#[test]
+fn monitoring_and_profiling_perturb_nothing() {
+    let (baseline, baseline_busy) = session(ObsSink::noop());
+
+    // The full live-health stack: windowed fold + SLO rules + flight
+    // ring, with the service-loop profiler armed alongside.
+    let monitor = std::rc::Rc::new(std::cell::RefCell::new(WindowedMonitor::new(
+        MonitorConfig::rounds(2).rule(SloRule::BurnRate {
+            label: "miss-burn",
+            short_windows: 1,
+            long_windows: 2,
+            short_rate: 0.5,
+            long_rate: 0.25,
+        }),
+    )));
+    let (prof_sink, profiler) = ProfSink::fresh();
+    strandfs::sim::set_profiler(prof_sink);
+    let (monitored, monitored_busy) = session(ObsSink::shared(&monitor));
+    strandfs::sim::set_profiler(ProfSink::noop());
+    monitor.borrow_mut().finish();
+
+    assert_eq!(baseline, monitored, "monitor changed the simulation");
+    assert_eq!(baseline_busy, monitored_busy, "monitor changed disk timing");
+
+    // The monitor actually watched the run: the fold closed at least
+    // one window and attributed events to it.
+    let m = monitor.borrow();
+    assert!(m.windows().count() > 0, "monitor closed no windows");
+    assert!(m.windows().any(|w| w.events > 0));
+    // This healthy session must never alert.
+    assert!(m.alerts().is_empty(), "healthy run raised {:?}", m.alerts());
+    assert!(m.dumps().is_empty());
+
+    // The profiler attributed wall-clock spans to every loop phase.
+    let p = profiler.borrow();
+    for phase in PHASES {
+        assert!(
+            p.stats(phase).spans > 0,
+            "phase {} recorded no spans",
+            phase.label()
+        );
+    }
 }
 
 #[test]
