@@ -230,6 +230,13 @@ fn run_check(cli: &Cli) -> ! {
         "profile",
         strandfs_bench::experiments::e17_monitor::profile_json,
     );
+    // The E18 cluster section (n_max scaling sweep + kill-one-member
+    // failover contract) is virtual-time deterministic; it keys off
+    // the `cluster` pseudo-suite name.
+    compare_deterministic(
+        "cluster",
+        strandfs_bench::experiments::e18_cluster::section_json,
+    );
 
     // The scale section is compared one size at a time, so a
     // STRANDFS_SCALE_CAP-bounded run still checks the sizes it swept
@@ -331,6 +338,13 @@ fn main() {
     c.add_section(
         "profile",
         strandfs_bench::experiments::e17_monitor::profile_json(),
+    );
+    // The E18 cluster sweep: aggregate n_max scaling over member
+    // counts plus the kill-one-member failover contract (replicated
+    // streams drop zero blocks), all virtual-time deterministic.
+    c.add_section(
+        "cluster",
+        strandfs_bench::experiments::e18_cluster::section_json(),
     );
     c.report();
 

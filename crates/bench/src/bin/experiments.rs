@@ -77,6 +77,8 @@ fn main() {
     println!("{}", e16_scale::table());
 
     println!("{}", e17_monitor::table());
+
+    println!("{}", e18_cluster::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

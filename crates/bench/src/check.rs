@@ -329,6 +329,12 @@ pub fn compare_faults(baseline: &Json, current: &Json) -> CheckOutcome {
     compare_section("faults", baseline, current)
 }
 
+/// [`compare_section`] specialised to the committed `sections/cluster`
+/// document (the E18 scaling sweep and failover run).
+pub fn compare_cluster(baseline: &Json, current: &Json) -> CheckOutcome {
+    compare_section("cluster", baseline, current)
+}
+
 /// Cross-check the observability fold against the simulator's own
 /// bookkeeping for the instrumented reference run. Returns one message
 /// per violated invariant (empty = consistent).
@@ -493,6 +499,28 @@ mod tests {
         let shrunk = strandfs_testkit::json::validate(r#"{"sweep":[],"shield":{}}"#);
         let out = compare_faults(&base, &shrunk);
         assert_eq!(out.missing.len(), 4);
+    }
+
+    #[test]
+    fn cluster_section_gates_failover_leaves() {
+        let base = strandfs_testkit::json::validate(
+            r#"{"scaling":{"v1":{"n_max":2}},"failover":{"replicated_dropped":0,"failovers":1}}"#,
+        );
+        let same = compare_cluster(&base, &base);
+        assert!(same.passed());
+        assert_eq!(same.compared, 3);
+        // A replicated stream dropping blocks breaks the contract: 0
+        // has no relative headroom beyond the absolute floor, so any
+        // real drop count (> 100) regresses.
+        let broken = strandfs_testkit::json::validate(
+            r#"{"scaling":{"v1":{"n_max":2}},"failover":{"replicated_dropped":200,"failovers":1}}"#,
+        );
+        let out = compare_cluster(&base, &broken);
+        assert!(!out.passed());
+        assert_eq!(
+            out.regressions[0].name,
+            "cluster/failover/replicated_dropped"
+        );
     }
 
     #[test]

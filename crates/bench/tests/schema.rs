@@ -146,6 +146,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("scale", "{\"n1000\":{}}");
     r.add_section("monitor", "{\"monitor\":{}}");
     r.add_section("profile", "{\"phases\":{}}");
+    r.add_section("cluster", "{\"scaling\":{}}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -167,7 +168,7 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["crash", "faults", "fsx", "monitor", "obs", "profile", "scale", "slo"]
+        vec!["cluster", "crash", "faults", "fsx", "monitor", "obs", "profile", "scale", "slo"]
     );
 }
 
@@ -282,6 +283,55 @@ fn scale_section_keeps_its_shape() {
     assert!(row.get("wall_ns").is_none());
     let fetched = row.get("fetched").and_then(Json::as_num).unwrap();
     assert_eq!(fetched, 20_000.0, "1000 streams x 20 stored blocks");
+}
+
+#[test]
+fn cluster_section_keeps_its_shape() {
+    let doc = validate(&strandfs_bench::experiments::e18_cluster::section_json());
+    assert_eq!(doc.keys(), vec!["failover", "scaling"]);
+    // One row per member count of the sweep, every leaf named.
+    let scaling = doc.get("scaling").unwrap();
+    assert_eq!(scaling.keys(), vec!["v1", "v2", "v4", "v8"]);
+    for v in ["v1", "v2", "v4", "v8"] {
+        assert_eq!(
+            scaling.get(v).unwrap().keys(),
+            vec!["dropped", "fetched", "n_max", "rounds", "streams"]
+        );
+    }
+    // The failover object carries the replication contract the gate
+    // pins: replicated streams drop zero blocks across a member kill.
+    let failover = doc.get("failover").unwrap();
+    assert_eq!(
+        failover.keys(),
+        vec![
+            "blocks",
+            "dump_events",
+            "failovers",
+            "fetched",
+            "fsck_findings",
+            "kill_round",
+            "killed",
+            "reconcile_lost",
+            "rejoin_round",
+            "replicated_dropped",
+            "replicated_miss_burst",
+            "rounds",
+            "streams",
+            "unreplicated_dropped",
+            "volume_down_alerts",
+            "volumes"
+        ]
+    );
+    let dropped = failover
+        .get("replicated_dropped")
+        .and_then(Json::as_num)
+        .unwrap();
+    assert_eq!(dropped, 0.0, "replicated streams must survive the kill");
+    let alerts = failover
+        .get("volume_down_alerts")
+        .and_then(Json::as_num)
+        .unwrap();
+    assert!(alerts >= 1.0, "the kill must raise a volume-down alert");
 }
 
 #[test]

@@ -1,0 +1,240 @@
+//! The master catalog: titles → replicas → (volume, strands, schedule).
+//!
+//! The catalog is the cluster's only global state. Each replica pins a
+//! title to one volume and carries everything a server needs to play it
+//! there without touching the member's rope layer: the compiled (and
+//! silence-resolved) [`PlaySchedule`] plus the strand inventory the
+//! schedule references. Keeping schedules in the catalog is what makes
+//! failover and rejoin cheap — ropes do not survive `Msm::recover`
+//! (they are MRS-layer state), but a catalog schedule replays against
+//! the recovered strand inventory unchanged.
+
+use strandfs_core::mrs::PlaySchedule;
+use strandfs_core::msm::Msm;
+use strandfs_core::StrandId;
+
+/// Index of a title in the catalog.
+pub type TitleId = usize;
+
+/// Whether a replica's blocks are believed present on its volume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplicaState {
+    /// The replica is servable.
+    Live,
+    /// The replica's volume lost it (wiped rejoin, or reconciliation
+    /// found strands missing); a background pass may restore it.
+    Lost,
+}
+
+/// One strand a replica stores, with the block count the catalog
+/// expects — the reconciliation invariant checked after a rejoin.
+#[derive(Clone, Copy, Debug)]
+pub struct StrandLoc {
+    /// The strand on the replica's volume.
+    pub strand: StrandId,
+    /// Blocks the strand must hold (silence holes included).
+    pub blocks: u64,
+}
+
+/// One copy of a title on one volume.
+#[derive(Clone, Debug)]
+pub struct Replica {
+    /// The member volume holding this copy.
+    pub volume: usize,
+    /// The compiled, silence-resolved whole-title schedule. Replicas of
+    /// one title are recorded from the same clip spec, so their
+    /// schedules are structurally identical (same item count, offsets
+    /// and durations) and differ only in strand/block addresses — the
+    /// property mid-playback failover relies on.
+    pub schedule: PlaySchedule,
+    /// The strands the schedule references, with expected block counts.
+    pub strands: Vec<StrandLoc>,
+    /// Whether the copy is currently believed servable.
+    pub state: ReplicaState,
+}
+
+/// A title: a named recording with one or more replicas.
+#[derive(Clone, Debug)]
+pub struct Title {
+    /// Human-readable name.
+    pub name: String,
+    /// Popularity weight in `[0, 1]`; drives k-replication under
+    /// popularity-aware placement.
+    pub popularity: f64,
+    /// The title's replicas, in placement order.
+    pub replicas: Vec<Replica>,
+}
+
+/// What catalog reconciliation found on a rejoined volume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Replicas on the volume that were checked.
+    pub checked: usize,
+    /// Previously-lost replicas found fully present and marked live.
+    pub restored: usize,
+    /// Replicas with missing or truncated strands, marked lost.
+    pub lost: usize,
+}
+
+/// The master catalog of a cluster.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    titles: Vec<Title>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a title with no replicas yet.
+    pub fn add_title(&mut self, name: &str, popularity: f64) -> TitleId {
+        self.titles.push(Title {
+            name: name.to_string(),
+            popularity,
+            replicas: Vec::new(),
+        });
+        self.titles.len() - 1
+    }
+
+    /// Attach a recorded replica to a title.
+    pub fn add_replica(&mut self, id: TitleId, replica: Replica) {
+        self.titles[id].replicas.push(replica);
+    }
+
+    /// The title's entry.
+    pub fn title(&self, id: TitleId) -> &Title {
+        &self.titles[id]
+    }
+
+    /// All titles, in registration order.
+    pub fn titles(&self) -> &[Title] {
+        &self.titles
+    }
+
+    /// Mutable access to one replica (used by the restore pass).
+    pub fn replica_mut(&mut self, id: TitleId, replica: usize) -> &mut Replica {
+        &mut self.titles[id].replicas[replica]
+    }
+
+    /// The first live replica of `id` on a volume `up` accepts,
+    /// excluding `not` (the replica being failed away from).
+    pub fn live_replica(
+        &self,
+        id: TitleId,
+        not: Option<usize>,
+        up: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        self.titles[id]
+            .replicas
+            .iter()
+            .enumerate()
+            .find(|(i, r)| Some(*i) != not && r.state == ReplicaState::Live && up(r.volume))
+            .map(|(i, _)| i)
+    }
+
+    /// Mark every replica on `volume` lost (a wiped rejoin). Returns
+    /// how many replicas flipped.
+    pub fn mark_volume_lost(&mut self, volume: usize) -> usize {
+        let mut flipped = 0;
+        for t in &mut self.titles {
+            for r in &mut t.replicas {
+                if r.volume == volume && r.state == ReplicaState::Live {
+                    r.state = ReplicaState::Lost;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Lost replicas, as `(title, replica index)` coordinates.
+    pub fn lost_replicas(&self) -> Vec<(TitleId, usize)> {
+        let mut out = Vec::new();
+        for (t, title) in self.titles.iter().enumerate() {
+            for (i, r) in title.replicas.iter().enumerate() {
+                if r.state == ReplicaState::Lost {
+                    out.push((t, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconcile the catalog against a rejoined volume's strand
+    /// inventory: a replica is servable iff every strand it references
+    /// exists with the expected block count. Lost replicas found whole
+    /// are restored; live replicas found broken are demoted.
+    pub fn reconcile(&mut self, volume: usize, msm: &Msm) -> ReconcileReport {
+        let mut report = ReconcileReport::default();
+        for t in &mut self.titles {
+            for r in &mut t.replicas {
+                if r.volume != volume {
+                    continue;
+                }
+                report.checked += 1;
+                let whole = r.strands.iter().all(|loc| {
+                    msm.strand(loc.strand)
+                        .map(|s| s.block_count() == loc.blocks)
+                        .unwrap_or(false)
+                });
+                match (whole, r.state) {
+                    (true, ReplicaState::Lost) => {
+                        r.state = ReplicaState::Live;
+                        report.restored += 1;
+                    }
+                    (false, ReplicaState::Live) => {
+                        r.state = ReplicaState::Lost;
+                        report.lost += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stub_replica(volume: usize) -> Replica {
+        Replica {
+            volume,
+            schedule: PlaySchedule::default(),
+            strands: Vec::new(),
+            state: ReplicaState::Live,
+        }
+    }
+
+    #[test]
+    fn live_replica_skips_down_volumes_and_the_excluded_copy() {
+        let mut c = Catalog::new();
+        let id = c.add_title("clip", 0.5);
+        c.add_replica(id, stub_replica(0));
+        c.add_replica(id, stub_replica(1));
+        c.add_replica(id, stub_replica(2));
+        // All up: first replica wins.
+        assert_eq!(c.live_replica(id, None, |_| true), Some(0));
+        // Excluding the first and with volume 1 down, only 2 remains.
+        assert_eq!(c.live_replica(id, Some(0), |v| v != 1), Some(2));
+        // Nothing survives when everything is down.
+        assert_eq!(c.live_replica(id, None, |_| false), None);
+    }
+
+    #[test]
+    fn mark_volume_lost_flips_only_that_volume() {
+        let mut c = Catalog::new();
+        let a = c.add_title("a", 0.0);
+        c.add_replica(a, stub_replica(0));
+        c.add_replica(a, stub_replica(1));
+        let b = c.add_title("b", 0.0);
+        c.add_replica(b, stub_replica(1));
+        assert_eq!(c.mark_volume_lost(1), 2);
+        assert_eq!(c.lost_replicas(), vec![(a, 1), (b, 0)]);
+        // Idempotent: already-lost replicas don't flip again.
+        assert_eq!(c.mark_volume_lost(1), 0);
+    }
+}

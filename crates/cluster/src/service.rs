@@ -1,0 +1,919 @@
+//! The cluster service loop: synchronized rounds across member
+//! volumes, with mid-playback failover to surviving replicas.
+//!
+//! Time model: all volumes start round `r` at the same instant `T_r`
+//! and serve their pinned streams on their own disks concurrently
+//! (each volume has its own clock within the round); `T_{r+1}` is the
+//! latest clock when every volume — and the round's background
+//! re-replication budget — is done. Deadlines stay coherent across a
+//! failover because replica schedules are structurally identical: a
+//! stream switching volumes keeps its epochs, completions and item
+//! offsets, only the strand/block addresses change.
+//!
+//! The per-stream bookkeeping (epochs, deadline accounting, the
+//! degradation ladder) mirrors `strandfs_sim::playback`, which remains
+//! the single-volume reference; the outcome structures are shared so
+//! the SLO reports read identically.
+
+use crate::catalog::TitleId;
+use crate::cluster::{Cluster, RejoinReport};
+use strandfs_core::mrs::PlaySchedule;
+use strandfs_core::msm::{BlockFetch, FetchFailure};
+use strandfs_core::FsError;
+use strandfs_obs::{DegradeAction, Event, ObsSink};
+use strandfs_sim::metrics::{NanosSummary, RoundSample, SimReport, StreamOutcome};
+use strandfs_units::{Instant, Nanos};
+
+/// Signed deadline margin in nanoseconds: positive = early, negative =
+/// late (the same convention as `Event::deadline_margin`).
+fn signed_margin(deadline: Instant, done: Instant) -> i64 {
+    if done <= deadline {
+        (deadline - done).as_nanos() as i64
+    } else {
+        -((done - deadline).as_nanos() as i64)
+    }
+}
+
+/// Configuration of a cluster playback run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterPlayback {
+    /// Blocks per stream per round (the paper's `k`).
+    pub k: u64,
+    /// Blocks buffered before a stream's display starts — and the
+    /// bound on the glitch a failover can cost a replicated stream.
+    pub read_ahead: u64,
+    /// Drops a stream tolerates (since admission) before revocation.
+    pub revoke_after_drops: u64,
+    /// Consecutive fault-free rounds before revoked streams return.
+    pub readmit_clean_rounds: u64,
+    /// Background re-replication budget per round, in media blocks
+    /// (0 disables the restore pass).
+    pub restore_blocks_per_round: u64,
+    /// Hard bound on simulated rounds (a stuck-scenario backstop).
+    pub max_rounds: u64,
+}
+
+impl ClusterPlayback {
+    /// The standard configuration: read-ahead equal to the round size,
+    /// a short ladder, restore off.
+    pub fn with_k(k: u64) -> ClusterPlayback {
+        ClusterPlayback {
+            k,
+            read_ahead: k,
+            revoke_after_drops: 3,
+            readmit_clean_rounds: 2,
+            restore_blocks_per_round: 0,
+            max_rounds: 100_000,
+        }
+    }
+
+    /// Enable the per-round background restore budget.
+    pub fn restore(mut self, blocks_per_round: u64) -> ClusterPlayback {
+        self.restore_blocks_per_round = blocks_per_round;
+        self
+    }
+}
+
+/// A scripted membership change.
+#[derive(Clone, Copy, Debug)]
+pub enum ClusterAction {
+    /// Arm a whole-device fault plan on the member (failure is then
+    /// *detected* by the read path, not announced).
+    Kill(usize),
+    /// Rejoin the member with surviving media (`Msm::recover` + fsck +
+    /// catalog reconciliation).
+    Rejoin(usize),
+    /// Rejoin the member with fresh media (all its replicas lost, to
+    /// be re-replicated in the background).
+    RejoinWiped(usize),
+}
+
+/// A membership change scheduled for the start of a round.
+#[derive(Clone, Copy, Debug)]
+pub struct ScriptedAction {
+    /// The round at whose start the action fires.
+    pub at_round: u64,
+    /// What happens.
+    pub action: ClusterAction,
+}
+
+/// Per-volume service statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VolumeStats {
+    /// Media blocks fetched from the volume for playback.
+    pub fetched: u64,
+    /// Rounds the volume spent marked down.
+    pub rounds_down: u64,
+}
+
+/// The result of a cluster playback run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// The per-stream outcomes and totals, in viewer order — the same
+    /// shape single-volume simulations report, so SLO tooling applies.
+    pub sim: SimReport,
+    /// Per stream: did its title have ≥ 2 replicas at start?
+    pub replicated: Vec<bool>,
+    /// Per stream: the longest consecutive run of schedule items that
+    /// were dropped or arrived late — the visible glitch length.
+    pub miss_bursts: Vec<u64>,
+    /// Mid-playback replica switches across all streams.
+    pub failovers: u64,
+    /// Rejoin reports, in script order.
+    pub rejoins: Vec<RejoinReport>,
+    /// Media blocks copied by background re-replication.
+    pub restored_blocks: u64,
+    /// Replicas brought back live by background re-replication.
+    pub restored_replicas: u64,
+    /// Per-volume service statistics.
+    pub volumes: Vec<VolumeStats>,
+}
+
+impl ClusterReport {
+    /// Blocks dropped by streams of replicated titles (0 is the
+    /// failover guarantee).
+    pub fn replicated_dropped(&self) -> u64 {
+        self.zip_dropped(true)
+    }
+
+    /// Blocks dropped by streams of single-replica titles.
+    pub fn unreplicated_dropped(&self) -> u64 {
+        self.zip_dropped(false)
+    }
+
+    fn zip_dropped(&self, replicated: bool) -> u64 {
+        self.sim
+            .streams
+            .iter()
+            .zip(&self.replicated)
+            .filter(|(_, r)| **r == replicated)
+            .map(|(s, _)| s.dropped_blocks)
+            .sum()
+    }
+
+    /// The worst glitch any replicated stream saw, in schedule items.
+    pub fn replicated_miss_burst(&self) -> u64 {
+        self.miss_bursts
+            .iter()
+            .zip(&self.replicated)
+            .filter(|(_, r)| **r)
+            .map(|(b, _)| *b)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct Epoch {
+    first_item: usize,
+    display_start: Option<Instant>,
+    resumed_at: Option<Instant>,
+}
+
+/// Per-stream service state; the cluster-side sibling of
+/// `playback::StreamState`, extended with the replica pin.
+struct CStream {
+    title: TitleId,
+    replica: usize,
+    schedule: PlaySchedule,
+    completions: Vec<Instant>,
+    fetch_rounds: Vec<u64>,
+    dropped: Vec<bool>,
+    next: usize,
+    read_ahead: u64,
+    service_start: Option<Instant>,
+    epochs: Vec<Epoch>,
+    retries: u64,
+    drops_since_admit: u64,
+    revoked_at: Option<Instant>,
+    revokes: u64,
+    recovery_time: Nanos,
+    deadline_emitted: usize,
+    failovers: u64,
+}
+
+impl CStream {
+    fn new(title: TitleId, replica: usize, schedule: PlaySchedule, read_ahead: u64) -> CStream {
+        let n = schedule.items.len();
+        CStream {
+            title,
+            replica,
+            schedule,
+            completions: Vec::with_capacity(n),
+            fetch_rounds: Vec::with_capacity(n),
+            dropped: Vec::with_capacity(n),
+            next: 0,
+            read_ahead,
+            service_start: None,
+            epochs: vec![Epoch {
+                first_item: 0,
+                display_start: None,
+                resumed_at: None,
+            }],
+            retries: 0,
+            drops_since_admit: 0,
+            revoked_at: None,
+            revokes: 0,
+            recovery_time: Nanos::ZERO,
+            deadline_emitted: 0,
+            failovers: 0,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.next >= self.schedule.items.len()
+    }
+
+    fn deadline_of(&self, j: usize) -> Option<Instant> {
+        let ep = self.epochs.iter().rev().find(|e| e.first_item <= j)?;
+        let ds = ep.display_start?;
+        let base = self.schedule.items[ep.first_item].at;
+        Some(ds + (self.schedule.items[j].at - base))
+    }
+
+    fn emit_due_deadlines(&mut self, stream: usize, obs: &ObsSink) {
+        if !obs.is_enabled() {
+            return;
+        }
+        while self.deadline_emitted < self.completions.len() {
+            let j = self.deadline_emitted;
+            if self.dropped[j] {
+                self.deadline_emitted += 1;
+                continue;
+            }
+            let pos = self
+                .epochs
+                .iter()
+                .rposition(|e| e.first_item <= j)
+                .expect("epoch 0 covers every item");
+            match self.epochs[pos].display_start {
+                Some(_) => {
+                    let deadline = self.deadline_of(j).expect("covering epoch has started");
+                    let done = self.completions[j];
+                    let round = self.fetch_rounds[j];
+                    obs.emit(|| Event::Deadline {
+                        stream,
+                        item: j as u64,
+                        round,
+                        deadline,
+                        completed: done,
+                    });
+                    self.deadline_emitted += 1;
+                }
+                None if pos + 1 == self.epochs.len() => break,
+                None => self.deadline_emitted += 1,
+            }
+        }
+    }
+
+    /// Longest run of dropped-or-late schedule items (trailing
+    /// never-serviced items count as dropped).
+    fn miss_burst(&self) -> u64 {
+        let serviced = self.completions.len();
+        let mut burst = 0u64;
+        let mut run = 0u64;
+        for j in 0..self.schedule.items.len() {
+            let missed = if j >= serviced || self.dropped[j] {
+                true
+            } else {
+                self.deadline_of(j)
+                    .map(|d| self.completions[j] > d)
+                    .unwrap_or(false)
+            };
+            if missed {
+                run += 1;
+                burst = burst.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        burst
+    }
+
+    fn outcome(&self, stream: usize, obs: &ObsSink) -> StreamOutcome {
+        let items = &self.schedule.items;
+        let serviced = self.completions.len();
+        debug_assert!(
+            self.completions.windows(2).all(|w| w[0] <= w[1]),
+            "fetch completions must be non-decreasing"
+        );
+        let mut dropped_blocks = (items.len() - serviced) as u64;
+        let mut fetched = 0u64;
+        let mut violations = 0u64;
+        let mut lateness = Vec::new();
+        let mut first_violation = None;
+        let first_display = self.epochs.first().and_then(|e| e.display_start);
+        for (j, item) in items.iter().enumerate().take(serviced) {
+            if self.dropped[j] {
+                dropped_blocks += 1;
+                continue;
+            }
+            if !item.silence {
+                fetched += 1;
+            }
+            let Some(deadline) = self.deadline_of(j) else {
+                continue;
+            };
+            let done = self.completions[j];
+            if j >= self.deadline_emitted {
+                obs.emit(|| Event::Deadline {
+                    stream,
+                    item: j as u64,
+                    round: self.fetch_rounds[j],
+                    deadline,
+                    completed: done,
+                });
+            }
+            if done > deadline {
+                violations += 1;
+                lateness.push(done - deadline);
+                if first_violation.is_none() {
+                    if let Some(ds) = first_display {
+                        first_violation = Some(deadline - ds);
+                    }
+                }
+            }
+        }
+        let mut series = Vec::new();
+        let mut j = 0;
+        while j < serviced {
+            let round = self.fetch_rounds[j];
+            let mut worst = i64::MAX;
+            let mut last = j;
+            while last < serviced && self.fetch_rounds[last] == round {
+                if !self.dropped[last] {
+                    if let Some(deadline) = self.deadline_of(last) {
+                        worst = worst.min(signed_margin(deadline, self.completions[last]));
+                    }
+                }
+                last += 1;
+            }
+            if worst == i64::MAX {
+                worst = 0;
+            }
+            let turn_end = self.completions[last - 1];
+            let consumed = match first_display {
+                Some(ds) => items.partition_point(|it| ds + it.at <= turn_end),
+                None => 0,
+            };
+            series.push(RoundSample {
+                round,
+                blocks: (last - j) as u64,
+                worst_margin_ns: worst,
+                buffered: (last as u64).saturating_sub(consumed as u64),
+            });
+            j = last;
+        }
+        let mut max_buffered = 0u64;
+        for j in 0..serviced {
+            let Some(deadline) = self.deadline_of(j) else {
+                continue;
+            };
+            let fetched_by = self.completions.partition_point(|c| *c <= deadline);
+            max_buffered = max_buffered.max((fetched_by as u64).saturating_sub(j as u64));
+        }
+        StreamOutcome {
+            blocks: items.len() as u64,
+            fetched,
+            violations,
+            max_lateness: lateness.iter().copied().max().unwrap_or(Nanos::ZERO),
+            lateness: NanosSummary::of(lateness),
+            start_latency: match (first_display, self.service_start) {
+                (Some(ds), Some(ss)) => ds - ss,
+                _ => Nanos::ZERO,
+            },
+            max_buffered,
+            series,
+            first_violation,
+            dropped_blocks,
+            retries: self.retries,
+            revokes: self.revokes,
+            recovery_time: self.recovery_time,
+        }
+    }
+}
+
+/// The first live replica of `title` on an up member, excluding `not`.
+fn find_replica(cluster: &Cluster, title: TitleId, not: Option<usize>) -> Option<usize> {
+    cluster
+        .catalog()
+        .live_replica(title, not, |v| cluster.is_up(v))
+}
+
+/// Re-pin a stream to replica `r`: swap in the replica's schedule in
+/// place, keeping every completion, epoch and item offset.
+fn switch_schedule(cluster: &Cluster, s: &mut CStream, r: usize) -> Result<(), FsError> {
+    let rep = &cluster.catalog().title(s.title).replicas[r];
+    if rep.schedule.items.len() != s.schedule.items.len() {
+        return Err(FsError::InvalidScenario {
+            reason: "replica schedules are not structurally identical",
+        });
+    }
+    s.schedule = rep.schedule.clone();
+    s.replica = r;
+    Ok(())
+}
+
+/// Simulate cluster playback: one viewer stream per entry of
+/// `viewers` (each a catalog title), with `script` driving member
+/// kills and rejoins at round boundaries.
+///
+/// Viewers of a multi-replica title are spread across its replicas
+/// round-robin. Install a shared sink via [`Cluster::set_obs`] before
+/// calling to observe the whole cluster in one monitor.
+pub fn simulate_cluster(
+    cluster: &mut Cluster,
+    viewers: &[TitleId],
+    script: &[ScriptedAction],
+    cfg: &ClusterPlayback,
+) -> Result<ClusterReport, FsError> {
+    let obs = cluster.obs();
+    let volumes = cluster.members().len();
+    let replicated: Vec<bool> = viewers
+        .iter()
+        .map(|&t| cluster.catalog().title(t).replicas.len() >= 2)
+        .collect();
+    let mut streams: Vec<CStream> = Vec::with_capacity(viewers.len());
+    for (i, &title) in viewers.iter().enumerate() {
+        let nrep = cluster.catalog().title(title).replicas.len();
+        let start = i % nrep.max(1);
+        let replica = (0..nrep)
+            .map(|d| (start + d) % nrep)
+            .find(|&r| {
+                let rep = &cluster.catalog().title(title).replicas[r];
+                rep.state == crate::catalog::ReplicaState::Live && cluster.is_up(rep.volume)
+            })
+            .ok_or(FsError::InvalidScenario {
+                reason: "viewer title has no live replica on an up member",
+            })?;
+        let schedule = cluster.catalog().title(title).replicas[replica]
+            .schedule
+            .clone();
+        streams.push(CStream::new(
+            title,
+            replica,
+            schedule,
+            cfg.read_ahead.max(1),
+        ));
+    }
+
+    let mut vol_t: Vec<Instant> = vec![Instant::EPOCH; volumes];
+    let mut busy_mark: Vec<Nanos> = (0..volumes)
+        .map(|v| cluster.members()[v].mrs().msm().disk().stats().busy_time())
+        .collect();
+    let mut disk_busy = Nanos::ZERO;
+    let mut stats = vec![VolumeStats::default(); volumes];
+    let mut rejoins = Vec::new();
+    let mut applied = vec![false; script.len()];
+    let mut failovers = 0u64;
+    let mut restored_blocks = 0u64;
+    let mut restored_replicas = 0u64;
+    let mut t = Instant::EPOCH;
+    let mut round = 0u64;
+    let mut clean_streak = 0u64;
+    let k = cfg.k.max(1);
+
+    loop {
+        // Scripted membership changes due at this round boundary.
+        for (si, a) in script.iter().enumerate() {
+            if applied[si] || a.at_round > round {
+                continue;
+            }
+            applied[si] = true;
+            match a.action {
+                ClusterAction::Kill(v) => {
+                    cluster.kill(v);
+                }
+                ClusterAction::Rejoin(v) => {
+                    rejoins.push(cluster.rejoin(v, t)?);
+                    // Recovery I/O is mount work, not playback service.
+                    busy_mark[v] = cluster.members()[v].mrs().msm().disk().stats().busy_time();
+                }
+                ClusterAction::RejoinWiped(v) => {
+                    rejoins.push(cluster.rejoin_wiped(v));
+                    busy_mark[v] = cluster.members()[v].mrs().msm().disk().stats().busy_time();
+                }
+            }
+        }
+        // Ladder re-admission: the fault window stayed clear long
+        // enough AND the stream has somewhere live to play from.
+        if clean_streak >= cfg.readmit_clean_rounds {
+            for (idx, s) in streams.iter_mut().enumerate() {
+                if s.revoked_at.is_none() || s.finished() {
+                    continue;
+                }
+                let Some(r) = find_replica(cluster, s.title, None) else {
+                    continue;
+                };
+                if r != s.replica {
+                    switch_schedule(cluster, s, r)?;
+                }
+                let since = s.revoked_at.take().expect("checked above");
+                s.recovery_time += t - since;
+                s.drops_since_admit = 0;
+                s.epochs.push(Epoch {
+                    first_item: s.next,
+                    display_start: None,
+                    resumed_at: Some(t),
+                });
+                let item = s.next as u64;
+                obs.emit(|| Event::Degrade {
+                    stream: idx,
+                    round,
+                    item,
+                    action: DegradeAction::Readmit,
+                    at: t,
+                });
+            }
+        }
+        let active: Vec<usize> = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.finished() && s.revoked_at.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let script_pending = applied.iter().any(|done| !done);
+        let restore_pending = cfg.restore_blocks_per_round > 0 && cluster.restorable_lost();
+        if active.is_empty() {
+            let revoked: Vec<&CStream> = streams
+                .iter()
+                .filter(|s| !s.finished() && s.revoked_at.is_some())
+                .collect();
+            let can_return = revoked
+                .iter()
+                .any(|s| find_replica(cluster, s.title, None).is_some());
+            if !script_pending && !restore_pending && (revoked.is_empty() || !can_return) {
+                break;
+            }
+            // Idle round: no I/O, but revoked viewers' displays sit
+            // frozen while it passes — advance the clock so recovery
+            // accounting sees the outage.
+            let min_dur = revoked
+                .iter()
+                .map(|s| s.schedule.items[s.next].duration)
+                .min()
+                .unwrap_or(Nanos::from_millis(100));
+            let advanced = Nanos::from_nanos(k.saturating_mul(min_dur.as_nanos()));
+            obs.emit(|| Event::RoundIdle {
+                round,
+                at: t,
+                advanced,
+            });
+            t += advanced;
+            if cfg.restore_blocks_per_round > 0 {
+                let p = cluster.re_replicate(t, cfg.restore_blocks_per_round)?;
+                restored_blocks += p.copied_blocks;
+                restored_replicas += p.completed_replicas;
+                t = t.max(p.finished_at);
+            }
+            clean_streak += 1;
+            round += 1;
+            if round >= cfg.max_rounds {
+                break;
+            }
+            continue;
+        }
+        obs.emit(|| Event::RoundStart {
+            round,
+            active: active.len(),
+            k,
+            at: t,
+        });
+        for item in vol_t.iter_mut() {
+            *item = t;
+        }
+        let mut round_faults = false;
+        for &idx in &active {
+            let s = &mut streams[idx];
+            if s.service_start.is_none() {
+                s.service_start = Some(t);
+            }
+            let mut vol = cluster.catalog().title(s.title).replicas[s.replica].volume;
+            let turn_begin = vol_t[vol];
+            let mut turn_blocks = 0u64;
+            let mut revoked_now = false;
+            for _ in 0..k {
+                if s.finished() || revoked_now {
+                    break;
+                }
+                let j = s.next;
+                if s.schedule.items[j].silence {
+                    s.completions.push(vol_t[vol]);
+                    s.dropped.push(false);
+                } else {
+                    // Fetch, failing over across replicas on a media
+                    // error — the glitch stays bounded by read-ahead
+                    // because the re-fetch happens in the same round.
+                    let mut fetched = false;
+                    let mut fail_at = vol_t[vol];
+                    for _attempt in 0..=volumes {
+                        if cluster.is_up(vol) {
+                            let item = s.schedule.items[j];
+                            let issue = vol_t[vol].max(fail_at);
+                            let deadline = s.deadline_of(j);
+                            match cluster
+                                .member_mut(vol)
+                                .mrs_mut()
+                                .msm_mut()
+                                .read_block_resilient_timed(
+                                    item.strand,
+                                    item.block,
+                                    issue,
+                                    item.duration,
+                                    deadline,
+                                )? {
+                                BlockFetch::Silence => {
+                                    return Err(FsError::InvalidScenario {
+                                        reason:
+                                            "non-silence schedule item resolves to a silence hole",
+                                    })
+                                }
+                                BlockFetch::Data { op, retries, .. } => {
+                                    vol_t[vol] = op.completed;
+                                    if retries > 0 {
+                                        round_faults = true;
+                                        s.retries += retries as u64;
+                                    }
+                                    s.completions.push(vol_t[vol]);
+                                    s.dropped.push(false);
+                                    stats[vol].fetched += 1;
+                                    fetched = true;
+                                    break;
+                                }
+                                BlockFetch::Failed {
+                                    reason,
+                                    at,
+                                    retries,
+                                } => {
+                                    round_faults = true;
+                                    s.retries += retries as u64;
+                                    fail_at = fail_at.max(at);
+                                    vol_t[vol] = vol_t[vol].max(at);
+                                    match reason {
+                                        FetchFailure::Media => {
+                                            // Volume-failure detection:
+                                            // the read path, not an
+                                            // oracle.
+                                            cluster.mark_down(vol);
+                                        }
+                                        // The deadline is gone on every
+                                        // volume — drop, don't failover.
+                                        FetchFailure::Abandoned => break,
+                                        FetchFailure::RetriesExhausted => {}
+                                    }
+                                }
+                            }
+                        }
+                        match find_replica(cluster, s.title, Some(s.replica)) {
+                            Some(r) => {
+                                switch_schedule(cluster, s, r)?;
+                                vol = cluster.catalog().title(s.title).replicas[r].volume;
+                                s.failovers += 1;
+                                failovers += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if !fetched {
+                        let drop_at = vol_t[vol].max(fail_at);
+                        s.completions.push(drop_at);
+                        s.dropped.push(true);
+                        s.drops_since_admit += 1;
+                        round_faults = true;
+                        obs.emit(|| Event::Degrade {
+                            stream: idx,
+                            round,
+                            item: j as u64,
+                            action: DegradeAction::DropBlock,
+                            at: drop_at,
+                        });
+                        if s.drops_since_admit >= cfg.revoke_after_drops.max(1) {
+                            s.revoked_at = Some(drop_at);
+                            s.revokes += 1;
+                            revoked_now = true;
+                            obs.emit(|| Event::Degrade {
+                                stream: idx,
+                                round,
+                                item: j as u64,
+                                action: DegradeAction::Revoke,
+                                at: drop_at,
+                            });
+                        }
+                    }
+                }
+                s.fetch_rounds.push(round);
+                s.next += 1;
+                turn_blocks += 1;
+                let finished = s.finished();
+                let read_ahead = s.read_ahead;
+                let now = vol_t[vol];
+                let ep = s.epochs.last_mut().expect("epochs never empty");
+                if ep.display_start.is_none()
+                    && ((s.next - ep.first_item) as u64 >= read_ahead || finished)
+                {
+                    ep.display_start = Some(now);
+                    let anchor = ep.resumed_at.or(s.service_start).unwrap_or(now);
+                    obs.emit(|| Event::DisplayStart {
+                        stream: idx,
+                        at: now,
+                        latency: now - anchor,
+                    });
+                }
+            }
+            s.emit_due_deadlines(idx, &obs);
+            let end = vol_t[vol];
+            obs.emit(|| Event::StreamService {
+                stream: idx,
+                round,
+                begin: turn_begin,
+                end,
+                blocks: turn_blocks,
+            });
+        }
+        // The cluster round ends when the slowest volume — and the
+        // round's background restore budget — is done.
+        let mut t_next = vol_t.iter().copied().max().unwrap_or(t);
+        if cfg.restore_blocks_per_round > 0 {
+            let p = cluster.re_replicate(t_next, cfg.restore_blocks_per_round)?;
+            restored_blocks += p.copied_blocks;
+            restored_replicas += p.completed_replicas;
+            t_next = t_next.max(p.finished_at);
+        }
+        obs.emit(|| Event::RoundEnd { round, at: t_next });
+        t = t_next;
+        for v in 0..volumes {
+            let busy = cluster.members()[v].mrs().msm().disk().stats().busy_time();
+            disk_busy += busy - busy_mark[v];
+            busy_mark[v] = busy;
+            if !cluster.is_up(v) {
+                stats[v].rounds_down += 1;
+            }
+        }
+        if round_faults {
+            clean_streak = 0;
+        } else {
+            clean_streak += 1;
+        }
+        round += 1;
+        if round >= cfg.max_rounds {
+            break;
+        }
+    }
+
+    Ok(ClusterReport {
+        sim: SimReport {
+            streams: streams
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.outcome(i, &obs))
+                .collect(),
+            disk_busy,
+            rounds: round,
+        },
+        replicated,
+        miss_bursts: streams.iter().map(|s| s.miss_burst()).collect(),
+        failovers: streams
+            .iter()
+            .map(|s| s.failovers)
+            .sum::<u64>()
+            .max(failovers),
+        rejoins,
+        restored_blocks,
+        restored_replicas,
+        volumes: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, MemberState};
+    use crate::placement::Placement;
+    use strandfs_sim::scenario::ClipSpec;
+
+    fn cluster(volumes: usize, base_replicas: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            volumes,
+            placement: Placement::RoundRobin,
+            base_replicas,
+            seed: 42,
+        })
+        .expect("cluster")
+    }
+
+    #[test]
+    fn clean_cluster_plays_every_stream_continuously() {
+        let mut c = cluster(2, 1);
+        let a = c
+            .ingest("a", &ClipSpec::video_seconds(1.0).with_seed(1), 0.0)
+            .unwrap();
+        let b = c
+            .ingest("b", &ClipSpec::video_seconds(1.0).with_seed(2), 0.0)
+            .unwrap();
+        let report =
+            simulate_cluster(&mut c, &[a, b], &[], &ClusterPlayback::with_k(3)).expect("sim");
+        assert!(report.sim.all_continuous());
+        assert_eq!(report.sim.total_dropped(), 0);
+        assert_eq!(report.failovers, 0);
+        // Each title landed on its own volume; both volumes served.
+        assert!(report.volumes.iter().all(|v| v.fetched > 0));
+    }
+
+    #[test]
+    fn replicated_stream_survives_a_volume_kill_without_losing_blocks() {
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(5), 1.0)
+            .unwrap();
+        let script = [ScriptedAction {
+            at_round: 2,
+            action: ClusterAction::Kill(0),
+        }];
+        let report =
+            simulate_cluster(&mut c, &[id, id], &script, &ClusterPlayback::with_k(3)).expect("sim");
+        assert_eq!(
+            report.replicated_dropped(),
+            0,
+            "failover must lose 0 blocks"
+        );
+        assert!(report.failovers >= 1, "the kill must force a failover");
+        // The glitch is bounded by the read-ahead.
+        assert!(
+            report.replicated_miss_burst() <= 3,
+            "miss burst {} exceeds read-ahead",
+            report.replicated_miss_burst()
+        );
+        // Detection happened through the read path.
+        assert_eq!(c.members()[0].state(), MemberState::Down);
+        assert!(report.volumes[0].rounds_down > 0);
+    }
+
+    #[test]
+    fn unreplicated_stream_rides_the_ladder_and_returns_after_rejoin() {
+        let mut c = cluster(2, 1);
+        let a = c
+            .ingest("solo", &ClipSpec::video_seconds(2.0).with_seed(3), 0.0)
+            .unwrap();
+        // Volume 0 holds "solo"; kill it early, rejoin later.
+        let script = [
+            ScriptedAction {
+                at_round: 1,
+                action: ClusterAction::Kill(0),
+            },
+            ScriptedAction {
+                at_round: 6,
+                action: ClusterAction::Rejoin(0),
+            },
+        ];
+        let mut cfg = ClusterPlayback::with_k(3);
+        cfg.revoke_after_drops = 2;
+        cfg.readmit_clean_rounds = 1;
+        let report = simulate_cluster(&mut c, &[a], &script, &cfg).expect("sim");
+        let s = &report.sim.streams[0];
+        assert!(s.dropped_blocks > 0, "the unreplicated stream must drop");
+        assert!(s.revokes >= 1, "the ladder must revoke it");
+        assert!(
+            s.recovery_time > Nanos::ZERO,
+            "revocation must cost recovery time"
+        );
+        // After the rejoin it finished its schedule.
+        assert_eq!(s.blocks, s.dropped_blocks + report.sim.streams[0].fetched);
+        assert_eq!(report.rejoins.len(), 1);
+        assert_eq!(report.rejoins[0].fsck_findings, 0);
+        assert_eq!(report.rejoins[0].reconcile.lost, 0);
+    }
+
+    #[test]
+    fn wiped_member_is_rebuilt_in_the_background_during_service() {
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(9), 1.0)
+            .unwrap();
+        let script = [
+            ScriptedAction {
+                at_round: 1,
+                action: ClusterAction::Kill(0),
+            },
+            ScriptedAction {
+                at_round: 3,
+                action: ClusterAction::RejoinWiped(0),
+            },
+        ];
+        // Restore budget small enough for the round slack to absorb —
+        // restore I/O extends rounds, and a saturating budget would
+        // push playback past its deadlines.
+        let cfg = ClusterPlayback::with_k(3).restore(2);
+        let report = simulate_cluster(&mut c, &[id], &script, &cfg).expect("sim");
+        assert_eq!(report.replicated_dropped(), 0);
+        assert!(report.restored_blocks > 0, "restore must copy blocks");
+        assert_eq!(report.restored_replicas, 1);
+        // The rebuilt replica is live and fsck finds the member clean.
+        assert!(!c.restorable_lost());
+        assert!(c
+            .catalog()
+            .title(id)
+            .replicas
+            .iter()
+            .all(|r| r.state == crate::catalog::ReplicaState::Live));
+        assert!(c.fsck_member(0, Instant::from_nanos(u64::MAX / 4)).clean());
+    }
+}

@@ -24,7 +24,7 @@
 //! MRS assigns a fresh id when it catalogs the result.
 
 use crate::error::FsError;
-use crate::rope::{split_proportional, Rope, Segment, StrandRef, Trigger};
+use crate::rope::{split_balanced, Rope, Segment, StrandRef, Trigger};
 use strandfs_units::Nanos;
 
 /// Which media an operation applies to.
@@ -122,7 +122,7 @@ impl Piece {
         match self.r {
             None => (Piece::gap(off), Piece::gap(self.dur - off)),
             Some(r) => {
-                let units = split_proportional(off, self.dur, r.len_units);
+                let units = split_balanced(off, self.dur, r.len_units, r.unit_rate);
                 let (l, rt) = r.split_units(units);
                 (
                     Piece {

@@ -106,6 +106,58 @@ pub fn split_proportional(offset: Nanos, window: Nanos, len: u64) -> u64 {
     ((f * len as f64).round() as u64).min(len)
 }
 
+/// [`split_proportional`], then nudged along the unit lattice to the
+/// count that minimizes the larger child's *density drift* — the gap
+/// between a child's timeline share and its units' nominal duration at
+/// `unit_rate` units per second.
+///
+/// Proportional rounding alone conserves density but adds up to half a
+/// unit of drift to one child at every cut; repeated edits compound
+/// those half-units without bound until a segment's duration disagrees
+/// with its ref by more than the rope invariant tolerates. Balancing
+/// the two children instead gives the recurrence `drift_child ≤
+/// drift_parent/2 + unit/2`, whose fixed point is one unit — safely
+/// inside the two-unit segment tolerance no matter how many edits
+/// stack. Zero-unit children are exempt (they become ref-less gaps,
+/// which carry no duration invariant).
+pub fn split_balanced(offset: Nanos, window: Nanos, len: u64, unit_rate: f64) -> u64 {
+    let base = split_proportional(offset, window, len);
+    if window.is_zero() || unit_rate <= 0.0 || unit_rate.is_nan() {
+        return base;
+    }
+    let off = offset.as_secs_f64();
+    let rest = (window - offset.min(window)).as_secs_f64();
+    let unit = 1.0 / unit_rate;
+    let drift = |u: u64| -> f64 {
+        let left = if u == 0 {
+            0.0
+        } else {
+            (off - u as f64 * unit).abs()
+        };
+        let right = if u == len {
+            0.0
+        } else {
+            (rest - (len - u) as f64 * unit).abs()
+        };
+        left.max(right)
+    };
+    // The proportional choice sits within ~2 units of the balanced
+    // optimum whenever the parent is near tolerance, so scanning its
+    // small neighbourhood (nearest candidates first — ties keep the
+    // proportional answer) finds the minimum deterministically.
+    let mut best = base;
+    let mut best_drift = drift(base);
+    for delta in [1u64, 2] {
+        for cand in [base.saturating_sub(delta), base.saturating_add(delta)] {
+            if cand <= len && drift(cand) + 1e-12 < best_drift {
+                best = cand;
+                best_drift = drift(cand);
+            }
+        }
+    }
+    best
+}
+
 /// Block-level correspondence at a segment start: which block of each
 /// strand plays first, used to synchronize the start of playback of all
 /// media at strand-interval boundaries.

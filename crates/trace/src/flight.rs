@@ -11,7 +11,7 @@
 use strandfs_obs::FlightDump;
 
 use crate::chrome::{ArgVal, ChromeTrace};
-use crate::timeline::{fold_into, name_tracks, TraceOptions, PID};
+use crate::timeline::{fold_into, name_tracks, TraceOptions, ROOT_PID};
 
 /// The track carrying the triggering alert marker.
 const TID_ALERTS: u64 = 7;
@@ -23,18 +23,18 @@ const TID_ALERTS: u64 = 7;
 /// capture (`opts.dropped_events` is widened to `dump.dropped`).
 pub fn flight_trace(dump: &FlightDump, opts: &TraceOptions) -> String {
     let mut t = ChromeTrace::new();
-    name_tracks(&mut t);
-    t.thread_name(PID, TID_ALERTS, "alerts");
+    name_tracks(&mut t, ROOT_PID, "strandfs");
+    t.thread_name(ROOT_PID, TID_ALERTS, "alerts");
 
     let mut opts = *opts;
     opts.dropped_events = opts.dropped_events.max(dump.dropped);
-    fold_into(&mut t, dump.events.iter(), &opts);
+    fold_into(&mut t, ROOT_PID, dump.events.iter(), &opts);
 
     let alert = &dump.alert;
     t.instant(
         &format!("alert:{}", alert.rule),
         "alert",
-        PID,
+        ROOT_PID,
         TID_ALERTS,
         alert.at.as_nanos(),
         &[

@@ -44,4 +44,4 @@ pub mod timeline;
 
 pub use chrome::{ArgVal, ChromeTrace};
 pub use flight::flight_trace;
-pub use timeline::{chrome_trace, TraceOptions};
+pub use timeline::{chrome_trace, cluster_trace, TraceOptions};

@@ -21,6 +21,9 @@
 //! | 1   | 4        | block-placement instants                         |
 //! | 1   | 100 + i  | stream `i`: display start, deadline misses       |
 //!
+//! Cluster exports ([`cluster_trace`]) repeat this layout once per
+//! member volume, with volume `i` as its own process under pid `i + 1`.
+//!
 //! Counter tracks: `stream {i} buffered` (occupancy in blocks, derived
 //! from deadline events: +1 when a fetch completes, −1 when its play
 //! instant passes) and, when [`TraceOptions::gamma`] is set, `round
@@ -34,8 +37,9 @@ use strandfs_units::Nanos;
 
 use crate::chrome::{ArgVal, ChromeTrace};
 
-/// The process id every track lives under.
-pub(crate) const PID: u64 = 1;
+/// The process id single-volume exports render under. Cluster exports
+/// ([`cluster_trace`]) give each member volume its own process id.
+pub(crate) const ROOT_PID: u64 = 1;
 /// Service rounds and the per-stream turns nested inside them.
 const TID_ROUNDS: u64 = 1;
 /// Disk operations and their mechanical sub-slices.
@@ -66,15 +70,16 @@ pub struct TraceOptions {
     pub dropped_events: u64,
 }
 
-/// Name the fixed tracks every export starts with.
-pub(crate) fn name_tracks(t: &mut ChromeTrace) {
-    t.process_name(PID, "strandfs");
-    t.thread_name(PID, TID_ROUNDS, "service rounds");
-    t.thread_name(PID, TID_DISK, "disk");
-    t.thread_name(PID, TID_ADMISSION, "admission");
-    t.thread_name(PID, TID_ALLOC, "allocation");
-    t.thread_name(PID, TID_FAULTS, "faults");
-    t.thread_name(PID, TID_RECOVERY, "recovery");
+/// Name the fixed tracks every export starts with, under `pid` (one
+/// process per volume in a cluster export).
+pub(crate) fn name_tracks(t: &mut ChromeTrace, pid: u64, process: &str) {
+    t.process_name(pid, process);
+    t.thread_name(pid, TID_ROUNDS, "service rounds");
+    t.thread_name(pid, TID_DISK, "disk");
+    t.thread_name(pid, TID_ADMISSION, "admission");
+    t.thread_name(pid, TID_ALLOC, "allocation");
+    t.thread_name(pid, TID_FAULTS, "faults");
+    t.thread_name(pid, TID_RECOVERY, "recovery");
 }
 
 /// Fold `events` (oldest first, as [`strandfs_obs::RingRecorder`]
@@ -84,15 +89,37 @@ where
     I: IntoIterator<Item = &'a Event>,
 {
     let mut t = ChromeTrace::new();
-    name_tracks(&mut t);
-    fold_into(&mut t, events, opts);
+    name_tracks(&mut t, ROOT_PID, "strandfs");
+    fold_into(&mut t, ROOT_PID, events, opts);
+    t.finish()
+}
+
+/// Fold per-volume event streams into one Chrome trace-event document
+/// with one *process* per member volume: volume `i` renders under pid
+/// `i + 1` as process `volume {i}`, each carrying the full
+/// single-volume track layout. Perfetto then groups every member's
+/// rounds, disk ops and stream tracks side by side over the shared
+/// virtual-time axis, which is what makes a cluster failover legible —
+/// the fault slice on the dying volume lines up with the failover
+/// fetches appearing on the survivor.
+pub fn cluster_trace<'a, V, I>(volumes: V, opts: &TraceOptions) -> String
+where
+    V: IntoIterator<Item = I>,
+    I: IntoIterator<Item = &'a Event>,
+{
+    let mut t = ChromeTrace::new();
+    for (v, events) in volumes.into_iter().enumerate() {
+        let pid = v as u64 + 1;
+        name_tracks(&mut t, pid, &format!("volume {v}"));
+        fold_into(&mut t, pid, events, opts);
+    }
     t.finish()
 }
 
 /// Fold `events` into a caller-supplied trace, so excerpt renderers
 /// (the flight recorder) can surround the timeline with their own
 /// annotations before finishing the document.
-pub(crate) fn fold_into<'a, I>(t: &mut ChromeTrace, events: I, opts: &TraceOptions)
+pub(crate) fn fold_into<'a, I>(t: &mut ChromeTrace, pid: u64, events: I, opts: &TraceOptions)
 where
     I: IntoIterator<Item = &'a Event>,
 {
@@ -103,7 +130,7 @@ where
         t.instant(
             "ring truncated",
             "meta",
-            PID,
+            pid,
             TID_ROUNDS,
             0,
             &[("dropped_events", ArgVal::U(opts.dropped_events))],
@@ -142,7 +169,7 @@ where
                 t.complete(
                     name,
                     "disk",
-                    PID,
+                    pid,
                     TID_DISK,
                     start,
                     total,
@@ -162,7 +189,7 @@ where
                     ("transfer", transfer.as_nanos()),
                 ] {
                     if dur > 0 {
-                        t.complete(phase, "disk", PID, TID_DISK, at, dur, &[]);
+                        t.complete(phase, "disk", pid, TID_DISK, at, dur, &[]);
                     }
                     at += dur;
                 }
@@ -188,7 +215,7 @@ where
                 if let Some(s) = slack {
                     args.push(("slack", ArgVal::U(s)));
                 }
-                t.instant("alloc", "alloc", PID, TID_ALLOC, now, &args);
+                t.instant("alloc", "alloc", pid, TID_ALLOC, now, &args);
             }
             Event::Admit {
                 request,
@@ -200,7 +227,7 @@ where
                 t.instant(
                     "admit",
                     "admission",
-                    PID,
+                    pid,
                     TID_ADMISSION,
                     now,
                     &[
@@ -220,7 +247,7 @@ where
                 t.instant(
                     "reject",
                     "admission",
-                    PID,
+                    pid,
                     TID_ADMISSION,
                     now,
                     &[
@@ -234,7 +261,7 @@ where
                 t.instant(
                     "release",
                     "admission",
-                    PID,
+                    pid,
                     TID_ADMISSION,
                     now,
                     &[
@@ -265,7 +292,7 @@ where
                 t.complete(
                     &format!("stream {stream}"),
                     "service",
-                    PID,
+                    pid,
                     TID_ROUNDS,
                     begin.as_nanos(),
                     (end - begin).as_nanos(),
@@ -283,7 +310,7 @@ where
                 t.complete(
                     &format!("round {round} (idle)"),
                     "round",
-                    PID,
+                    pid,
                     TID_ROUNDS,
                     at.as_nanos(),
                     advanced.as_nanos(),
@@ -297,7 +324,7 @@ where
                     t.complete(
                         &format!("round {round}"),
                         "round",
-                        PID,
+                        pid,
                         TID_ROUNDS,
                         start,
                         end - start,
@@ -305,7 +332,7 @@ where
                     );
                     if let Some(gamma) = opts.gamma {
                         let slack = (k * gamma.as_nanos()) as i64 - (end - start) as i64;
-                        t.counter("round slack", PID, end, &[("ns", ArgVal::I(slack))]);
+                        t.counter("round slack", pid, end, &[("ns", ArgVal::I(slack))]);
                     }
                 }
                 now = now.max(end);
@@ -319,7 +346,7 @@ where
                 t.instant(
                     "display start",
                     "stream",
-                    PID,
+                    pid,
                     TID_STREAM_BASE + stream as u64,
                     at.as_nanos(),
                     &[
@@ -344,7 +371,7 @@ where
                     t.instant(
                         "deadline miss",
                         "deadline",
-                        PID,
+                        pid,
                         TID_STREAM_BASE + stream as u64,
                         completed.as_nanos(),
                         &[
@@ -372,7 +399,7 @@ where
                 t.complete(
                     &format!("fault:{}", class.label()),
                     "fault",
-                    PID,
+                    pid,
                     TID_FAULTS,
                     issued.as_nanos(),
                     (detected - issued).as_nanos(),
@@ -401,7 +428,7 @@ where
                 t.instant(
                     "retry",
                     "fault",
-                    PID,
+                    pid,
                     TID_FAULTS,
                     at.as_nanos(),
                     &[
@@ -424,7 +451,7 @@ where
                 t.instant(
                     action.label(),
                     "degrade",
-                    PID,
+                    pid,
                     TID_STREAM_BASE + stream as u64,
                     at.as_nanos(),
                     &[
@@ -444,7 +471,7 @@ where
                 t.instant(
                     &format!("journal:{}", op.label()),
                     "recovery",
-                    PID,
+                    pid,
                     TID_RECOVERY,
                     at.as_nanos(),
                     &[("strand", ArgVal::U(strand)), ("seq", ArgVal::U(seq))],
@@ -461,7 +488,7 @@ where
                 t.instant(
                     "recover",
                     "recovery",
-                    PID,
+                    pid,
                     TID_RECOVERY,
                     at.as_nanos(),
                     &[
@@ -483,7 +510,7 @@ where
                 t.instant(
                     "edit_heal",
                     "alloc",
-                    PID,
+                    pid,
                     TID_ALLOC,
                     at.as_nanos(),
                     &[
@@ -504,7 +531,7 @@ where
                 t.instant(
                     &format!("repair:{}", action.label()),
                     "recovery",
-                    PID,
+                    pid,
                     TID_RECOVERY,
                     at.as_nanos(),
                     &[("strand", ArgVal::U(strand)), ("detail", ArgVal::U(detail))],
@@ -516,7 +543,7 @@ where
 
     for stream in stream_tracks.keys() {
         t.thread_name(
-            PID,
+            pid,
             TID_STREAM_BASE + *stream as u64,
             &format!("stream {stream}"),
         );
@@ -540,7 +567,7 @@ where
                 i += 1;
             }
             level = level.max(0);
-            t.counter(&name, PID, ts, &[("blocks", ArgVal::I(level))]);
+            t.counter(&name, pid, ts, &[("blocks", ArgVal::I(level))]);
         }
     }
 }
@@ -558,6 +585,36 @@ mod tests {
         let doc = chrome_trace(events.iter(), opts);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         doc
+    }
+
+    #[test]
+    fn cluster_trace_gives_each_volume_its_own_process() {
+        let vol0 = [
+            Event::RoundStart {
+                round: 0,
+                active: 1,
+                k: 2,
+                at: at(0),
+            },
+            Event::RoundEnd {
+                round: 0,
+                at: at(4_000),
+            },
+        ];
+        let vol1 = [Event::DisplayStart {
+            stream: 0,
+            at: at(2_000),
+            latency: Nanos::from_nanos(2_000),
+        }];
+        let doc = cluster_trace([vol0.iter(), vol1.iter()], &TraceOptions::default());
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // One named process per member volume.
+        assert!(doc.contains("\"name\":\"volume 0\""));
+        assert!(doc.contains("\"name\":\"volume 1\""));
+        // Volume 0's round renders under pid 1, volume 1's stream
+        // marker under pid 2.
+        assert!(doc.contains("\"name\":\"round 0\",\"cat\":\"round\",\"pid\":1"));
+        assert!(doc.contains("\"name\":\"display start\",\"cat\":\"stream\",\"pid\":2"));
     }
 
     #[test]

@@ -43,6 +43,15 @@ echo "==> chaos pass (STRANDFS_TEST_SEED=$CHAOS_SEED)"
 STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline \
     --test failure_injection --test proptests_sim --test crash_recovery
 
+# Bounded cluster failover smoke: one seeded kill-one-member run on a
+# two-volume cluster with a replicated title (tests/cluster_failover.rs).
+# The seed picks the victim and the kill round; the contract — zero
+# dropped blocks on replicated streams, a read-ahead-bounded glitch and
+# an fsck-clean rejoin — must hold for every seed. Replay any failure
+# with the printed seed.
+echo "==> cluster failover smoke (STRANDFS_TEST_SEED=$CHAOS_SEED)"
+STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline --test cluster_failover
+
 # Bounded fsx chaos: one seeded random rope-editing stream, model-checked
 # at every step with Eq. 19/20 copy-bound enforcement (tests/fsx.rs,
 # `chaos_pass_bounded_by_env`). STRANDFS_FSX_OPS bounds the stream

@@ -15,6 +15,8 @@
 //!   control, strands, ropes, the Multimedia Storage Manager (MSM) and
 //!   the Multimedia Rope Server (MRS);
 //! * [`sim`] — a discrete-event simulator measuring playback continuity;
+//! * [`cluster`] — a multi-volume cluster: master catalog, replica
+//!   placement, volume-failure failover and background re-replication;
 //! * [`obs`] — the zero-perturbation observability layer (structured
 //!   events, ring recorder, counters and histograms).
 //!
@@ -26,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use strandfs_cluster as cluster;
 pub use strandfs_core as core;
 pub use strandfs_disk as disk;
 pub use strandfs_media as media;

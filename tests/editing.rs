@@ -341,6 +341,21 @@ fn fsx_regression_seed1_substring_inflation_and_catalog_growth() {
 }
 
 #[test]
+fn fsx_regression_seed3561088382_split_drift_accumulation() {
+    // Minimal input `(3561088382, 81)` from STRANDFS_TEST_SEED=
+    // 18398927829991303124: repeated inserts through `split_proportional`
+    // each added up to half a unit of density drift to one child, and the
+    // drift compounded across edits until segment 55 carried 325 ms of
+    // video against a 260 ms window (unit 25 ms), breaking the rope's
+    // 2-unit tolerance (fixed by `split_balanced`, which picks the unit
+    // count minimizing the larger child's drift — halving inherited
+    // drift at every cut instead of growing it).
+    let out =
+        strandfs_testkit::fsx::run(&strandfs_testkit::fsx::FsxConfig::healthy(3561088382, 81));
+    assert!(out.edits > 10, "stream lost its edit mix: {out:?}");
+}
+
+#[test]
 fn substring_exact_boundaries_share_everything() {
     // Off-by-one hunting at the substring edges: a whole-rope substring
     // must reproduce the rope exactly, and zero-length intervals must

@@ -556,6 +556,134 @@ fn optimized_service_loop_matches_the_reference_loop() {
 }
 
 #[test]
+fn cluster_chaos_replicated_streams_survive_member_loss() {
+    use strandfs::cluster::{
+        simulate_cluster, Cluster, ClusterAction, ClusterConfig, ClusterPlayback, Placement,
+        ScriptedAction,
+    };
+    use strandfs::sim::ClipSpec;
+
+    // Random placement × random member kill/rejoin: streams of k≥2-
+    // replicated titles lose zero blocks (failover covers the outage),
+    // single-replica streams obey the block-conservation law of the
+    // degradation ladder, and the rejoined member comes back fsck-clean
+    // with a catalog that matches its strand inventory exactly.
+    check_with(
+        &Config::with_cases(6),
+        "cluster_chaos_replicated_streams_survive_member_loss",
+        (
+            (0u64..1_000, 2usize..5, 0u8..3),
+            (1usize..3, 1u64..4, 2u64..8),
+            (any_bool(), 1u64..4, 1u64..3),
+        ),
+        |&(
+            (seed, volumes, placement_sel),
+            (base_replicas, kill_round, rejoin_delay),
+            (wiped, revoke_after, readmit_clean),
+        )| {
+            let placement = match placement_sel {
+                0 => Placement::RoundRobin,
+                1 => Placement::LeastLoaded,
+                _ => Placement::Popularity {
+                    hot_threshold: 0.5,
+                    extra: 1,
+                },
+            };
+            let mut c = Cluster::new(ClusterConfig {
+                volumes,
+                placement,
+                base_replicas,
+                seed,
+            })
+            .expect("cluster");
+            let hot = c
+                .ingest(
+                    "hot",
+                    &ClipSpec::video_seconds(1.0).with_seed(seed ^ 1),
+                    1.0,
+                )
+                .expect("ingest hot");
+            let cold = c
+                .ingest(
+                    "cold",
+                    &ClipSpec::video_seconds(1.0).with_seed(seed ^ 2),
+                    0.0,
+                )
+                .expect("ingest cold");
+            let victim = (seed as usize) % volumes;
+            let script = [
+                ScriptedAction {
+                    at_round: kill_round,
+                    action: ClusterAction::Kill(victim),
+                },
+                ScriptedAction {
+                    at_round: kill_round + rejoin_delay,
+                    action: if wiped {
+                        ClusterAction::RejoinWiped(victim)
+                    } else {
+                        ClusterAction::Rejoin(victim)
+                    },
+                },
+            ];
+            let mut cfg = ClusterPlayback::with_k(3).restore(2);
+            cfg.revoke_after_drops = revoke_after;
+            cfg.readmit_clean_rounds = readmit_clean;
+            let report =
+                simulate_cluster(&mut c, &[hot, cold], &script, &cfg).expect("cluster sim");
+
+            for (i, s) in report.sim.streams.iter().enumerate() {
+                if report.replicated[i] {
+                    // Failover guarantee: a k≥2 title rides out one
+                    // member loss without losing a single block.
+                    prop_assert_eq!(
+                        s.dropped_blocks,
+                        0,
+                        "replicated stream {} dropped blocks",
+                        i
+                    );
+                } else {
+                    // Ladder conservation: every block was delivered or
+                    // explicitly degraded — none simply vanished.
+                    prop_assert_eq!(
+                        s.fetched + s.dropped_blocks,
+                        s.blocks,
+                        "stream {} leaked blocks",
+                        i
+                    );
+                }
+            }
+            // A surviving replica existed for the replicated title, so
+            // losing its serving volume must have forced a failover —
+            // unless the viewer was already on a surviving copy.
+            prop_assert!(report.rejoins.len() == 1, "exactly one rejoin ran");
+            let rj = &report.rejoins[0];
+            prop_assert_eq!(rj.volume, victim);
+            prop_assert_eq!(rj.wiped, wiped);
+            prop_assert_eq!(rj.fsck_findings, 0, "rejoin left fsck findings");
+            if !wiped {
+                prop_assert_eq!(rj.reconcile.lost, 0, "intact rejoin lost replicas");
+            }
+            // The rejoined member is internally consistent…
+            let far_future = Instant::from_nanos(u64::MAX / 4);
+            prop_assert!(
+                c.fsck_member(victim, far_future).clean(),
+                "rejoined member not fsck-clean"
+            );
+            // …and the catalog agrees with every member's strand
+            // inventory: a fresh reconciliation pass is a no-op.
+            for v in 0..volumes {
+                let mut cat = c.catalog().clone();
+                let rec = cat.reconcile(v, c.members()[v].mrs().msm());
+                prop_assert_eq!(rec.restored, 0, "catalog stale on volume {}", v);
+                prop_assert_eq!(rec.lost, 0, "catalog overstates volume {}", v);
+            }
+            let _ = cold;
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn fsx_model_checks_on_random_streams() {
     // The fsx exerciser as a shrinking property: any (seed, ops) stream
     // must keep the real MRS and the in-memory model rope in lockstep
