@@ -237,6 +237,13 @@ fn run_check(cli: &Cli) -> ! {
         "cluster",
         strandfs_bench::experiments::e18_cluster::section_json,
     );
+    // The E19 integrity section (corruption defense, fail-slow
+    // hedging, scrub perturbation) is virtual-time deterministic; it
+    // keys off the `integrity` pseudo-suite name.
+    compare_deterministic(
+        "integrity",
+        strandfs_bench::experiments::e19_integrity::section_json,
+    );
 
     // The scale section is compared one size at a time, so a
     // STRANDFS_SCALE_CAP-bounded run still checks the sizes it swept
@@ -345,6 +352,13 @@ fn main() {
     c.add_section(
         "cluster",
         strandfs_bench::experiments::e18_cluster::section_json(),
+    );
+    // The E19 integrity run: corruption defense (verify + scrub +
+    // read-around repair), fail-slow hedging vs the healthy baseline,
+    // and the scrub zero-perturbation invariant.
+    c.add_section(
+        "integrity",
+        strandfs_bench::experiments::e19_integrity::section_json(),
     );
     c.report();
 

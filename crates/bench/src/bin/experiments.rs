@@ -79,6 +79,8 @@ fn main() {
     println!("{}", e17_monitor::table());
 
     println!("{}", e18_cluster::table());
+
+    println!("{}", e19_integrity::table());
 }
 
 /// The vintage disk's worst-case positioning time, shared by E7.

@@ -335,6 +335,15 @@ pub fn compare_cluster(baseline: &Json, current: &Json) -> CheckOutcome {
     compare_section("cluster", baseline, current)
 }
 
+/// [`compare_section`] specialised to the committed
+/// `sections/integrity` document (the E19 corruption / fail-slow /
+/// scrub-perturbation run). The headline invariants are string leaves
+/// (`"yes"`/`"no"`/`"clean"`), so any drift fails exactly rather than
+/// inside a numeric tolerance.
+pub fn compare_integrity(baseline: &Json, current: &Json) -> CheckOutcome {
+    compare_section("integrity", baseline, current)
+}
+
 /// Cross-check the observability fold against the simulator's own
 /// bookkeeping for the instrumented reference run. Returns one message
 /// per violated invariant (empty = consistent).
@@ -520,6 +529,33 @@ mod tests {
         assert_eq!(
             out.regressions[0].name,
             "cluster/failover/replicated_dropped"
+        );
+    }
+
+    #[test]
+    fn integrity_section_gates_corruption_and_hedge_leaves() {
+        let base = strandfs_testkit::json::validate(
+            r#"{"corruption":{"defended_corrupt_served":0,"defended_serves_corrupt":"no",
+                              "fsck":"clean"},
+                "fail_slow":{"hedged_dropped":0,"hedged_holds_baseline":"yes"}}"#,
+        );
+        let same = compare_integrity(&base, &base);
+        assert!(same.passed());
+        assert_eq!(same.compared, 5);
+        // The headline invariants are string leaves: a single corrupt
+        // payload on the wire flips "no" to "yes" and fails exactly —
+        // there is no numeric headroom to hide inside.
+        let leaked = strandfs_testkit::json::validate(
+            r#"{"corruption":{"defended_corrupt_served":1,"defended_serves_corrupt":"yes",
+                              "fsck":"clean"},
+                "fail_slow":{"hedged_dropped":0,"hedged_holds_baseline":"yes"}}"#,
+        );
+        let out = compare_integrity(&base, &leaked);
+        assert!(!out.passed());
+        assert_eq!(out.mismatched.len(), 1);
+        assert_eq!(
+            out.mismatched[0].0,
+            "integrity/corruption/defended_serves_corrupt"
         );
     }
 

@@ -117,7 +117,7 @@ pub fn table() -> Table {
             r.load_time.to_string(),
         ]);
     }
-    t.note("42 primary entries / 21 secondary entries per 512 B sector; overhead stays ~2-3%");
+    t.note("25 primary entries / 21 secondary entries per 512 B sector; overhead stays ~2-4%");
     t.note("silence holes consume index entries but no data sectors");
     t
 }

@@ -9,6 +9,7 @@ pub mod e15_fsx;
 pub mod e16_scale;
 pub mod e17_monitor;
 pub mod e18_cluster;
+pub mod e19_integrity;
 pub mod e1_fig4;
 pub mod e2_unconstrained;
 pub mod e3_architectures;

@@ -11,12 +11,12 @@ use strandfs_testkit::bench::Runner;
 pub fn register(c: &mut Runner) {
     c.bench_function("index/primary_encode_decode", |b| {
         let pb = PrimaryBlock {
-            entries: (0..42)
+            entries: (0..25)
                 .map(|i| {
                     if i % 5 == 0 {
                         PrimaryEntry::SILENCE
                     } else {
-                        PrimaryEntry::stored(Extent::new(i * 100, 8))
+                        PrimaryEntry::stored(Extent::new(i * 100, 8), 0xFEED ^ i)
                     }
                 })
                 .collect(),

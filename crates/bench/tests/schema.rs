@@ -32,10 +32,20 @@ fn obs_and_slo_sections_keep_their_shape() {
             "disk",
             "edits",
             "faults",
+            "hedge",
             "recovery",
             "rounds",
+            "scrub",
             "startup"
         ]
+    );
+    assert_eq!(
+        metrics.get("scrub").unwrap().keys(),
+        vec!["checked", "corrupt"]
+    );
+    assert_eq!(
+        metrics.get("hedge").unwrap().keys(),
+        vec!["issued", "quarantines", "readmits", "wins"]
     );
     assert_eq!(
         metrics.get("edits").unwrap().keys(),
@@ -147,6 +157,7 @@ fn bench_document_envelope_keeps_its_shape() {
     r.add_section("monitor", "{\"monitor\":{}}");
     r.add_section("profile", "{\"phases\":{}}");
     r.add_section("cluster", "{\"scaling\":{}}");
+    r.add_section("integrity", "{\"corruption\":{}}");
     let doc = validate(&r.to_json());
     assert_eq!(
         doc.keys(),
@@ -168,7 +179,18 @@ fn bench_document_envelope_keeps_its_shape() {
     );
     assert_eq!(
         doc.get("sections").unwrap().keys(),
-        vec!["cluster", "crash", "faults", "fsx", "monitor", "obs", "profile", "scale", "slo"]
+        vec![
+            "cluster",
+            "crash",
+            "faults",
+            "fsx",
+            "integrity",
+            "monitor",
+            "obs",
+            "profile",
+            "scale",
+            "slo"
+        ]
     );
 }
 
@@ -212,6 +234,8 @@ fn monitor_and_profile_sections_keep_their_shape() {
             "events",
             "faults",
             "first_at_ns",
+            "hedge_wins",
+            "hedges",
             "idle_rounds",
             "index",
             "last_at_ns",
@@ -220,12 +244,15 @@ fn monitor_and_profile_sections_keep_their_shape() {
             "margin_p1_ns",
             "margin_p50_ns",
             "miss_rate",
+            "quarantines",
             "readmits",
             "rejects",
             "releases",
             "retries",
             "revokes",
             "rounds",
+            "scrub_corrupt",
+            "scrubbed",
             "slack_ns",
             "start_round",
             "utilization"
@@ -332,6 +359,74 @@ fn cluster_section_keeps_its_shape() {
         .and_then(Json::as_num)
         .unwrap();
     assert!(alerts >= 1.0, "the kill must raise a volume-down alert");
+}
+
+#[test]
+fn integrity_section_keeps_its_shape() {
+    let doc = validate(&strandfs_bench::experiments::e19_integrity::section_json());
+    assert_eq!(
+        doc.keys(),
+        vec!["corruption", "fail_slow", "scrub_perturbation"]
+    );
+    assert_eq!(
+        doc.get("corruption").unwrap().keys(),
+        vec![
+            "corrupted",
+            "defended_corrupt_served",
+            "defended_dropped",
+            "defended_serves_corrupt",
+            "fsck",
+            "invalidated",
+            "read_repairs",
+            "repaired_all",
+            "scrub_repaired",
+            "scrubbed",
+            "undefended_corrupt_served",
+            "undefended_serves_corrupt"
+        ]
+    );
+    assert_eq!(
+        doc.get("fail_slow").unwrap().keys(),
+        vec![
+            "bare_collapses",
+            "bare_dropped",
+            "bare_violations",
+            "dump_events",
+            "healthy_violations",
+            "hedge_wins",
+            "hedged_dropped",
+            "hedged_holds_baseline",
+            "hedged_violations",
+            "hedges",
+            "quarantines",
+            "readmits",
+            "slow_factor",
+            "volume_slow_alerts"
+        ]
+    );
+    assert_eq!(
+        doc.get("scrub_perturbation").unwrap().keys(),
+        vec!["healthy_streams_perturbed", "scrubbed"]
+    );
+    // The contract leaves the gate compares exactly.
+    for (path, want) in [
+        ("corruption/defended_serves_corrupt", "no"),
+        ("corruption/repaired_all", "yes"),
+        ("corruption/fsck", "clean"),
+        ("fail_slow/hedged_holds_baseline", "yes"),
+        ("fail_slow/bare_collapses", "yes"),
+        ("scrub_perturbation/healthy_streams_perturbed", "no"),
+    ] {
+        assert_eq!(doc.path(path).and_then(Json::as_str), Some(want), "{path}");
+    }
+    let alerts = doc
+        .path("fail_slow/volume_slow_alerts")
+        .and_then(Json::as_num)
+        .unwrap();
+    assert!(
+        alerts >= 1.0,
+        "the 10x member must raise a volume-slow alert"
+    );
 }
 
 #[test]

@@ -138,6 +138,9 @@ pub struct Cluster {
     restore: Option<RestoreJob>,
     /// The shared sink, re-installed on members rebuilt by rejoin.
     obs: ObsSink,
+    /// Whether member fetches verify payload checksums; re-applied to
+    /// members rebuilt by rejoin.
+    verify_reads: bool,
 }
 
 impl Cluster {
@@ -187,6 +190,7 @@ impl Cluster {
             cursor: 0,
             restore: None,
             obs: ObsSink::noop(),
+            verify_reads: false,
         })
     }
 
@@ -218,6 +222,18 @@ impl Cluster {
     /// The cluster's shared sink (cheap to clone; noop by default).
     pub fn obs(&self) -> ObsSink {
         self.obs.clone()
+    }
+
+    /// Turn checksum-verified reads on or off on every member (sticky
+    /// across rejoins). Verification re-hashes the fetched payload
+    /// against the stamp in the strand index and surfaces a mismatch as
+    /// [`FsError::ChecksumMismatch`] — the end-to-end defense against
+    /// silent corruption the device itself never reports.
+    pub fn set_verify_reads(&mut self, on: bool) {
+        self.verify_reads = on;
+        for m in &mut self.members {
+            m.mrs.msm_mut().set_verify_reads(on);
+        }
     }
 
     /// True if the member is believed servable.
@@ -319,6 +335,11 @@ impl Cluster {
     /// marked down — detection happens at the read path. Returns false
     /// if the member's device does not support fault arming.
     pub fn kill(&mut self, volume: usize) -> bool {
+        // A member dying mid-restore must not strand the catalog
+        // half-reconciled: drop the in-flight job before the device
+        // starts failing, unwinding any half-written copies on the
+        // surviving member.
+        self.void_restore_for(volume);
         let m = &mut self.members[volume];
         let whole = Extent {
             start: 0,
@@ -327,6 +348,19 @@ impl Cluster {
         m.mrs
             .msm_mut()
             .arm_faults(FaultPlan::clean().with_bad_extent(whole))
+    }
+
+    /// Arm an arbitrary fault plan on one member's device — silent
+    /// corruption, fail-slow stretch, latency shaping. Returns false if
+    /// the member's device does not support fault arming.
+    pub fn arm_member_faults(&mut self, volume: usize, plan: FaultPlan) -> bool {
+        self.members[volume].mrs.msm_mut().arm_faults(plan)
+    }
+
+    /// Clear every armed fault on a member (the device was serviced in
+    /// place); media, catalog and member state are untouched.
+    pub fn heal(&mut self, volume: usize) -> bool {
+        self.arm_member_faults(volume, FaultPlan::clean())
     }
 
     /// Rejoin a downed member whose media survived: disarm the fault
@@ -347,6 +381,7 @@ impl Cluster {
         let repair = fsck::repair_msm(&mut msm, recovery.finished_at);
         let mut mrs = Mrs::new(msm);
         mrs.set_obs(self.obs.clone());
+        mrs.msm_mut().set_verify_reads(self.verify_reads);
         self.members[volume] = Member {
             mrs,
             state: MemberState::Up,
@@ -370,18 +405,16 @@ impl Cluster {
         self.members[volume] =
             Self::fresh_member(mix_seed(self.config.seed, 0x5749_5045 ^ volume as u64));
         self.members[volume].mrs.set_obs(self.obs.clone());
+        self.members[volume]
+            .mrs
+            .msm_mut()
+            .set_verify_reads(self.verify_reads);
         let lost = self.catalog.mark_volume_lost(volume);
         self.placed[volume] = 0;
         // Any in-flight restore reading from or writing to this volume
         // is void: its source may be gone and its half-written
         // destination strands certainly are.
-        if let Some(job) = &self.restore {
-            let dst = self.catalog.title(job.title).replicas[job.replica].volume;
-            let src = self.catalog.title(job.title).replicas[job.src_replica].volume;
-            if dst == volume || src == volume {
-                self.restore = None;
-            }
-        }
+        self.void_restore_for(volume);
         RejoinReport {
             volume,
             wiped: true,
@@ -427,6 +460,76 @@ impl Cluster {
                     .live_replica(t, Some(i), |v| self.is_up(v) && v != r.volume)
                     .is_some()
         })
+    }
+
+    /// Drop the in-flight restore job. With `unwind_dst` (the
+    /// destination member is still healthy) its half-written strands
+    /// are deleted — completed copies and the open recording one — so
+    /// the member stays fsck-clean and leak-free; the replica stays
+    /// `Lost` and a later pass restarts it from another live source.
+    fn void_restore(&mut self, unwind_dst: bool) {
+        let Some(job) = self.restore.take() else {
+            return;
+        };
+        if !unwind_dst {
+            return;
+        }
+        let dst = self.catalog.title(job.title).replicas[job.replica].volume;
+        let msm = self.members[dst].mrs.msm_mut();
+        for (_, d) in &job.map {
+            let _ = msm.delete_strand(*d);
+        }
+        if let Some(open) = job.dst_open {
+            let _ = msm.abort_strand(open);
+        }
+    }
+
+    /// Void an in-flight restore touching `volume` (killed or wiped).
+    /// A dying destination's half-written strands die with the device;
+    /// a surviving destination (its *source* died) is unwound.
+    fn void_restore_for(&mut self, volume: usize) {
+        let Some(job) = &self.restore else {
+            return;
+        };
+        let dst = self.catalog.title(job.title).replicas[job.replica].volume;
+        let src = self.catalog.title(job.title).replicas[job.src_replica].volume;
+        if dst == volume || src == volume {
+            self.void_restore(dst != volume);
+        }
+    }
+
+    /// Take a live replica out of service because scrub proved it
+    /// corrupt: mark it lost, delete its strands from the (still
+    /// healthy) member so the corrupt payloads can never be served
+    /// again, and leave background re-replication to rebuild it from a
+    /// live copy — the same path a wiped rejoin uses. Callers must
+    /// first re-pin any streams playing from the replica.
+    pub fn invalidate_replica(&mut self, title: TitleId, replica: usize) -> Result<(), FsError> {
+        let voids = self.restore.as_ref().map(|job| {
+            (
+                job.title == title && (job.replica == replica || job.src_replica == replica),
+                job.replica != replica,
+            )
+        });
+        if let Some((true, unwind_dst)) = voids {
+            self.void_restore(unwind_dst);
+        }
+        let (volume, strands, was_live) = {
+            let r = &self.catalog.title(title).replicas[replica];
+            (r.volume, r.strands.clone(), r.state == ReplicaState::Live)
+        };
+        if !was_live {
+            return Ok(());
+        }
+        self.catalog.replica_mut(title, replica).state = ReplicaState::Lost;
+        self.placed[volume] = self.placed[volume].saturating_sub(1);
+        if self.is_up(volume) {
+            let msm = self.members[volume].mrs.msm_mut();
+            for loc in &strands {
+                msm.delete_strand(loc.strand)?;
+            }
+        }
+        Ok(())
     }
 
     fn next_restore_job(&self) -> Option<RestoreJob> {
@@ -674,6 +777,77 @@ mod tests {
                 .read_block(item.strand, item.block, t)
                 .expect("restored block read");
         }
+    }
+
+    #[test]
+    fn killing_the_restore_source_mid_copy_unwinds_cleanly() {
+        let mut c = two_volume_cluster();
+        let id = c
+            .ingest("clip", &ClipSpec::av_seconds(1.0).with_seed(13), 0.0)
+            .expect("ingest");
+        c.kill(0);
+        c.mark_down(0);
+        c.rejoin_wiped(0);
+        // One tiny budgeted step leaves the job in flight with a
+        // half-written destination strand open on volume 0.
+        let p = c.re_replicate(Instant::EPOCH, 3).expect("first step");
+        assert_eq!(p.copied_blocks, 3);
+        assert!(c.restore.is_some(), "the job must be in flight");
+        // The *source* dies mid-copy. The job must be voided and the
+        // half-written copies unwound — not resumed into a media error.
+        c.kill(1);
+        c.mark_down(1);
+        assert!(c.restore.is_none(), "kill must void the in-flight job");
+        let t = Instant::from_nanos(1_000_000_000);
+        let p = c.re_replicate(t, 100).expect("no live source: a no-op");
+        assert_eq!(p.copied_blocks, 0);
+        // The surviving destination holds no leaked half-copies.
+        assert_eq!(c.members()[0].mrs().msm().strand_ids().len(), 0);
+        assert!(c.fsck_member(0, t).clean());
+        assert_eq!(
+            c.catalog().title(id).replicas[0].state,
+            ReplicaState::Lost,
+            "the replica stays lost until a live source returns"
+        );
+        // Once the source rejoins, restore restarts from scratch and
+        // converges.
+        c.rejoin(1, t).expect("rejoin source");
+        let mut t = t;
+        let mut steps = 0;
+        while c.restorable_lost() {
+            let p = c.re_replicate(t, 8).expect("restore step");
+            t = p.finished_at + Nanos::from_millis(1);
+            steps += 1;
+            assert!(steps < 1_000, "restore did not converge");
+        }
+        assert_eq!(c.catalog().title(id).replicas[0].state, ReplicaState::Live);
+        assert!(c.fsck_member(0, t).clean());
+    }
+
+    #[test]
+    fn invalidated_replica_is_deleted_and_restored_from_the_live_copy() {
+        let mut c = two_volume_cluster();
+        let id = c
+            .ingest("clip", &ClipSpec::video_seconds(1.0).with_seed(17), 0.0)
+            .expect("ingest");
+        let strands_before = c.members()[0].mrs().msm().strand_ids().len();
+        assert!(strands_before > 0);
+        c.invalidate_replica(id, 0).expect("invalidate");
+        assert_eq!(c.catalog().title(id).replicas[0].state, ReplicaState::Lost);
+        assert_eq!(
+            c.members()[0].mrs().msm().strand_ids().len(),
+            0,
+            "corrupt strands must be deleted, not served"
+        );
+        assert!(c.fsck_member(0, Instant::EPOCH).clean());
+        // The lost copy is rebuilt through the ordinary restore path.
+        let mut t = Instant::EPOCH;
+        while c.restorable_lost() {
+            let p = c.re_replicate(t, 16).expect("restore step");
+            t = p.finished_at + Nanos::from_millis(1);
+        }
+        assert_eq!(c.catalog().title(id).replicas[0].state, ReplicaState::Live);
+        assert!(c.fsck_member(0, t).clean());
     }
 
     #[test]

@@ -155,6 +155,34 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_ties_break_by_placed_then_volume_id() {
+        // Equal slack everywhere: fewest-placed wins, then lowest id.
+        let l = loads(&[(true, 1, 300), (true, 0, 300), (true, 0, 300)]);
+        let mut cursor = 7; // cursor must be ignored by load-aware policies
+        assert_eq!(
+            Placement::LeastLoaded.choose(&mut cursor, 3, &l),
+            vec![1, 2, 0]
+        );
+        assert_eq!(cursor, 7);
+        // Fully symmetric members: stable ascending volume-id order, so
+        // placement is deterministic run-to-run regardless of input
+        // order quirks.
+        let sym = loads(&[(true, 0, 300), (true, 0, 300), (true, 0, 300)]);
+        for want in 1..=3 {
+            assert_eq!(
+                Placement::LeastLoaded.choose(&mut cursor, want, &sym),
+                (0..want).collect::<Vec<_>>()
+            );
+        }
+        // Popularity ranks identically to LeastLoaded.
+        let pop = Placement::Popularity {
+            hot_threshold: 0.8,
+            extra: 1,
+        };
+        assert_eq!(pop.choose(&mut cursor, 3, &l), vec![1, 2, 0]);
+    }
+
+    #[test]
     fn popularity_boosts_hot_titles() {
         let p = Placement::Popularity {
             hot_threshold: 0.8,

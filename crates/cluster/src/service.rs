@@ -49,6 +49,26 @@ pub struct ClusterPlayback {
     /// Background re-replication budget per round, in media blocks
     /// (0 disables the restore pass).
     pub restore_blocks_per_round: u64,
+    /// Background scrub budget per volume per round, in blocks
+    /// (0 disables the scrubber). Scrub probes verify checksum stamps
+    /// in place and are charged against spare round slack only — they
+    /// never extend a round or move the disk arm.
+    pub scrub_blocks_per_round: u64,
+    /// Race a replica when a primary fetch exceeds its block's play
+    /// duration (the fail-slow defense): the hedge read issues at the
+    /// threshold and the earlier completion wins.
+    pub hedge: bool,
+    /// Consecutive rounds a volume fires hedges before it is
+    /// quarantined — taken out of placement and serving while it is
+    /// probed (0 disables quarantine).
+    pub quarantine_after_rounds: u64,
+    /// Consecutive on-time probes before a quarantined volume is
+    /// re-admitted.
+    pub readmit_probe_rounds: u64,
+    /// Audit every payload served to a viewer against its checksum
+    /// stamp (an untimed oracle for experiments; counts what silent
+    /// corruption actually reached the audience).
+    pub audit_integrity: bool,
     /// Hard bound on simulated rounds (a stuck-scenario backstop).
     pub max_rounds: u64,
 }
@@ -63,6 +83,11 @@ impl ClusterPlayback {
             revoke_after_drops: 3,
             readmit_clean_rounds: 2,
             restore_blocks_per_round: 0,
+            scrub_blocks_per_round: 0,
+            hedge: false,
+            quarantine_after_rounds: 3,
+            readmit_probe_rounds: 2,
+            audit_integrity: false,
             max_rounds: 100_000,
         }
     }
@@ -70,6 +95,24 @@ impl ClusterPlayback {
     /// Enable the per-round background restore budget.
     pub fn restore(mut self, blocks_per_round: u64) -> ClusterPlayback {
         self.restore_blocks_per_round = blocks_per_round;
+        self
+    }
+
+    /// Enable the slack-budgeted background scrubber.
+    pub fn scrub(mut self, blocks_per_round: u64) -> ClusterPlayback {
+        self.scrub_blocks_per_round = blocks_per_round;
+        self
+    }
+
+    /// Enable hedged reads against fail-slow members.
+    pub fn hedged(mut self) -> ClusterPlayback {
+        self.hedge = true;
+        self
+    }
+
+    /// Enable the served-payload integrity audit.
+    pub fn audited(mut self) -> ClusterPlayback {
+        self.audit_integrity = true;
         self
     }
 }
@@ -104,6 +147,10 @@ pub struct VolumeStats {
     pub fetched: u64,
     /// Rounds the volume spent marked down.
     pub rounds_down: u64,
+    /// Blocks the background scrubber verified on the volume.
+    pub scrubbed: u64,
+    /// Hedged reads fired because this volume's fetch ran slow.
+    pub hedged: u64,
 }
 
 /// The result of a cluster playback run.
@@ -125,6 +172,29 @@ pub struct ClusterReport {
     pub restored_blocks: u64,
     /// Replicas brought back live by background re-replication.
     pub restored_replicas: u64,
+    /// Blocks the background scrubber verified.
+    pub scrubbed_blocks: u64,
+    /// Corrupt blocks the scrubber detected.
+    pub scrub_corrupt: u64,
+    /// Corrupt blocks rewritten in place from a clean replica.
+    pub scrub_repaired: u64,
+    /// Replicas the scrubber invalidated for re-replication (the
+    /// fallback when no in-place repair source exists).
+    pub scrub_invalidated: u64,
+    /// Corrupt blocks a viewer read detected and repaired in place via
+    /// read-around (served from a clean replica, rewritten locally).
+    pub read_repairs: u64,
+    /// Payloads served to viewers that failed the integrity audit
+    /// (only counted with `audit_integrity`).
+    pub corrupt_served: u64,
+    /// Hedged reads issued.
+    pub hedges: u64,
+    /// Hedged reads the replica won.
+    pub hedge_wins: u64,
+    /// Members quarantined for breaching the read-latency SLO.
+    pub quarantines: u64,
+    /// Quarantined members re-admitted after clean probes.
+    pub quarantine_readmits: u64,
     /// Per-volume service statistics.
     pub volumes: Vec<VolumeStats>,
 }
@@ -189,6 +259,10 @@ struct CStream {
     recovery_time: Nanos,
     deadline_emitted: usize,
     failovers: u64,
+    /// The stream's last fetch completion: later fetches cannot
+    /// complete before it, even when they land on a volume whose clock
+    /// trails (e.g. after a read-around serve from a busier replica).
+    serve_floor: Instant,
 }
 
 impl CStream {
@@ -216,6 +290,7 @@ impl CStream {
             recovery_time: Nanos::ZERO,
             deadline_emitted: 0,
             failovers: 0,
+            serve_floor: Instant::from_nanos(0),
         }
     }
 
@@ -392,11 +467,397 @@ impl CStream {
     }
 }
 
-/// The first live replica of `title` on an up member, excluding `not`.
-fn find_replica(cluster: &Cluster, title: TitleId, not: Option<usize>) -> Option<usize> {
+/// The first live replica of `title` on an up, unquarantined member,
+/// excluding `not`.
+fn find_replica(
+    cluster: &Cluster,
+    quarantined: &[bool],
+    title: TitleId,
+    not: Option<usize>,
+) -> Option<usize> {
+    cluster
+        .catalog()
+        .live_replica(title, not, |v| cluster.is_up(v) && !quarantined[v])
+}
+
+/// Any live replica on an up member — the fallback when every healthy
+/// copy is quarantined (serving slow beats not serving at all).
+fn find_replica_any(cluster: &Cluster, title: TitleId, not: Option<usize>) -> Option<usize> {
     cluster
         .catalog()
         .live_replica(title, not, |v| cluster.is_up(v))
+}
+
+/// One scrub probe on volume `v`: verify the next stamped block under
+/// the cursor `(strand raw id, block)`. Verification re-hashes the
+/// stored payload in place — no device access, no arm movement, no
+/// virtual time of its own (the caller charges slack). Returns `None`
+/// when the cursor wrapped: one full pass over the member's strands is
+/// complete.
+fn scrub_step(
+    cluster: &Cluster,
+    v: usize,
+    cursor: &mut (u64, u64),
+) -> Option<(strandfs_core::StrandId, u64, bool)> {
+    loop {
+        let msm = cluster.members()[v].mrs().msm();
+        let ids = msm.strand_ids();
+        let Some(id) = ids.iter().copied().find(|id| id.raw() >= cursor.0) else {
+            *cursor = (0, 0);
+            return None;
+        };
+        if id.raw() != cursor.0 {
+            *cursor = (id.raw(), 0);
+        }
+        let Ok(strand) = msm.strand(id) else {
+            *cursor = (id.raw() + 1, 0);
+            continue;
+        };
+        if cursor.1 >= strand.block_count() {
+            *cursor = (id.raw() + 1, 0);
+            continue;
+        }
+        let n = cursor.1;
+        cursor.1 += 1;
+        match msm.check_block_sum(id, n) {
+            Ok(Some(ok)) => return Some((id, n, ok)),
+            // Silence holes and unstamped blocks verify nothing and
+            // cost no slack; keep walking within this budget unit.
+            _ => continue,
+        }
+    }
+}
+
+/// What the scrubber did about a corrupt block.
+enum ScrubRepair {
+    /// The block was rewritten in place from a clean replica.
+    Repaired,
+    /// In-place repair was impossible; the whole replica was
+    /// invalidated for background re-replication, re-pinning `switched`
+    /// viewer streams off it.
+    Invalidated { switched: u64 },
+    /// No live copy to repair from: detected, not repairable.
+    Skipped,
+}
+
+/// Scrub found a corrupt block on volume `v`: repair it surgically by
+/// fetching the true payload of the same block from a clean live
+/// replica and rewriting the corrupt extent in place — viewers stay
+/// pinned, nothing moves. Only when no source payload hashes to the
+/// stamped checksum (a diverged or doubly-corrupt copy) does the
+/// repair fall back to invalidating the whole replica so background
+/// re-replication rebuilds it — the same path a wiped rejoin uses.
+fn repair_corrupt_block(
+    cluster: &mut Cluster,
+    quarantined: &[bool],
+    streams: &mut [CStream],
+    vol_t: &mut [Instant],
+    v: usize,
+    strand: strandfs_core::StrandId,
+    block: u64,
+) -> Result<ScrubRepair, FsError> {
+    let mut owner = None;
+    for (t, title) in cluster.catalog().titles().iter().enumerate() {
+        for (i, r) in title.replicas.iter().enumerate() {
+            if r.volume == v
+                && r.state == crate::catalog::ReplicaState::Live
+                && r.strands.iter().any(|l| l.strand == strand)
+            {
+                let slot = r
+                    .strands
+                    .iter()
+                    .position(|l| l.strand == strand)
+                    .expect("just matched");
+                owner = Some((t, i, slot));
+            }
+        }
+    }
+    let Some((title, rep, slot)) = owner else {
+        return Ok(ScrubRepair::Skipped);
+    };
+    // Candidate sources: every other live copy on an up member,
+    // healthy ones before quarantined ones.
+    let mut sources: Vec<(usize, strandfs_core::StrandId)> = cluster
+        .catalog()
+        .title(title)
+        .replicas
+        .iter()
+        .enumerate()
+        .filter(|&(r, rp)| {
+            r != rep && rp.state == crate::catalog::ReplicaState::Live && cluster.is_up(rp.volume)
+        })
+        .map(|(_, rp)| (rp.volume, rp.strands[slot].strand))
+        .collect();
+    if sources.is_empty() {
+        return Ok(ScrubRepair::Skipped);
+    }
+    sources.sort_by_key(|&(sv, _)| quarantined[sv]);
+    for (sv, src_strand) in sources {
+        // Refuse a source whose own copy of the block fails (or cannot
+        // pass) verification — repair must never launder corruption.
+        let src = cluster.members()[sv].mrs().msm();
+        if !matches!(src.check_block_sum(src_strand, block), Ok(Some(true))) {
+            continue;
+        }
+        let fetched = cluster
+            .member_mut(sv)
+            .mrs_mut()
+            .msm_mut()
+            .read_block(src_strand, block, vol_t[sv]);
+        let Ok((Some(payload), Some(src_op))) = fetched else {
+            continue;
+        };
+        vol_t[sv] = src_op.completed;
+        let rewrite = cluster
+            .member_mut(v)
+            .mrs_mut()
+            .msm_mut()
+            .rewrite_block(strand, block, vol_t[v], &payload);
+        // A stamp mismatch here means the copies diverged — try the
+        // next source, or fall through to wholesale rebuild.
+        if let Ok(op) = rewrite {
+            vol_t[v] = op.completed;
+            return Ok(ScrubRepair::Repaired);
+        }
+    }
+    // Every source is unreadable or diverged: rebuild the replica
+    // wholesale through the restore path.
+    let mut switched = 0;
+    for s in streams.iter_mut() {
+        if s.title != title || s.replica != rep || s.finished() {
+            continue;
+        }
+        if let Some(r) = find_replica(cluster, quarantined, title, Some(rep))
+            .or_else(|| find_replica_any(cluster, title, Some(rep)))
+        {
+            switch_schedule(cluster, s, r)?;
+            s.failovers += 1;
+            switched += 1;
+        }
+    }
+    cluster.invalidate_replica(title, rep)?;
+    Ok(ScrubRepair::Invalidated { switched })
+}
+
+/// A viewer read hit a corrupt payload: serve that one block from
+/// another live replica and rewrite the corrupt extent in place
+/// (read-around repair). The stream keeps its pin — one corrupt block
+/// costs one remote read instead of a permanent switch onto whatever
+/// replica remains, which may sit on a quarantined fail-slow member.
+/// Returns the serving volume and completion time, or `None` when no
+/// other replica holds a verifiable copy of the block.
+fn read_around_repair(
+    cluster: &mut Cluster,
+    quarantined: &[bool],
+    title: TitleId,
+    rep: usize,
+    j: usize,
+    not_before: Instant,
+    vol_t: &mut [Instant],
+) -> Result<Option<(usize, Instant)>, FsError> {
+    let t = cluster.catalog().title(title);
+    let (dst_vol, dst_item) = (t.replicas[rep].volume, t.replicas[rep].schedule.items[j]);
+    let mut sources: Vec<(usize, _)> = t
+        .replicas
+        .iter()
+        .enumerate()
+        .filter(|&(r, rp)| {
+            r != rep && rp.state == crate::catalog::ReplicaState::Live && cluster.is_up(rp.volume)
+        })
+        .map(|(_, rp)| (rp.volume, rp.schedule.items[j]))
+        .collect();
+    sources.sort_by_key(|&(sv, _)| quarantined[sv]);
+    for (sv, src_item) in sources {
+        if src_item.silence {
+            continue;
+        }
+        // Same rule as the scrubber: never serve or launder a copy that
+        // cannot pass verification itself.
+        let src = cluster.members()[sv].mrs().msm();
+        if !matches!(
+            src.check_block_sum(src_item.strand, src_item.block),
+            Ok(Some(true))
+        ) {
+            continue;
+        }
+        // The remote read cannot be issued before the corrupt local
+        // read failed — `not_before` keeps completions monotonic.
+        let issue = vol_t[sv].max(not_before);
+        let fetched = cluster.member_mut(sv).mrs_mut().msm_mut().read_block(
+            src_item.strand,
+            src_item.block,
+            issue,
+        );
+        let Ok((Some(payload), Some(op))) = fetched else {
+            continue;
+        };
+        vol_t[sv] = op.completed;
+        // Best effort: a failed rewrite (diverged stamp) still served a
+        // verified payload; the scrubber deals with the bad copy later.
+        if let Ok(wop) = cluster
+            .member_mut(dst_vol)
+            .mrs_mut()
+            .msm_mut()
+            .rewrite_block(dst_item.strand, dst_item.block, vol_t[dst_vol], &payload)
+        {
+            vol_t[dst_vol] = wop.completed;
+        }
+        return Ok(Some((sv, op.completed)));
+    }
+    Ok(None)
+}
+
+/// Totals the scrubber accumulates across rounds.
+#[derive(Default)]
+struct ScrubCounters {
+    scrubbed: u64,
+    corrupt: u64,
+    repaired: u64,
+    invalidated: u64,
+}
+
+/// One budgeted scrub pass over every up volume, charged strictly
+/// against the slack between each volume's clock and `t_next` — the
+/// round end playback already decided — so scrub can never extend a
+/// round or perturb a deadline. Returns the stream re-pins repairs
+/// forced.
+#[allow(clippy::too_many_arguments)]
+fn scrub_pass(
+    cluster: &mut Cluster,
+    cfg: &ClusterPlayback,
+    obs: &ObsSink,
+    quarantined: &[bool],
+    streams: &mut [CStream],
+    vol_t: &mut [Instant],
+    t_next: Instant,
+    scrub_cost: &[Nanos],
+    scrub_cursor: &mut [(u64, u64)],
+    scrub_passes: &mut [u64],
+    stats: &mut [VolumeStats],
+    counters: &mut ScrubCounters,
+) -> Result<u64, FsError> {
+    let mut switched_total = 0u64;
+    for v in 0..vol_t.len() {
+        if !cluster.is_up(v) {
+            continue;
+        }
+        let mut budget = cfg.scrub_blocks_per_round;
+        while budget > 0 && vol_t[v] + scrub_cost[v] <= t_next {
+            match scrub_step(cluster, v, &mut scrub_cursor[v]) {
+                None => {
+                    scrub_passes[v] += 1;
+                    break;
+                }
+                Some((strand, block, ok)) => {
+                    budget -= 1;
+                    vol_t[v] += scrub_cost[v];
+                    counters.scrubbed += 1;
+                    stats[v].scrubbed += 1;
+                    let (at, sid) = (vol_t[v], strand.raw());
+                    obs.emit(|| Event::Scrub {
+                        volume: v,
+                        strand: sid,
+                        block,
+                        ok,
+                        at,
+                    });
+                    if !ok {
+                        counters.corrupt += 1;
+                        match repair_corrupt_block(
+                            cluster,
+                            quarantined,
+                            streams,
+                            vol_t,
+                            v,
+                            strand,
+                            block,
+                        )? {
+                            ScrubRepair::Repaired => counters.repaired += 1,
+                            ScrubRepair::Invalidated { switched } => {
+                                counters.invalidated += 1;
+                                switched_total += switched;
+                                // The replica's strands just vanished
+                                // from under the cursor; resume next
+                                // round.
+                                break;
+                            }
+                            ScrubRepair::Skipped => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(switched_total)
+}
+
+/// Probe quarantined members on their own clocks and re-admit after
+/// enough consecutive on-time probes. A probe that surfaces a media
+/// error converts the quarantine into a detected failure (`Down`).
+fn probe_quarantined(
+    cluster: &mut Cluster,
+    cfg: &ClusterPlayback,
+    obs: &ObsSink,
+    quarantined: &mut [bool],
+    clean_probes: &mut [u64],
+    readmits: &mut u64,
+    now: Instant,
+) -> Result<(), FsError> {
+    for v in 0..quarantined.len() {
+        if !quarantined[v] {
+            continue;
+        }
+        if !cluster.is_up(v) {
+            // Down supersedes quarantine; rejoin handles the return.
+            quarantined[v] = false;
+            continue;
+        }
+        // Probe target: the first stored block of a live replica.
+        let target = cluster.catalog().titles().iter().find_map(|t| {
+            t.replicas
+                .iter()
+                .find(|r| r.volume == v && r.state == crate::catalog::ReplicaState::Live)
+                .and_then(|r| r.schedule.items.iter().find(|i| !i.silence).copied())
+        });
+        if let Some(item) = target {
+            match cluster
+                .member_mut(v)
+                .mrs_mut()
+                .msm_mut()
+                .read_block(item.strand, item.block, now)
+            {
+                Ok((_, Some(op))) => {
+                    if op.completed - now <= item.duration {
+                        clean_probes[v] += 1;
+                    } else {
+                        clean_probes[v] = 0;
+                    }
+                }
+                Ok(_) => clean_probes[v] += 1,
+                Err(FsError::ChecksumMismatch { .. }) => clean_probes[v] = 0,
+                Err(_) => {
+                    cluster.mark_down(v);
+                    quarantined[v] = false;
+                    continue;
+                }
+            }
+        } else {
+            // Nothing servable to probe; an empty member is harmless.
+            clean_probes[v] += 1;
+        }
+        if clean_probes[v] >= cfg.readmit_probe_rounds.max(1) {
+            quarantined[v] = false;
+            *readmits += 1;
+            let rounds = clean_probes[v];
+            obs.emit(|| Event::Quarantine {
+                volume: v,
+                entered: false,
+                rounds,
+                at: now,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Re-pin a stream to replica `r`: swap in the replica's schedule in
@@ -472,6 +933,31 @@ pub fn simulate_cluster(
     let mut clean_streak = 0u64;
     let k = cfg.k.max(1);
 
+    // Integrity and fail-slow defense state.
+    let mut quarantined = vec![false; volumes];
+    let mut clean_probes = vec![0u64; volumes];
+    let mut hedged_rounds = vec![0u64; volumes];
+    let mut round_hedges = vec![0u64; volumes];
+    let mut scrub_cursor = vec![(0u64, 0u64); volumes];
+    let mut scrub_passes = vec![0u64; volumes];
+    // The conservative slack charge for one scrub probe: worst-case
+    // positioning plus one revolution. Scrub only runs while the
+    // volume's clock plus this charge stays inside the already-decided
+    // round end, so it can never extend a round.
+    let scrub_cost: Vec<Nanos> = (0..volumes)
+        .map(|v| {
+            let d = cluster.members()[v].mrs().msm().disk();
+            (d.max_positioning_time() + d.geometry().rotation_time()).to_nanos()
+        })
+        .collect();
+    let mut scrub = ScrubCounters::default();
+    let mut corrupt_served = 0u64;
+    let mut read_repairs = 0u64;
+    let mut hedges = 0u64;
+    let mut hedge_wins = 0u64;
+    let mut quarantines = 0u64;
+    let mut quarantine_readmits = 0u64;
+
     loop {
         // Scripted membership changes due at this round boundary.
         for (si, a) in script.iter().enumerate() {
@@ -501,7 +987,9 @@ pub fn simulate_cluster(
                 if s.revoked_at.is_none() || s.finished() {
                     continue;
                 }
-                let Some(r) = find_replica(cluster, s.title, None) else {
+                let Some(r) = find_replica(cluster, &quarantined, s.title, None)
+                    .or_else(|| find_replica_any(cluster, s.title, None))
+                else {
                     continue;
                 };
                 if r != s.replica {
@@ -533,6 +1021,8 @@ pub fn simulate_cluster(
             .collect();
         let script_pending = applied.iter().any(|done| !done);
         let restore_pending = cfg.restore_blocks_per_round > 0 && cluster.restorable_lost();
+        let scrub_pending = cfg.scrub_blocks_per_round > 0
+            && (0..volumes).any(|v| cluster.is_up(v) && scrub_passes[v] == 0);
         if active.is_empty() {
             let revoked: Vec<&CStream> = streams
                 .iter()
@@ -540,8 +1030,12 @@ pub fn simulate_cluster(
                 .collect();
             let can_return = revoked
                 .iter()
-                .any(|s| find_replica(cluster, s.title, None).is_some());
-            if !script_pending && !restore_pending && (revoked.is_empty() || !can_return) {
+                .any(|s| find_replica_any(cluster, s.title, None).is_some());
+            if !script_pending
+                && !restore_pending
+                && !scrub_pending
+                && (revoked.is_empty() || !can_return)
+            {
                 break;
             }
             // Idle round: no I/O, but revoked viewers' displays sit
@@ -558,6 +1052,36 @@ pub fn simulate_cluster(
                 at: t,
                 advanced,
             });
+            // Idle rounds belong to the scrubber and the quarantine
+            // probes: the whole advanced window is spare slack.
+            if cfg.scrub_blocks_per_round > 0 {
+                for clock in vol_t.iter_mut() {
+                    *clock = t;
+                }
+                failovers += scrub_pass(
+                    cluster,
+                    cfg,
+                    &obs,
+                    &quarantined,
+                    &mut streams,
+                    &mut vol_t,
+                    t + advanced,
+                    &scrub_cost,
+                    &mut scrub_cursor,
+                    &mut scrub_passes,
+                    &mut stats,
+                    &mut scrub,
+                )?;
+            }
+            probe_quarantined(
+                cluster,
+                cfg,
+                &obs,
+                &mut quarantined,
+                &mut clean_probes,
+                &mut quarantine_readmits,
+                t,
+            )?;
             t += advanced;
             if cfg.restore_blocks_per_round > 0 {
                 let p = cluster.re_replicate(t, cfg.restore_blocks_per_round)?;
@@ -581,6 +1105,9 @@ pub fn simulate_cluster(
         for item in vol_t.iter_mut() {
             *item = t;
         }
+        for h in round_hedges.iter_mut() {
+            *h = 0;
+        }
         let mut round_faults = false;
         for &idx in &active {
             let s = &mut streams[idx];
@@ -597,14 +1124,16 @@ pub fn simulate_cluster(
                 }
                 let j = s.next;
                 if s.schedule.items[j].silence {
-                    s.completions.push(vol_t[vol]);
+                    let done = vol_t[vol].max(s.serve_floor);
+                    s.serve_floor = done;
+                    s.completions.push(done);
                     s.dropped.push(false);
                 } else {
                     // Fetch, failing over across replicas on a media
                     // error — the glitch stays bounded by read-ahead
                     // because the re-fetch happens in the same round.
                     let mut fetched = false;
-                    let mut fail_at = vol_t[vol];
+                    let mut fail_at = vol_t[vol].max(s.serve_floor);
                     for _attempt in 0..=volumes {
                         if cluster.is_up(vol) {
                             let item = s.schedule.items[j];
@@ -633,9 +1162,87 @@ pub fn simulate_cluster(
                                         round_faults = true;
                                         s.retries += retries as u64;
                                     }
-                                    s.completions.push(vol_t[vol]);
-                                    s.dropped.push(false);
                                     stats[vol].fetched += 1;
+                                    let mut done = op.completed;
+                                    let mut served = (vol, item);
+                                    let lat = op.completed - issue;
+                                    // Fail-slow defense: a fetch slower
+                                    // than its block's play duration
+                                    // cannot sustain continuity — race a
+                                    // replica from the moment the
+                                    // threshold passed, earliest
+                                    // completion wins.
+                                    if cfg.hedge && lat > item.duration {
+                                        round_hedges[vol] += 1;
+                                        stats[vol].hedged += 1;
+                                        if let Some(r) = find_replica(
+                                            cluster,
+                                            &quarantined,
+                                            s.title,
+                                            Some(s.replica),
+                                        ) {
+                                            let (hv, h_item) = {
+                                                let rep =
+                                                    &cluster.catalog().title(s.title).replicas[r];
+                                                (rep.volume, rep.schedule.items[j])
+                                            };
+                                            let h_issue = vol_t[hv].max(issue + item.duration);
+                                            let h = cluster
+                                                .member_mut(hv)
+                                                .mrs_mut()
+                                                .msm_mut()
+                                                .read_block_resilient_timed(
+                                                    h_item.strand,
+                                                    h_item.block,
+                                                    h_issue,
+                                                    item.duration,
+                                                    deadline,
+                                                )?;
+                                            hedges += 1;
+                                            let mut won = false;
+                                            if let BlockFetch::Data { op: h_op, .. } = h {
+                                                vol_t[hv] = h_op.completed;
+                                                if h_op.completed < done {
+                                                    won = true;
+                                                    done = h_op.completed;
+                                                    served = (hv, h_item);
+                                                    stats[hv].fetched += 1;
+                                                    hedge_wins += 1;
+                                                }
+                                            }
+                                            let at = done;
+                                            obs.emit(|| Event::Hedge {
+                                                stream: idx,
+                                                volume: vol,
+                                                hedge_volume: hv,
+                                                primary: lat,
+                                                won,
+                                                at,
+                                            });
+                                            if won {
+                                                // Stay on the faster copy
+                                                // for the rest of the run.
+                                                switch_schedule(cluster, s, r)?;
+                                                s.failovers += 1;
+                                                failovers += 1;
+                                                vol = hv;
+                                            }
+                                        }
+                                    }
+                                    if cfg.audit_integrity
+                                        && matches!(
+                                            cluster.members()[served.0]
+                                                .mrs()
+                                                .msm()
+                                                .check_block_sum(served.1.strand, served.1.block),
+                                            Ok(Some(false))
+                                        )
+                                    {
+                                        corrupt_served += 1;
+                                    }
+                                    s.serve_floor = done;
+                                    s.completions.push(done);
+                                    s.dropped.push(false);
                                     fetched = true;
                                     break;
                                 }
@@ -659,11 +1266,48 @@ pub fn simulate_cluster(
                                         // volume — drop, don't failover.
                                         FetchFailure::Abandoned => break,
                                         FetchFailure::RetriesExhausted => {}
+                                        // A corrupt payload is a replica
+                                        // problem, not a member problem:
+                                        // serve this one block from a
+                                        // clean copy and rewrite the bad
+                                        // extent in place, keeping the
+                                        // stream's pin. Only when no
+                                        // verifiable copy exists does the
+                                        // stream switch replicas below.
+                                        FetchFailure::Corrupt => {
+                                            if let Some((sv, done)) = read_around_repair(
+                                                cluster,
+                                                &quarantined,
+                                                s.title,
+                                                s.replica,
+                                                j,
+                                                fail_at,
+                                                &mut vol_t,
+                                            )? {
+                                                stats[sv].fetched += 1;
+                                                read_repairs += 1;
+                                                // The stream's next fetch
+                                                // is issued after this
+                                                // serve (serve_floor) —
+                                                // the volume's own clock
+                                                // is not charged for the
+                                                // remote read.
+                                                s.serve_floor = done;
+                                                s.completions.push(done);
+                                                s.dropped.push(false);
+                                                fetched = true;
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
-                        match find_replica(cluster, s.title, Some(s.replica)) {
+                        if fetched {
+                            break;
+                        }
+                        match find_replica(cluster, &quarantined, s.title, Some(s.replica))
+                            .or_else(|| find_replica_any(cluster, s.title, Some(s.replica)))
+                        {
                             Some(r) => {
                                 switch_schedule(cluster, s, r)?;
                                 vol = cluster.catalog().title(s.title).replicas[r].volume;
@@ -674,7 +1318,8 @@ pub fn simulate_cluster(
                         }
                     }
                     if !fetched {
-                        let drop_at = vol_t[vol].max(fail_at);
+                        let drop_at = vol_t[vol].max(fail_at).max(s.serve_floor);
+                        s.serve_floor = drop_at;
                         s.completions.push(drop_at);
                         s.dropped.push(true);
                         s.drops_since_admit += 1;
@@ -738,8 +1383,80 @@ pub fn simulate_cluster(
             restored_replicas += p.completed_replicas;
             t_next = t_next.max(p.finished_at);
         }
+        // The round end is decided; whatever slack remains on each
+        // volume's clock belongs to the scrubber.
+        if cfg.scrub_blocks_per_round > 0 {
+            failovers += scrub_pass(
+                cluster,
+                cfg,
+                &obs,
+                &quarantined,
+                &mut streams,
+                &mut vol_t,
+                t_next,
+                &scrub_cost,
+                &mut scrub_cursor,
+                &mut scrub_passes,
+                &mut stats,
+                &mut scrub,
+            )?;
+        }
         obs.emit(|| Event::RoundEnd { round, at: t_next });
         t = t_next;
+        // Fail-slow quarantine: a member that kept firing hedges sits
+        // out — no placement, no serving where an alternative exists —
+        // until probes come back on time.
+        if cfg.quarantine_after_rounds > 0 {
+            for v in 0..volumes {
+                if quarantined[v] {
+                    continue;
+                }
+                if round_hedges[v] > 0 {
+                    hedged_rounds[v] += 1;
+                } else {
+                    hedged_rounds[v] = 0;
+                }
+                if hedged_rounds[v] >= cfg.quarantine_after_rounds && cluster.is_up(v) {
+                    quarantined[v] = true;
+                    quarantines += 1;
+                    clean_probes[v] = 0;
+                    let rounds = hedged_rounds[v];
+                    obs.emit(|| Event::Quarantine {
+                        volume: v,
+                        entered: true,
+                        rounds,
+                        at: t,
+                    });
+                    hedged_rounds[v] = 0;
+                    // Walk every pinned stream off the slow member;
+                    // sole-copy streams stay as a fallback.
+                    for s2 in streams.iter_mut() {
+                        if s2.finished() {
+                            continue;
+                        }
+                        if cluster.catalog().title(s2.title).replicas[s2.replica].volume != v {
+                            continue;
+                        }
+                        if let Some(r) =
+                            find_replica(cluster, &quarantined, s2.title, Some(s2.replica))
+                        {
+                            switch_schedule(cluster, s2, r)?;
+                            s2.failovers += 1;
+                            failovers += 1;
+                        }
+                    }
+                }
+            }
+            probe_quarantined(
+                cluster,
+                cfg,
+                &obs,
+                &mut quarantined,
+                &mut clean_probes,
+                &mut quarantine_readmits,
+                t,
+            )?;
+        }
         for v in 0..volumes {
             let busy = cluster.members()[v].mrs().msm().disk().stats().busy_time();
             disk_busy += busy - busy_mark[v];
@@ -779,6 +1496,16 @@ pub fn simulate_cluster(
         rejoins,
         restored_blocks,
         restored_replicas,
+        scrubbed_blocks: scrub.scrubbed,
+        scrub_corrupt: scrub.corrupt,
+        scrub_repaired: scrub.repaired,
+        read_repairs,
+        scrub_invalidated: scrub.invalidated,
+        corrupt_served,
+        hedges,
+        hedge_wins,
+        quarantines,
+        quarantine_readmits,
         volumes: stats,
     })
 }
@@ -786,8 +1513,10 @@ pub fn simulate_cluster(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::ReplicaState;
     use crate::cluster::{ClusterConfig, MemberState};
     use crate::placement::Placement;
+    use strandfs_disk::FaultPlan;
     use strandfs_sim::scenario::ClipSpec;
 
     fn cluster(volumes: usize, base_replicas: usize) -> Cluster {
@@ -880,6 +1609,171 @@ mod tests {
         assert_eq!(report.rejoins.len(), 1);
         assert_eq!(report.rejoins[0].fsck_findings, 0);
         assert_eq!(report.rejoins[0].reconcile.lost, 0);
+    }
+
+    /// Flip one bit in each of the first `blocks` stored blocks of the
+    /// title's replica on volume 0, invisibly to the device.
+    fn corrupt_first_blocks(c: &mut Cluster, id: crate::catalog::TitleId, blocks: u64) {
+        let loc = {
+            let rep = &c.catalog().title(id).replicas[0];
+            assert_eq!(rep.volume, 0);
+            rep.strands[0]
+        };
+        let mut plan = FaultPlan::clean();
+        for n in 0..blocks.min(loc.blocks) {
+            let e = c.members()[0]
+                .mrs()
+                .msm()
+                .strand(loc.strand)
+                .expect("strand")
+                .block(n)
+                .expect("block")
+                .expect("stored block");
+            plan = plan.with_silent_corruption(e);
+        }
+        assert!(c.arm_member_faults(0, plan));
+    }
+
+    #[test]
+    fn scrub_detects_repairs_and_keeps_viewers_clean() {
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(21), 1.0)
+            .unwrap();
+        c.set_verify_reads(true);
+        corrupt_first_blocks(&mut c, id, 3);
+        let cfg = ClusterPlayback::with_k(3).scrub(4).restore(2).audited();
+        let report = simulate_cluster(&mut c, &[id], &[], &cfg).expect("sim");
+        assert!(report.scrubbed_blocks > 0);
+        // The viewer reaches the bad run before the scrub cursor does:
+        // each verified read detects the flip, serves the clean copy and
+        // rewrites the extent in place — scrub then finds nothing left.
+        assert_eq!(report.read_repairs, 3, "read-around must repair each flip");
+        assert_eq!(report.scrub_corrupt, 0, "nothing left for the scrubber");
+        assert_eq!(report.scrub_invalidated, 0, "no wholesale rebuild needed");
+        assert_eq!(
+            report.corrupt_served, 0,
+            "verified reads must keep corrupt payloads off the wire"
+        );
+        assert_eq!(report.replicated_dropped(), 0);
+        assert!(c.is_up(0), "silent corruption must not down the member");
+        // The corrupt copy was rebuilt from the live replica and the
+        // member converged to fsck-clean.
+        assert!(c
+            .catalog()
+            .title(id)
+            .replicas
+            .iter()
+            .all(|r| r.state == ReplicaState::Live));
+        assert!(c.fsck_member(0, Instant::from_nanos(u64::MAX / 4)).clean());
+    }
+
+    #[test]
+    fn scrubber_repairs_in_place_without_viewer_traffic() {
+        // No viewers: only the slack-budgeted scrubber walks the
+        // extents, so the detection and in-place repair are entirely
+        // its own.
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(21), 1.0)
+            .unwrap();
+        c.set_verify_reads(true);
+        corrupt_first_blocks(&mut c, id, 3);
+        let cfg = ClusterPlayback::with_k(3).scrub(4).restore(2).audited();
+        let report = simulate_cluster(&mut c, &[], &[], &cfg).expect("sim");
+        assert!(report.scrubbed_blocks > 0);
+        assert_eq!(report.scrub_corrupt, 3, "scrub must detect every bit flip");
+        assert_eq!(report.scrub_repaired, 3, "each block is rewritten in place");
+        assert_eq!(report.scrub_invalidated, 0, "no wholesale rebuild needed");
+        assert_eq!(report.read_repairs, 0, "no viewer reads, no read-around");
+        assert!(c
+            .catalog()
+            .title(id)
+            .replicas
+            .iter()
+            .all(|r| r.state == ReplicaState::Live));
+        assert!(c.fsck_member(0, Instant::from_nanos(u64::MAX / 4)).clean());
+    }
+
+    #[test]
+    fn without_scrub_or_verification_corruption_reaches_viewers() {
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(21), 1.0)
+            .unwrap();
+        corrupt_first_blocks(&mut c, id, 3);
+        let cfg = ClusterPlayback::with_k(3).audited();
+        let report = simulate_cluster(&mut c, &[id], &[], &cfg).expect("sim");
+        assert!(
+            report.corrupt_served > 0,
+            "with defenses off the audience gets the bit flips"
+        );
+        assert_eq!(report.scrubbed_blocks, 0);
+        assert_eq!(report.replicated_dropped(), 0, "nothing even notices");
+    }
+
+    #[test]
+    fn hedged_reads_ride_out_a_fail_slow_member() {
+        let fail_slow = FaultPlan::clean().with_fail_slow(10.0);
+        let mut c = cluster(2, 2);
+        let id = c
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(23), 1.0)
+            .unwrap();
+        assert!(c.arm_member_faults(0, fail_slow.clone()));
+        let mut cfg = ClusterPlayback::with_k(3).hedged();
+        cfg.quarantine_after_rounds = 1;
+        let hedged = simulate_cluster(&mut c, &[id, id], &[], &cfg).expect("sim");
+        assert!(hedged.hedges > 0, "slow primaries must fire hedges");
+        assert!(hedged.hedge_wins > 0, "the healthy replica must win");
+        assert!(hedged.quarantines >= 1, "the slow member must sit out");
+        assert_eq!(hedged.replicated_dropped(), 0);
+        assert!(c.is_up(0), "fail-slow is gray: the member never errors");
+        // The same scenario without hedging: the round barrier waits on
+        // the 10x member every round and deadlines collapse.
+        let mut c2 = cluster(2, 2);
+        let id2 = c2
+            .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(23), 1.0)
+            .unwrap();
+        assert!(c2.arm_member_faults(0, fail_slow));
+        let bare =
+            simulate_cluster(&mut c2, &[id2, id2], &[], &ClusterPlayback::with_k(3)).expect("sim");
+        assert!(
+            bare.sim.total_violations() > hedged.sim.total_violations(),
+            "non-hedged must miss more deadlines ({} vs {})",
+            bare.sim.total_violations(),
+            hedged.sim.total_violations()
+        );
+    }
+
+    #[test]
+    fn scrub_off_vs_on_is_zero_perturbation_for_healthy_streams() {
+        // Identical clusters, identical viewers; the only difference is
+        // the scrub budget. Per-stream completion times must match
+        // exactly: scrub runs strictly inside slack the round already
+        // paid for.
+        let run = |scrub: u64| {
+            let mut c = cluster(2, 2);
+            let id = c
+                .ingest("hot", &ClipSpec::video_seconds(2.0).with_seed(29), 1.0)
+                .unwrap();
+            c.set_verify_reads(true);
+            let cfg = if scrub > 0 {
+                ClusterPlayback::with_k(3).scrub(scrub)
+            } else {
+                ClusterPlayback::with_k(3)
+            };
+            simulate_cluster(&mut c, &[id, id], &[], &cfg).expect("sim")
+        };
+        let off = run(0);
+        let on = run(4);
+        assert!(on.scrubbed_blocks > 0);
+        assert_eq!(on.sim.total_violations(), off.sim.total_violations());
+        assert_eq!(on.sim.total_dropped(), off.sim.total_dropped());
+        for (a, b) in off.sim.streams.iter().zip(&on.sim.streams) {
+            assert_eq!(a.violations, b.violations);
+            assert_eq!(a.start_latency, b.start_latency);
+            assert_eq!(a.max_lateness, b.max_lateness);
+        }
     }
 
     #[test]

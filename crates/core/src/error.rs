@@ -120,6 +120,16 @@ pub enum FsError {
         /// What went wrong.
         what: &'static str,
     },
+    /// A verified read found the stored payload's checksum differing
+    /// from the sum stamped in the strand index — silent corruption
+    /// (bit rot, a misdirected write): the device reported success but
+    /// returned the wrong bytes.
+    ChecksumMismatch {
+        /// First sector of the corrupt extent.
+        lba: u64,
+        /// Sectors in the corrupt extent.
+        sectors: u64,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -175,6 +185,12 @@ impl fmt::Display for FsError {
                 )
             }
             FsError::JournalCorrupt { what } => write!(f, "journal corrupt: {what}"),
+            FsError::ChecksumMismatch { lba, sectors } => {
+                write!(
+                    f,
+                    "checksum mismatch: {sectors} sectors at lba {lba} silently corrupt"
+                )
+            }
         }
     }
 }
@@ -217,5 +233,13 @@ mod tests {
         assert!(e.to_string().contains("torn write"));
         let e = FsError::JournalCorrupt { what: "bad magic" };
         assert_eq!(e.to_string(), "journal corrupt: bad magic");
+        let e = FsError::ChecksumMismatch {
+            lba: 10,
+            sectors: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "checksum mismatch: 4 sectors at lba 10 silently corrupt"
+        );
     }
 }

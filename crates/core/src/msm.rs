@@ -18,7 +18,7 @@ use crate::journal::{self, CatalogEntry, Checkpoint, Journal, JournalConfig, Rec
 use crate::rope::scattering::{copy_bound, plan_boundary, CopyPlan, CopySide, Occupancy};
 use crate::rope::StrandRef;
 use crate::strand::index::{
-    build_primaries, HeaderBlock, IndexPtr, PrimaryBlock, SecondaryBlock, SecondaryEntry,
+    build_primaries, HeaderBlock, IndexPtr, PrimaryBlock, SecondaryBlock, SecondaryEntry, NO_SUM,
 };
 use crate::strand::{strand_from_index, Strand, StrandBuilder, StrandMeta};
 use crate::types::{BlockNo, StrandId};
@@ -44,6 +44,10 @@ pub enum FetchFailure {
     RetriesExhausted,
     /// The deadline had already passed; no I/O was attempted.
     Abandoned,
+    /// The read completed but the payload's checksum does not match the
+    /// sum stamped in the strand index — silent corruption. Retrying
+    /// cannot help: the bytes on the platter are wrong.
+    Corrupt,
 }
 
 /// Outcome of one resilient block fetch ([`Msm::read_block_resilient`]).
@@ -163,6 +167,12 @@ pub struct Msm {
     /// and wholesale when a fault plan is armed (media may decay under
     /// the cache). fsck bypasses it — its whole point is the disk bytes.
     index_cache: BTreeMap<StrandId, (Extent, Strand)>,
+    /// When set, every successful block fetch re-hashes the on-disk
+    /// payload and compares it against the sum stamped in the strand
+    /// index; mismatches surface as [`FetchFailure::Corrupt`] /
+    /// [`FsError::ChecksumMismatch`]. Off by default: verification is a
+    /// policy of the serving layer, not the storage format.
+    verify_reads: bool,
 }
 
 impl Msm {
@@ -199,8 +209,22 @@ impl Msm {
             text_extents: Vec::new(),
             last_io: Instant::EPOCH,
             index_cache: BTreeMap::new(),
+            verify_reads: false,
             disk,
         }
+    }
+
+    /// Enable (or disable) end-to-end checksum verification on every
+    /// block fetch. Verification re-hashes the stored payload in place —
+    /// it adds no disk I/O or virtual time, modelling a controller that
+    /// checksums the DMA stream.
+    pub fn set_verify_reads(&mut self, on: bool) {
+        self.verify_reads = on;
+    }
+
+    /// Whether fetches verify payload checksums.
+    pub fn verify_reads(&self) -> bool {
+        self.verify_reads
     }
 
     /// Route observability events from this volume — allocation
@@ -538,6 +562,18 @@ impl Msm {
     ) -> Result<(BlockNo, DiskOp), FsError> {
         let sector_size = self.disk.geometry().sector_size.get() as usize;
         let sectors = payload.len().div_ceil(sector_size).max(1) as u64;
+        // The stamped checksum covers the *padded* on-disk payload — the
+        // exact bytes `fetch_sum` will hash back — matching the journal's
+        // `payload_sum` convention.
+        let mut padded;
+        let data = if payload.len() == sectors as usize * sector_size {
+            payload
+        } else {
+            padded = payload.to_vec();
+            padded.resize(sectors as usize * sector_size, 0);
+            &padded[..]
+        };
+        let sum = journal::fnv1a(data);
         let builder = self.recording_mut(id)?;
         let anchor = builder.last_stored();
         let extent = match anchor {
@@ -546,7 +582,7 @@ impl Msm {
         };
         // Re-borrow after allocation.
         let builder = self.recording_mut(id)?;
-        let block_no = builder.push_block(extent, units)?;
+        let block_no = builder.push_block(extent, units, sum)?;
         self.obs.emit(|| {
             // Forward gap to the previous block; a wrap (placement below
             // the anchor) has no meaningful gap and reports `None`.
@@ -560,21 +596,12 @@ impl Msm {
                 slack: gap.map(|g| self.gap_bounds.max_sectors.saturating_sub(g)),
             }
         });
-        let mut padded;
-        let data = if payload.len() == sectors as usize * sector_size {
-            payload
-        } else {
-            padded = payload.to_vec();
-            padded.resize(sectors as usize * sector_size, 0);
-            &padded[..]
-        };
         // Intent before data: the journal record carries the padded
         // payload's checksum, so recovery can tell a complete block
         // from a torn one.
         let mut t = now;
         if self.journal.is_some() {
             t = self.ensure_begun(id, t)?;
-            let payload_sum = journal::fnv1a(data);
             if let Some(op) = self.journal_append(
                 Record::Append {
                     strand: id.raw(),
@@ -582,7 +609,7 @@ impl Msm {
                     lba: extent.start,
                     sectors: extent.sectors,
                     units,
-                    payload_sum,
+                    payload_sum: sum,
                 },
                 t,
             )? {
@@ -648,8 +675,13 @@ impl Msm {
             }
         };
         let meta = *builder.meta();
-        let (header_extent, index_extents) =
-            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, t)?;
+        let (header_extent, index_extents) = self.write_index(
+            builder.blocks().to_vec(),
+            builder.sums().to_vec(),
+            builder.unit_count(),
+            &meta,
+            t,
+        )?;
         let strand = builder.freeze(index_extents);
         self.strands.insert(id, StrandState::Finished(strand));
         if self.journal.is_some() {
@@ -670,13 +702,14 @@ impl Msm {
     fn write_index(
         &mut self,
         blocks: Vec<Option<Extent>>,
+        sums: Vec<u64>,
         unit_count: u64,
         meta: &StrandMeta,
         now: Instant,
     ) -> Result<(Extent, Vec<Extent>), FsError> {
         let block_bytes = self.disk.geometry().sector_size.get() as usize;
         let per_primary = PrimaryBlock::capacity(block_bytes).max(1);
-        let (primaries, coverage) = build_primaries(&blocks, per_primary);
+        let (primaries, coverage) = build_primaries(&blocks, &sums, per_primary);
 
         let mut index_extents = Vec::new();
         // Write primaries, collecting their locations.
@@ -790,6 +823,10 @@ impl Msm {
                         strand: id,
                         block: n,
                     },
+                    FetchFailure::Corrupt => FsError::ChecksumMismatch {
+                        lba: e.start,
+                        sectors: e.sectors,
+                    },
                 })
             }
         }
@@ -869,9 +906,64 @@ impl Msm {
                         strand: id,
                         block: n,
                     },
+                    FetchFailure::Corrupt => FsError::ChecksumMismatch {
+                        lba: e.start,
+                        sectors: e.sectors,
+                    },
                 })
             }
         }
+    }
+
+    /// Verify block `n`'s stored payload against the checksum stamped in
+    /// the strand index, without virtual time or fault injection — the
+    /// scrub / fsck primitive. `Ok(None)` when there is nothing to check
+    /// (a silence hole or an unstamped block); otherwise `Ok(Some(ok))`.
+    pub fn check_block_sum(&self, id: StrandId, n: BlockNo) -> Result<Option<bool>, FsError> {
+        let strand = self.strand(id)?;
+        let e = match strand.block(n)? {
+            None => return Ok(None),
+            Some(e) => e,
+        };
+        let expected = strand.block_sum(n)?;
+        if expected == NO_SUM {
+            return Ok(None);
+        }
+        Ok(Some(self.disk.fetch_sum(e) == Some(expected)))
+    }
+
+    /// Overwrite block `n`'s on-disk payload in place — the scrubber's
+    /// surgical repair for silent corruption. `data` must be the padded
+    /// full-extent payload obtained from a clean replica; the strand
+    /// index is untouched, so the rewrite must hash to exactly the
+    /// stamped checksum or the repair is refused (a diverged source
+    /// would launder one corruption into another).
+    pub fn rewrite_block(
+        &mut self,
+        id: StrandId,
+        n: BlockNo,
+        now: Instant,
+        data: &[u8],
+    ) -> Result<DiskOp, FsError> {
+        let strand = self.strand(id)?;
+        let e = strand.block(n)?.ok_or(FsError::InvalidScenario {
+            reason: "cannot rewrite a silence hole",
+        })?;
+        let sector_size = self.disk.geometry().sector_size.get() as usize;
+        if data.len() != e.sectors as usize * sector_size {
+            return Err(FsError::InvalidScenario {
+                reason: "rewrite payload does not span the block's extent",
+            });
+        }
+        let expected = strand.block_sum(n)?;
+        if expected != NO_SUM && journal::fnv1a(data) != expected {
+            return Err(FsError::ChecksumMismatch {
+                lba: e.start,
+                sectors: e.sectors,
+            });
+        }
+        self.disk.store_data(e, data);
+        self.timed_write(now, e)
     }
 
     fn fetch_block(
@@ -883,7 +975,9 @@ impl Msm {
         deadline: Option<Instant>,
         want_payload: bool,
     ) -> Result<BlockFetch, FsError> {
-        let extent = self.strand(id)?.block(n)?;
+        let strand = self.strand(id)?;
+        let extent = strand.block(n)?;
+        let expected = strand.block_sum(n)?;
         let e = match extent {
             None => return Ok(BlockFetch::Silence),
             Some(e) => e,
@@ -900,6 +994,21 @@ impl Msm {
         loop {
             match self.disk.access(t, e, AccessKind::Read) {
                 Ok(op) => {
+                    // The bytes arrived — but are they the bytes that
+                    // were recorded? With verification on, re-hash the
+                    // stored payload against the index stamp before
+                    // handing it up; a mismatch is unretryable (the
+                    // platter holds the wrong bits).
+                    if self.verify_reads
+                        && expected != NO_SUM
+                        && self.disk.fetch_sum(e) != Some(expected)
+                    {
+                        return Ok(BlockFetch::Failed {
+                            reason: FetchFailure::Corrupt,
+                            at: op.completed,
+                            retries,
+                        });
+                    }
                     // `access` succeeding guarantees the extent is
                     // on-device, so the timed path can skip the copy
                     // outright — an empty Vec never touches the heap.
@@ -1047,6 +1156,38 @@ impl Msm {
         Ok(())
     }
 
+    /// Abort a strand that is still recording: journal a `Delete`
+    /// intent, release every block it has written, and drop the
+    /// builder. A finished strand is deleted outright. The cluster's
+    /// restore pass uses this to unwind a half-copied destination
+    /// strand when its source volume dies mid-copy, so the surviving
+    /// member stays fsck-clean and leak-free.
+    pub fn abort_strand(&mut self, id: StrandId) -> Result<(), FsError> {
+        match self.strands.get(&id) {
+            Some(StrandState::Recording(_)) => {}
+            Some(StrandState::Finished(_)) => return self.delete_strand(id),
+            None => return Err(FsError::UnknownStrand(id)),
+        }
+        if self.journal.is_some() {
+            let t = self.last_io;
+            self.journal_append(Record::Delete { strand: id.raw() }, t)?;
+        }
+        let Some(StrandState::Recording(builder)) = self.strands.remove(&id) else {
+            unreachable!("state checked above");
+        };
+        for e in builder.blocks().iter().flatten() {
+            self.disk.discard_data(*e);
+            if self.alloc.freemap().extent_used(*e) {
+                self.alloc.release(*e);
+            }
+        }
+        if self.journal.is_some() {
+            let t = self.last_io;
+            self.write_checkpoint(t)?;
+        }
+        Ok(())
+    }
+
     /// Truncate a finished strand to its first `keep` blocks, rewriting
     /// its on-disk index — fsck's repair primitive for dangling block
     /// pointers. `keep == 0` deletes the strand outright. Extents that
@@ -1103,12 +1244,21 @@ impl Msm {
                 meta.granularity
             };
             match b {
-                Some(e) => builder.push_block(*e, units)?,
+                Some(e) => {
+                    // Kept blocks keep their original checksum stamp.
+                    let sum = strand.sums().get(i).copied().unwrap_or(NO_SUM);
+                    builder.push_block(*e, units, sum)?
+                }
                 None => builder.push_silence(units)?,
             };
         }
-        let (header_extent, index_extents) =
-            self.write_index(builder.blocks().to_vec(), builder.unit_count(), &meta, now)?;
+        let (header_extent, index_extents) = self.write_index(
+            builder.blocks().to_vec(),
+            builder.sums().to_vec(),
+            builder.unit_count(),
+            &meta,
+            now,
+        )?;
         let rebuilt = builder.freeze(index_extents);
         self.strands.insert(id, StrandState::Finished(rebuilt));
         if self.journal.is_some() {
@@ -1264,11 +1414,12 @@ impl Msm {
                         Some(p) => self.alloc.allocate_after(p, e.sectors)?,
                         None => self.alloc.allocate_first(e.sectors)?,
                     };
+                    let sum = journal::fnv1a(&data);
                     self.disk.store_data(dst, &data);
                     let write_op = self.timed_write(t, dst)?;
                     t = write_op.completed;
                     let builder = self.recording_mut(new_id)?;
-                    builder.push_block(dst, meta.granularity)?;
+                    builder.push_block(dst, meta.granularity, sum)?;
                     prev = Some(dst);
                 }
             }
@@ -1504,7 +1655,9 @@ impl Msm {
                         if verified {
                             t = msm.timed_read_bg(t, a.extent)?.completed;
                             msm.alloc.adopt(a.extent);
-                            builder.push_block(a.extent, units)?;
+                            // The journaled sum just verified against the
+                            // disk bytes — stamp it into the rebuilt index.
+                            builder.push_block(a.extent, units, a.payload_sum)?;
                             report.blocks_recovered += 1;
                             kept_any = true;
                         } else {

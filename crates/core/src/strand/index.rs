@@ -24,26 +24,38 @@ use strandfs_media::Medium;
 /// Sentinel disk address marking an eliminated-silence hole.
 pub const NULL_SECTOR: u64 = u64::MAX;
 
+/// Sentinel payload checksum for entries that carry none: silence holes
+/// and strands built by paths that never saw the payload bytes.
+/// Verification skips these entries. (FNV-1a of real data collides with
+/// 0 with probability 2⁻⁶⁴ — an acceptable sentinel.)
+pub const NO_SUM: u64 = 0;
+
 const PRIMARY_MAGIC: u32 = 0x5342_4c50; // "PBLS"
 const SECONDARY_MAGIC: u32 = 0x5342_4c53; // "SBLS"
 const HEADER_MAGIC: u32 = 0x5342_4c48; // "HBLS"
 const VERSION: u16 = 1;
 
-/// One entry of a Primary Block: where media block `i` lives.
+/// One entry of a Primary Block: where media block `i` lives and the
+/// FNV-1a checksum of its stored (sector-padded) payload.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PrimaryEntry {
     /// First sector of the media block, or [`NULL_SECTOR`] for silence.
     pub sector: u64,
     /// Length of the media block in sectors (0 for silence).
     pub sector_count: u32,
+    /// FNV-1a sum of the block's stored payload, stamped at write time;
+    /// [`NO_SUM`] for silence and unstamped entries.
+    pub sum: u64,
 }
 
 impl PrimaryEntry {
-    /// An entry for a stored media block.
-    pub fn stored(e: Extent) -> Self {
+    /// An entry for a stored media block with its payload checksum
+    /// ([`NO_SUM`] when the writer never saw the payload bytes).
+    pub fn stored(e: Extent, sum: u64) -> Self {
         PrimaryEntry {
             sector: e.start,
             sector_count: e.sectors as u32,
+            sum,
         }
     }
 
@@ -51,6 +63,7 @@ impl PrimaryEntry {
     pub const SILENCE: PrimaryEntry = PrimaryEntry {
         sector: NULL_SECTOR,
         sector_count: 0,
+        sum: NO_SUM,
     };
 
     /// True if this entry is a silence hole.
@@ -68,7 +81,7 @@ impl PrimaryEntry {
     }
 }
 
-const PRIMARY_ENTRY_BYTES: usize = 12;
+const PRIMARY_ENTRY_BYTES: usize = 20;
 const BLOCK_HEADER_BYTES: usize = 8; // magic + count
 
 /// A Primary Block: a run of [`PrimaryEntry`]s for consecutive media
@@ -97,6 +110,7 @@ impl PrimaryBlock {
         for e in &self.entries {
             out.put_u64_le(e.sector);
             out.put_u32_le(e.sector_count);
+            out.put_u64_le(e.sum);
         }
         out.resize(block_bytes, 0);
         out
@@ -124,9 +138,11 @@ impl PrimaryBlock {
         for _ in 0..count {
             let sector = buf.get_u64_le();
             let sector_count = buf.get_u32_le();
+            let sum = buf.get_u64_le();
             entries.push(PrimaryEntry {
                 sector,
                 sector_count,
+                sum,
             });
         }
         Ok(PrimaryBlock { entries })
@@ -354,25 +370,30 @@ impl HeaderBlock {
 
 /// Split a strand's block map into Primary Blocks of the given capacity.
 ///
-/// Returns `(primary blocks, coverage)` where `coverage[i]` is the
-/// `(start_block, block_count)` range of `primaries[i]`.
+/// `sums` is the parallel per-block payload-checksum vector (entries
+/// beyond its length default to [`NO_SUM`]). Returns `(primary blocks,
+/// coverage)` where `coverage[i]` is the `(start_block, block_count)`
+/// range of `primaries[i]`.
 pub fn build_primaries(
     blocks: &[Option<Extent>],
+    sums: &[u64],
     per_primary: usize,
 ) -> (Vec<PrimaryBlock>, Vec<(u64, u32)>) {
     assert!(per_primary > 0, "primary capacity must be positive");
     let mut primaries = Vec::new();
     let mut coverage = Vec::new();
     for (chunk_idx, chunk) in blocks.chunks(per_primary).enumerate() {
+        let base = chunk_idx * per_primary;
         let entries = chunk
             .iter()
-            .map(|b| match b {
-                Some(e) => PrimaryEntry::stored(*e),
+            .enumerate()
+            .map(|(i, b)| match b {
+                Some(e) => PrimaryEntry::stored(*e, sums.get(base + i).copied().unwrap_or(NO_SUM)),
                 None => PrimaryEntry::SILENCE,
             })
             .collect();
         primaries.push(PrimaryBlock { entries });
-        coverage.push(((chunk_idx * per_primary) as u64, chunk.len() as u32));
+        coverage.push((base as u64, chunk.len() as u32));
     }
     (primaries, coverage)
 }
@@ -385,18 +406,19 @@ mod tests {
     fn primary_entry_silence() {
         assert!(PrimaryEntry::SILENCE.is_silence());
         assert_eq!(PrimaryEntry::SILENCE.extent(), None);
-        let e = PrimaryEntry::stored(Extent::new(10, 4));
+        let e = PrimaryEntry::stored(Extent::new(10, 4), 0xDEAD_BEEF);
         assert!(!e.is_silence());
         assert_eq!(e.extent(), Some(Extent::new(10, 4)));
+        assert_eq!(e.sum, 0xDEAD_BEEF);
     }
 
     #[test]
     fn primary_round_trip() {
         let pb = PrimaryBlock {
             entries: vec![
-                PrimaryEntry::stored(Extent::new(100, 8)),
+                PrimaryEntry::stored(Extent::new(100, 8), 0x1234_5678_9ABC_DEF0),
                 PrimaryEntry::SILENCE,
-                PrimaryEntry::stored(Extent::new(300, 8)),
+                PrimaryEntry::stored(Extent::new(300, 8), NO_SUM),
             ],
         };
         let bytes = pb.encode(512);
@@ -444,9 +466,10 @@ mod tests {
 
     #[test]
     fn capacities_match_layout_arithmetic() {
-        // 512-byte blocks: (512-8)/12 = 42 primary entries,
-        // (512-8)/24 = 21 secondary entries.
-        assert_eq!(PrimaryBlock::capacity(512), 42);
+        // 512-byte blocks: (512-8)/20 = 25 primary entries (the
+        // per-block checksum costs 8 bytes of the former 42-entry
+        // capacity), (512-8)/24 = 21 secondary entries.
+        assert_eq!(PrimaryBlock::capacity(512), 25);
         assert_eq!(SecondaryBlock::capacity(512), 21);
         assert_eq!(HeaderBlock::capacity(512), (512 - HEADER_FIXED_BYTES) / 12);
         // Degenerate block sizes don't underflow.
@@ -487,7 +510,7 @@ mod tests {
     #[test]
     fn truncated_blocks_rejected() {
         let pb = PrimaryBlock {
-            entries: vec![PrimaryEntry::stored(Extent::new(0, 1)); 10],
+            entries: vec![PrimaryEntry::stored(Extent::new(0, 1), 7); 10],
         };
         let bytes = pb.encode(512);
         assert!(PrimaryBlock::decode(&bytes[..32]).is_err());
@@ -516,7 +539,10 @@ mod tests {
                 }
             })
             .collect();
-        let (pbs, cov) = build_primaries(&blocks, 42);
+        let sums: Vec<u64> = (0..100u64)
+            .map(|i| if i % 7 == 0 { NO_SUM } else { 1000 + i })
+            .collect();
+        let (pbs, cov) = build_primaries(&blocks, &sums, 42);
         assert_eq!(pbs.len(), 3); // 42 + 42 + 16
         assert_eq!(cov, vec![(0, 42), (42, 42), (84, 16)]);
         assert_eq!(pbs[2].entries.len(), 16);
@@ -526,5 +552,12 @@ mod tests {
         assert!(!pbs[0].entries[1].is_silence());
         // Entry 84 is a multiple of 7 -> silence in third PB.
         assert!(pbs[2].entries[0].is_silence());
+        // Sums land at the right global offsets across the chunk split.
+        assert_eq!(pbs[0].entries[1].sum, 1001);
+        assert_eq!(pbs[1].entries[1].sum, 1043);
+        assert_eq!(pbs[2].entries[1].sum, 1085);
+        // Missing sums default to the unstamped sentinel.
+        let (pbs2, _) = build_primaries(&blocks, &[], 42);
+        assert_eq!(pbs2[0].entries[1].sum, NO_SUM);
     }
 }

@@ -54,6 +54,10 @@ pub struct Strand {
     id: StrandId,
     meta: StrandMeta,
     blocks: Vec<Option<Extent>>,
+    /// FNV-1a checksum of each block's padded on-disk payload, parallel
+    /// to `blocks` ([`index::NO_SUM`] for silence holes and unstamped
+    /// blocks).
+    sums: Vec<u64>,
     unit_count: u64,
     /// Where the strand's on-disk index lives (header, secondaries,
     /// primaries) — populated once the MSM has written the index.
@@ -144,6 +148,25 @@ impl Strand {
         &self.index_extents
     }
 
+    /// Per-block payload checksums, parallel to [`Strand::blocks`]
+    /// ([`index::NO_SUM`] for silence holes and unstamped blocks).
+    pub fn sums(&self) -> &[u64] {
+        &self.sums
+    }
+
+    /// The payload checksum stamped for block `n` ([`index::NO_SUM`] if
+    /// the block is silence or was recorded before checksumming).
+    pub fn block_sum(&self, n: BlockNo) -> Result<u64, FsError> {
+        self.sums
+            .get(n as usize)
+            .copied()
+            .ok_or(FsError::BlockOutOfRange {
+                strand: self.id,
+                block: n,
+                len: self.block_count(),
+            })
+    }
+
     /// Iterate over stored blocks as `(block number, extent)`.
     pub fn stored_iter(&self) -> impl Iterator<Item = (BlockNo, Extent)> + '_ {
         self.blocks
@@ -159,6 +182,7 @@ pub struct StrandBuilder {
     id: StrandId,
     meta: StrandMeta,
     blocks: Vec<Option<Extent>>,
+    sums: Vec<u64>,
     units: u64,
     frozen: bool,
 }
@@ -171,6 +195,7 @@ impl StrandBuilder {
             id,
             meta,
             blocks: Vec::new(),
+            sums: Vec::new(),
             units: 0,
             frozen: false,
         }
@@ -207,17 +232,24 @@ impl StrandBuilder {
         self.units
     }
 
-    /// Append a stored media block of `units` media units at `extent`.
-    pub fn push_block(&mut self, extent: Extent, units: u64) -> Result<BlockNo, FsError> {
-        self.push(Some(extent), units)
+    /// Per-block payload checksums accumulated so far.
+    pub fn sums(&self) -> &[u64] {
+        &self.sums
+    }
+
+    /// Append a stored media block of `units` media units at `extent`,
+    /// stamped with the FNV-1a checksum of its padded on-disk payload
+    /// (pass [`index::NO_SUM`] to leave the block unstamped).
+    pub fn push_block(&mut self, extent: Extent, units: u64, sum: u64) -> Result<BlockNo, FsError> {
+        self.push(Some(extent), units, sum)
     }
 
     /// Append a silence hole covering `units` media units.
     pub fn push_silence(&mut self, units: u64) -> Result<BlockNo, FsError> {
-        self.push(None, units)
+        self.push(None, units, index::NO_SUM)
     }
 
-    fn push(&mut self, block: Option<Extent>, units: u64) -> Result<BlockNo, FsError> {
+    fn push(&mut self, block: Option<Extent>, units: u64, sum: u64) -> Result<BlockNo, FsError> {
         if self.frozen {
             return Err(FsError::StrandImmutable(self.id));
         }
@@ -227,6 +259,7 @@ impl StrandBuilder {
         );
         let n = self.blocks.len() as u64;
         self.blocks.push(block);
+        self.sums.push(sum);
         self.units += units;
         Ok(n)
     }
@@ -241,6 +274,7 @@ impl StrandBuilder {
             id: self.id,
             meta: self.meta,
             blocks: self.blocks,
+            sums: self.sums,
             unit_count: self.units,
             index_extents,
         }
@@ -256,9 +290,11 @@ pub fn strand_from_index(
     index_extents: Vec<Extent>,
 ) -> Result<Strand, FsError> {
     let mut blocks = Vec::with_capacity(header.block_count as usize);
+    let mut sums = Vec::with_capacity(header.block_count as usize);
     for pb in primaries {
         for e in &pb.entries {
             blocks.push(e.extent());
+            sums.push(if e.is_silence() { index::NO_SUM } else { e.sum });
         }
     }
     if blocks.len() as u64 != header.block_count {
@@ -275,6 +311,7 @@ pub fn strand_from_index(
             unit_bits: Bits::new(header.unit_bits),
         },
         blocks,
+        sums,
         unit_count: header.unit_count,
         index_extents,
     })
@@ -296,7 +333,7 @@ mod tests {
     fn build(n_blocks: u64) -> Strand {
         let mut b = StrandBuilder::new(StrandId::from_raw(1), meta());
         for i in 0..n_blocks {
-            b.push_block(Extent::new(i * 100, 8), 3).unwrap();
+            b.push_block(Extent::new(i * 100, 8), 3, 0x100 + i).unwrap();
         }
         b.freeze(vec![])
     }
@@ -310,6 +347,9 @@ mod tests {
         assert_eq!(s.stored_blocks(), 10);
         assert_eq!(s.data_sectors(), 80);
         assert_eq!(s.silence_fraction(), 0.0);
+        assert_eq!(s.sums().len(), 10);
+        assert_eq!(s.block_sum(3).unwrap(), 0x103);
+        assert!(s.block_sum(10).is_err());
     }
 
     #[test]
@@ -341,15 +381,17 @@ mod tests {
                 unit_bits: Bits::new(8),
             }
         });
-        b.push_block(Extent::new(0, 2), 800).unwrap();
+        b.push_block(Extent::new(0, 2), 800, 0xA).unwrap();
         b.push_silence(800).unwrap();
-        b.push_block(Extent::new(50, 2), 800).unwrap();
+        b.push_block(Extent::new(50, 2), 800, 0xB).unwrap();
         let s = b.freeze(vec![]);
         assert_eq!(s.block_count(), 3);
         assert_eq!(s.stored_blocks(), 2);
         assert!(s.is_silence(1).unwrap());
         assert!(!s.is_silence(0).unwrap());
         assert!((s.silence_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // Silence holes carry the unstamped sentinel.
+        assert_eq!(s.sums(), &[0xA, index::NO_SUM, 0xB]);
         // Silence still advances media time.
         assert_eq!(s.unit_count(), 2_400);
         assert_eq!(s.data_sectors(), 4);
@@ -364,7 +406,7 @@ mod tests {
     fn last_stored_skips_holes() {
         let mut b = StrandBuilder::new(StrandId::from_raw(3), meta());
         assert_eq!(b.last_stored(), None);
-        b.push_block(Extent::new(10, 8), 3).unwrap();
+        b.push_block(Extent::new(10, 8), 3, 0).unwrap();
         b.push_silence(3).unwrap();
         assert_eq!(b.last_stored(), Some(Extent::new(10, 8)));
     }
@@ -372,8 +414,8 @@ mod tests {
     #[test]
     fn partial_final_block() {
         let mut b = StrandBuilder::new(StrandId::from_raw(4), meta());
-        b.push_block(Extent::new(0, 8), 3).unwrap();
-        b.push_block(Extent::new(100, 8), 2).unwrap(); // partial
+        b.push_block(Extent::new(0, 8), 3, 0).unwrap();
+        b.push_block(Extent::new(100, 8), 2, 0).unwrap(); // partial
         let s = b.freeze(vec![]);
         assert_eq!(s.unit_count(), 5);
         assert_eq!(s.block_of_unit(4).unwrap(), 1);
@@ -383,18 +425,18 @@ mod tests {
     #[should_panic(expected = "1..=granularity")]
     fn oversized_block_rejected() {
         let mut b = StrandBuilder::new(StrandId::from_raw(5), meta());
-        let _ = b.push_block(Extent::new(0, 8), 4);
+        let _ = b.push_block(Extent::new(0, 8), 4, 0);
     }
 
     #[test]
     fn index_round_trip_reconstructs_strand() {
         let mut b = StrandBuilder::new(StrandId::from_raw(6), meta());
-        b.push_block(Extent::new(0, 8), 3).unwrap();
+        b.push_block(Extent::new(0, 8), 3, 0xFACE).unwrap();
         b.push_silence(3).unwrap();
-        b.push_block(Extent::new(90, 8), 3).unwrap();
+        b.push_block(Extent::new(90, 8), 3, 0xBEEF).unwrap();
         let original = b.freeze(vec![]);
 
-        let (primaries, _cov) = index::build_primaries(original.blocks(), 2);
+        let (primaries, _cov) = index::build_primaries(original.blocks(), original.sums(), 2);
         let header = index::HeaderBlock {
             medium: original.meta().medium,
             unit_rate: original.meta().unit_rate,

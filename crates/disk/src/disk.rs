@@ -8,6 +8,21 @@ use std::collections::HashMap;
 use strandfs_obs::{AccessDir, Event, ObsSink};
 use strandfs_units::{Instant, Nanos, Seconds};
 
+/// FNV-1a-64 over a byte slice — the crate-wide payload checksum (the
+/// same parameters as [`SimDisk::content_hash`], no external
+/// dependency). Every stored media block's sum is computed with this
+/// function at write time and re-checked on verified reads and scrubs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Whether an access reads or writes the medium.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessKind {
@@ -279,6 +294,37 @@ impl SimDisk {
         out
     }
 
+    /// FNV-1a sum of the payload of `extent` (unwritten sectors count
+    /// as zeroes), or `None` off-device — [`fnv1a`] of
+    /// [`SimDisk::try_fetch`] without materializing the copy. The
+    /// verified-read and scrub paths call this per block, so it must
+    /// not allocate.
+    pub fn fetch_sum(&self, extent: Extent) -> Option<u64> {
+        if !self.geometry.extent_valid(extent) {
+            return None;
+        }
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let ss = self.geometry.sector_size.get() as usize;
+        let mut h = OFFSET;
+        for i in 0..extent.sectors {
+            match self.store.get(&(extent.start + i)) {
+                Some(sector) => {
+                    for &b in sector.iter() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(PRIME);
+                    }
+                }
+                None => {
+                    for _ in 0..ss {
+                        h = h.wrapping_mul(PRIME);
+                    }
+                }
+            }
+        }
+        Some(h)
+    }
+
     /// Drop the payload of `extent` (models discard; timing-neutral).
     pub fn discard_data(&mut self, extent: Extent) {
         for i in 0..extent.sectors {
@@ -424,6 +470,28 @@ mod tests {
         d.discard_data(e);
         assert_eq!(d.sectors_written(), 0);
         assert!(d.fetch_data(e).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fetch_sum_matches_fnv_of_fetched_bytes() {
+        let mut d = disk();
+        let e = Extent::new(20, 3);
+        let mut data = vec![0u8; 3 * 512];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        d.store_data(e, &data);
+        assert_eq!(d.fetch_sum(e), Some(fnv1a(&data)));
+        // Partially-written extents hash the zero-fill, same as fetch.
+        let partial = Extent::new(21, 4);
+        assert_eq!(
+            d.fetch_sum(partial),
+            Some(fnv1a(&d.fetch_data(partial))),
+            "unwritten sectors hash as zeroes"
+        );
+        // Off-device is a corrupt pointer, not a panic.
+        let total = d.geometry().total_sectors();
+        assert_eq!(d.fetch_sum(Extent::new(total - 1, 2)), None);
     }
 
     #[test]

@@ -131,6 +131,18 @@ pub struct DegradedWindow {
     pub slowdown: f64,
 }
 
+/// Silent corruption: at arm time, one seeded bit of each listed
+/// extent's stored payload is flipped *in place*. The device itself
+/// never notices — reads succeed with nominal timing and return the
+/// rotten bytes — so only an end-to-end payload checksum can catch it.
+/// This models bit rot and misdirected writes, the failure class that
+/// hard `MediaError`s do not cover.
+#[derive(Clone, Copy, Debug)]
+pub struct SilentCorruption {
+    /// The extent whose stored payload is damaged.
+    pub extent: Extent,
+}
+
 /// A declarative fault plan. An empty plan injects nothing.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -152,6 +164,13 @@ pub struct FaultPlan {
     pub write_transients: Vec<TransientFault>,
     /// The crash point, if any.
     pub crash: Option<CrashPoint>,
+    /// Silently-corrupted extents: one seeded bit flipped in each at
+    /// arm time, invisible to the device ([`SilentCorruption`]).
+    pub corrupt: Vec<SilentCorruption>,
+    /// Fail-slow multiplier: every operation's service time is
+    /// stretched by this factor *without ever erroring* — a gray member
+    /// that is slow, not dead. Values at or below 1.0 are off.
+    pub fail_slow: f64,
 }
 
 impl FaultPlan {
@@ -170,6 +189,8 @@ impl FaultPlan {
             && self.torn.is_empty()
             && self.write_transients.is_empty()
             && self.crash.is_none()
+            && self.corrupt.is_empty()
+            && self.fail_slow <= 1.0
     }
 
     /// Add a permanently bad extent.
@@ -224,6 +245,20 @@ impl FaultPlan {
         self.crash = Some(crash);
         self
     }
+
+    /// Silently corrupt one seeded bit of `extent`'s stored payload at
+    /// arm time (invisible to the device — only a checksum catches it).
+    pub fn with_silent_corruption(mut self, extent: Extent) -> Self {
+        self.corrupt.push(SilentCorruption { extent });
+        self
+    }
+
+    /// Make the whole device fail-slow: every operation takes `factor`×
+    /// its nominal service time, without ever erroring.
+    pub fn with_fail_slow(mut self, factor: f64) -> Self {
+        self.fail_slow = factor;
+        self
+    }
 }
 
 /// Cumulative fault counters kept by a [`FaultInjector`].
@@ -242,6 +277,10 @@ pub struct FaultStats {
     pub spikes: u64,
     /// Operations slowed by a degraded-transfer window.
     pub degraded_ops: u64,
+    /// Stored extents silently corrupted at arm time.
+    pub corrupted: u64,
+    /// Operations stretched by the fail-slow multiplier.
+    pub fail_slow_ops: u64,
     /// Total service time charged to faults: wasted failed attempts plus
     /// extra latency from spikes and degraded transfers.
     pub penalty: Nanos,
@@ -280,6 +319,13 @@ pub trait BlockDevice {
     /// Read the payload of `extent`; `None` if the extent is off-device.
     /// Unwritten sectors read back zeroed.
     fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>>;
+    /// FNV-1a sum of the payload of `extent` ([`crate::fnv1a`] of
+    /// [`BlockDevice::try_fetch`]), or `None` off-device — the cheap
+    /// primitive behind verified reads and scrubbing. Implementations
+    /// should hash in place rather than copy.
+    fn fetch_sum(&self, extent: Extent) -> Option<u64> {
+        self.try_fetch(extent).map(|d| crate::fnv1a(&d))
+    }
     /// Drop the payload of `extent` (timing-neutral discard).
     fn discard_data(&mut self, extent: Extent);
     /// Number of sectors currently holding written payloads.
@@ -344,6 +390,9 @@ impl BlockDevice for SimDisk {
     }
     fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
         SimDisk::try_fetch(self, extent)
+    }
+    fn fetch_sum(&self, extent: Extent) -> Option<u64> {
+        SimDisk::fetch_sum(self, extent)
     }
     fn discard_data(&mut self, extent: Extent) {
         SimDisk::discard_data(self, extent)
@@ -430,6 +479,22 @@ impl FaultInjector {
         self.crashed = false;
         self.prng = Prng::seed_from_u64(mix_seed(self.seed, FAULT_STREAM));
         self.plan = plan;
+        // Silent corruption happens at arm time: rot the stored image
+        // in place, before the op-level PRNG stream starts, so the same
+        // plan + seed rots the same bits. The device keeps serving the
+        // extent with nominal timing — only a checksum can tell.
+        for c in self.plan.corrupt.clone() {
+            let Some(mut data) = self.inner.try_fetch(c.extent) else {
+                continue;
+            };
+            if data.is_empty() {
+                continue;
+            }
+            let bit = self.prng.bounded_u64(data.len() as u64 * 8);
+            data[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.inner.store_data(c.extent, &data);
+            self.fstats.corrupted += 1;
+        }
     }
 
     /// True once the crash point fired and no power cycle has cleared it.
@@ -607,6 +672,18 @@ impl BlockDevice for FaultInjector {
                 self.fstats.penalty += spike;
             }
         }
+        // Fail-slow: the gray member stretches *every* op's service
+        // time by the plan's factor, silently — no fault event, no
+        // error, nothing a health check keyed on errors would see.
+        if self.plan.fail_slow > 1.0 {
+            let nominal = (op.seek + op.rotation + op.transfer).as_nanos() as f64;
+            let extra = Nanos::from_nanos((nominal * (self.plan.fail_slow - 1.0)) as u64);
+            if extra > Nanos::ZERO {
+                op.transfer += extra;
+                self.fstats.fail_slow_ops += 1;
+                self.fstats.penalty += extra;
+            }
+        }
         op.completed = op.issued + op.seek + op.rotation + op.transfer;
 
         let dir = match kind {
@@ -701,6 +778,9 @@ impl BlockDevice for FaultInjector {
     }
     fn try_fetch(&self, extent: Extent) -> Option<Vec<u8>> {
         self.inner.try_fetch(extent)
+    }
+    fn fetch_sum(&self, extent: Extent) -> Option<u64> {
+        self.inner.fetch_sum(extent)
     }
     fn discard_data(&mut self, extent: Extent) {
         if self.crashed {
@@ -971,6 +1051,53 @@ mod tests {
         let err = write(&mut inj, at, Extent::new(8, 2), 2).unwrap_err();
         assert_eq!(err.kind, FaultKind::Crashed);
         assert!(inj.is_crashed());
+    }
+
+    #[test]
+    fn silent_corruption_flips_bits_invisibly_and_deterministically() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(base_disk(), FaultPlan::clean(), seed);
+            let e = Extent::new(300, 4);
+            let _ = write(&mut inj, Instant::EPOCH, e, 0x5C);
+            let clean_sum = inj.fetch_sum(e).unwrap();
+            inj.arm_faults(FaultPlan::clean().with_silent_corruption(e));
+            (inj, e, clean_sum)
+        };
+        let (mut inj, e, clean_sum) = run(21);
+        // The device is oblivious: the read succeeds with no fault.
+        assert!(read(&mut inj, Instant::EPOCH, e).is_ok());
+        assert_eq!(inj.fault_stats().corrupted, 1);
+        // But the payload rotted: exactly one bit differs.
+        let rotten = inj.try_fetch(e).unwrap();
+        let flipped: u32 = rotten.iter().map(|&b| (b ^ 0x5Cu8).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one seeded bit flips");
+        assert_ne!(inj.fetch_sum(e).unwrap(), clean_sum);
+        // Same seed rots the same bit.
+        let (inj2, e2, _) = run(21);
+        assert_eq!(inj.try_fetch(e), inj2.try_fetch(e2));
+        // A different seed rots a different bit.
+        let (inj3, e3, _) = run(22);
+        assert_ne!(inj.try_fetch(e), inj3.try_fetch(e3));
+    }
+
+    #[test]
+    fn fail_slow_stretches_every_op_without_erroring() {
+        let plan = FaultPlan::clean().with_fail_slow(10.0);
+        assert!(!plan.is_clean());
+        let mut slow = FaultInjector::new(base_disk(), plan, 1);
+        let mut bare = base_disk();
+        let e = Extent::new(64, 8);
+        let nominal = SimDisk::access(&mut bare, Instant::EPOCH, e, AccessKind::Read);
+        let gray = read(&mut slow, Instant::EPOCH, e).expect("fail-slow never errors");
+        let want = nominal.service_time().as_nanos() as f64 * 10.0;
+        let got = gray.service_time().as_nanos() as f64;
+        assert!(
+            (got - want).abs() / want < 1e-6,
+            "10x stretch: nominal {nominal:?} vs gray {gray:?}"
+        );
+        assert_eq!(slow.fault_stats().fail_slow_ops, 1);
+        assert_eq!(slow.fault_stats().media_errors, 0);
+        assert_eq!(slow.fault_stats().transient_errors, 0);
     }
 
     #[test]

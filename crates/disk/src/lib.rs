@@ -38,10 +38,10 @@ pub mod trace;
 
 pub use alloc::{AllocError, AllocPolicy, Allocator, GapBounds};
 pub use array::{DiskArray, StripedExtent};
-pub use disk::{AccessKind, DiskOp, SimDisk};
+pub use disk::{fnv1a, AccessKind, DiskOp, SimDisk};
 pub use fault::{
     AccessResult, BlockDevice, CrashPoint, DegradedWindow, FaultInjector, FaultKind, FaultPlan,
-    FaultStats, Faulted, RandomTransients, SpikeCfg, TransientFault,
+    FaultStats, Faulted, RandomTransients, SilentCorruption, SpikeCfg, TransientFault,
 };
 pub use freemap::FreeMap;
 pub use geometry::{DiskGeometry, Extent, Lba};

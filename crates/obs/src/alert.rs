@@ -48,6 +48,15 @@ pub enum SloRule {
         /// Largest tolerable per-window fault count.
         max_faults: u64,
     },
+    /// Fail-slow volume: fires when a single window sees more than
+    /// `max_hedges` hedged reads — some member is breaching its
+    /// read-latency SLO without erroring.
+    VolumeSlow {
+        /// Stable name carried into the alert.
+        label: &'static str,
+        /// Largest tolerable per-window hedged-read count.
+        max_hedges: u64,
+    },
 }
 
 impl SloRule {
@@ -56,7 +65,8 @@ impl SloRule {
         match self {
             SloRule::BurnRate { label, .. }
             | SloRule::SlackExhaustion { label, .. }
-            | SloRule::FaultStorm { label, .. } => label,
+            | SloRule::FaultStorm { label, .. }
+            | SloRule::VolumeSlow { label, .. } => label,
         }
     }
 
@@ -66,6 +76,7 @@ impl SloRule {
             SloRule::BurnRate { .. } => "burn_rate",
             SloRule::SlackExhaustion { .. } => "slack",
             SloRule::FaultStorm { .. } => "fault_storm",
+            SloRule::VolumeSlow { .. } => "volume_slow",
         }
     }
 
@@ -101,6 +112,9 @@ impl SloRule {
             }
             SloRule::FaultStorm { max_faults, .. } => {
                 (closing.faults > max_faults).then_some((closing.faults as f64, max_faults as f64))
+            }
+            SloRule::VolumeSlow { max_hedges, .. } => {
+                (closing.hedges > max_hedges).then_some((closing.hedges as f64, max_hedges as f64))
             }
         }
     }

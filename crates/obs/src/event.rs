@@ -388,6 +388,55 @@ pub enum Event {
         /// Virtual time of the decision.
         at: Instant,
     },
+    /// One background-scrub verification of a stored media block
+    /// (`strandfs-cluster`): during idle rounds or spare round slack the
+    /// scrubber re-hashed the block's on-disk payload against the
+    /// checksum stamped in its strand index.
+    Scrub {
+        /// The member volume scrubbed.
+        volume: usize,
+        /// The strand holding the block.
+        strand: u64,
+        /// The block verified.
+        block: u64,
+        /// False when the hash did not match the stamp — silent
+        /// corruption found; the replica is routed to re-replication.
+        ok: bool,
+        /// Virtual time the scrub read completed.
+        at: Instant,
+    },
+    /// A hedged read (`strandfs-cluster`): a primary fetch exceeded the
+    /// deadline-derived hedge threshold, so the same block was raced on
+    /// a replica volume.
+    Hedge {
+        /// The stream whose fetch was hedged.
+        stream: usize,
+        /// The slow primary volume.
+        volume: usize,
+        /// The replica volume raced against it.
+        hedge_volume: usize,
+        /// Primary service time that tripped the threshold.
+        primary: Nanos,
+        /// True when the hedge finished first (the stream re-pins to
+        /// the replica).
+        won: bool,
+        /// Virtual time the winning fetch completed.
+        at: Instant,
+    },
+    /// A read-latency quarantine transition (`strandfs-cluster`): a
+    /// member breached the latency SLO (entered) or served clean probes
+    /// long enough to be re-admitted (left).
+    Quarantine {
+        /// The member volume.
+        volume: usize,
+        /// True on entry to quarantine, false on re-admission.
+        entered: bool,
+        /// Consecutive slow (entry) or clean-probe (exit) rounds that
+        /// triggered the transition.
+        rounds: u64,
+        /// Virtual time of the transition.
+        at: Instant,
+    },
 }
 
 impl Event {
@@ -445,7 +494,10 @@ impl Event {
             | Event::Recover { at, .. }
             | Event::EditHeal { at, .. }
             | Event::Repair { at, .. }
-            | Event::Degrade { at, .. } => Some(at),
+            | Event::Degrade { at, .. }
+            | Event::Scrub { at, .. }
+            | Event::Hedge { at, .. }
+            | Event::Quarantine { at, .. } => Some(at),
             Event::StreamService { end, .. } => Some(end),
             Event::Deadline { completed, .. } => Some(completed),
             Event::Fault { detected, .. } => Some(detected),
@@ -473,6 +525,9 @@ impl Event {
             Event::Recover { .. } => "recover",
             Event::EditHeal { .. } => "edit_heal",
             Event::Repair { .. } => "repair",
+            Event::Scrub { .. } => "scrub",
+            Event::Hedge { .. } => "hedge",
+            Event::Quarantine { .. } => "quarantine",
         }
     }
 }

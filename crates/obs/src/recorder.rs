@@ -190,6 +190,18 @@ pub struct ObsMetrics {
     pub degrade_revokes: u64,
     /// Revoked streams re-admitted after the fault window cleared.
     pub degrade_readmits: u64,
+    /// Blocks verified by the background scrubber.
+    pub scrubbed: u64,
+    /// Scrubbed blocks whose payload hash did not match the index stamp.
+    pub scrub_corrupt: u64,
+    /// Hedged reads issued against a replica.
+    pub hedges: u64,
+    /// Hedged reads the replica won.
+    pub hedge_wins: u64,
+    /// Members quarantined for breaching the read-latency SLO.
+    pub quarantines: u64,
+    /// Quarantined members re-admitted after clean probes.
+    pub quarantine_readmits: u64,
 }
 
 impl ObsMetrics {
@@ -313,6 +325,25 @@ impl ObsMetrics {
                 DegradeAction::Revoke => self.degrade_revokes += 1,
                 DegradeAction::Readmit => self.degrade_readmits += 1,
             },
+            Event::Scrub { ok, .. } => {
+                self.scrubbed += 1;
+                if !ok {
+                    self.scrub_corrupt += 1;
+                }
+            }
+            Event::Hedge { won, .. } => {
+                self.hedges += 1;
+                if won {
+                    self.hedge_wins += 1;
+                }
+            }
+            Event::Quarantine { entered, .. } => {
+                if entered {
+                    self.quarantines += 1;
+                } else {
+                    self.quarantine_readmits += 1;
+                }
+            }
         }
     }
 
@@ -336,7 +367,10 @@ impl ObsMetrics {
                 "\"degraded\":{},\"torn\":{},\"crashed\":{},\"writes\":{},",
                 "\"penalty\":{},\"retries\":{},",
                 "\"drops\":{},\"revokes\":{},\"readmits\":{}}},",
-                "\"recovery\":{{\"journal_records\":{},\"recovers\":{},\"repairs\":{}}}}}"
+                "\"recovery\":{{\"journal_records\":{},\"recovers\":{},\"repairs\":{}}},",
+                "\"scrub\":{{\"checked\":{},\"corrupt\":{}}},",
+                "\"hedge\":{{\"issued\":{},\"wins\":{},",
+                "\"quarantines\":{},\"readmits\":{}}}}}"
             ),
             self.disk_reads,
             self.disk_writes,
@@ -387,6 +421,12 @@ impl ObsMetrics {
             self.journal_records,
             self.recovers,
             self.repairs,
+            self.scrubbed,
+            self.scrub_corrupt,
+            self.hedges,
+            self.hedge_wins,
+            self.quarantines,
+            self.quarantine_readmits,
         )
     }
 }
@@ -719,6 +759,40 @@ mod tests {
             action: DegradeAction::Readmit,
             at: Instant::from_nanos(300),
         });
+        rec.record(Event::Scrub {
+            volume: 0,
+            strand: 1,
+            block: 0,
+            ok: true,
+            at: Instant::from_nanos(310),
+        });
+        rec.record(Event::Scrub {
+            volume: 0,
+            strand: 1,
+            block: 1,
+            ok: false,
+            at: Instant::from_nanos(320),
+        });
+        rec.record(Event::Hedge {
+            stream: 0,
+            volume: 0,
+            hedge_volume: 1,
+            primary: Nanos::from_nanos(500),
+            won: true,
+            at: Instant::from_nanos(330),
+        });
+        rec.record(Event::Quarantine {
+            volume: 0,
+            entered: true,
+            rounds: 3,
+            at: Instant::from_nanos(340),
+        });
+        rec.record(Event::Quarantine {
+            volume: 0,
+            entered: false,
+            rounds: 2,
+            at: Instant::from_nanos(350),
+        });
         let m = rec.metrics();
         assert_eq!(m.allocs, 2);
         assert_eq!(m.allocs_unconstrained, 1);
@@ -752,6 +826,9 @@ mod tests {
             (m.degrade_drops, m.degrade_revokes, m.degrade_readmits),
             (1, 1, 1)
         );
+        assert_eq!((m.scrubbed, m.scrub_corrupt), (2, 1));
+        assert_eq!((m.hedges, m.hedge_wins), (1, 1));
+        assert_eq!((m.quarantines, m.quarantine_readmits), (1, 1));
         // JSON is well-formed enough to contain every section.
         let json = rec.to_json();
         for key in [
@@ -764,6 +841,8 @@ mod tests {
             "\"edits\"",
             "\"faults\"",
             "\"recovery\"",
+            "\"scrub\"",
+            "\"hedge\"",
             "\"ring\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

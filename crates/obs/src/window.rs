@@ -200,6 +200,16 @@ pub struct WindowStats {
     pub releases: u64,
     /// Display-clock starts (stream epochs satisfying read-ahead).
     pub display_starts: u64,
+    /// Blocks verified by the background scrubber.
+    pub scrubbed: u64,
+    /// Scrubbed blocks whose checksum did not match.
+    pub scrub_corrupt: u64,
+    /// Hedged reads issued against a slow primary.
+    pub hedges: u64,
+    /// Hedged reads the replica won.
+    pub hedge_wins: u64,
+    /// Volumes quarantined for breaching the latency SLO.
+    pub quarantines: u64,
 }
 
 impl WindowStats {
@@ -228,6 +238,11 @@ impl WindowStats {
             rejects: 0,
             releases: 0,
             display_starts: 0,
+            scrubbed: 0,
+            scrub_corrupt: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            quarantines: 0,
         }
     }
 
@@ -301,6 +316,19 @@ impl WindowStats {
                 crate::event::DegradeAction::Readmit => self.readmits += 1,
             },
             Event::DisplayStart { .. } => self.display_starts += 1,
+            Event::Scrub { ok, .. } => {
+                self.scrubbed += 1;
+                if !ok {
+                    self.scrub_corrupt += 1;
+                }
+            }
+            Event::Hedge { won, .. } => {
+                self.hedges += 1;
+                if won {
+                    self.hedge_wins += 1;
+                }
+            }
+            Event::Quarantine { entered: true, .. } => self.quarantines += 1,
             _ => {}
         }
     }
@@ -329,7 +357,9 @@ impl WindowStats {
                 "\"disk_ops\":{},\"disk_busy_ns\":{},\"utilization\":{:.6},",
                 "\"slack_ns\":{},",
                 "\"faults\":{},\"retries\":{},\"drops\":{},\"revokes\":{},\"readmits\":{},",
-                "\"admits\":{},\"rejects\":{},\"releases\":{},\"display_starts\":{}}}"
+                "\"admits\":{},\"rejects\":{},\"releases\":{},\"display_starts\":{},",
+                "\"scrubbed\":{},\"scrub_corrupt\":{},",
+                "\"hedges\":{},\"hedge_wins\":{},\"quarantines\":{}}}"
             ),
             self.index,
             self.events,
@@ -358,6 +388,11 @@ impl WindowStats {
             self.rejects,
             self.releases,
             self.display_starts,
+            self.scrubbed,
+            self.scrub_corrupt,
+            self.hedges,
+            self.hedge_wins,
+            self.quarantines,
         )
     }
 }
@@ -869,6 +904,38 @@ mod tests {
         assert_eq!(m.alerts()[0].window, 0);
         assert_eq!(m.alerts()[1].window, 2);
         assert_eq!(m.dumps().len(), 2);
+    }
+
+    #[test]
+    fn volume_slow_rule_fires_on_hedge_burst() {
+        let rule = SloRule::VolumeSlow {
+            label: "vol-slow",
+            max_hedges: 1,
+        };
+        let mut m = WindowedMonitor::new(MonitorConfig::rounds(1).rule(rule));
+        let hedge = |at: u64, won: bool| Event::Hedge {
+            stream: 0,
+            volume: 0,
+            hedge_volume: 1,
+            primary: Nanos::from_nanos(500),
+            won,
+            at: Instant::from_nanos(at),
+        };
+        m.record(round_start(0, 0));
+        m.record(hedge(10, true));
+        m.record(round_start(1, 100)); // closes window 0: one hedge, under threshold
+        m.record(hedge(110, true));
+        m.record(hedge(120, false));
+        m.record(round_start(2, 200)); // closes window 1: two hedges → alert
+        m.finish();
+        assert_eq!(m.alerts().len(), 1);
+        let alert = m.alerts()[0];
+        assert_eq!(alert.rule, "vol-slow");
+        assert_eq!(alert.kind, "volume_slow");
+        assert_eq!(alert.window, 1);
+        let windows: Vec<&WindowStats> = m.windows().collect();
+        assert_eq!(windows[1].hedges, 2);
+        assert_eq!(windows[1].hedge_wins, 1);
     }
 
     #[test]

@@ -538,6 +538,69 @@ where
                 );
                 now = now.max(at.as_nanos());
             }
+            Event::Scrub {
+                volume,
+                strand,
+                block,
+                ok,
+                at,
+            } => {
+                t.instant(
+                    if ok { "scrub" } else { "scrub:corrupt" },
+                    "recovery",
+                    pid,
+                    TID_RECOVERY,
+                    at.as_nanos(),
+                    &[
+                        ("volume", ArgVal::U(volume as u64)),
+                        ("strand", ArgVal::U(strand)),
+                        ("block", ArgVal::U(block)),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Hedge {
+                stream,
+                volume,
+                hedge_volume,
+                primary,
+                won,
+                at,
+            } => {
+                stream_tracks.insert(stream, ());
+                t.instant(
+                    if won { "hedge:won" } else { "hedge" },
+                    "fault",
+                    pid,
+                    TID_STREAM_BASE + stream as u64,
+                    at.as_nanos(),
+                    &[
+                        ("volume", ArgVal::U(volume as u64)),
+                        ("hedge_volume", ArgVal::U(hedge_volume as u64)),
+                        ("primary_ns", ArgVal::U(primary.as_nanos())),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
+            Event::Quarantine {
+                volume,
+                entered,
+                rounds,
+                at,
+            } => {
+                t.instant(
+                    if entered { "quarantine" } else { "readmit" },
+                    "fault",
+                    pid,
+                    TID_FAULTS,
+                    at.as_nanos(),
+                    &[
+                        ("volume", ArgVal::U(volume as u64)),
+                        ("rounds", ArgVal::U(rounds)),
+                    ],
+                );
+                now = now.max(at.as_nanos());
+            }
         }
     }
 

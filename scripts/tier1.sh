@@ -52,6 +52,19 @@ STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline \
 echo "==> cluster failover smoke (STRANDFS_TEST_SEED=$CHAOS_SEED)"
 STRANDFS_TEST_SEED="$CHAOS_SEED" cargo test -q --offline --test cluster_failover
 
+# Bounded scrub + hedge chaos smoke: seeded SilentCorruption +
+# FailSlow plans over a replicated cluster (tests/proptests_sim.rs,
+# `cluster_integrity_chaos_*`). The contract: every flip is detected
+# and repaired (read-around or scrub), replicated streams serve zero
+# corrupt and zero dropped blocks past the fail-slow member, and the
+# repaired cluster ends fsck-clean with a consistent catalog. The case
+# count runs deeper here than in the default suite pass above (capped
+# in-test at 48); replay any failure with the printed seed.
+INTEGRITY_CASES="${STRANDFS_TEST_CASES:-24}"
+echo "==> scrub+hedge chaos smoke (STRANDFS_TEST_SEED=$CHAOS_SEED STRANDFS_TEST_CASES=$INTEGRITY_CASES)"
+STRANDFS_TEST_SEED="$CHAOS_SEED" STRANDFS_TEST_CASES="$INTEGRITY_CASES" \
+    cargo test -q --offline --test proptests_sim cluster_integrity_chaos
+
 # Bounded fsx chaos: one seeded random rope-editing stream, model-checked
 # at every step with Eq. 19/20 copy-bound enforcement (tests/fsx.rs,
 # `chaos_pass_bounded_by_env`). STRANDFS_FSX_OPS bounds the stream

@@ -9,7 +9,7 @@
 
 use strandfs::cluster::{
     simulate_cluster, Cluster, ClusterAction, ClusterConfig, ClusterPlayback, MemberState,
-    ScriptedAction,
+    Placement, ScriptedAction,
 };
 use strandfs::sim::ClipSpec;
 use strandfs::units::Instant;
@@ -79,4 +79,49 @@ fn replicated_title_survives_a_seeded_member_kill() {
             .clean(),
         "rejoined member must be fsck-clean (seed {seed})"
     );
+}
+
+#[test]
+fn least_loaded_placement_is_deterministic_across_identical_runs() {
+    let seed = Config::from_env().seed;
+    eprintln!(
+        "placement determinism smoke: replay with STRANDFS_TEST_SEED={seed} \
+         cargo test -q --test cluster_failover"
+    );
+    // Slack ties are the dangerous case: a fresh symmetric cluster has
+    // identical Eq. 18 slack on every volume, so only the stable
+    // placed-then-volume-id tie-break keeps two identical runs from
+    // diverging. Ingest the same mix twice and pin the layouts equal.
+    let layout = |seed: u64| -> Vec<Vec<usize>> {
+        let mut c = Cluster::new(ClusterConfig {
+            base_replicas: 2,
+            placement: Placement::LeastLoaded,
+            ..ClusterConfig::round_robin(3, seed)
+        })
+        .expect("cluster");
+        for (i, secs) in [0.6, 0.4, 0.8, 0.4].iter().enumerate() {
+            c.ingest(
+                "title",
+                &ClipSpec::video_seconds(*secs).with_seed(seed ^ i as u64),
+                0.5,
+            )
+            .expect("ingest");
+        }
+        c.catalog()
+            .titles()
+            .iter()
+            .map(|t| t.replicas.iter().map(|r| r.volume).collect())
+            .collect()
+    };
+    let a = layout(seed);
+    let b = layout(seed);
+    assert_eq!(a, b, "identical runs must place identically (seed {seed})");
+    // The first title lands on a fully symmetric cluster: the
+    // tie-break pins it to the lowest volume ids, ascending.
+    assert_eq!(a[0], vec![0, 1], "seed {seed}");
+    // Every replica pair is on distinct volumes.
+    for (t, replicas) in a.iter().enumerate() {
+        assert_eq!(replicas.len(), 2, "title {t} (seed {seed})");
+        assert_ne!(replicas[0], replicas[1], "title {t} (seed {seed})");
+    }
 }

@@ -23,7 +23,8 @@ use strandfs_testkit::{
 
 // ---------- index encoding ----------
 
-/// `(silence, sector, sector_count)` → a [`PrimaryEntry`].
+/// `(silence, sector, sector_count)` → a [`PrimaryEntry`]; stored
+/// entries carry a sector-derived payload checksum stamp.
 fn primary_entry((silence, sector, sector_count): (bool, u64, u32)) -> PrimaryEntry {
     if silence {
         PrimaryEntry::SILENCE
@@ -31,6 +32,7 @@ fn primary_entry((silence, sector, sector_count): (bool, u64, u32)) -> PrimaryEn
         PrimaryEntry {
             sector,
             sector_count,
+            sum: sector ^ 0x00C0_FFEE,
         }
     }
 }
@@ -39,7 +41,7 @@ fn primary_entry((silence, sector, sector_count): (bool, u64, u32)) -> PrimaryEn
 fn primary_block_round_trips() {
     check(
         "primary_block_round_trips",
-        prop_vec((any_bool(), 0u64..1 << 40, 1u32..1 << 16), 0..42),
+        prop_vec((any_bool(), 0u64..1 << 40, 1u32..1 << 16), 0..25),
         |raw| {
             let pb = PrimaryBlock {
                 entries: raw.iter().copied().map(primary_entry).collect(),
@@ -134,12 +136,23 @@ fn build_primaries_preserves_every_block() {
                 .iter()
                 .map(|&(hole, s, n)| if hole { None } else { Some(Extent::new(s, n)) })
                 .collect();
-            let (pbs, coverage) = build_primaries(&blocks, *per_primary);
+            let sums: Vec<u64> = raw.iter().map(|&(_, s, _)| s ^ 0x5AFE).collect();
+            let (pbs, coverage) = build_primaries(&blocks, &sums, *per_primary);
             let rebuilt: Vec<Option<Extent>> = pbs
                 .iter()
                 .flat_map(|pb| pb.entries.iter().map(|e| e.extent()))
                 .collect();
             prop_assert_eq!(&rebuilt, &blocks);
+            // Stored entries carry their stamped sums at the right offsets.
+            let flat: Vec<PrimaryEntry> = pbs
+                .iter()
+                .flat_map(|pb| pb.entries.iter().copied())
+                .collect();
+            for (i, e) in flat.iter().enumerate() {
+                if !e.is_silence() {
+                    prop_assert_eq!(e.sum, sums[i]);
+                }
+            }
             // Coverage tiles the block range exactly.
             let mut next = 0u64;
             for (start, count) in &coverage {

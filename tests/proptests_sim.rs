@@ -684,6 +684,154 @@ fn cluster_chaos_replicated_streams_survive_member_loss() {
 }
 
 #[test]
+fn cluster_integrity_chaos_scrub_repairs_and_viewers_stay_clean() {
+    use strandfs::cluster::{simulate_cluster, Cluster, ClusterConfig, ClusterPlayback, Placement};
+    use strandfs::disk::FaultPlan;
+    use strandfs::sim::ClipSpec;
+
+    // Random silent corruption on one replica plus a gray fail-slow
+    // member at the same time: the scrubber must detect the decay,
+    // repair it from the live copy through the re-replication path, and
+    // the audited service loop must hand viewers zero corrupt and zero
+    // dropped blocks throughout. Afterwards no corrupt block may remain
+    // anywhere, every member is fsck-clean and the catalog reconciles
+    // as a no-op.
+    check_with(
+        &Config::with_cases(6),
+        "cluster_integrity_chaos_scrub_repairs_and_viewers_stay_clean",
+        ((0u64..1_000, 2usize..4), (0u64..24, 1u64..5, 4u64..12)),
+        |&((seed, volumes), (start, len, slow_x))| {
+            let mut c = Cluster::new(ClusterConfig {
+                volumes,
+                placement: Placement::LeastLoaded,
+                base_replicas: 2,
+                seed,
+            })
+            .expect("cluster");
+            let id = c
+                .ingest(
+                    "hot",
+                    &ClipSpec::video_seconds(1.5).with_seed(seed ^ 9),
+                    1.0,
+                )
+                .expect("ingest");
+            c.set_verify_reads(true);
+            // Flip one bit in a random run of replica 0's stored blocks,
+            // invisibly to the device.
+            let (v0, loc) = {
+                let rep = &c.catalog().title(id).replicas[0];
+                (rep.volume, rep.strands[0])
+            };
+            let v1 = c.catalog().title(id).replicas[1].volume;
+            let first = start % loc.blocks;
+            let mut plan = FaultPlan::clean();
+            let mut corrupted = 0u64;
+            for n in first..(first + len).min(loc.blocks) {
+                let block = c.members()[v0]
+                    .mrs()
+                    .msm()
+                    .strand(loc.strand)
+                    .unwrap()
+                    .block(n)
+                    .unwrap();
+                if let Some(e) = block {
+                    plan = plan.with_silent_corruption(e);
+                    corrupted += 1;
+                }
+            }
+            prop_assert!(corrupted > 0, "video strands hold only stored blocks");
+            prop_assert!(c.arm_member_faults(v0, plan));
+            // Replica 1's member turns fail-slow: every op stretches,
+            // nothing errors.
+            prop_assert!(c.arm_member_faults(v1, FaultPlan::clean().with_fail_slow(slow_x as f64)));
+            let mut cfg = ClusterPlayback::with_k(3)
+                .scrub(3)
+                .restore(2)
+                .audited()
+                .hedged();
+            cfg.quarantine_after_rounds = 1;
+            // Zero drops needs the glitch window covered: the paper's
+            // buffer-ahead defense, provisioned for the fault envelope.
+            // Steady state needs 2k (one degraded round until quarantine
+            // kicks the slow member out); the corrupt run adds one
+            // remote read-around serve per bad block, each costing
+            // ~0.3·slow_x item durations on the slow source.
+            cfg.read_ahead = 2 * cfg.k + (3 * len * slow_x).div_ceil(10);
+            let report = simulate_cluster(&mut c, &[id, id], &[], &cfg).expect("cluster sim");
+
+            // Every corrupt block was detected — by the scrubber or by a
+            // verified viewer read — and repaired in place (or the
+            // replica invalidated for rebuild); the audience never saw
+            // it.
+            prop_assert!(report.scrubbed_blocks > 0, "scrub never ran");
+            prop_assert!(
+                report.scrub_corrupt + report.read_repairs >= 1,
+                "the corruption was never detected"
+            );
+            prop_assert!(
+                report.scrub_repaired + report.read_repairs + report.scrub_invalidated >= 1,
+                "no repair was triggered"
+            );
+            prop_assert_eq!(report.corrupt_served, 0, "a corrupt block reached a viewer");
+            prop_assert_eq!(report.replicated_dropped(), 0, "replicated stream dropped");
+            for (i, s) in report.sim.streams.iter().enumerate() {
+                prop_assert_eq!(
+                    s.fetched + s.dropped_blocks,
+                    s.blocks,
+                    "stream {} leaked",
+                    i
+                );
+            }
+            // Gray failure: both members stayed up the whole time.
+            prop_assert!(
+                c.is_up(v0) && c.is_up(v1),
+                "gray faults must not down members"
+            );
+            // No corrupt block survives anywhere in the cluster.
+            for v in 0..volumes {
+                let ids = c.members()[v].mrs().msm().strand_ids();
+                for sid in ids {
+                    let blocks = c.members()[v]
+                        .mrs()
+                        .msm()
+                        .strand(sid)
+                        .unwrap()
+                        .block_count();
+                    for b in 0..blocks {
+                        let ok = c.members()[v].mrs().msm().check_block_sum(sid, b).unwrap();
+                        prop_assert!(
+                            ok != Some(false),
+                            "corrupt block survives on volume {} strand {:?} block {}",
+                            v,
+                            sid,
+                            b
+                        );
+                    }
+                }
+            }
+            // Every replica is live again, members are fsck-clean, and
+            // a fresh reconciliation pass is a no-op.
+            let far_future = Instant::from_nanos(u64::MAX / 4);
+            for r in &c.catalog().title(id).replicas {
+                prop_assert!(
+                    matches!(r.state, strandfs::cluster::ReplicaState::Live),
+                    "replica on volume {} not restored",
+                    r.volume
+                );
+            }
+            for v in 0..volumes {
+                prop_assert!(c.fsck_member(v, far_future).clean(), "volume {} dirty", v);
+                let mut cat = c.catalog().clone();
+                let rec = cat.reconcile(v, c.members()[v].mrs().msm());
+                prop_assert_eq!(rec.restored, 0, "catalog stale on volume {}", v);
+                prop_assert_eq!(rec.lost, 0, "catalog overstates volume {}", v);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn fsx_model_checks_on_random_streams() {
     // The fsx exerciser as a shrinking property: any (seed, ops) stream
     // must keep the real MRS and the in-memory model rope in lockstep
